@@ -1,0 +1,22 @@
+# Convenience targets for the XSQL reproduction.
+
+.PHONY: install test bench report examples all
+
+install:
+	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
+	# the setup.py path below works in fully offline environments too.
+	pip install -e . 2>/dev/null || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.bench.report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+all: install test bench report

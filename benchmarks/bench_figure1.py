@@ -1,0 +1,52 @@
+"""FIG1: building and validating the Figure 1 schema.
+
+The paper's only figure is its schema; this bench regenerates it
+programmatically, asserts its IS-A/aggregation structure, and measures how
+long construction takes (the baseline cost every other experiment pays).
+"""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom
+from repro.schema.figure1 import FIGURE1_CLASSES, build_figure1_schema
+from repro.workloads.paper_db import populate_paper_database
+
+
+def _build() -> ObjectStore:
+    return build_figure1_schema(ObjectStore())
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_schema_construction(benchmark):
+    store = benchmark(_build)
+    for name in FIGURE1_CLASSES:
+        assert Atom(name) in store.class_universe()
+    assert store.hierarchy.superclasses(Atom("TurboEngine")) == frozenset(
+        {Atom("FourStrokeEngine"), Atom("PistonEngine"), Atom("Object")}
+    )
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_instance_population(benchmark):
+    def build_and_populate():
+        return populate_paper_database(build_figure1_schema(ObjectStore()))
+
+    store = benchmark(build_and_populate)
+    assert len(store.extent("Person")) == 19
+    assert len(store.extent("Vehicle")) == 4
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_schema_closure_queries(benchmark, paper):
+    hierarchy = paper.store.hierarchy
+
+    def closure():
+        total = 0
+        for cls in hierarchy.classes():
+            total += len(hierarchy.superclasses(cls))
+            total += len(hierarchy.subclasses(cls))
+        return total
+
+    total = benchmark(closure)
+    assert total > 0

@@ -1,0 +1,48 @@
+"""SERIALIZE: save/load throughput across database sizes.
+
+Persistence is outside the paper's scope but inside any adoptable
+library's; the bench pins the dump/restore cost curve and asserts the
+round-trip changes nothing (a loaded database answers a reference query
+identically).
+"""
+
+import json
+
+import pytest
+
+from repro.datamodel.serialize import store_from_dict, store_to_dict
+from repro.workloads.generator import WorkloadConfig, generate_database
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.parser import parse_query
+
+SIZES = [50, 200]
+REFERENCE = "SELECT X FROM Employee X WHERE X.Salary > 200000"
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+@pytest.mark.benchmark(group="serialize-dump")
+def test_dump(benchmark, n_people):
+    store = generate_database(WorkloadConfig(n_people=n_people, seed=8))
+    payload, report = benchmark(lambda: store_to_dict(store))
+    assert report.objects > n_people
+
+@pytest.mark.parametrize("n_people", SIZES)
+@pytest.mark.benchmark(group="serialize-load")
+def test_load(benchmark, n_people):
+    store = generate_database(WorkloadConfig(n_people=n_people, seed=8))
+    payload, _report = store_to_dict(store)
+    encoded = json.dumps(payload)
+    loaded = benchmark(lambda: store_from_dict(json.loads(encoded)))
+    query = parse_query(REFERENCE)
+    assert (
+        Evaluator(loaded).run(query).rows()
+        == Evaluator(store).run(query).rows()
+    )
+
+
+@pytest.mark.benchmark(group="serialize-json")
+def test_json_encoding(benchmark):
+    store = generate_database(WorkloadConfig(n_people=200, seed=8))
+    payload, _report = store_to_dict(store)
+    text = benchmark(lambda: json.dumps(payload))
+    assert len(text) > 10_000

@@ -1,0 +1,114 @@
+"""T17/T19/PLANS: the §6.2 typing analysis as an experiment.
+
+Reproduces the two worked typing fragments — (17), strictly well-typed
+exactly via the plan that evaluates the Manufacturer path first, and (19),
+whose *only* coherent plan is third → second → first with
+``President : Organization => Person`` — and measures the cost of the
+assignment/plan search as the number of path expressions grows.
+"""
+
+import pytest
+
+from repro.oid import Atom
+from repro.typing import Exemptions, analyze, build_typed_query
+from repro.typing.liberal import complete_assignments
+from repro.typing.plans import all_plans
+from repro.typing.strict import is_coherent
+from repro.xsql.parser import parse_query
+
+FRAGMENT_17 = (
+    "SELECT X FROM Vehicle X "
+    "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]"
+)
+FRAGMENT_19 = (
+    "SELECT X FROM Numeral Year "
+    "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X] "
+    "and OO_Forum.(Member @ Year)[M]"
+)
+
+#: Chains of growing length for the plan-search sweep.
+CHAINS = {
+    2: "SELECT X FROM Company X WHERE X.Divisions[D] and D.Manager[M]",
+    3: (
+        "SELECT X FROM Company X WHERE X.Divisions[D] and D.Manager[M] "
+        "and M.Residence[R]"
+    ),
+    4: (
+        "SELECT X FROM Company X WHERE X.Divisions[D] and D.Manager[M] "
+        "and M.Residence[R] and R.City[C]"
+    ),
+    5: (
+        "SELECT X FROM Company X WHERE X.Divisions[D] and D.Manager[M] "
+        "and M.Residence[R] and R.City[C] and M.Salary[W]"
+    ),
+}
+
+
+@pytest.mark.benchmark(group="typing-fragments")
+def test_fragment17_analysis(benchmark, paper):
+    report = benchmark(lambda: analyze(FRAGMENT_17, paper.store))
+    assert report.strict
+    _assignment, plan = report.strict_witness
+    assert plan.order == (0, 1)
+
+
+@pytest.mark.benchmark(group="typing-fragments")
+def test_fragment19_analysis(benchmark, typing_paper):
+    report = benchmark(lambda: analyze(FRAGMENT_19, typing_paper.store))
+    assert report.strict
+    assignment, plan = report.strict_witness
+    assert plan.order == (2, 1, 0)
+    president = next(
+        expr
+        for occ, expr in assignment.entries
+        if occ.method == Atom("President")
+    )
+    assert president.scope == Atom("Organization")
+
+
+@pytest.mark.benchmark(group="typing-fragments")
+def test_nobel_spectrum(benchmark, nobel):
+    query = "SELECT X WHERE X.WonNobelPrize"
+
+    def full_spectrum():
+        default = analyze(query, nobel.store)
+        exempted = analyze(
+            query, nobel.store, Exemptions.for_method("WonNobelPrize", 0)
+        )
+        return default, exempted
+
+    default, exempted = benchmark(full_spectrum)
+    assert default.discipline() == "liberal-only"
+    assert exempted.discipline() == "strict"
+
+
+@pytest.mark.parametrize("length", sorted(CHAINS))
+@pytest.mark.benchmark(group="typing-plan-search")
+def test_plan_search_cost(benchmark, paper, length):
+    """Assignment×plan search vs number of path expressions."""
+    text = CHAINS[length]
+    report = benchmark(lambda: analyze(text, paper.store))
+    assert report.strict, text
+
+
+def test_coherent_plan_counts(typing_paper):
+    """Shape check: (19) has exactly one coherent plan, (17) at least one.
+
+    "There are many execution plans, some of which have while others have
+    no coherent type assignments."
+    """
+    store = typing_paper.store
+    typed_query = build_typed_query(parse_query(FRAGMENT_19))
+    coherent_plans = set()
+    for assignment in complete_assignments(typed_query, store):
+        from repro.typing.assignments import is_valid_assignment
+
+        if not is_valid_assignment(assignment, typed_query, store):
+            continue
+        ranges = assignment.all_ranges(typed_query)
+        if any(r.is_empty(store.hierarchy) for r in ranges.values()):
+            continue
+        for plan in all_plans(typed_query):
+            if is_coherent(assignment, plan, typed_query, store):
+                coherent_plans.add(plan.order)
+    assert coherent_plans == {(2, 1, 0)}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Read-only fixtures are session-scoped so every bench sees identical data;
+benches that mutate state build fresh sessions inside their setup hooks.
+"""
+
+import pytest
+
+from repro import Session
+from repro.schema.figure1 import build_figure1_schema
+from repro.schema.nobel import build_nobel_schema, populate_nobel_database
+from repro.schema.typing_examples import (
+    extend_with_typing_classes,
+    populate_oo_forum,
+)
+from repro.workloads.generator import WorkloadConfig, generate_database
+from repro.workloads.paper_db import populate_paper_database
+
+
+def fresh_paper_session() -> Session:
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    return session
+
+
+@pytest.fixture(scope="session")
+def paper() -> Session:
+    """Read-only paper-instance session."""
+    return fresh_paper_session()
+
+
+@pytest.fixture(scope="session")
+def typing_paper() -> Session:
+    session = fresh_paper_session()
+    extend_with_typing_classes(session.store)
+    populate_oo_forum(session.store)
+    return session
+
+
+@pytest.fixture(scope="session")
+def nobel() -> Session:
+    session = Session()
+    build_nobel_schema(session.store)
+    populate_nobel_database(session.store)
+    return session
+
+
+@pytest.fixture(scope="session")
+def synthetic_small():
+    return generate_database(WorkloadConfig(n_people=50, seed=7))
+
+
+@pytest.fixture(scope="session")
+def synthetic_medium():
+    return generate_database(WorkloadConfig(n_people=150, seed=7))

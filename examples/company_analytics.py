@@ -1,0 +1,111 @@
+"""Company analytics: views, object-creating queries, and methods (§4–§5).
+
+A payroll scenario over the Figure 1 database:
+
+1. create the ``CompSalaries`` view of query (9) — salary facts without
+   employee identities, "obviously, it could be used as a security
+   measure";
+2. query through the view exactly as in query (10);
+3. define the ``MngrSalary`` method (query (12)) and use it in the nested
+   query (13);
+4. define the ``RaiseMngrSalary`` update method and give every uniSQL
+   division manager a 10% raise;
+5. translate a view update into a base-database update (§4.2).
+"""
+
+from repro import Atom, FuncOid, Value
+from repro.workloads.paper_db import paper_session
+
+
+def main() -> None:
+    session = paper_session()
+    store = session.store
+
+    print("=== 1. CREATE VIEW CompSalaries (query 9)")
+    session.execute(
+        """
+        CREATE VIEW CompSalaries AS SUBCLASS OF Object
+        SIGNATURE CompName = String, DivName = String, Salary = Numeral
+        SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary
+        FROM Company X
+        OID FUNCTION OF X, W
+        WHERE X.Divisions[Y].Employees[W]
+        """
+    )
+    rows = session.query(
+        "SELECT V.CompName, V.DivName, V.Salary FROM CompSalaries V"
+    )
+    print(rows.pretty())
+
+    print("\n=== 2. Query through the view (query 10)")
+    result = session.query(
+        "SELECT X.Manufacturer.Name FROM Automobile X, Employee W "
+        "WHERE CompSalaries(X.Manufacturer, W).Salary > 35000"
+    )
+    print("automobile companies with a >$35k employee:", result.scalars())
+
+    print("\n=== 3. Define and use MngrSalary (queries 12-13)")
+    session.execute(
+        """
+        ALTER CLASS Company
+        ADD SIGNATURE MngrSalary : String => Numeral
+        SELECT (MngrSalary @ Y.Name) = W
+        FROM Company X
+        OID X
+        WHERE X.Divisions[Y].Manager.Salary[W]
+        """
+    )
+    result = session.query(
+        """
+        SELECT X
+        FROM Vehicle X
+        WHERE 200000 <all (SELECT W
+                           FROM Division Y
+                           WHERE X.Manufacturer.(MngrSalary @ Y.Name)[W])
+        """
+    )
+    print(
+        "vehicles from companies paying every manager > $200k:",
+        sorted(str(x) for x in result.single_column()),
+    )
+
+    print("\n=== 4. RaiseMngrSalary: an update method (§5)")
+    session.execute(
+        """
+        ALTER CLASS Company
+        ADD SIGNATURE RaiseMngrSalary : Numeral => Object
+        SELECT (RaiseMngrSalary @ W) = nil
+        FROM Company X, Numeral W
+        OID X
+        WHERE W < 20
+        and (UPDATE CLASS Company
+             SET X.Divisions[Y].Manager.Salary =
+                 (1 + W/100) * X.(MngrSalary @ Y.Name))
+        """
+    )
+    before = {
+        name: store.invoke_scalar(Atom(name), "Salary")
+        for name in ("john13", "rich")
+    }
+    store.invoke(Atom("uniSQL"), "RaiseMngrSalary", [Value(10)])
+    after = {
+        name: store.invoke_scalar(Atom(name), "Salary")
+        for name in ("john13", "rich")
+    }
+    for name in before:
+        print(f"  {name}: {before[name]} -> {after[name]}")
+    rejected = store.invoke(Atom("uniSQL"), "RaiseMngrSalary", [Value(25)])
+    print("  a 25% raise is guarded against:", set(rejected) == set())
+
+    print("\n=== 5. Updating through the view (§4.2)")
+    target = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+    session.refresh_view("CompSalaries")
+    session.update_view("CompSalaries", "Salary", {target: Value(42000)})
+    print(
+        "  ben's base salary after the view update:",
+        store.invoke_scalar(Atom("ben"), "Salary"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Theorem 3.1 made visible: XSQL queries as F-logic formulas.
+
+The paper grounds XSQL's semantics in F-logic [KLW90] and promises an
+effective translation (Theorem 3.1).  This example prints the translation
+``P(q)`` for several paper queries, evaluates both the F-logic formula and
+the native engine, and shows they agree — including a schema-browsing
+query whose method variable stays first-order.
+"""
+
+from repro.flogic import FlogicDatabase, evaluate, translate
+from repro.workloads.paper_db import paper_session
+from repro.xsql.parser import parse_query
+
+QUERIES = [
+    (
+        "Path expression (1)",
+        "SELECT mary123.Residence.City",
+    ),
+    (
+        "Selectors bind intermediate objects",
+        "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+    ),
+    (
+        "A some-quantified comparison",
+        "SELECT X FROM Employee X WHERE X.Salary < 35000",
+    ),
+    (
+        "Schema browsing with a method variable (query 3)",
+        "SELECT Y FROM Person X WHERE X.Y.City['newyork']",
+    ),
+    (
+        "Class hierarchy interrogation (query 4)",
+        "SELECT #X WHERE TurboEngine subclassOf #X",
+    ),
+]
+
+
+def main() -> None:
+    session = paper_session()
+    db = FlogicDatabase.from_store(session.store)
+    print(f"F-logic export: {db.fact_count()} ground data molecules\n")
+
+    for title, text in QUERIES:
+        query = parse_query(text)
+        translated = translate(query)
+        print(f"=== {title}")
+        print(f"XSQL:    {text}")
+        print(f"F-logic: {translated}")
+        flogic_answers = evaluate(db, translated)
+        native_answers = session.query(text).rows()
+        agree = "AGREE" if flogic_answers == native_answers else "DIFFER"
+        rendered = sorted(
+            ", ".join(str(v) for v in row) for row in flogic_answers
+        )
+        print(f"answers ({agree}): {rendered}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Path variables over a genealogy: reachability without recursion.
+
+§3.1's path-variable extension ("xY can be bound to any sequence of
+attributes") gives bounded transitive reachability directly in a query —
+this example builds a four-generation family tree and asks:
+
+* who is reachable from the matriarch, and via which attribute sequence;
+* which descendants are reachable through mothers only;
+* the schema-browsing twist: which attribute sequences connect two
+  concrete people.
+"""
+
+from repro import Session
+from repro.oid import Atom
+
+FAMILY = {
+    # person: (mother, father)
+    "eve": (None, None),
+    "adam": (None, None),
+    "cain": ("eve", "adam"),
+    "awan": (None, None),
+    "enoch": ("awan", "cain"),
+    "irad": (None, "enoch"),
+    "mehujael": (None, "irad"),
+}
+
+
+def build() -> Session:
+    session = Session()
+    store = session.store
+    store.declare_class("Person2")
+    store.declare_signature("Person2", "Mother", "Person2")
+    store.declare_signature("Person2", "Father", "Person2")
+    store.declare_signature("Person2", "Label", "String")
+    for name in FAMILY:
+        person = store.create_object(Atom(name), ["Person2"])
+        store.set_attr(person, "Label", name)
+    for name, (mother, father) in FAMILY.items():
+        if mother:
+            store.set_attr(Atom(name), "Mother", Atom(mother))
+        if father:
+            store.set_attr(Atom(name), "Father", Atom(father))
+    return session
+
+
+def main() -> None:
+    session = build()
+
+    print("=== ancestors of mehujael (any parent chain, any length)")
+    result = session.query("SELECT Y WHERE mehujael.*P[Y] and Y.Label")
+    print(sorted(str(v) for v in result.single_column()))
+
+    print("\n=== which attribute sequences lead from mehujael to cain?")
+    result = session.query("SELECT P WHERE mehujael.*P[cain]")
+    for value in sorted(str(v) for v in result.single_column()):
+        print(" ", value)
+
+    print("\n=== people whose mother-line reaches eve")
+    result = session.query(
+        "SELECT X FROM Person2 X WHERE X.Mother.*P[eve]"
+    )
+    print(sorted(str(v) for v in result.single_column()))
+
+
+if __name__ == "__main__":
+    main()

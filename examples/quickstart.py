@@ -1,0 +1,72 @@
+"""Quickstart: build the Figure 1 database and run the paper's queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the opening examples of §3: plain path expressions, selectors,
+unnesting through set-valued attributes, quantified comparisons, and
+aggregates — each one printed with its XSQL text and its answer.
+"""
+
+from repro import Session
+from repro.schema.figure1 import build_figure1_schema
+from repro.workloads.paper_db import populate_paper_database
+
+
+def main() -> None:
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+
+    examples = [
+        (
+            "Path expression (1): where does mary123 live?",
+            "SELECT mary123.Residence.City",
+        ),
+        (
+            "Unnesting in one sweep: names of the president's family",
+            "SELECT uniSQL.President.FamMembers.Name",
+        ),
+        (
+            "Selectors bind intermediate objects: New York residences",
+            "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+        ),
+        (
+            "Engines installed in employee-owned automobiles",
+            "SELECT Z FROM Employee X, Automobile Y "
+            "WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]",
+        ),
+        (
+            "Quantified comparison: a family member over 20",
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+        ),
+        (
+            "Set comparator + explicit join: young presidents with "
+            "blue and red vehicles",
+            "SELECT X FROM Automobile Y WHERE Y.Manufacturer[X] "
+            "and X.President.OwnedVehicles.Color containsEq "
+            "{'blue', 'red'} and X.President.Age < 30",
+        ),
+        (
+            "Aggregates: big, single-household, modest-salary families",
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) > 4 "
+            "and X.Residence =all X.FamMembers.Residence "
+            "and X.Salary < 35000",
+        ),
+        (
+            "A relation-valued result: company names with salaries",
+            "SELECT X.Name, W.Salary FROM Company X "
+            "WHERE X.Divisions.Employees[W]",
+        ),
+    ]
+
+    for title, text in examples:
+        print(f"\n=== {title}")
+        print(f"    {text}")
+        result = session.query(text)
+        print(result.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Schema exploration: querying the schema in the same language as data.
+
+The paper's headline novelty (§1, feature 1): "it is possible to query
+data without a complete knowledge of the schema", because class names,
+attribute names, and method names are all logical object ids that
+variables can range over.  This example runs:
+
+* the engine-types contrast of §1 (relational projection vs schema query,
+  including footnote 1's installed-vs-catalogued distinction);
+* attribute discovery with method variables (query (3));
+* the class-variable query (4), whose answer the paper states exactly;
+* the Nobel-prize query, plus its typing analysis across the §6 spectrum.
+"""
+
+from repro import Session
+from repro.relational import mirror_figure1, project
+from repro.schema.figure1 import build_figure1_schema
+from repro.schema.nobel import build_nobel_schema, populate_nobel_database
+from repro.typing import Exemptions, analyze
+from repro.workloads.paper_db import populate_paper_database
+
+
+def engine_types_contrast(session: Session) -> None:
+    print("=== Engine types: schema query vs relational projection (§1)")
+    relational = mirror_figure1(session.store)
+    installed = project(relational.table("vehicles"), ["engine_type"])
+    print(
+        "relational π(EngineType):",
+        sorted(str(r[0]) for r in installed),
+    )
+    all_types = session.query("SELECT #X WHERE #X subclassOf PistonEngine")
+    print(
+        "XSQL schema query:      ",
+        sorted(str(x) for x in all_types.single_column()),
+    )
+    installed_oo = session.query(
+        "SELECT #E FROM Vehicle X, #E Z "
+        "WHERE X.Drivetrain.Engine[Z] and #E subclassOf PistonEngine"
+    )
+    print(
+        "XSQL installed-only:    ",
+        sorted(str(x) for x in installed_oo.single_column()),
+    )
+
+
+def attribute_discovery(session: Session) -> None:
+    print("\n=== Which attribute connects a Person to 'newyork'? (query 3)")
+    result = session.query(
+        "SELECT Y FROM Person X WHERE X.Y.City['newyork']"
+    )
+    print("answer:", sorted(str(x) for x in result.single_column()))
+
+    print("\n=== Strict superclasses of TurboEngine (query 4)")
+    result = session.query("SELECT #X WHERE TurboEngine subclassOf #X")
+    print("answer:", sorted(str(x) for x in result.single_column()))
+
+
+def nobel_prizes() -> None:
+    print("\n=== The Nobel-prize query and the typing spectrum (§1, §6)")
+    session = Session()
+    build_nobel_schema(session.store)
+    populate_nobel_database(session.store)
+    query = "SELECT X WHERE X.WonNobelPrize"
+    result = session.query(query)
+    print("winners:", sorted(str(x) for x in result.single_column()))
+    report = analyze(query, session.store)
+    print("default typing discipline:", report.discipline())
+    exempted = analyze(
+        query, session.store, Exemptions.for_method("WonNobelPrize", 0)
+    )
+    print("with the 0-th argument exempted:", exempted.discipline())
+
+
+def main() -> None:
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    engine_types_contrast(session)
+    attribute_discovery(session)
+    nobel_prizes()
+
+
+if __name__ == "__main__":
+    main()

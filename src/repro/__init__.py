@@ -1,0 +1,57 @@
+"""XSQL: a reproduction of *Querying Object-Oriented Databases*
+(Kifer, Kim, Sagiv; ACM SIGMOD 1992).
+
+The package implements the paper end to end:
+
+* :mod:`repro.datamodel` — the object-oriented data model of §2 (classes
+  as objects, attributes as 0-ary methods, behavioral and structural
+  inheritance, first-class relations);
+* :mod:`repro.xsql` — the XSQL language of §3–§5 (extended path
+  expressions, quantified comparisons, aggregates, schema browsing,
+  object-creating queries, query-defined and update methods);
+* :mod:`repro.views` — id-functions and views of §4;
+* :mod:`repro.typing` — the typing framework of §6 (liberal/strict/
+  exemption-based well-typing, execution plans, the Theorem 6.1 optimizer);
+* :mod:`repro.flogic` — the F-logic kernel grounding the semantics
+  (Theorem 3.1);
+* :mod:`repro.relational` — a small relational baseline engine;
+* :mod:`repro.schema` / :mod:`repro.workloads` — the Figure 1 schema, the
+  paper's instance database, and synthetic workload generators.
+
+Quickstart::
+
+    from repro import Session
+    from repro.schema.figure1 import build_figure1_schema
+    from repro.workloads.paper_db import populate_paper_database
+
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    result = session.query(
+        "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+    )
+    print(result.pretty())
+"""
+
+from repro.datamodel import ObjectStore, PythonMethod
+from repro.errors import XsqlError
+from repro.oid import NIL, Atom, FuncOid, Oid, Value, Variable, VarSort
+from repro.xsql import QueryResult, Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "ObjectStore",
+    "QueryResult",
+    "PythonMethod",
+    "Atom",
+    "Value",
+    "FuncOid",
+    "Oid",
+    "Variable",
+    "VarSort",
+    "NIL",
+    "XsqlError",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Method implementations (paper §2 "Methods" and §5).
+
+A method is "a pair consisting of a symbol, called the name of the method,
+and a partial function, called the implementation".  Implementations come in
+two flavours here:
+
+* :class:`PythonMethod` — a native partial function supplied by the host
+  application (the common case for derived attributes);
+* query-defined methods (``ALTER CLASS ... ADD SIGNATURE ... SELECT ...``,
+  §5) — built in :mod:`repro.xsql.ddl`, which produces objects satisfying
+  the same :class:`MethodImplementation` protocol.
+
+Implementations are *partial*: returning :data:`UNDEFINED` (or, for a
+set-valued method, an empty result) means the method has no value for those
+arguments — the OODB analogue of a null, distinct from inapplicability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, FrozenSet, Optional, Tuple
+
+from repro.errors import ArityError
+from repro.oid import Atom, Oid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datamodel.store import ObjectStore
+
+__all__ = ["UNDEFINED", "MethodImplementation", "PythonMethod"]
+
+
+class _Undefined:
+    """Sentinel: the method is undefined (has no value) for these arguments."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+
+UNDEFINED = _Undefined()
+
+
+class MethodImplementation:
+    """Protocol for invocable method bodies.
+
+    ``invoke`` returns the *set* of result oids — a singleton or empty set
+    for scalar methods, any finite set for set-valued ones.  An empty set
+    means undefined.
+    """
+
+    arity: int
+    set_valued: bool
+
+    def invoke(
+        self, store: "ObjectStore", owner: Oid, args: Tuple[Oid, ...]
+    ) -> FrozenSet[Oid]:
+        raise NotImplementedError
+
+
+@dataclass
+class PythonMethod(MethodImplementation):
+    """A method implemented by a host-language callable.
+
+    The callable receives ``(store, owner, *args)`` and returns an
+    :class:`~repro.oid.Oid` (scalar), an iterable of oids (set-valued), or
+    :data:`UNDEFINED`.
+    """
+
+    name: Atom
+    fn: Callable[..., object]
+    arity: int = 0
+    set_valued: bool = False
+
+    def invoke(
+        self, store: "ObjectStore", owner: Oid, args: Tuple[Oid, ...]
+    ) -> FrozenSet[Oid]:
+        if len(args) != self.arity:
+            raise ArityError(
+                f"method {self.name} expects {self.arity} argument(s), "
+                f"got {len(args)}"
+            )
+        result = self.fn(store, owner, *args)
+        if result is UNDEFINED or result is None:
+            return frozenset()
+        if self.set_valued:
+            values = frozenset(result)  # type: ignore[arg-type]
+            for value in values:
+                if not isinstance(value, Oid):
+                    raise TypeError(
+                        f"set-valued method {self.name} produced a non-oid "
+                        f"member: {value!r}"
+                    )
+            return values
+        if not isinstance(result, Oid):
+            raise TypeError(
+                f"scalar method {self.name} must return an Oid or "
+                f"UNDEFINED, got {result!r}"
+            )
+        return frozenset({result})

@@ -1,0 +1,283 @@
+"""Saving and loading object stores as JSON.
+
+The paper's model is purely logical; a usable library still needs its
+databases to outlive the process.  The format captures everything the
+store *declares and stores*: the class hierarchy, signatures, instance-of
+memberships, attribute/method cells, first-class relations, inheritance
+resolutions, and enabled indexes (rebuilt on load).
+
+Not serialized — and reported in :attr:`SerializationReport.skipped` —
+are computed method implementations: native ones are Python callables,
+and query-defined ones (§5) are re-installed by re-running their ``ALTER
+CLASS`` statements, which the caller owns.
+
+Oid encoding: atoms ``{"a": name}``, literals ``{"v": payload}`` (with a
+string/bool/number tag implied by JSON), id-terms
+``{"f": functor, "args": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.datamodel.catalogue import BUILTIN_CLASSES
+from repro.datamodel.hierarchy import OBJECT_CLASS
+from repro.datamodel.objects import ScalarCell
+from repro.datamodel.store import ObjectStore
+from repro.errors import XsqlError
+from repro.oid import Atom, FuncOid, Oid, Value
+
+__all__ = [
+    "SerializationError",
+    "SerializationReport",
+    "store_to_dict",
+    "store_from_dict",
+    "save_store",
+    "load_store",
+]
+
+
+class SerializationError(XsqlError):
+    """The store contains something the JSON format cannot express."""
+
+
+@dataclass
+class SerializationReport:
+    """What a dump covered and what it had to leave out."""
+
+    classes: int = 0
+    objects: int = 0
+    cells: int = 0
+    relations: int = 0
+    skipped: List[str] = field(default_factory=list)
+
+
+def _encode_oid(term: Oid) -> object:
+    if isinstance(term, Atom):
+        return {"a": term.name}
+    if isinstance(term, Value):
+        return {"v": term.value}
+    if isinstance(term, FuncOid):
+        return {"f": term.functor, "args": [_encode_oid(a) for a in term.args]}
+    raise SerializationError(f"cannot encode {term!r}")
+
+
+def _decode_oid(data: object) -> Oid:
+    if not isinstance(data, dict):
+        raise SerializationError(f"malformed oid entry {data!r}")
+    if "a" in data:
+        return Atom(data["a"])
+    if "v" in data:
+        return Value(data["v"])
+    if "f" in data:
+        return FuncOid(
+            data["f"], tuple(_decode_oid(a) for a in data.get("args", []))
+        )
+    raise SerializationError(f"malformed oid entry {data!r}")
+
+
+def store_to_dict(store: ObjectStore) -> Tuple[Dict, SerializationReport]:
+    """Serialize *store* into a JSON-compatible dictionary."""
+    report = SerializationReport()
+    hierarchy = store.hierarchy
+
+    implicit = set(BUILTIN_CLASSES) | {OBJECT_CLASS}
+    classes = [c.name for c in hierarchy.classes() if c not in implicit]
+    edges = [
+        [sub.name, sup.name]
+        for sub, sup in hierarchy.edges()
+        if sup != OBJECT_CLASS and sub not in implicit
+    ]
+    report.classes = len(classes)
+
+    signatures = []
+    for cls in hierarchy.classes():
+        for signature in store.declared_signatures(cls):
+            signatures.append(
+                {
+                    "cls": cls.name,
+                    "method": signature.method.name,
+                    "args": [a.name for a in signature.type_expr.args],
+                    "result": signature.result.name,
+                    "set": signature.set_valued,
+                }
+            )
+
+    objects = []
+    for record in store.iter_records():
+        entry: Dict[str, object] = {"oid": _encode_oid(record.oid)}
+        memberships = sorted(
+            (
+                c.name
+                for c in store.direct_classes_of(record.oid)
+                if c in hierarchy
+                and c != OBJECT_CLASS
+                and not store.catalogue.literal_class(record.oid)
+            ),
+        )
+        if memberships:
+            entry["isa"] = memberships
+        cells = []
+        for (method, args), cell in sorted(
+            record.entries(), key=lambda item: str(item[0])
+        ):
+            cells.append(
+                {
+                    "m": method.name,
+                    "args": [_encode_oid(a) for a in args],
+                    "scalar": isinstance(cell, ScalarCell),
+                    "values": [
+                        _encode_oid(v)
+                        for v in sorted(cell.as_set(), key=str)
+                    ],
+                }
+            )
+            report.cells += 1
+        if cells:
+            entry["cells"] = cells
+        objects.append(entry)
+        report.objects += 1
+
+    relations = []
+    for name, relation in sorted(store.relations().items()):
+        relations.append(
+            {
+                "name": name,
+                "columns": list(relation.column_names),
+                "rows": [
+                    [_encode_oid(v) for v in row]
+                    for row in relation.sorted_rows()
+                ],
+            }
+        )
+        report.relations += 1
+
+    resolutions = [
+        {"cls": cls.name, "method": method.name, "use": use.name}
+        for (cls, method), use in sorted(
+            store.resolver._resolutions.items(), key=str
+        )
+    ]
+
+    for (cls, method) in sorted(store._implementations, key=str):
+        report.skipped.append(
+            f"method implementation {method} on {cls} (re-install "
+            f"implementations after loading)"
+        )
+
+    payload = {
+        "format": "xsql-store",
+        "version": 1,
+        "options": {
+            "strict_method_namespace": store.catalogue.strict_method_namespace,
+            "validate_values": store.validate_values,
+        },
+        "classes": classes,
+        "edges": edges,
+        "signatures": signatures,
+        "objects": objects,
+        "relations": relations,
+        "resolutions": resolutions,
+        "indexes": sorted(
+            m.name for m in store.indexes.indexed_methods()
+        ),
+    }
+    return payload, report
+
+
+def store_from_dict(payload: Dict) -> ObjectStore:
+    """Rebuild an :class:`ObjectStore` from a serialized dictionary."""
+    if payload.get("format") != "xsql-store":
+        raise SerializationError("not an xsql-store document")
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported format version {payload.get('version')!r}"
+        )
+    options = payload.get("options", {})
+    store = ObjectStore(
+        strict_method_namespace=options.get("strict_method_namespace", False),
+        validate_values=False,  # re-enabled after loading, below
+    )
+    # Declare classes in dependency order with their real parents, so the
+    # implicit Object default only applies to genuine roots (otherwise
+    # every class would gain a spurious direct Object edge).
+    parents: Dict[str, List[str]] = {}
+    for sub, sup in payload.get("edges", []):
+        parents.setdefault(sub, []).append(sup)
+    pending = list(payload.get("classes", []))
+    guard = len(pending) + 1
+    while pending and guard:
+        guard -= 1
+        still_pending = []
+        for name in pending:
+            wanted = parents.get(name, [])
+            if all(
+                Atom(p) in store.hierarchy or p == "Object" for p in wanted
+            ):
+                store.declare_class(name, wanted)
+            else:
+                still_pending.append(name)
+        if len(still_pending) == len(pending):  # pragma: no cover - cyclic
+            raise SerializationError(
+                f"unresolvable class dependencies: {still_pending}"
+            )
+        pending = still_pending
+    for signature in payload.get("signatures", []):
+        store.declare_signature(
+            signature["cls"],
+            signature["method"],
+            signature["result"],
+            args=signature.get("args", []),
+            set_valued=signature.get("set", False),
+        )
+    for entry in payload.get("objects", []):
+        oid = _decode_oid(entry["oid"])
+        memberships = entry.get("isa", [])
+        if not store.catalogue.is_class(oid):
+            store.create_object(oid, memberships)
+        for cell in entry.get("cells", []):
+            method = cell["m"]
+            args = [_decode_oid(a) for a in cell.get("args", [])]
+            values = [_decode_oid(v) for v in cell.get("values", [])]
+            if cell.get("scalar", True):
+                if len(values) != 1:
+                    raise SerializationError(
+                        f"scalar cell {method} of {oid} has "
+                        f"{len(values)} values"
+                    )
+                store.set_attr(oid, method, values[0], args=args)
+            else:
+                store.set_attr_set(oid, method, values, args=args)
+    for relation in payload.get("relations", []):
+        store.declare_relation(relation["name"], relation["columns"])
+        for row in relation.get("rows", []):
+            store.insert_tuple(
+                relation["name"], [_decode_oid(v) for v in row]
+            )
+    for resolution in payload.get("resolutions", []):
+        store.resolve_inheritance(
+            resolution["cls"], resolution["method"], resolution["use"]
+        )
+    for method in payload.get("indexes", []):
+        store.enable_index(method)
+    store.validate_values = options.get("validate_values", False)
+    return store
+
+
+def save_store(
+    store: ObjectStore, path: str
+) -> SerializationReport:
+    """Write *store* to a JSON file; returns the coverage report."""
+    payload, report = store_to_dict(store)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return report
+
+
+def load_store(path: str) -> ObjectStore:
+    """Read a store previously written by :func:`save_store`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return store_from_dict(payload)

@@ -1,0 +1,142 @@
+"""Method signatures and type expressions (paper §2 "Types" and §6.1).
+
+A signature ``M : A1, ..., Ak => R`` attached to class ``A0`` pairs the
+method name ``M`` with the *type expression* ``A0, A1, ..., Ak ~> R``, where
+``~>`` is ``=>`` for scalar methods and ``=>>`` for set-valued ones.
+Attributes are 0-ary methods, so an attribute signature ``attr => class`` is
+simply the ``k = 0`` case.
+
+§6.1 defines the sub/supertype order on type expressions: ``(A0', ..., Ak'
+~> R')`` is a *supertype* of ``(A0, ..., Ak ~> R)`` iff each ``Ai'`` is a
+(possibly nonstrict) subclass of ``Ai``, ``R'`` is a (possibly nonstrict)
+superclass of ``R``, and both use the same kind of arrow.  A method
+*possesses* the upward closure of its declared type expressions, and this
+closure is exactly the effect of structural (covariant) inheritance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.datamodel.hierarchy import ClassHierarchy
+from repro.errors import SignatureError
+from repro.oid import Atom
+
+__all__ = ["TypeExpr", "Signature", "combine_result_classes"]
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """A type expression ``scope, args ~> result`` (paper (14)/(15)).
+
+    ``scope`` is the class of the 0-th argument — the object in whose scope
+    the method is invoked.  ``set_valued`` selects the double arrow.
+    """
+
+    scope: Atom
+    args: Tuple[Atom, ...]
+    result: Atom
+    set_valued: bool = False
+
+    @property
+    def arity(self) -> int:
+        """The number of explicit arguments (not counting the scope)."""
+        return len(self.args)
+
+    def arrow(self) -> str:
+        return "=>>" if self.set_valued else "=>"
+
+    def __str__(self) -> str:
+        prefix = ", ".join(str(c) for c in (self.scope, *self.args))
+        return f"({prefix} {self.arrow()} {self.result})"
+
+    # ------------------------------------------------------------------
+    # the sub/supertype order (§6.1)
+    # ------------------------------------------------------------------
+
+    def is_supertype_of(
+        self, other: "TypeExpr", hierarchy: ClassHierarchy
+    ) -> bool:
+        """True iff *self* is a supertype of *other* (superset of functions).
+
+        Per §6.1: the supertype's argument classes (including the scope)
+        are *subclasses* of the subtype's, and its result class is a
+        *superclass* — a partial function declared on the larger domain
+        with the smaller result set belongs to every such wider set.
+        Arrow kinds must agree.
+        """
+        if self.set_valued != other.set_valued or self.arity != other.arity:
+            return False
+        if not hierarchy.is_subclass(self.scope, other.scope, strict=False):
+            return False
+        for mine, theirs in zip(self.args, other.args):
+            if not hierarchy.is_subclass(mine, theirs, strict=False):
+                return False
+        return hierarchy.is_subclass(other.result, self.result, strict=False)
+
+    def is_subtype_of(
+        self, other: "TypeExpr", hierarchy: ClassHierarchy
+    ) -> bool:
+        return other.is_supertype_of(self, hierarchy)
+
+    def applies_to_scope(
+        self, scope_classes: Iterable[Atom], hierarchy: ClassHierarchy
+    ) -> bool:
+        """Is an object belonging to all *scope_classes* inside this scope?"""
+        return any(
+            hierarchy.is_subclass(c, self.scope, strict=False)
+            for c in scope_classes
+        )
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A method signature as declared on a class: name + type expression."""
+
+    method: Atom
+    type_expr: TypeExpr
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, Atom):
+            raise SignatureError(
+                f"method name must be an Atom, got {self.method!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.type_expr.arity
+
+    @property
+    def set_valued(self) -> bool:
+        return self.type_expr.set_valued
+
+    @property
+    def result(self) -> Atom:
+        return self.type_expr.result
+
+    def __str__(self) -> str:
+        te = self.type_expr
+        if te.arity == 0:
+            return f"{self.method} {te.arrow()} {te.result}"
+        args = ", ".join(str(a) for a in te.args)
+        return f"{self.method} : {args} {te.arrow()} {te.result}"
+
+
+def combine_result_classes(
+    method: Atom,
+    scope: Atom,
+    args: Tuple[Atom, ...],
+    results: Iterable[Atom],
+    set_valued: bool,
+) -> List[Signature]:
+    """Expand the brace shorthand ``M : A =>> {student, employee}`` (§2).
+
+    "When more than one signature is specified in this way we can save
+    writing by combining them" — the combined form denotes one signature per
+    result class, all sharing scope/arguments.
+    """
+    return [
+        Signature(method, TypeExpr(scope, args, result, set_valued))
+        for result in results
+    ]

@@ -1,0 +1,723 @@
+"""The object store: the paper's data model behind one facade (§2).
+
+An :class:`ObjectStore` holds the class hierarchy, the catalogue, declared
+signatures, instance-of memberships, explicit attribute/method value cells,
+registered method implementations, and first-class relations.  Its most
+important operation is :meth:`ObjectStore.invoke`, which resolves a method
+invocation the way the paper prescribes:
+
+1. an explicitly stored value on the object itself wins;
+2. otherwise the value is *behaviorally inherited* from the most specific
+   class that carries a default value, with Meyer-style explicit resolution
+   of multiple-inheritance conflicts;
+3. otherwise a registered *implementation* (native or query-defined) is
+   selected by the same inheritance rules and invoked.
+
+An empty result means the method is *undefined* for those arguments (the
+OODB analogue of null); whether it is also *inapplicable* is a question for
+the type system (:mod:`repro.typing`), not the store — matching the paper's
+treatment of typing as a metalogical notion (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.datamodel.catalogue import Catalogue
+from repro.datamodel.hierarchy import OBJECT_CLASS, ClassHierarchy
+from repro.datamodel.indexes import AttributeIndexes
+from repro.datamodel.inheritance import InheritanceResolver
+from repro.datamodel.methods import MethodImplementation
+from repro.datamodel.objects import Cell, ObjectRecord, ScalarCell, SetCell
+from repro.datamodel.relations import StoredRelation
+from repro.datamodel.signatures import Signature, TypeExpr
+from repro.errors import (
+    ArityError,
+    SchemaError,
+    SignatureError,
+    UnknownClassError,
+)
+from repro.oid import Atom, FuncOid, Oid, Value, oid as as_oid
+
+__all__ = ["ObjectStore"]
+
+ClassLike = Union[Atom, str]
+OidLike = Union[Oid, int, float, str, bool]
+
+
+def _atom(name: ClassLike) -> Atom:
+    return name if isinstance(name, Atom) else Atom(name)
+
+
+class ObjectStore:
+    """A complete object-oriented database instance."""
+
+    def __init__(
+        self,
+        strict_method_namespace: bool = False,
+        validate_values: bool = False,
+    ) -> None:
+        self.hierarchy = ClassHierarchy()
+        self.catalogue = Catalogue(
+            self.hierarchy, strict_method_namespace=strict_method_namespace
+        )
+        #: When on, stored values must be instances of some declared
+        #: result class of the attribute (a conservative schema mode; the
+        #: paper's default treats typing as metalogical).
+        self.validate_values = validate_values
+        self.resolver = InheritanceResolver(self.hierarchy)
+        self._records: Dict[Oid, ObjectRecord] = {}
+        self._memberships: Dict[Oid, Set[Atom]] = {}
+        self._direct_extents: Dict[Atom, Set[Oid]] = {}
+        # (class, method) -> implementation
+        self._implementations: Dict[Tuple[Atom, Atom], MethodImplementation] = {}
+        # class -> method -> [Signature, ...]  (declared, pre-inheritance)
+        self._signatures: Dict[Atom, Dict[Atom, List[Signature]]] = {}
+        self._relations: Dict[str, StoredRelation] = {}
+        self._known: Set[Oid] = set()
+        #: Opt-in inverted attribute indexes ([BERT89]-style).
+        self.indexes = AttributeIndexes()
+
+    # ------------------------------------------------------------------
+    # schema: classes and signatures
+    # ------------------------------------------------------------------
+
+    def declare_class(
+        self, name: ClassLike, parents: Iterable[ClassLike] = ()
+    ) -> Atom:
+        """Declare a class (idempotent), returning its class atom."""
+        cls = _atom(name)
+        self.hierarchy.add_class(cls, [_atom(p) for p in parents])
+        self._known.add(cls)
+        return cls
+
+    def declare_signature(
+        self,
+        cls: ClassLike,
+        method: ClassLike,
+        result: ClassLike,
+        args: Sequence[ClassLike] = (),
+        set_valued: bool = False,
+    ) -> Signature:
+        """Attach ``method : args => result`` to *cls* (paper §2 "Types").
+
+        Declaring a signature also places the method atom in the
+        method-object subdomain of the catalogue, which is what makes it
+        visible to schema-browsing queries.
+        """
+        cls_atom = _atom(cls)
+        method_atom = _atom(method)
+        result_atom = _atom(result)
+        self.hierarchy.require(cls_atom)
+        self.hierarchy.require(result_atom)
+        arg_atoms = tuple(_atom(a) for a in args)
+        for arg in arg_atoms:
+            self.hierarchy.require(arg)
+        signature = Signature(
+            method_atom,
+            TypeExpr(cls_atom, arg_atoms, result_atom, set_valued),
+        )
+        per_class = self._signatures.setdefault(cls_atom, {})
+        existing = per_class.setdefault(method_atom, [])
+        if signature not in existing:
+            existing.append(signature)
+        self.catalogue.register_method(method_atom)
+        self._known.add(method_atom)
+        return signature
+
+    def declared_signatures(
+        self, cls: ClassLike, method: Optional[ClassLike] = None
+    ) -> List[Signature]:
+        """Signatures declared *directly* on *cls* (no inheritance)."""
+        per_class = self._signatures.get(_atom(cls), {})
+        if method is None:
+            return [s for sigs in per_class.values() for s in sigs]
+        return list(per_class.get(_atom(method), []))
+
+    def signatures_of(
+        self, cls: ClassLike, method: Optional[ClassLike] = None
+    ) -> List[Signature]:
+        """Signatures visible on *cls* under structural inheritance (§6.1).
+
+        "The set of signatures of M in C' consists of all signatures in the
+        ancestors of C' and all signatures in the new definitions of M in
+        C'" — types are always inherited and never overwritten.
+        """
+        cls_atom = _atom(cls)
+        self.hierarchy.require(cls_atom)
+        result: List[Signature] = []
+        for ancestor in sorted(
+            self.hierarchy.superclasses(cls_atom, strict=False),
+            key=lambda a: a.name,
+        ):
+            result.extend(self.declared_signatures(ancestor, method))
+        return result
+
+    def all_type_exprs(self, method: ClassLike) -> List[TypeExpr]:
+        """Every declared type expression of *method*, across all classes."""
+        method_atom = _atom(method)
+        found: List[TypeExpr] = []
+        for per_class in self._signatures.values():
+            for signature in per_class.get(method_atom, []):
+                if signature.type_expr not in found:
+                    found.append(signature.type_expr)
+        return found
+
+    def method_names(self) -> FrozenSet[Atom]:
+        """All method-objects known to the catalogue."""
+        return self.catalogue.methods()
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self, oid_like: OidLike, classes: Iterable[ClassLike] = ()
+    ) -> Oid:
+        """Register an object and its direct class memberships."""
+        obj = as_oid(oid_like)
+        self.catalogue.check_individual(obj)
+        self._records.setdefault(obj, ObjectRecord(obj))
+        self._known.add(obj)
+        for cls in classes:
+            self.add_instance(obj, cls)
+        return obj
+
+    def add_instance(self, oid_like: OidLike, cls: ClassLike) -> None:
+        obj = as_oid(oid_like)
+        cls_atom = _atom(cls)
+        self.hierarchy.require(cls_atom)
+        self.catalogue.check_individual(obj)
+        self._memberships.setdefault(obj, set()).add(cls_atom)
+        self._direct_extents.setdefault(cls_atom, set()).add(obj)
+        self._records.setdefault(obj, ObjectRecord(obj))
+        self._known.add(obj)
+
+    def remove_instance(self, oid_like: OidLike, cls: ClassLike) -> None:
+        obj = as_oid(oid_like)
+        cls_atom = _atom(cls)
+        self._memberships.get(obj, set()).discard(cls_atom)
+        self._direct_extents.get(cls_atom, set()).discard(obj)
+
+    def purge_object(self, oid_like: OidLike) -> None:
+        """Remove an object entirely: record, memberships, and extents.
+
+        Used by view refresh (§4.2) to drop stale view objects before
+        re-materializing.  References to the purged oid stored in other
+        objects' cells are left untouched (the paper has no referential-
+        integrity maintenance).
+        """
+        obj = as_oid(oid_like)
+        self._records.pop(obj, None)
+        for cls in self._memberships.pop(obj, set()):
+            self._direct_extents.get(cls, set()).discard(obj)
+        self._known.discard(obj)
+        self.indexes.note_purge(obj)
+
+    def direct_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
+        """Explicit instance-of memberships plus implicit literal classes."""
+        obj = as_oid(oid_like)
+        explicit = frozenset(self._memberships.get(obj, set()))
+        return explicit | self.catalogue.implicit_classes(obj)
+
+    def classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
+        """All classes *obj* belongs to, including inherited memberships.
+
+        If C is a subclass of C', instances of C belong to C' too (§2).
+        """
+        direct = self.direct_classes_of(oid_like)
+        closure: Set[Atom] = set(direct)
+        for cls in direct:
+            if cls in self.hierarchy:
+                closure |= self.hierarchy.superclasses(cls)
+        return frozenset(closure)
+
+    def is_instance(self, oid_like: OidLike, cls: ClassLike) -> bool:
+        return _atom(cls) in self.classes_of(oid_like)
+
+    def extent(
+        self, cls: ClassLike, direct: bool = False
+    ) -> FrozenSet[Oid]:
+        """Instances of *cls* (by default including subclass instances).
+
+        Built-in literal classes enumerate the literals the database has
+        actually seen — the active domain, which is what the naive
+        semantics of §3.4 ranges over.
+        """
+        cls_atom = _atom(cls)
+        self.hierarchy.require(cls_atom)
+        members: Set[Oid] = set(self._direct_extents.get(cls_atom, set()))
+        if not direct:
+            for sub in self.hierarchy.subclasses(cls_atom):
+                members |= self._direct_extents.get(sub, set())
+        for obj in self._known:
+            implicit = self.catalogue.implicit_classes(obj)
+            if cls_atom in implicit:
+                members.add(obj)
+            elif not direct and any(
+                self.hierarchy.is_subclass(c, cls_atom) for c in implicit
+            ):
+                members.add(obj)
+        return frozenset(members)
+
+    # ------------------------------------------------------------------
+    # universes (for variable instantiation)
+    # ------------------------------------------------------------------
+
+    def known_objects(self) -> FrozenSet[Oid]:
+        """Every oid the database has seen anywhere."""
+        return frozenset(self._known)
+
+    def individual_universe(self) -> FrozenSet[Oid]:
+        """The range of individual variables: all known non-class oids."""
+        return frozenset(
+            obj for obj in self._known if not self.catalogue.is_class(obj)
+        )
+
+    def class_universe(self) -> FrozenSet[Atom]:
+        """The range of class variables (``#X``)."""
+        return frozenset(self.hierarchy.classes())
+
+    def method_universe(self) -> FrozenSet[Atom]:
+        """The range of method variables (``"Y``)."""
+        names: Set[Atom] = set(self.catalogue.methods())
+        for record in self._records.values():
+            names.update(record.defined_methods())
+        for _cls, method in self._implementations:
+            names.add(method)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # explicit data cells
+    # ------------------------------------------------------------------
+
+    def _record(self, oid_like: OidLike) -> ObjectRecord:
+        obj = as_oid(oid_like)
+        self._known.add(obj)
+        record = self._records.get(obj)
+        if record is None:
+            record = ObjectRecord(obj)
+            self._records[obj] = record
+        return record
+
+    def _note_values(self, values: Iterable[Oid]) -> None:
+        for value in values:
+            self._known.add(value)
+            if isinstance(value, FuncOid):
+                self._known.update(value.args)
+
+    def _check_arrow(
+        self, owner: Oid, method: Atom, set_valued: bool
+    ) -> None:
+        """Reject storing a value whose arrow kind contradicts the schema."""
+        for cls in self.direct_classes_of(owner):
+            if cls not in self.hierarchy:
+                continue
+            for signature in self.signatures_of(cls, method):
+                if signature.set_valued != set_valued:
+                    kind = "set-valued" if signature.set_valued else "scalar"
+                    raise SignatureError(
+                        f"{method} is declared {kind} for {cls}; the stored "
+                        f"value on {owner} disagrees"
+                    )
+
+    def _check_value_class(self, owner: Oid, method: Atom, value: Oid) -> None:
+        """Optional conservative check: the value fits a declared result.
+
+        Active only with ``validate_values=True`` and only when at least
+        one signature for *method* is visible on the owner's classes.
+        """
+        if not self.validate_values:
+            return
+        results = [
+            signature.result
+            for cls in self.direct_classes_of(owner)
+            if cls in self.hierarchy
+            for signature in self.signatures_of(cls, method)
+        ]
+        if not results:
+            return
+        if not any(self.is_instance(value, result) for result in results):
+            from repro.errors import ValueTypeError
+
+            expected = ", ".join(sorted({r.name for r in results}))
+            raise ValueTypeError(
+                f"{value} is not an instance of any declared result class "
+                f"of {method} ({expected})"
+            )
+
+    def set_attr(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        value: OidLike,
+        args: Sequence[OidLike] = (),
+    ) -> None:
+        """Store a scalar attribute/method value."""
+        owner_oid = as_oid(owner)
+        method_atom = _atom(method)
+        value_oid = as_oid(value)
+        arg_oids = tuple(as_oid(a) for a in args)
+        self._check_arrow(owner_oid, method_atom, set_valued=False)
+        self._check_value_class(owner_oid, method_atom, value_oid)
+        record = self._record(owner_oid)
+        old_cell = record.get(method_atom, arg_oids)
+        old_values = old_cell.as_set() if old_cell else frozenset()
+        record.set_scalar(method_atom, value_oid, arg_oids)
+        self.indexes.note_write(
+            owner_oid, method_atom, arg_oids, old_values,
+            frozenset({value_oid}),
+        )
+        self._known.add(method_atom)
+        self._note_values((value_oid, *arg_oids))
+
+    def set_attr_set(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        values: Iterable[OidLike],
+        args: Sequence[OidLike] = (),
+    ) -> None:
+        """Store (replace) a set-valued attribute/method value."""
+        owner_oid = as_oid(owner)
+        method_atom = _atom(method)
+        value_oids = frozenset(as_oid(v) for v in values)
+        arg_oids = tuple(as_oid(a) for a in args)
+        self._check_arrow(owner_oid, method_atom, set_valued=True)
+        for value_oid in value_oids:
+            self._check_value_class(owner_oid, method_atom, value_oid)
+        record = self._record(owner_oid)
+        old_cell = record.get(method_atom, arg_oids)
+        old_values = old_cell.as_set() if old_cell else frozenset()
+        record.set_set(method_atom, value_oids, arg_oids)
+        self.indexes.note_write(
+            owner_oid, method_atom, arg_oids, old_values, value_oids
+        )
+        self._known.add(method_atom)
+        self._note_values((*value_oids, *arg_oids))
+
+    def add_to_set(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        member: OidLike,
+        args: Sequence[OidLike] = (),
+    ) -> None:
+        owner_oid = as_oid(owner)
+        method_atom = _atom(method)
+        member_oid = as_oid(member)
+        arg_oids = tuple(as_oid(a) for a in args)
+        self._check_arrow(owner_oid, method_atom, set_valued=True)
+        self._check_value_class(owner_oid, method_atom, member_oid)
+        self._record(owner_oid).add_to_set(method_atom, member_oid, arg_oids)
+        self.indexes.note_write(
+            owner_oid, method_atom, arg_oids, frozenset(),
+            frozenset({member_oid}),
+        )
+        self._known.add(method_atom)
+        self._note_values((member_oid, *arg_oids))
+
+    def unset_attr(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        args: Sequence[OidLike] = (),
+    ) -> None:
+        obj = as_oid(owner)
+        record = self._records.get(obj)
+        if record is not None:
+            method_atom = _atom(method)
+            arg_oids = tuple(as_oid(a) for a in args)
+            old_cell = record.get(method_atom, arg_oids)
+            old_values = old_cell.as_set() if old_cell else frozenset()
+            record.unset(method_atom, arg_oids)
+            self.indexes.note_write(
+                obj, method_atom, arg_oids, old_values, frozenset()
+            )
+
+    def explicit_cell(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        args: Sequence[OidLike] = (),
+    ) -> Optional[Cell]:
+        record = self._records.get(as_oid(owner))
+        if record is None:
+            return None
+        return record.get(_atom(method), tuple(as_oid(a) for a in args))
+
+    # ------------------------------------------------------------------
+    # implementations
+    # ------------------------------------------------------------------
+
+    def define_method(
+        self, cls: ClassLike, impl: MethodImplementation
+    ) -> None:
+        """Register a method implementation in the scope of *cls*."""
+        cls_atom = _atom(cls)
+        self.hierarchy.require(cls_atom)
+        name = getattr(impl, "name", None)
+        if not isinstance(name, Atom):
+            raise SchemaError("method implementation must carry a name Atom")
+        self._implementations[(cls_atom, name)] = impl
+        self.catalogue.register_method(name)
+        self._known.add(name)
+
+    def implementation_classes(self, method: Atom) -> List[Atom]:
+        return sorted(
+            (cls for (cls, name) in self._implementations if name == method),
+            key=lambda a: a.name,
+        )
+
+    def resolve_inheritance(
+        self, cls: ClassLike, method: ClassLike, use_class: ClassLike
+    ) -> None:
+        """Declare which superclass's definition *cls* inherits (§6.1)."""
+        self.resolver.declare_resolution(
+            _atom(cls), _atom(method), _atom(use_class)
+        )
+
+    # ------------------------------------------------------------------
+    # invocation: the heart of the data model
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        args: Sequence[OidLike] = (),
+    ) -> FrozenSet[Oid]:
+        """Resolve a method invocation to its value set.
+
+        Returns the set of result oids: a singleton for a defined scalar
+        method, empty when undefined.  Resolution order: explicit cell,
+        inherited default value, computed implementation.
+        """
+        return self.invoke_kinded(owner, method, args)[0]
+
+    def invoke_kinded(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        args: Sequence[OidLike] = (),
+    ) -> Tuple[FrozenSet[Oid], bool]:
+        """Like :meth:`invoke`, also reporting whether the hop is set-valued.
+
+        The flag distinguishes a scalar result from a set-valued result
+        that happens to be a singleton — object-creating queries need the
+        difference to decide between scalar and set attribute cells (§4.1).
+        """
+        owner_oid = as_oid(owner)
+        method_atom = _atom(method)
+        arg_oids = tuple(as_oid(a) for a in args)
+
+        cell = self.explicit_cell(owner_oid, method_atom, arg_oids)
+        if cell is not None:
+            return cell.as_set(), cell.set_valued
+
+        member_classes = self.direct_classes_of(owner_oid)
+
+        # Inherited default value (footnote 5: all attributes are default
+        # attributes in the paper's scope).  Class-objects inherit from
+        # their own superclasses.
+        if self.catalogue.is_class(owner_oid):
+            member_classes = frozenset({owner_oid})  # type: ignore[arg-type]
+        defining = [
+            cls
+            for cls in self.hierarchy.classes()
+            if self._has_cell(cls, method_atom, arg_oids)
+        ]
+        chosen = self.resolver.select(
+            str(owner_oid), member_classes, method_atom, defining
+        )
+        if chosen is not None and chosen != owner_oid:
+            cell = self.explicit_cell(chosen, method_atom, arg_oids)
+            if cell is not None:
+                return cell.as_set(), cell.set_valued
+
+        # Computed implementation with behavioral inheritance + overriding.
+        impl_classes = self.implementation_classes(method_atom)
+        if impl_classes:
+            chosen_impl = self.resolver.select(
+                str(owner_oid), member_classes, method_atom, impl_classes
+            )
+            if chosen_impl is not None:
+                impl = self._implementations[(chosen_impl, method_atom)]
+                if impl.arity != len(arg_oids):
+                    raise ArityError(
+                        f"method {method_atom} expects {impl.arity} "
+                        f"argument(s), got {len(arg_oids)}"
+                    )
+                result = impl.invoke(self, owner_oid, arg_oids)
+                self._note_values(result)
+                return result, impl.set_valued
+        return frozenset(), False
+
+    def _has_cell(
+        self, cls: Atom, method: Atom, args: Tuple[Oid, ...]
+    ) -> bool:
+        record = self._records.get(cls)
+        return record is not None and record.get(method, args) is not None
+
+    def invoke_scalar(
+        self,
+        owner: OidLike,
+        method: ClassLike,
+        args: Sequence[OidLike] = (),
+    ) -> Optional[Oid]:
+        """Invoke a scalar method; None when undefined."""
+        result = self.invoke(owner, method, args)
+        if not result:
+            return None
+        if len(result) > 1:
+            raise ArityError(
+                f"method {method} produced {len(result)} values on "
+                f"{owner}; expected a scalar"
+            )
+        return next(iter(result))
+
+    def methods_defined_on(self, owner: OidLike) -> FrozenSet[Atom]:
+        """Method names with some (possibly inherited/computed) definition.
+
+        This is the candidate set a method variable ``"Y`` ranges over when
+        it appears in ``X."Y`` — an over-approximation is fine because
+        invocation still decides definedness, but we keep it tight:
+        explicit cells on the object, default cells on reachable classes,
+        and implementations on reachable classes.
+        """
+        owner_oid = as_oid(owner)
+        names: Set[Atom] = set()
+        record = self._records.get(owner_oid)
+        if record is not None:
+            names.update(record.defined_methods())
+        if self.catalogue.is_class(owner_oid):
+            reachable = self.hierarchy.superclasses(
+                owner_oid, strict=False  # type: ignore[arg-type]
+            )
+        else:
+            reachable = self.classes_of(owner_oid)
+        for cls in reachable:
+            cls_record = self._records.get(cls)
+            if cls_record is not None:
+                names.update(cls_record.defined_methods())
+        for (cls, name) in self._implementations:
+            if cls in reachable:
+                names.add(name)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # inverted indexes ([BERT89]-style)
+    # ------------------------------------------------------------------
+
+    def enable_index(self, method: ClassLike) -> None:
+        """Build and maintain an inverted value→owners index for *method*."""
+        self.indexes.enable(_atom(method), self)
+
+    def disable_index(self, method: ClassLike) -> None:
+        self.indexes.disable(_atom(method))
+
+    def index_is_complete_for(self, method: ClassLike) -> bool:
+        """Can the index answer reverse lookups exactly for *method*?
+
+        The index covers explicitly stored cells only; if any class-level
+        default cell or computed implementation exists for the method,
+        objects may carry values with no own cell, and reverse lookups
+        must fall back to forward evaluation.
+        """
+        method_atom = _atom(method)
+        if not self.indexes.is_indexed(method_atom):
+            return False
+        if self.implementation_classes(method_atom):
+            return False
+        for cls in self.hierarchy.classes():
+            record = self._records.get(cls)
+            if record is None:
+                continue
+            if any(m == method_atom for m in record.defined_methods()):
+                return False
+        return True
+
+    def lookup_by_value(
+        self,
+        method: ClassLike,
+        value: OidLike,
+        args: Optional[Sequence[OidLike]] = None,
+    ) -> Optional[FrozenSet[Oid]]:
+        """Reverse lookup via the index; None when unavailable/incomplete."""
+        method_atom = _atom(method)
+        if not self.index_is_complete_for(method_atom):
+            return None
+        arg_oids = (
+            tuple(as_oid(a) for a in args) if args is not None else None
+        )
+        return self.indexes.owners_of(method_atom, as_oid(value), arg_oids)
+
+    # ------------------------------------------------------------------
+    # relations (first-class, §2 "Relations")
+    # ------------------------------------------------------------------
+
+    def declare_relation(
+        self, name: str, column_names: Sequence[str]
+    ) -> StoredRelation:
+        relation = StoredRelation(name, tuple(column_names))
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> StoredRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownClassError(f"relation {name} is not declared")
+
+    def relations(self) -> Dict[str, StoredRelation]:
+        return dict(self._relations)
+
+    def insert_tuple(self, name: str, row: Sequence[OidLike]) -> None:
+        relation = self.relation(name)
+        oids = tuple(as_oid(v) for v in row)
+        relation.insert(oids)
+        self._note_values(oids)
+
+    # ------------------------------------------------------------------
+    # introspection helpers
+    # ------------------------------------------------------------------
+
+    def describe(self, oid_like: OidLike) -> str:
+        """A human-readable dump of one object (debugging aid)."""
+        obj = as_oid(oid_like)
+        lines = [f"object {obj}"]
+        classes = sorted(self.direct_classes_of(obj), key=lambda a: a.name)
+        if classes:
+            lines.append(
+                "  instance-of: " + ", ".join(str(c) for c in classes)
+            )
+        record = self._records.get(obj)
+        if record is not None:
+            for (method, args), cell in sorted(
+                record.entries(), key=lambda item: str(item[0])
+            ):
+                arg_str = (
+                    "@" + ",".join(str(a) for a in args) if args else ""
+                )
+                if isinstance(cell, ScalarCell):
+                    lines.append(f"  {method}{arg_str} -> {cell.value}")
+                else:
+                    members = ", ".join(
+                        sorted(str(v) for v in cell.values)
+                    )
+                    lines.append(f"  {method}{arg_str} ->> {{{members}}}")
+        return "\n".join(lines)
+
+    def iter_records(self) -> Iterator[ObjectRecord]:
+        return iter(self._records.values())

@@ -1,0 +1,129 @@
+"""Exception hierarchy for the XSQL reproduction.
+
+Every error raised by the library derives from :class:`XsqlError`, so callers
+can catch one base class.  The taxonomy mirrors the paper's own distinctions:
+schema errors (ill-formed IS-A graphs, bad signatures), type errors
+(inapplicable methods, ill-typed queries under a chosen typing discipline),
+run-time query errors (ill-defined object-creating queries, §4.1), and plain
+syntax errors from the XSQL parser.
+"""
+
+from __future__ import annotations
+
+
+class XsqlError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(XsqlError):
+    """An ill-formed schema operation (unknown class, bad signature, ...)."""
+
+
+class CyclicHierarchyError(SchemaError):
+    """Adding an IS-A edge would make the class hierarchy cyclic.
+
+    The paper requires the subclass relationship to be acyclic (§2,
+    "Classes").
+    """
+
+
+class UnknownClassError(SchemaError):
+    """A class name was used that is not declared in the schema."""
+
+
+class UnknownObjectError(XsqlError):
+    """An object id was referenced that does not denote a stored object."""
+
+
+class SignatureError(SchemaError):
+    """A method signature is malformed or conflicts with the data model."""
+
+
+class ArityError(XsqlError):
+    """A method was invoked with the wrong number of arguments."""
+
+
+class InheritanceConflictError(XsqlError):
+    """Multiple inheritance produced an ambiguous method definition.
+
+    Following the paper's adoption of Meyer's approach (§6.1), conflicts
+    between incomparable superclasses must be resolved explicitly by the
+    schema designer; until then, invoking the ambiguous method raises this
+    error.
+    """
+
+
+class TypingError(XsqlError):
+    """Base class for type-system errors (§6)."""
+
+
+class IllTypedQueryError(TypingError):
+    """A query failed the selected well-typing discipline."""
+
+
+class InapplicableMethodError(TypingError):
+    """A method was applied to an object outside every possessed type.
+
+    This is the paper's notion of *inapplicability*: "a situation when an
+    attribute is used in the scope of an object to which it does not apply"
+    (§2, "Attributes").
+    """
+
+
+class ValueTypeError(TypingError):
+    """A stored value violates the declared result class of its method.
+
+    Only raised in a store opened with ``validate_values=True`` — by
+    default the model follows the paper's metalogical stance and leaves
+    type checking to query analysis.
+    """
+
+
+class QueryError(XsqlError):
+    """Base class for run-time query-evaluation errors."""
+
+
+class IllDefinedQueryError(QueryError):
+    """An object-creating query assigned conflicting descriptions to one oid.
+
+    Per §4.1: two result tuples with distinct scalar values mapped to the
+    same id-function value are "two conflicting descriptions of the same
+    object.  We view this situation as an ill-defined query (a run-time
+    error)."
+    """
+
+
+class UnsafeQueryError(QueryError):
+    """The smart evaluator was given a query it cannot evaluate safely.
+
+    The naive §3.4 semantics enumerates all substitutions and can evaluate
+    anything; the optimized evaluator requires range-restricted queries
+    (every variable bound by a positive path expression or the FROM clause).
+    """
+
+
+class ViewError(XsqlError):
+    """A view definition or view update is invalid."""
+
+
+class NonUpdatableViewError(ViewError):
+    """A view update could not be translated to a base-database update.
+
+    §4.2 permits translation only when view objects are in one-to-one
+    correspondence with objects of some base class.
+    """
+
+
+class XsqlSyntaxError(XsqlError):
+    """A syntax error in XSQL source text, with position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class RelationalError(XsqlError):
+    """An error in the relational baseline engine (bad schema, arity, ...)."""

@@ -1,0 +1,44 @@
+"""The F-logic kernel grounding XSQL's semantics (paper §1, Theorem 3.1).
+
+XSQL's meaning is "rooted in F-logic [KLW90]": Theorem 3.1 promises an
+effective procedure ``P`` turning any XSQL query into an equivalent
+first-order F-logic query.  This package makes the theorem executable:
+
+* :mod:`repro.flogic.molecules` — is-a assertions ``o : c``, subclass
+  assertions ``c :: c'``, and data molecules ``o[m@a1,...,ak -> v]``;
+* :mod:`repro.flogic.database` — exporting an object store as a set of
+  ground molecules (facts);
+* :mod:`repro.flogic.eval` — evaluation of conjunctive F-logic queries by
+  unification and backtracking;
+* :mod:`repro.flogic.translate` — the procedure ``P`` for the
+  positive-existential fragment of XSQL (conjunctions, path expressions,
+  ``some``-quantified comparisons); the test suite cross-checks it against
+  the native evaluator on the paper's queries.
+
+"In spite of having variables that range over classes, attributes, and
+methods, the language is still first order" — data molecules here accept
+variables in the method position, exactly as F-logic/HiLog permit.
+"""
+
+from repro.flogic.molecules import (
+    BuiltinAtom,
+    DataAtom,
+    FlogicQuery,
+    IsaAtom,
+    SubclassAtom,
+)
+from repro.flogic.database import FlogicDatabase
+from repro.flogic.eval import evaluate
+from repro.flogic.translate import TranslationUnsupported, translate
+
+__all__ = [
+    "IsaAtom",
+    "SubclassAtom",
+    "DataAtom",
+    "BuiltinAtom",
+    "FlogicQuery",
+    "FlogicDatabase",
+    "evaluate",
+    "translate",
+    "TranslationUnsupported",
+]

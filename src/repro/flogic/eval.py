@@ -1,0 +1,181 @@
+"""Evaluation of conjunctive F-logic queries by backtracking unification.
+
+Atoms are solved left-to-right; a :class:`DataAtom` pattern unifies
+against the exported data facts (indexed by method when the method term is
+ground), ``IsaAtom``/``SubclassAtom`` are solved against the store's
+membership and hierarchy closures, and ``BuiltinAtom`` comparisons are
+tested once both sides are ground.
+
+This is deliberately the textbook procedure: the point of the kernel is to
+be an executable specification for Theorem 3.1, not a fast engine — the
+native evaluator is the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.errors import QueryError
+from repro.flogic.database import FlogicDatabase
+from repro.flogic.molecules import (
+    Atom_,
+    BuiltinAtom,
+    DataAtom,
+    FlogicQuery,
+    IsaAtom,
+    SubclassAtom,
+)
+from repro.oid import Oid, Term, Variable, term_sort_key
+from repro.xsql.comparisons import element_compare
+
+__all__ = ["evaluate", "solve"]
+
+Bindings = Dict[Variable, Oid]
+
+
+def _resolve(term: Term, env: Bindings) -> Term:
+    if isinstance(term, Variable):
+        return env.get(term, term)
+    return term
+
+
+def _unify(pattern: Term, value: Oid, env: Bindings) -> bool:
+    resolved = _resolve(pattern, env)
+    if isinstance(resolved, Variable):
+        env[resolved] = value
+        return True
+    return resolved == value
+
+
+def _solve_data(
+    db: FlogicDatabase, atom: DataAtom, env: Bindings
+) -> Iterator[Bindings]:
+    method = _resolve(atom.method, env)
+    for host, fact_method, args, value in db.data_facts(method):
+        if len(args) != len(atom.args):
+            continue
+        candidate = dict(env)
+        if not _unify(atom.method, fact_method, candidate):
+            continue
+        if not _unify(atom.host, host, candidate):
+            continue
+        ok = True
+        for pattern, arg in zip(atom.args, args):
+            if not _unify(pattern, arg, candidate):
+                ok = False
+                break
+        if ok and _unify(atom.value, value, candidate):
+            yield candidate
+
+
+def _solve_isa(
+    db: FlogicDatabase, atom: IsaAtom, env: Bindings
+) -> Iterator[Bindings]:
+    obj = _resolve(atom.obj, env)
+    cls = _resolve(atom.cls, env)
+    if isinstance(obj, Variable):
+        candidates = sorted(db.individuals(), key=term_sort_key)
+    else:
+        candidates = [obj]
+    for candidate_obj in candidates:
+        if isinstance(cls, Variable):
+            for membership in sorted(
+                db.isa_classes_of(candidate_obj), key=term_sort_key
+            ):
+                new_env = dict(env)
+                if _unify(atom.obj, candidate_obj, new_env) and _unify(
+                    atom.cls, membership, new_env
+                ):
+                    yield new_env
+        elif db.isa_holds(candidate_obj, cls):
+            new_env = dict(env)
+            if _unify(atom.obj, candidate_obj, new_env):
+                yield new_env
+
+
+def _solve_subclass(
+    db: FlogicDatabase, atom: SubclassAtom, env: Bindings
+) -> Iterator[Bindings]:
+    sub = _resolve(atom.sub, env)
+    sup = _resolve(atom.sup, env)
+    subs = (
+        [sub]
+        if not isinstance(sub, Variable)
+        else sorted(db.classes(), key=term_sort_key)
+    )
+    for candidate_sub in subs:
+        sups = (
+            [sup]
+            if not isinstance(sup, Variable)
+            else sorted(db.classes(), key=term_sort_key)
+        )
+        for candidate_sup in sups:
+            if db.subclass_holds(candidate_sub, candidate_sup):
+                new_env = dict(env)
+                if _unify(atom.sub, candidate_sub, new_env) and _unify(
+                    atom.sup, candidate_sup, new_env
+                ):
+                    yield new_env
+
+
+def _solve_builtin(
+    atom: BuiltinAtom, env: Bindings
+) -> Iterator[Bindings]:
+    left = _resolve(atom.left, env)
+    right = _resolve(atom.right, env)
+    if isinstance(left, Variable) or isinstance(right, Variable):
+        raise QueryError(
+            f"builtin comparison {atom} has unbound variables; order the "
+            f"body so data molecules bind them first"
+        )
+    if element_compare(atom.op, left, right):
+        yield env
+
+
+def solve(
+    db: FlogicDatabase, body: Tuple[Atom_, ...], env: Bindings
+) -> Iterator[Bindings]:
+    """All bindings satisfying the conjunction *body* under *env*."""
+    if not body:
+        yield env
+        return
+    head_atom, rest = body[0], body[1:]
+    if isinstance(head_atom, DataAtom):
+        stream = _solve_data(db, head_atom, env)
+    elif isinstance(head_atom, IsaAtom):
+        stream = _solve_isa(db, head_atom, env)
+    elif isinstance(head_atom, SubclassAtom):
+        stream = _solve_subclass(db, head_atom, env)
+    elif isinstance(head_atom, BuiltinAtom):
+        stream = _solve_builtin(head_atom, env)
+    else:
+        raise QueryError(f"unknown atom {head_atom!r}")
+    for candidate in stream:
+        yield from solve(db, rest, candidate)
+
+
+def evaluate(
+    db: FlogicDatabase, query: FlogicQuery
+) -> FrozenSet[Tuple[Oid, ...]]:
+    """The answer relation of a conjunctive F-logic query."""
+    answers: Set[Tuple[Oid, ...]] = set()
+    ordered = _order_body(query.body)
+    for env in solve(db, ordered, {}):
+        row = []
+        for term in query.head:
+            value = _resolve(term, env)
+            if isinstance(value, Variable):
+                raise QueryError(
+                    f"answer variable {value} is unbound; the query is "
+                    f"not range-restricted"
+                )
+            row.append(value)
+        answers.add(tuple(row))
+    return frozenset(answers)
+
+
+def _order_body(body: Tuple[Atom_, ...]) -> Tuple[Atom_, ...]:
+    """Move builtin comparisons after the molecules that bind their vars."""
+    molecules = [a for a in body if not isinstance(a, BuiltinAtom)]
+    builtins = [a for a in body if isinstance(a, BuiltinAtom)]
+    return tuple(molecules + builtins)

@@ -1,0 +1,108 @@
+"""F-logic atoms and queries (after [KLW90]).
+
+The fragment needed to ground XSQL:
+
+* ``IsaAtom(o, c)`` — object *o* is an instance of class *c*;
+* ``SubclassAtom(c, c')`` — *c* is a strict subclass of *c'*;
+* ``DataAtom(host, method, args, value)`` — the data molecule
+  ``host[method@args -> value]``; scalar and set-valued molecules share
+  one form (a scalar is a singleton set, matching the paper's uniform
+  treatment of attributes as 0-ary methods);
+* ``BuiltinAtom(op, left, right)`` — interpreted comparisons over literal
+  objects.
+
+Every position may hold a variable — including the *method* position,
+which stays first-order by the HiLog/F-logic encoding (§3.1, "higher-order
+variables do not make the underlying logic second-order").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from repro.oid import Oid, Term, Variable
+
+__all__ = [
+    "IsaAtom",
+    "SubclassAtom",
+    "DataAtom",
+    "BuiltinAtom",
+    "Atom_",
+    "FlogicQuery",
+    "atom_variables",
+]
+
+
+@dataclass(frozen=True)
+class IsaAtom:
+    obj: Term
+    cls: Term
+
+    def __str__(self) -> str:
+        return f"{self.obj} : {self.cls}"
+
+
+@dataclass(frozen=True)
+class SubclassAtom:
+    sub: Term
+    sup: Term
+
+    def __str__(self) -> str:
+        return f"{self.sub} :: {self.sup}"
+
+
+@dataclass(frozen=True)
+class DataAtom:
+    host: Term
+    method: Term
+    args: Tuple[Term, ...]
+    value: Term
+
+    def __str__(self) -> str:
+        if self.args:
+            inner = ", ".join(str(a) for a in self.args)
+            return f"{self.host}[{self.method}@{inner} -> {self.value}]"
+        return f"{self.host}[{self.method} -> {self.value}]"
+
+
+@dataclass(frozen=True)
+class BuiltinAtom:
+    """An interpreted comparison (=, !=, <, <=, >, >=) over objects."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+Atom_ = Union[IsaAtom, SubclassAtom, DataAtom, BuiltinAtom]
+
+
+@dataclass(frozen=True)
+class FlogicQuery:
+    """A conjunctive F-logic query: answer terms + body atoms."""
+
+    head: Tuple[Term, ...]
+    body: Tuple[Atom_, ...]
+
+    def __str__(self) -> str:
+        head = ", ".join(str(t) for t in self.head)
+        body = " AND ".join(str(a) for a in self.body)
+        return f"?- {head} <- {body}"
+
+
+def atom_variables(atom: Atom_) -> Iterator[Variable]:
+    if isinstance(atom, IsaAtom):
+        terms: Tuple[Term, ...] = (atom.obj, atom.cls)
+    elif isinstance(atom, SubclassAtom):
+        terms = (atom.sub, atom.sup)
+    elif isinstance(atom, DataAtom):
+        terms = (atom.host, atom.method, *atom.args, atom.value)
+    else:
+        terms = (atom.left, atom.right)
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term

@@ -1,0 +1,164 @@
+"""The procedure ``P`` of Theorem 3.1: XSQL → F-logic.
+
+"There exists an effective procedure P that for any given XSQL query φ (of
+the form considered thus far) returns an equivalent first-order query in
+F-logic P(φ)."
+
+The translation implemented here covers the positive-existential fragment:
+
+* FROM declarations → is-a atoms;
+* path expressions → chains of data molecules over fresh intermediate
+  variables (selectors unify in place);
+* ``subclassOf`` / ``instanceOf`` conditions → subclass / is-a atoms;
+* elementary comparisons whose quantifiers are (default-)existential →
+  data-molecule chains ending in fresh tail variables plus a builtin atom.
+
+Universally quantified comparisons (``all``), aggregates, disjunction, and
+negation translate to genuinely first-order — but non-conjunctive —
+formulas; they are outside this executable fragment and raise
+:class:`TranslationUnsupported`.  The test suite validates equivalence
+with the native evaluator over the paper's queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.errors import XsqlError
+from repro.flogic.molecules import (
+    Atom_,
+    BuiltinAtom,
+    DataAtom,
+    FlogicQuery,
+    IsaAtom,
+    SubclassAtom,
+)
+from repro.oid import Atom, Oid, Term, Variable, VarSort
+from repro.xsql import ast
+
+__all__ = ["TranslationUnsupported", "translate"]
+
+
+class TranslationUnsupported(XsqlError):
+    """The query lies outside the executable conjunctive fragment."""
+
+
+class _Translator:
+    def __init__(self) -> None:
+        self._atoms: List[Atom_] = []
+        self._fresh = 0
+
+    def fresh(self) -> Variable:
+        self._fresh += 1
+        return Variable(f"_f{self._fresh}")
+
+    def emit(self, atom: Atom_) -> None:
+        self._atoms.append(atom)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _term(node: object) -> Term:
+        if isinstance(node, (Oid, Variable)):
+            return node
+        raise TranslationUnsupported(
+            f"id-term {node} cannot be translated (views are defined by "
+            f"creating queries, outside the retrieval fragment)"
+        )
+
+    def path_tail(self, path: ast.PathExpr) -> Term:
+        """Emit molecules for *path*; return the term naming its tail.
+
+        A path ``sel0.m1[sel1]...mk[selk]`` becomes the conjunction
+        ``sel0[m1 -> S1] AND S1[m2 -> S2] AND ...`` where ``Si`` is the
+        step's selector when present and a fresh variable otherwise.
+        """
+        current = self._term(path.head)
+        for step in path.steps:
+            method = step.method_expr.method
+            if isinstance(method, Variable) and method.sort == VarSort.PATH:
+                raise TranslationUnsupported(
+                    "path variables abbreviate formulas of unbounded "
+                    "length; expand them before translating"
+                )
+            args = tuple(self._term(a) for a in step.method_expr.args)
+            if step.selector is not None:
+                target = self._term(step.selector)
+            else:
+                target = self.fresh()
+            self.emit(DataAtom(current, method, args, target))
+            current = target
+        return current
+
+    # ------------------------------------------------------------------
+
+    def operand_term(self, operand: ast.Operand) -> Term:
+        if isinstance(operand, ast.PathOperand):
+            return self.path_tail(operand.path)
+        raise TranslationUnsupported(
+            f"operand {operand} is outside the conjunctive fragment"
+        )
+
+    def condition(self, cond: ast.Cond) -> None:
+        if isinstance(cond, ast.AndCond):
+            for item in cond.items:
+                self.condition(item)
+        elif isinstance(cond, ast.PathCond):
+            self.path_tail(cond.path)
+        elif isinstance(cond, ast.SchemaCond):
+            left = self._term(cond.left)
+            right = self._term(cond.right)
+            if cond.kind == "subclassOf":
+                self.emit(SubclassAtom(left, right))
+            elif cond.kind == "instanceOf":
+                self.emit(IsaAtom(left, right))
+            else:
+                raise TranslationUnsupported(
+                    f"{cond.kind} translates to signature molecules, "
+                    f"outside this kernel's data fragment"
+                )
+        elif isinstance(cond, ast.Comparison):
+            if cond.lq == "all" or cond.rq == "all":
+                raise TranslationUnsupported(
+                    "universally quantified comparisons translate to "
+                    "non-conjunctive first-order formulas"
+                )
+            if cond.op not in ("=", "!=", "<", "<=", ">", ">="):
+                raise TranslationUnsupported(
+                    f"set comparator {cond.op} is not elementary"
+                )
+            left = self.operand_term(cond.lhs)
+            right = self.operand_term(cond.rhs)
+            self.emit(BuiltinAtom(cond.op, left, right))
+        else:
+            raise TranslationUnsupported(
+                f"{type(cond).__name__} is outside the conjunctive "
+                f"fragment (disjunction/negation translate to full FO)"
+            )
+
+
+def translate(query: ast.Query) -> FlogicQuery:
+    """Apply the procedure ``P`` to a conjunctive XSQL query."""
+    if query.creates_objects or query.oid_scope is not None:
+        raise TranslationUnsupported(
+            "object-creating queries extend the database; Theorem 3.1 "
+            "covers retrieval queries"
+        )
+    worker = _Translator()
+    for decl in query.from_:
+        cls: Term
+        if isinstance(decl.cls, Variable):
+            cls = decl.cls
+        else:
+            cls = decl.cls
+        worker.emit(IsaAtom(decl.var, cls))
+    if query.where is not None:
+        worker.condition(query.where)
+    head: List[Term] = []
+    for item in query.select:
+        if not isinstance(item, ast.PathItem):
+            raise TranslationUnsupported(
+                f"SELECT item {item} is outside the retrieval fragment"
+            )
+        head.append(worker.path_tail(item.path))
+    return FlogicQuery(head=tuple(head), body=tuple(worker._atoms))

@@ -1,0 +1,39 @@
+"""A small relational engine: the baseline XSQL is contrasted against.
+
+The paper's motivating example (§1): engine types live in the *data* of a
+relational database (an ``EngineType`` column to project) but in the
+*schema* of an object-oriented one (subclasses of an engine class to
+browse).  This package provides the relational side of that contrast — a
+set-semantics relational algebra with selection, projection, renaming,
+joins, and the SQL-style set operators — plus a mirror builder that lays a
+Figure 1 object store out as flat relations.
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    theta_join,
+    union,
+)
+from repro.relational.engine import RelationalDatabase, mirror_figure1
+
+__all__ = [
+    "Relation",
+    "select",
+    "project",
+    "rename",
+    "product",
+    "natural_join",
+    "theta_join",
+    "union",
+    "difference",
+    "intersection",
+    "RelationalDatabase",
+    "mirror_figure1",
+]

@@ -1,0 +1,130 @@
+"""Relational algebra operators (set semantics, Codd-style).
+
+The baseline against which XSQL's path expressions are compared: an
+explicit join per hop of the composition hierarchy, where the path
+expression is "one simple path expression ... several path expressions
+and/or nested subqueries" in earlier/relational languages (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.errors import RelationalError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "select",
+    "project",
+    "rename",
+    "product",
+    "natural_join",
+    "theta_join",
+    "union",
+    "difference",
+    "intersection",
+]
+
+
+def select(
+    relation: Relation, predicate: Callable[[Dict[str, object]], bool]
+) -> Relation:
+    """σ: rows satisfying *predicate* (given as a column-dict function)."""
+    return relation.filter(predicate)
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π: the named columns, duplicates eliminated."""
+    indices = [relation.index_of(c) for c in columns]
+    return Relation(
+        columns, {tuple(row[i] for i in indices) for row in relation.rows}
+    )
+
+
+def rename(relation: Relation, mapping: Dict[str, str]) -> Relation:
+    """ρ: rename columns (unmentioned columns keep their names)."""
+    new_columns = [mapping.get(c, c) for c in relation.columns]
+    return Relation(new_columns, relation.rows)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """×: cartesian product; column sets must be disjoint."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise RelationalError(
+            f"product requires disjoint columns; shared: {sorted(overlap)}"
+        )
+    columns = left.columns + right.columns
+    rows = {l + r for l in left.rows for r in right.rows}
+    return Relation(columns, rows)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """⋈: equality on all shared columns; shared columns kept once."""
+    shared = [c for c in left.columns if c in right.columns]
+    if not shared:
+        return product(left, right)
+    right_only = [c for c in right.columns if c not in shared]
+    left_idx = {c: left.index_of(c) for c in left.columns}
+    right_idx = {c: right.index_of(c) for c in right.columns}
+
+    # Hash join on the shared columns.
+    buckets: Dict[tuple, list] = {}
+    for row in right.rows:
+        key = tuple(row[right_idx[c]] for c in shared)
+        buckets.setdefault(key, []).append(row)
+    out_columns = list(left.columns) + right_only
+    rows = set()
+    for lrow in left.rows:
+        key = tuple(lrow[left_idx[c]] for c in shared)
+        for rrow in buckets.get(key, ()):
+            rows.add(lrow + tuple(rrow[right_idx[c]] for c in right_only))
+    return Relation(out_columns, rows)
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[Dict[str, object], Dict[str, object]], bool],
+) -> Relation:
+    """⋈θ: explicit join on an arbitrary pair predicate."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise RelationalError(
+            f"theta_join requires disjoint columns; shared: "
+            f"{sorted(overlap)} (rename first)"
+        )
+    columns = left.columns + right.columns
+    rows = set()
+    for lrow in left.rows:
+        ldict = dict(zip(left.columns, lrow))
+        for rrow in right.rows:
+            if predicate(ldict, dict(zip(right.columns, rrow))):
+                rows.add(lrow + rrow)
+    return Relation(columns, rows)
+
+
+def _check_union_compatible(left: Relation, right: Relation) -> None:
+    if left.columns != right.columns:
+        raise RelationalError(
+            f"set operations need identical schemas: {left.columns} vs "
+            f"{right.columns}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪: all rows of both relations (schemas must match)."""
+    _check_union_compatible(left, right)
+    return Relation(left.columns, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """−: rows of *left* absent from *right* (schemas must match)."""
+    _check_union_compatible(left, right)
+    return Relation(left.columns, left.rows - right.rows)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """∩: rows common to both relations (schemas must match)."""
+    _check_union_compatible(left, right)
+    return Relation(left.columns, left.rows & right.rows)

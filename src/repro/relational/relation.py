@@ -1,0 +1,95 @@
+"""Relations with set semantics and named columns."""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import RelationalError
+
+__all__ = ["Relation", "Row"]
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """An immutable relation: a schema plus a set of tuples."""
+
+    def __init__(
+        self, columns: Sequence[str], rows: Iterable[Sequence[object]] = ()
+    ) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise RelationalError(
+                f"duplicate column names in {self.columns}"
+            )
+        materialized = set()
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != len(self.columns):
+                raise RelationalError(
+                    f"row arity {len(tup)} does not match schema "
+                    f"{self.columns}"
+                )
+            materialized.add(tup)
+        self._rows: FrozenSet[Row] = frozenset(materialized)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise RelationalError(
+                f"no column {column!r} in {self.columns}"
+            )
+
+    def column_values(self, column: str) -> FrozenSet[object]:
+        index = self.index_of(column)
+        return frozenset(row[index] for row in self._rows)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.sorted_rows()]
+
+    def sorted_rows(self) -> List[Row]:
+        return sorted(self._rows, key=lambda row: tuple(map(str, row)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.sorted_rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(columns={self.columns}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Dict[str, object]], bool]) -> "Relation":
+        """Rows satisfying a predicate over column-name dicts."""
+        kept = [
+            row
+            for row in self._rows
+            if predicate(dict(zip(self.columns, row)))
+        ]
+        return Relation(self.columns, kept)

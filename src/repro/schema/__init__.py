@@ -1,0 +1,21 @@
+"""Schemas used by the paper's examples.
+
+* :mod:`repro.schema.figure1` — the Figure 1 Vehicle/Person/Company schema;
+* :mod:`repro.schema.nobel` — the introduction's Nobel-prize schema;
+* :mod:`repro.schema.university` — the §2 workstudy/earns schema
+  (polymorphism and multiple inheritance);
+* :mod:`repro.schema.typing_examples` — the Organization/Association
+  extension used by the §6.2 typing fragments (17)–(20).
+"""
+
+from repro.schema.figure1 import build_figure1_schema
+from repro.schema.nobel import build_nobel_schema
+from repro.schema.university import build_university_schema
+from repro.schema.typing_examples import extend_with_typing_classes
+
+__all__ = [
+    "build_figure1_schema",
+    "build_nobel_schema",
+    "build_university_schema",
+    "extend_with_typing_classes",
+]

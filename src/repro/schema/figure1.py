@@ -1,0 +1,137 @@
+"""The object-oriented schema of the paper's Figure 1.
+
+Thick arrows of the figure (IS-A) become subclass edges; thin arrows
+(aggregation) become attribute signatures.  Attribute names ending in ``*``
+in the figure are set-valued.  The class/attribute inventory transcribed
+from the figure:
+
+* ``Address``: Street, City, State (strings), Phone (numeral)
+* ``Vehicle``: Model (string), Manufacturer (Company), Color (string),
+  Drivetrain (VehicleDrivetrain); subclasses ``Motorbike`` (Size numeral),
+  ``Bicycle``, ``Automobile`` (Drivetrain VehicleDrivetrain, Body AutoBody)
+* ``VehicleDrivetrain``: Engine (PistonEngine), Transmission (string)
+* ``AutoBody``: Chassis, Interior (strings), Doors (numeral)
+* ``PistonEngine``: HPpower, CCsize, CylinderN (numerals); subclasses
+  ``TwoStrokeEngine`` and ``FourStrokeEngine``; the latter has subclasses
+  ``TurboEngine`` and ``DieselEngine`` — which is what makes query (4)'s
+  answer exactly {FourStrokeEngine, PistonEngine, Object}
+* ``Person``: Name (string), Age (numeral), Residence (Address),
+  OwnedVehicles* (Vehicle); subclass ``Employee``: Qualifications*
+  (string), Salary (numeral), FamMembers* (Person)
+* ``Company``: Name (string), Headquarters (Address), Divisions*
+  (Division), President (Person)
+* ``Division``: Name (string), Location (Address), Function (string),
+  Manager (Employee), Employees* (Employee)
+
+Footnote 9 mentions two attributes "not shown in Figure 1" that queries (8)
+use: ``Company.Retirees*`` and ``Employee.Dependents*``; they are included
+here because the paper's own queries need them.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.store import ObjectStore
+
+__all__ = ["build_figure1_schema", "FIGURE1_CLASSES"]
+
+#: Every class of Figure 1 (excluding the built-ins), for integrity checks.
+FIGURE1_CLASSES = (
+    "Address",
+    "Vehicle",
+    "Motorbike",
+    "Bicycle",
+    "Automobile",
+    "VehicleDrivetrain",
+    "AutoBody",
+    "PistonEngine",
+    "TwoStrokeEngine",
+    "FourStrokeEngine",
+    "TurboEngine",
+    "DieselEngine",
+    "Person",
+    "Employee",
+    "Company",
+    "Division",
+)
+
+
+def build_figure1_schema(store: ObjectStore) -> ObjectStore:
+    """Declare the Figure 1 classes and signatures in *store*."""
+    store.declare_class("Address")
+    store.declare_class("Vehicle")
+    store.declare_class("Motorbike", ["Vehicle"])
+    store.declare_class("Bicycle", ["Vehicle"])
+    store.declare_class("Automobile", ["Vehicle"])
+    store.declare_class("VehicleDrivetrain")
+    store.declare_class("AutoBody")
+    store.declare_class("PistonEngine")
+    store.declare_class("TwoStrokeEngine", ["PistonEngine"])
+    store.declare_class("FourStrokeEngine", ["PistonEngine"])
+    store.declare_class("TurboEngine", ["FourStrokeEngine"])
+    store.declare_class("DieselEngine", ["FourStrokeEngine"])
+    store.declare_class("Person")
+    store.declare_class("Employee", ["Person"])
+    store.declare_class("Company")
+    store.declare_class("Division")
+
+    store.declare_signature("Address", "Street", "String")
+    store.declare_signature("Address", "City", "String")
+    store.declare_signature("Address", "State", "String")
+    store.declare_signature("Address", "Phone", "Numeral")
+
+    store.declare_signature("Vehicle", "Model", "String")
+    store.declare_signature("Vehicle", "Manufacturer", "Company")
+    store.declare_signature("Vehicle", "Color", "String")
+    store.declare_signature("Vehicle", "Drivetrain", "VehicleDrivetrain")
+    store.declare_signature("Motorbike", "Size", "Numeral")
+    store.declare_signature("Automobile", "Body", "AutoBody")
+
+    store.declare_signature("VehicleDrivetrain", "Engine", "PistonEngine")
+    store.declare_signature("VehicleDrivetrain", "Transmission", "String")
+
+    store.declare_signature("AutoBody", "Chassis", "String")
+    store.declare_signature("AutoBody", "Interior", "String")
+    store.declare_signature("AutoBody", "Doors", "Numeral")
+
+    store.declare_signature("PistonEngine", "HPpower", "Numeral")
+    store.declare_signature("PistonEngine", "CCsize", "Numeral")
+    store.declare_signature("PistonEngine", "CylinderN", "Numeral")
+
+    store.declare_signature("Person", "Name", "String")
+    store.declare_signature("Person", "Age", "Numeral")
+    store.declare_signature("Person", "Residence", "Address")
+    store.declare_signature(
+        "Person", "OwnedVehicles", "Vehicle", set_valued=True
+    )
+
+    store.declare_signature(
+        "Employee", "Qualifications", "String", set_valued=True
+    )
+    store.declare_signature("Employee", "Salary", "Numeral")
+    store.declare_signature(
+        "Employee", "FamMembers", "Person", set_valued=True
+    )
+    # Footnote 9: used by query (8) but not drawn in the figure.
+    store.declare_signature(
+        "Employee", "Dependents", "Person", set_valued=True
+    )
+
+    store.declare_signature("Company", "Name", "String")
+    store.declare_signature("Company", "Headquarters", "Address")
+    store.declare_signature(
+        "Company", "Divisions", "Division", set_valued=True
+    )
+    store.declare_signature("Company", "President", "Person")
+    # Footnote 9 again.
+    store.declare_signature(
+        "Company", "Retirees", "Employee", set_valued=True
+    )
+
+    store.declare_signature("Division", "Name", "String")
+    store.declare_signature("Division", "Location", "Address")
+    store.declare_signature("Division", "Function", "String")
+    store.declare_signature("Division", "Manager", "Employee")
+    store.declare_signature(
+        "Division", "Employees", "Employee", set_valued=True
+    )
+    return store

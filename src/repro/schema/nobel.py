@@ -1,0 +1,58 @@
+"""The introduction's Nobel-prize schema.
+
+"Winners could be persons or organizations of various types.  It is
+unlikely that a casual user would know exactly all the classes in the
+database for which WonNobelPrize is defined.  Nevertheless, in XSQL one may
+simply write ``SELECT X WHERE X.WonNobelPrize``" — the query that motivates
+liberal vs strict well-typing (§1, §6.2).
+
+``WonNobelPrize`` is declared on two *incomparable* classes (``Scientist``
+and ``Fund``), so no conservative FROM clause covers all winners.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.store import ObjectStore
+
+__all__ = ["build_nobel_schema", "populate_nobel_database"]
+
+
+def build_nobel_schema(store: ObjectStore) -> ObjectStore:
+    store.declare_class("NPerson")
+    store.declare_class("NOrganization")
+    store.declare_class("Scientist", ["NPerson"])
+    store.declare_class("Politician", ["NPerson"])
+    store.declare_class("Fund", ["NOrganization"])
+    store.declare_class("NCompany", ["NOrganization"])
+    store.declare_signature("NPerson", "Name", "String")
+    store.declare_signature("NOrganization", "Name", "String")
+    store.declare_signature(
+        "Scientist", "WonNobelPrize", "String", set_valued=True
+    )
+    store.declare_signature(
+        "Fund", "WonNobelPrize", "String", set_valued=True
+    )
+    return store
+
+
+def populate_nobel_database(store: ObjectStore) -> ObjectStore:
+    """A small instance: two winners (a scientist and UNICEF), two others.
+
+    "For example, UNICEF ... won the Nobel Peace Prize" (footnote 3).
+    """
+    from repro.oid import Atom
+
+    einstein = store.create_object(Atom("einstein"), ["Scientist"])
+    store.set_attr(einstein, "Name", "Einstein")
+    store.add_to_set(einstein, "WonNobelPrize", "physics")
+
+    unicef = store.create_object(Atom("unicef"), ["Fund"])
+    store.set_attr(unicef, "Name", "UNICEF")
+    store.add_to_set(unicef, "WonNobelPrize", "peace")
+
+    smith = store.create_object(Atom("smith"), ["Politician"])
+    store.set_attr(smith, "Name", "Smith")
+
+    megacorp = store.create_object(Atom("megacorp"), ["NCompany"])
+    store.set_attr(megacorp, "Name", "MegaCorp")
+    return store

@@ -1,0 +1,76 @@
+"""The §2/§6.1 university schema: polymorphism and multiple inheritance.
+
+Carries the paper's two running examples:
+
+* ``workstudy : semester =>> {student, employee}`` on ``department`` — one
+  method with two signatures over the same argument types (§2 "Types");
+* ``earns : project => pay`` on ``employee`` and ``earns : course =>
+  grade`` on ``student`` — and the class ``workstudy`` that inherits both
+  type expressions (§6.1), with behavioral-inheritance conflicts resolved
+  Meyer-style.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.store import ObjectStore
+
+__all__ = ["build_university_schema", "populate_university_database"]
+
+
+def build_university_schema(store: ObjectStore) -> ObjectStore:
+    for cls in (
+        "UStudent",
+        "UEmployee",
+        "UDepartment",
+        "USemester",
+        "UProject",
+        "UCourse",
+        "UPay",
+        "UGrade",
+    ):
+        store.declare_class(cls)
+    store.declare_class("UWorkstudy", ["UStudent", "UEmployee"])
+
+    # workstudy : semester =>> {student, employee} — the brace shorthand
+    # combines two signatures with shared scope and arguments (§2).
+    store.declare_signature(
+        "UDepartment", "workstudy", "UStudent", args=["USemester"],
+        set_valued=True,
+    )
+    store.declare_signature(
+        "UDepartment", "workstudy", "UEmployee", args=["USemester"],
+        set_valued=True,
+    )
+
+    store.declare_signature("UEmployee", "earns", "UPay", args=["UProject"])
+    store.declare_signature("UStudent", "earns", "UGrade", args=["UCourse"])
+    store.declare_signature("UPay", "amount", "Numeral")
+    store.declare_signature("UGrade", "letter", "String")
+    return store
+
+
+def populate_university_database(store: ObjectStore) -> ObjectStore:
+    from repro.oid import Atom
+
+    dept = store.create_object(Atom("dept77"), ["UDepartment"])
+    fall = store.create_object(Atom("fall95"), ["USemester"])
+    pam = store.create_object(Atom("pam"), ["UWorkstudy"])
+    tom = store.create_object(Atom("tom"), ["UStudent"])
+    hal = store.create_object(Atom("hal"), ["UEmployee"])
+    store.add_to_set(dept, "workstudy", pam, args=[fall])
+
+    proj = store.create_object(Atom("proj1"), ["UProject"])
+    course = store.create_object(Atom("cse305"), ["UCourse"])
+    pay = store.create_object(Atom("pay1"), ["UPay"])
+    grade = store.create_object(Atom("gradeA"), ["UGrade"])
+    store.set_attr(pay, "amount", 1200)
+    store.set_attr(grade, "letter", "A")
+
+    # earns is defined on both superclasses of workstudy with different
+    # argument types; on disjoint argument classes the invocations do not
+    # actually conflict, so store both cells on pam directly.
+    store.set_attr(pam, "earns", pay, args=[proj])
+    store.set_attr(pam, "earns", grade, args=[course])
+    store.set_attr(hal, "earns", pay, args=[proj])
+    store.set_attr(tom, "earns", grade, args=[course])
+    return store

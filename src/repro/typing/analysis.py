@@ -1,0 +1,100 @@
+"""One-call typing analysis: liberal, strict, and witnesses.
+
+"We discuss typing ... and show that there is more than one way of
+settling the issue" (§1) — :func:`analyze` reports where a query falls on
+the spectrum, with the witnessing assignment/plan when one exists, so
+callers (and the Theorem 6.1 optimizer) can act on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.datamodel.store import ObjectStore
+from repro.typing.assignments import TypeAssignment
+from repro.typing.liberal import find_liberal_assignment
+from repro.typing.occurrences import (
+    TypedQuery,
+    TypingUnsupportedError,
+    build_typed_query,
+)
+from repro.typing.plans import ExecutionPlan
+from repro.typing.strict import Exemptions, find_coherent_pair
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+
+__all__ = ["TypingReport", "analyze"]
+
+
+@dataclass
+class TypingReport:
+    """The outcome of typing one query."""
+
+    typed_query: Optional[TypedQuery]
+    liberal: bool
+    strict: bool
+    liberal_witness: Optional[TypeAssignment] = None
+    strict_witness: Optional[Tuple[TypeAssignment, ExecutionPlan]] = None
+    unsupported_reason: Optional[str] = None
+
+    @property
+    def in_typed_fragment(self) -> bool:
+        return self.typed_query is not None
+
+    def discipline(self) -> str:
+        """Where the query lands on the §6.2 spectrum."""
+        if not self.in_typed_fragment:
+            return "outside-fragment"
+        if self.strict:
+            return "strict"
+        if self.liberal:
+            return "liberal-only"
+        return "ill-typed"
+
+    def summary(self) -> str:
+        if not self.in_typed_fragment:
+            return f"outside the typed fragment: {self.unsupported_reason}"
+        lines = [f"discipline: {self.discipline()}"]
+        if self.strict_witness is not None:
+            assignment, plan = self.strict_witness
+            lines.append(f"coherent plan: {plan}")
+            for occ, expr in assignment.entries:
+                lines.append(f"  {occ} : {expr}")
+        elif self.liberal_witness is not None:
+            for occ, expr in self.liberal_witness.entries:
+                lines.append(f"  {occ} : {expr}")
+        return "\n".join(lines)
+
+
+def analyze(
+    query: Union[str, ast.Query],
+    store: ObjectStore,
+    exemptions: Exemptions = Exemptions.NONE,
+) -> TypingReport:
+    """Type-check a query under both the liberal and strict disciplines."""
+    if isinstance(query, str):
+        parsed = parse_query(query)
+        if not isinstance(parsed, ast.Query):
+            raise TypingUnsupportedError(
+                "UNION/MINUS/INTERSECT queries are typed per branch"
+            )
+        query = parsed
+    try:
+        typed_query = build_typed_query(query)
+    except TypingUnsupportedError as exc:
+        return TypingReport(
+            typed_query=None,
+            liberal=False,
+            strict=False,
+            unsupported_reason=str(exc),
+        )
+    liberal_witness = find_liberal_assignment(typed_query, store)
+    strict_witness = find_coherent_pair(typed_query, store, exemptions)
+    return TypingReport(
+        typed_query=typed_query,
+        liberal=liberal_witness is not None,
+        strict=strict_witness is not None,
+        liberal_witness=liberal_witness,
+        strict_witness=strict_witness,
+    )

@@ -1,0 +1,258 @@
+"""Type assignments and their validity (§6.2).
+
+"A type assignment A to a given query is an assignment of at most one type
+expression to each occurrence of a method name in the WHERE clause."  The
+assignment *forces* types onto selectors and arguments; a variable's range
+collects everything forced on its occurrences plus its FROM classes and
+``Object``.
+
+Candidate enumeration.  A valid assignment must assign each occurrence a
+type expression *possessed* by the method — the upward closure of the
+declared expressions under the supertype order (§6.1).  The closure is
+infinite, but only two directions of movement exist: narrowing
+scope/argument classes to subclasses (which can never repair validity or
+coherence — it only tightens instance checks and subrange obligations) and
+broadening the result class to superclasses (which can repair range
+emptiness).  Enumerating the declared expressions together with their
+result-superclass generalizations is therefore complete for both the
+liberal and the strict analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.datamodel.catalogue import NUMERAL, STRING
+from repro.datamodel.signatures import TypeExpr
+from repro.datamodel.store import ObjectStore
+from repro.oid import Atom, Oid, Variable
+from repro.typing.occurrences import (
+    CompSide,
+    MethodOccurrence,
+    TypedComparison,
+    TypedQuery,
+)
+from repro.typing.ranges import Range
+
+__all__ = [
+    "TypeAssignment",
+    "candidate_type_exprs",
+    "is_valid_assignment",
+    "validity_failure",
+]
+
+Term = Union[Oid, Variable]
+
+
+def candidate_type_exprs(
+    store: ObjectStore, occurrence: MethodOccurrence
+) -> List[TypeExpr]:
+    """Possessed type expressions worth assigning to *occurrence*.
+
+    Declared expressions of matching arity, plus each with the result
+    generalized to its (non-strict) superclasses (see the module docstring
+    for the completeness argument).
+    """
+    hierarchy = store.hierarchy
+    candidates: List[TypeExpr] = []
+    for declared in store.all_type_exprs(occurrence.method):
+        if declared.arity != len(occurrence.args):
+            continue
+        # The declared expression first (tightest constraints), then its
+        # result generalizations — the search finds precise witnesses
+        # before falling back to loosened ones.
+        results = [declared.result] + sorted(
+            hierarchy.superclasses(declared.result, strict=True),
+            key=lambda a: a.name,
+        )
+        for result in results:
+            variant = TypeExpr(
+                declared.scope, declared.args, result, declared.set_valued
+            )
+            if variant not in candidates:
+                candidates.append(variant)
+    return candidates
+
+
+@dataclass(frozen=True)
+class TypeAssignment:
+    """A (possibly partial) mapping from method occurrences to types."""
+
+    entries: Tuple[Tuple[MethodOccurrence, TypeExpr], ...]
+
+    @staticmethod
+    def of(mapping: Dict[MethodOccurrence, TypeExpr]) -> "TypeAssignment":
+        return TypeAssignment(
+            tuple(sorted(mapping.items(), key=lambda kv: str(kv[0])))
+        )
+
+    def as_dict(self) -> Dict[MethodOccurrence, TypeExpr]:
+        return dict(self.entries)
+
+    def type_of(self, occurrence: MethodOccurrence) -> Optional[TypeExpr]:
+        for occ, expr in self.entries:
+            if occ == occurrence:
+                return expr
+        return None
+
+    def is_complete_for(self, typed_query: TypedQuery) -> bool:
+        assigned = {occ for occ, _expr in self.entries}
+        return all(
+            occ in assigned for occ in typed_query.all_occurrences()
+        )
+
+    def restrict_to(
+        self, visible: Iterable[MethodOccurrence]
+    ) -> "TypeAssignment":
+        """The restriction A' of §6.2: keep only *visible* occurrences."""
+        keep = set(visible)
+        return TypeAssignment(
+            tuple((occ, expr) for occ, expr in self.entries if occ in keep)
+        )
+
+    # ------------------------------------------------------------------
+    # forced types and ranges
+    # ------------------------------------------------------------------
+
+    def forced_types(
+        self, typed_query: TypedQuery
+    ) -> Dict[Term, List[Atom]]:
+        """Types this assignment forces onto selectors and arguments.
+
+        "If mthd_i is assigned T_i0, T_i1, ..., T_ik ~> R_i, then A_ij is
+        assigned T_ij, Sel_{i-1} is assigned T_i0, and Sel_i is assigned
+        R_i."
+        """
+        forced: Dict[Term, List[Atom]] = {}
+
+        def push(term: Term, cls: Atom) -> None:
+            forced.setdefault(term, []).append(cls)
+
+        assigned = self.as_dict()
+        for path in typed_query.paths:
+            for occ in path.occurrences:
+                expr = assigned.get(occ)
+                if expr is None:
+                    continue
+                for arg, cls in zip(occ.args, expr.args):
+                    push(arg, cls)
+                push(path.selectors[occ.position - 1], expr.scope)
+                push(path.selectors[occ.position], expr.result)
+        return forced
+
+    def range_of(
+        self, var: Variable, typed_query: TypedQuery
+    ) -> Range:
+        """The range A(X) of §6.2 (Object + forced + FROM types)."""
+        forced = self.forced_types(typed_query)
+        classes: List[Atom] = list(forced.get(var, []))
+        classes.extend(typed_query.from_types.get(var, ()))
+        return Range.of(classes)
+
+    def all_ranges(
+        self, typed_query: TypedQuery
+    ) -> Dict[Variable, Range]:
+        forced = self.forced_types(typed_query)
+        ranges: Dict[Variable, Range] = {}
+        for var in typed_query.variables():
+            classes: List[Atom] = list(forced.get(var, []))
+            classes.extend(typed_query.from_types.get(var, ()))
+            ranges[var] = Range.of(classes)
+        return ranges
+
+
+# ----------------------------------------------------------------------
+# validity (§6.2 "We say that a type assignment A is valid if ...")
+# ----------------------------------------------------------------------
+
+_ORDER_OPS = frozenset({"<", "<=", ">", ">="})
+
+
+def _possessed(
+    store: ObjectStore, occurrence: MethodOccurrence, expr: TypeExpr
+) -> bool:
+    """Is *expr* possessed by the occurrence's method (§6.1)?"""
+    if expr.arity != len(occurrence.args):
+        return False
+    return any(
+        expr.is_supertype_of(declared, store.hierarchy)
+        for declared in store.all_type_exprs(occurrence.method)
+        if declared.arity == expr.arity
+    )
+
+
+def _side_is_orderable(
+    side: CompSide,
+    domain: Atom,
+    ranges: Dict[Variable, Range],
+    store: ObjectStore,
+) -> bool:
+    if side.kind == "numeral":
+        return domain == NUMERAL
+    term = side.term
+    if isinstance(term, Oid):
+        return store.is_instance(term, domain)
+    range_ = ranges.get(term)
+    if range_ is None:
+        return False
+    return range_.is_subrange_of(domain, store.hierarchy)
+
+
+def _comparison_well_defined(
+    comp: TypedComparison,
+    ranges: Dict[Variable, Range],
+    store: ObjectStore,
+) -> bool:
+    """Is the comparison well defined for every pair in the ranges?
+
+    Equality and the set comparators apply to arbitrary objects; the
+    ordering comparators need both sides to be numerals (or both strings).
+    """
+    if comp.op not in _ORDER_OPS:
+        return True
+    for domain in (NUMERAL, STRING):
+        if _side_is_orderable(
+            comp.left, domain, ranges, store
+        ) and _side_is_orderable(comp.right, domain, ranges, store):
+            return True
+    return False
+
+
+def validity_failure(
+    assignment: TypeAssignment,
+    typed_query: TypedQuery,
+    store: ObjectStore,
+) -> Optional[str]:
+    """None if the assignment is valid; otherwise a human-readable reason."""
+    assigned = assignment.as_dict()
+    for path in typed_query.paths:
+        for occ in path.occurrences:
+            expr = assigned.get(occ)
+            if expr is None:
+                continue
+            if not _possessed(store, occ, expr):
+                return f"{occ}: {expr} is not possessed by {occ.method}"
+    forced = assignment.forced_types(typed_query)
+    for term, classes in forced.items():
+        if isinstance(term, Oid):
+            for cls in classes:
+                if not store.is_instance(term, cls):
+                    return f"oid {term} is assigned type {cls} but is not an instance"
+    ranges = assignment.all_ranges(typed_query)
+    for comp in typed_query.comparisons:
+        if not _comparison_well_defined(comp, ranges, store):
+            return (
+                f"comparison {comp.left.term} {comp.op} {comp.right.term} "
+                f"is not well defined for the assigned ranges"
+            )
+    return None
+
+
+def is_valid_assignment(
+    assignment: TypeAssignment,
+    typed_query: TypedQuery,
+    store: ObjectStore,
+) -> bool:
+    """True iff the assignment satisfies every §6.2 validity condition."""
+    return validity_failure(assignment, typed_query, store) is None

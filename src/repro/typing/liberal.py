@@ -1,0 +1,77 @@
+"""Liberal well-typing (§6.2).
+
+"We define a query to be liberally well-typed if there is (at least) one
+valid and complete type assignment A, such that for each variable X (of
+the WHERE clause) the range A(X) is not empty."
+
+Liberal typing is metalogical: it never blocks evaluation, but "if a
+preliminary (liberal) type analysis shows that a query is ill-typed then
+it is guaranteed that this query returns no answers regardless of the
+database contents."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+from repro.datamodel.store import ObjectStore
+from repro.errors import TypingError
+from repro.typing.assignments import (
+    TypeAssignment,
+    candidate_type_exprs,
+    is_valid_assignment,
+)
+from repro.typing.occurrences import TypedQuery
+
+__all__ = [
+    "complete_assignments",
+    "find_liberal_assignment",
+    "is_liberally_well_typed",
+]
+
+#: Guard against combinatorial blow-up of the assignment search space.
+MAX_ASSIGNMENTS = 200_000
+
+
+def complete_assignments(
+    typed_query: TypedQuery, store: ObjectStore
+) -> Iterator[TypeAssignment]:
+    """All complete assignments built from per-occurrence candidates."""
+    occurrences = typed_query.all_occurrences()
+    candidate_lists = []
+    total = 1
+    for occ in occurrences:
+        candidates = candidate_type_exprs(store, occ)
+        if not candidates:
+            return  # some occurrence possesses no type: nothing complete
+        candidate_lists.append(candidates)
+        total *= len(candidates)
+        if total > MAX_ASSIGNMENTS:
+            raise TypingError(
+                f"type-assignment search space exceeds {MAX_ASSIGNMENTS}"
+            )
+    for combo in itertools.product(*candidate_lists):
+        yield TypeAssignment.of(dict(zip(occurrences, combo)))
+
+
+def find_liberal_assignment(
+    typed_query: TypedQuery, store: ObjectStore
+) -> Optional[TypeAssignment]:
+    """A witnessing valid, complete, non-empty-range assignment (or None)."""
+    for assignment in complete_assignments(typed_query, store):
+        if not is_valid_assignment(assignment, typed_query, store):
+            continue
+        ranges = assignment.all_ranges(typed_query)
+        if any(r.is_empty(store.hierarchy) for r in ranges.values()):
+            continue
+        return assignment
+    return None
+
+
+def is_liberally_well_typed(
+    typed_query: TypedQuery, store: ObjectStore
+) -> bool:
+    """The §6.2 liberal judgement: some valid, complete, non-empty-range
+    assignment exists."""
+    return find_liberal_assignment(typed_query, store) is not None

@@ -1,0 +1,297 @@
+"""The normalized query form the §6.2 definitions operate on.
+
+§6.2 fixes a simplified fragment: "the WHERE clause is a conjunction ...
+the SELECT clause is a list of variables ... each path expression has only
+v-selectors, g-selectors, and method names".  Two rewritings bring queries
+into the normal form the definitions assume:
+
+* footnote 13 — a comparison side that is a non-trivial path must end in a
+  v-selector: a trailing g-selector is pulled out into the comparison and
+  the path becomes a separate conjunct; a missing trailing selector gets a
+  fresh v-selector;
+* "we assume that all selectors Sel_i appear (this assumption can be
+  easily satisfied by adding new distinct v-selectors wherever selectors
+  are originally missing)".
+
+Aggregate operands are normalized the same way (their argument path
+becomes a conjunct; the aggregate side is treated as a numeral).  Queries
+outside the fragment — disjunction, negation, updates, method variables in
+method-expression role, path variables — raise
+:class:`TypingUnsupportedError`, matching the paper's explicit scoping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TypingError
+from repro.oid import Atom, Oid, Variable, VarSort
+from repro.xsql import ast
+
+__all__ = [
+    "TypingUnsupportedError",
+    "MethodOccurrence",
+    "TypedPath",
+    "CompSide",
+    "TypedComparison",
+    "TypedQuery",
+    "build_typed_query",
+    "flatten_conjunction",
+]
+
+
+class TypingUnsupportedError(TypingError):
+    """The query lies outside the §6.2 conjunctive typed fragment."""
+
+
+Term = Union[Oid, Variable]
+
+
+@dataclass(frozen=True)
+class MethodOccurrence:
+    """One occurrence of a method name in the WHERE clause."""
+
+    path_index: int
+    position: int  # 1-based step index within the path
+    method: Atom
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        if self.args:
+            inner = ", ".join(str(a) for a in self.args)
+            return f"{self.method}@{inner}#p{self.path_index}.{self.position}"
+        return f"{self.method}#p{self.path_index}.{self.position}"
+
+
+@dataclass(frozen=True)
+class TypedPath:
+    """A normalized path: every selector present, methods ground names."""
+
+    index: int
+    selectors: Tuple[Term, ...]  # Sel_0 .. Sel_m
+    occurrences: Tuple[MethodOccurrence, ...]  # mthd_1 .. mthd_m
+
+    def __str__(self) -> str:
+        parts = [str(self.selectors[0])]
+        for occ, sel in zip(self.occurrences, self.selectors[1:]):
+            parts.append(f"{occ.method}[{sel}]")
+        return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class CompSide:
+    """One side of a normalized comparison.
+
+    ``kind`` is ``'term'`` (an oid or the tail v-selector of a path) or
+    ``'numeral'`` (the result of an aggregate — always a numeral object).
+    """
+
+    kind: str
+    term: Optional[Term] = None
+
+
+@dataclass(frozen=True)
+class TypedComparison:
+    op: str
+    left: CompSide
+    right: CompSide
+
+
+@dataclass
+class TypedQuery:
+    """The typing view of a query: paths, comparisons, FROM constraints.
+
+    ``path_sources[i]`` is the index of the original WHERE conjunct that
+    path ``i`` came from, or ``None`` for paths manufactured by the
+    footnote-13 / aggregate normalization; the Theorem 6.1 optimizer uses
+    it to reorder the original conjuncts along a coherent plan.
+    """
+
+    paths: Tuple[TypedPath, ...]
+    comparisons: Tuple[TypedComparison, ...]
+    from_types: Dict[Variable, Tuple[Atom, ...]]
+    select_terms: Tuple[Term, ...]
+    path_sources: Tuple[Optional[int], ...] = ()
+
+    def all_occurrences(self) -> List[MethodOccurrence]:
+        return [occ for path in self.paths for occ in path.occurrences]
+
+    def variables(self) -> FrozenSet[Variable]:
+        found: set = set()
+        for path in self.paths:
+            for sel in path.selectors:
+                if isinstance(sel, Variable):
+                    found.add(sel)
+            for occ in path.occurrences:
+                for arg in occ.args:
+                    if isinstance(arg, Variable):
+                        found.add(arg)
+        for comp in self.comparisons:
+            for side in (comp.left, comp.right):
+                if side.kind == "term" and isinstance(side.term, Variable):
+                    found.add(side.term)
+        found.update(self.from_types)
+        for term in self.select_terms:
+            if isinstance(term, Variable):
+                found.add(term)
+        return frozenset(found)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._paths: List[TypedPath] = []
+        self._comparisons: List[TypedComparison] = []
+        self._sources: List[Optional[int]] = []
+        self._current_source: Optional[int] = None
+        self._fresh = 0
+
+    def fresh_var(self) -> Variable:
+        self._fresh += 1
+        return Variable(f"_t{self._fresh}")
+
+    # ------------------------------------------------------------------
+
+    def add_path(self, path: ast.PathExpr) -> TypedPath:
+        selectors: List[Term] = [self._check_selector(path.head)]
+        occurrences: List[MethodOccurrence] = []
+        index = len(self._paths)
+        for position, step in enumerate(path.steps, start=1):
+            method = step.method_expr.method
+            if isinstance(method, Variable):
+                if method.sort == VarSort.PATH:
+                    raise TypingUnsupportedError(
+                        "path variables are outside the typed fragment"
+                    )
+                raise TypingUnsupportedError(
+                    "method variables cannot appear in the role of method "
+                    "expressions in the typed fragment (§6.2)"
+                )
+            args = tuple(
+                self._check_selector(arg) for arg in step.method_expr.args
+            )
+            occurrences.append(
+                MethodOccurrence(index, position, method, args)
+            )
+            if step.selector is None:
+                selectors.append(self.fresh_var())
+            else:
+                selectors.append(self._check_selector(step.selector))
+        typed = TypedPath(index, tuple(selectors), tuple(occurrences))
+        self._paths.append(typed)
+        self._sources.append(self._current_source)
+        return typed
+
+    @staticmethod
+    def _check_selector(node: object) -> Term:
+        if isinstance(node, (Oid, Variable)):
+            return node
+        raise TypingUnsupportedError(
+            f"id-term selectors such as {node} are outside the typed "
+            f"fragment (§6.2)"
+        )
+
+    # ------------------------------------------------------------------
+
+    def side_of_operand(self, operand: ast.Operand) -> CompSide:
+        """Normalize one comparison side (footnote 13)."""
+        if isinstance(operand, ast.PathOperand):
+            path = operand.path
+            if path.is_trivial:
+                return CompSide("term", self._check_selector(path.head))
+            last = path.steps[-1]
+            if last.selector is None:
+                fresh = self.fresh_var()
+                steps = path.steps[:-1] + (
+                    ast.Step(last.method_expr, fresh),
+                )
+                self.add_path(ast.PathExpr(path.head, steps))
+                return CompSide("term", fresh)
+            # Ends in a selector: pull it out, keep the path as a conjunct.
+            self.add_path(path)
+            return CompSide("term", self._check_selector(last.selector))
+        if isinstance(operand, ast.AggOperand):
+            path = operand.path
+            if path.steps:
+                last = path.steps[-1]
+                if last.selector is None:
+                    fresh = self.fresh_var()
+                    steps = path.steps[:-1] + (
+                        ast.Step(last.method_expr, fresh),
+                    )
+                    self.add_path(ast.PathExpr(path.head, steps))
+                else:
+                    self.add_path(path)
+            return CompSide("numeral")
+        raise TypingUnsupportedError(
+            f"operand {operand} is outside the typed fragment"
+        )
+
+    def add_comparison(self, cond: ast.Comparison) -> None:
+        left = self.side_of_operand(cond.lhs)
+        right = self.side_of_operand(cond.rhs)
+        self._comparisons.append(TypedComparison(cond.op, left, right))
+
+    # ------------------------------------------------------------------
+
+    def visit_conjuncts(self, conjuncts: Sequence[ast.Cond]) -> None:
+        for position, cond in enumerate(conjuncts):
+            if isinstance(cond, ast.PathCond):
+                self._current_source = position
+                self.add_path(cond.path)
+                self._current_source = None
+            elif isinstance(cond, ast.Comparison):
+                self.add_comparison(cond)
+            elif isinstance(cond, ast.SchemaCond):
+                # Schema-browsing predicates range over class-objects;
+                # they carry no data-level typing obligations in §6.2.
+                pass
+            else:
+                raise TypingUnsupportedError(
+                    f"{type(cond).__name__} is outside the conjunctive "
+                    f"typed fragment (§6.2 considers conjunctions only)"
+                )
+
+
+def flatten_conjunction(cond: Optional[ast.Cond]) -> List[ast.Cond]:
+    """Flatten nested AndConds into one conjunct list (order-preserving)."""
+    if cond is None:
+        return []
+    if isinstance(cond, ast.AndCond):
+        items: List[ast.Cond] = []
+        for item in cond.items:
+            items.extend(flatten_conjunction(item))
+        return items
+    return [cond]
+
+
+def build_typed_query(query: ast.Query) -> TypedQuery:
+    """Bring *query* into the §6.2 normal form for type analysis."""
+    builder = _Builder()
+    from_types: Dict[Variable, List[Atom]] = {}
+    for decl in query.from_:
+        if isinstance(decl.cls, Variable):
+            raise TypingUnsupportedError(
+                "class variables in FROM are outside the typed fragment"
+            )
+        from_types.setdefault(decl.var, []).append(decl.cls)
+    if query.where is not None:
+        builder.visit_conjuncts(flatten_conjunction(query.where))
+    select_terms: List[Term] = []
+    for item in query.select:
+        if isinstance(item, ast.PathItem) and item.path.is_trivial:
+            head = item.path.head
+            if isinstance(head, (Oid, Variable)):
+                select_terms.append(head)
+                continue
+        raise TypingUnsupportedError(
+            "the typed fragment assumes the SELECT clause is a list of "
+            "variables (§6.2)"
+        )
+    return TypedQuery(
+        paths=tuple(builder._paths),
+        comparisons=tuple(builder._comparisons),
+        from_types={v: tuple(cs) for v, cs in from_types.items()},
+        select_terms=tuple(select_terms),
+        path_sources=tuple(builder._sources),
+    )

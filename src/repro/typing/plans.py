@@ -1,0 +1,56 @@
+"""Execution plans: orders over the WHERE path expressions (§6.2).
+
+"An execution plan for a query is just a partial order on the path
+expressions in the WHERE clause."  We enumerate *total* orders: if a type
+assignment is coherent with some partial order, it is coherent with every
+linear extension of it (linearization only adds visible occurrences, which
+only grows the restriction ranges, which only makes the subrange tests
+easier), so searching total orders finds a coherent pair whenever any
+partial order admits one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import TypingError
+from repro.typing.occurrences import TypedQuery
+
+__all__ = ["ExecutionPlan", "all_plans"]
+
+#: Factorial growth guard: queries in the typed fragment are small; a
+#: WHERE clause with more path expressions than this gets a clear error
+#: instead of a silent multi-minute search.
+MAX_PATHS_FOR_ENUMERATION = 8
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A total evaluation order of path-expression indices."""
+
+    order: Tuple[int, ...]
+
+    def position_of(self, path_index: int) -> int:
+        return self.order.index(path_index)
+
+    def preceding(self, path_index: int) -> Tuple[int, ...]:
+        """Indices of path expressions evaluated before *path_index*."""
+        position = self.position_of(path_index)
+        return self.order[:position]
+
+    def __str__(self) -> str:
+        return " -> ".join(f"p{i}" for i in self.order)
+
+
+def all_plans(typed_query: TypedQuery) -> Iterator[ExecutionPlan]:
+    """Every total order over the query's path expressions."""
+    count = len(typed_query.paths)
+    if count > MAX_PATHS_FOR_ENUMERATION:
+        raise TypingError(
+            f"plan enumeration over {count} path expressions exceeds the "
+            f"{MAX_PATHS_FOR_ENUMERATION}-path limit"
+        )
+    for order in itertools.permutations(range(count)):
+        yield ExecutionPlan(tuple(order))

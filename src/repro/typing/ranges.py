@@ -1,0 +1,67 @@
+"""Variable ranges: sets of classes constraining instantiation (§6.2).
+
+"We define the range of X with respect to A, denoted A(X), as the set
+consisting of Object, all the types that A assigns to occurrences of X in
+the WHERE clause, and all the types that are assigned to occurrences of X
+in the FROM clause."
+
+An oid is *within* the range iff it is an instance of every class in it.
+The schema-level decision procedures:
+
+* **emptiness** — "if A(X) contains both Person and Company, then it is
+  empty".  Our criterion: the range is non-empty iff its classes share a
+  common (non-strict) descendant class, i.e. some class whose instances
+  would belong to all of them.
+* **subrange** — "R is a subrange of a class T if every oid belonging to
+  the range R is also an instance of T"; schematically, iff some class of
+  R is a (non-strict) subclass of T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.datamodel.hierarchy import OBJECT_CLASS, ClassHierarchy
+from repro.datamodel.store import ObjectStore
+from repro.oid import Atom, Oid
+
+__all__ = ["Range"]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A set of classes an oid must simultaneously belong to."""
+
+    classes: FrozenSet[Atom]
+
+    @staticmethod
+    def of(classes: Iterable[Atom]) -> "Range":
+        return Range(frozenset(classes) | {OBJECT_CLASS})
+
+    def with_classes(self, classes: Iterable[Atom]) -> "Range":
+        return Range(self.classes | frozenset(classes))
+
+    def is_empty(self, hierarchy: ClassHierarchy) -> bool:
+        """Could no oid ever belong to every class of this range?"""
+        known = [c for c in self.classes if c in hierarchy]
+        return not hierarchy.potentially_joint(known)
+
+    def is_subrange_of(self, cls: Atom, hierarchy: ClassHierarchy) -> bool:
+        """Must every member of this range be an instance of *cls*?"""
+        return any(
+            c in hierarchy and hierarchy.is_subclass(c, cls, strict=False)
+            for c in self.classes
+        )
+
+    def contains_oid(self, oid: Oid, store: ObjectStore) -> bool:
+        """Is *oid* within the range (instance of every class)?"""
+        membership = store.classes_of(oid)
+        return all(cls in membership for cls in self.classes)
+
+    def sorted_classes(self) -> Tuple[Atom, ...]:
+        return tuple(sorted(self.classes, key=lambda a: a.name))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(c) for c in self.sorted_classes())
+        return "{" + inner + "}"

@@ -1,0 +1,220 @@
+"""Strict well-typing, coherence, and exemptions (§6.2).
+
+A query is *strictly* well-typed when a valid, complete assignment A and
+an execution plan P exist such that — evaluating path expressions in plan
+order, left to right within a path — every method occurrence finds its
+(variable) arguments and scope selector already restricted to oids of the
+expected types.  The check uses the *restriction* A' of A to the
+occurrences already evaluated, and the subrange test of §6.2.
+
+"Whenever desired, we can exempt arguments of certain method occurrences
+from the second test ... the liberal and the conservative notions of
+well-typing are just the two extremes of the notion of well-typing with
+exemptions."  Exemption keys name a method and an argument index (0 = the
+scope argument, 1..k = the explicit arguments), optionally pinned to one
+occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.datamodel.store import ObjectStore
+from repro.oid import Atom, Oid, Variable
+from repro.typing.assignments import TypeAssignment, is_valid_assignment
+from repro.typing.liberal import complete_assignments
+from repro.typing.occurrences import MethodOccurrence, TypedQuery
+from repro.typing.plans import ExecutionPlan, all_plans
+from repro.typing.ranges import Range
+
+__all__ = [
+    "Exemptions",
+    "coherence_failure",
+    "is_coherent",
+    "find_coherent_pair",
+    "is_strictly_well_typed",
+]
+
+
+@dataclass(frozen=True)
+class Exemptions:
+    """Argument positions excused from the coherence test.
+
+    ``by_method`` entries are ``(method name, argument index)`` pairs that
+    exempt every occurrence of the method — the paper's Nobel-prize fix
+    "exempt the 0-th argument of WonNobelPrize" is
+    ``Exemptions.for_method("WonNobelPrize", 0)``.  ``by_occurrence``
+    entries pin the exemption to one syntactic occurrence.
+    """
+
+    by_method: FrozenSet[Tuple[str, int]] = frozenset()
+    by_occurrence: FrozenSet[Tuple[int, int, int]] = frozenset()
+
+    NONE: "Exemptions" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def for_method(method: str, arg_index: int) -> "Exemptions":
+        return Exemptions(by_method=frozenset({(method, arg_index)}))
+
+    @staticmethod
+    def all_of(parts: Iterable["Exemptions"]) -> "Exemptions":
+        by_method: Set[Tuple[str, int]] = set()
+        by_occurrence: Set[Tuple[int, int, int]] = set()
+        for part in parts:
+            by_method |= part.by_method
+            by_occurrence |= part.by_occurrence
+        return Exemptions(frozenset(by_method), frozenset(by_occurrence))
+
+    def exempts(self, occ: MethodOccurrence, arg_index: int) -> bool:
+        if (occ.method.name, arg_index) in self.by_method:
+            return True
+        return (
+            occ.path_index,
+            occ.position,
+            arg_index,
+        ) in self.by_occurrence
+
+
+Exemptions.NONE = Exemptions()
+
+
+def _restricted_range(
+    restriction: TypeAssignment,
+    var: Variable,
+    typed_query: TypedQuery,
+) -> Range:
+    """A'(X): range of X under the restricted assignment."""
+    return restriction.range_of(var, typed_query)
+
+
+def coherence_failure(
+    assignment: TypeAssignment,
+    plan: ExecutionPlan,
+    typed_query: TypedQuery,
+    store: ObjectStore,
+    exemptions: Exemptions = Exemptions.NONE,
+) -> Optional[str]:
+    """None if (A, P) are coherent; otherwise the first failing obligation."""
+    assigned = assignment.as_dict()
+    hierarchy = store.hierarchy
+    for path_index in plan.order:
+        path = typed_query.paths[path_index]
+        earlier_paths = set(plan.preceding(path_index))
+        for occ in path.occurrences:
+            expr = assigned.get(occ)
+            if expr is None:
+                return f"{occ} has no assigned type (assignment incomplete)"
+            visible: List[MethodOccurrence] = [
+                other
+                for other in typed_query.all_occurrences()
+                if other.path_index in earlier_paths
+                or (
+                    other.path_index == path_index
+                    and other.position < occ.position
+                )
+            ]
+            restriction = assignment.restrict_to(visible)
+            # (a) variable arguments must be subranges of expected types.
+            for arg_index, (arg, expected) in enumerate(
+                zip(occ.args, expr.args), start=1
+            ):
+                if not isinstance(arg, Variable):
+                    continue
+                if exemptions.exempts(occ, arg_index):
+                    continue
+                arg_range = _restricted_range(restriction, arg, typed_query)
+                if not arg_range.is_subrange_of(expected, hierarchy):
+                    return (
+                        f"{occ}: argument {arg} has range {arg_range}, not "
+                        f"a subrange of {expected}"
+                    )
+            # (b) the scope selector must be a subrange of the scope type.
+            scope_sel = path.selectors[occ.position - 1]
+            if isinstance(scope_sel, Variable) and not exemptions.exempts(
+                occ, 0
+            ):
+                scope_range = _restricted_range(
+                    restriction, scope_sel, typed_query
+                )
+                if not scope_range.is_subrange_of(expr.scope, hierarchy):
+                    return (
+                        f"{occ}: scope {scope_sel} has range {scope_range}, "
+                        f"not a subrange of {expr.scope}"
+                    )
+    return None
+
+
+def is_coherent(
+    assignment: TypeAssignment,
+    plan: ExecutionPlan,
+    typed_query: TypedQuery,
+    store: ObjectStore,
+    exemptions: Exemptions = Exemptions.NONE,
+) -> bool:
+    """True iff the pair (A, P) passes every §6.2 coherence obligation."""
+    return (
+        coherence_failure(assignment, plan, typed_query, store, exemptions)
+        is None
+    )
+
+
+def find_coherent_pair(
+    typed_query: TypedQuery,
+    store: ObjectStore,
+    exemptions: Exemptions = Exemptions.NONE,
+) -> Optional[Tuple[TypeAssignment, ExecutionPlan]]:
+    """Search for a valid, complete assignment coherent with some plan."""
+    plans = list(all_plans(typed_query))
+    for assignment in complete_assignments(typed_query, store):
+        if not is_valid_assignment(assignment, typed_query, store):
+            continue
+        ranges = assignment.all_ranges(typed_query)
+        if any(r.is_empty(store.hierarchy) for r in ranges.values()):
+            continue
+        for plan in plans:
+            if is_coherent(assignment, plan, typed_query, store, exemptions):
+                return assignment, plan
+    return None
+
+
+def is_strictly_well_typed(
+    typed_query: TypedQuery,
+    store: ObjectStore,
+    exemptions: Exemptions = Exemptions.NONE,
+) -> bool:
+    """The §6.2 strict judgement: some coherent (A, P) pair exists."""
+    return find_coherent_pair(typed_query, store, exemptions) is not None
+
+
+def minimal_exemptions(
+    typed_query: TypedQuery,
+    store: ObjectStore,
+    max_size: int = 3,
+) -> Optional[Exemptions]:
+    """The smallest exemption set that makes the query strictly typed.
+
+    Realizes the paper's "well-typing with exemptions" as a tool: rather
+    than asking the user to guess which argument to exempt (as the Nobel
+    example does by hand), search the argument positions occurring in the
+    query for a minimum-cardinality set under which a coherent pair
+    exists.  Returns ``None`` when no exemption set of at most *max_size*
+    positions helps (e.g. the query is ill-typed for range reasons, which
+    no exemption repairs).
+    """
+    import itertools
+
+    if find_coherent_pair(typed_query, store) is not None:
+        return Exemptions.NONE
+    positions: List[Tuple[str, int]] = []
+    for occ in typed_query.all_occurrences():
+        for arg_index in range(len(occ.args) + 1):  # 0 = scope argument
+            key = (occ.method.name, arg_index)
+            if key not in positions:
+                positions.append(key)
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(positions, size):
+            candidate = Exemptions(by_method=frozenset(combo))
+            if find_coherent_pair(typed_query, store, candidate) is not None:
+                return candidate
+    return None

@@ -1,0 +1,16 @@
+"""Object creation and views (paper §4).
+
+Object-creating queries assign oids to their result tuples through
+*id-functions* (§4.1); views are classes whose extent is defined by such a
+query (§4.2).  :class:`~repro.views.id_functions.IdFunctionRegistry` tracks
+which id-function instantiations exist, :mod:`repro.views.creation` runs
+creating queries (including the ill-defined-query check), and
+:class:`~repro.views.views.ViewManager` owns view definitions, refresh, and
+the §4.2 view-update translation.
+"""
+
+from repro.views.id_functions import IdFunctionRegistry
+from repro.views.creation import execute_creation
+from repro.views.views import ViewManager
+
+__all__ = ["IdFunctionRegistry", "execute_creation", "ViewManager"]

@@ -1,0 +1,183 @@
+"""Views: virtual classes defined by creating queries (paper §4.2).
+
+``CREATE VIEW V AS SUBCLASS OF C SIGNATURE ... SELECT ... OID FUNCTION OF
+...`` declares a new class, installs the signatures, and materializes one
+object ``V(args)`` per group of the defining query.  "Views are constructed
+via queries, which is simpler and more uniform than in other proposals";
+because the view's objects carry id-function oids, views and non-views can
+appear in one query (query (10)), and view updates can be translated to
+base updates when view objects are in one-to-one correspondence with
+objects of a base class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datamodel.store import ObjectStore
+from repro.errors import NonUpdatableViewError, ViewError
+from repro.oid import Atom, FuncOid, Oid
+from repro.views.creation import CreationOutcome, Derivation, execute_creation
+from repro.views.id_functions import IdFunctionRegistry
+from repro.xsql import ast
+from repro.xsql.evaluator import Evaluator
+
+__all__ = ["ViewDef", "ViewManager"]
+
+
+@dataclass
+class ViewDef:
+    """A registered view: its statement plus the latest materialization."""
+
+    name: str
+    superclass: str
+    query: ast.Query
+    signatures: Tuple[ast.SignatureDecl, ...]
+    outcome: CreationOutcome
+
+
+class ViewManager:
+    """Owns view definitions, materialization, refresh, and updates."""
+
+    def __init__(
+        self, store: ObjectStore, registry: IdFunctionRegistry
+    ) -> None:
+        self._store = store
+        self._registry = registry
+        self._views: Dict[str, ViewDef] = {}
+
+    def views(self) -> Dict[str, ViewDef]:
+        return dict(self._views)
+
+    def get(self, name: str) -> ViewDef:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"view {name} is not defined")
+
+    # ------------------------------------------------------------------
+
+    def create_view(
+        self, statement: ast.CreateView, evaluator: Evaluator
+    ) -> ViewDef:
+        """Execute a CREATE VIEW statement (declares class + materializes)."""
+        if statement.name in self._views:
+            raise ViewError(f"view {statement.name} already exists")
+        if statement.query.oid_vars is None:
+            raise ViewError(
+                "a view query must carry an OID FUNCTION OF clause (§4.2)"
+            )
+        self._store.declare_class(statement.name, [statement.superclass])
+        declared: Dict[str, bool] = {}
+        for sig in statement.signatures:
+            self._store.declare_signature(
+                statement.name,
+                sig.method,
+                sig.result,
+                args=sig.args,
+                set_valued=sig.set_valued,
+            )
+            if not sig.args:
+                declared[sig.method] = sig.set_valued
+        outcome = execute_creation(
+            evaluator,
+            statement.query,
+            functor=statement.name,
+            registry=self._registry,
+            member_classes=[statement.name],
+            declared_set_valued=declared,
+        )
+        view = ViewDef(
+            name=statement.name,
+            superclass=statement.superclass,
+            query=statement.query,
+            signatures=statement.signatures,
+            outcome=outcome,
+        )
+        self._views[statement.name] = view
+        return view
+
+    def refresh(self, name: str, evaluator: Evaluator) -> ViewDef:
+        """Re-materialize a view after base-data changes.
+
+        Views here are materialized with explicit refresh; the paper's
+        semantics is state-at-evaluation, so callers refresh after updating
+        base objects that feed the view.
+        """
+        view = self.get(name)
+        for oid in self._registry.oids(name):
+            self._store.purge_object(oid)
+        self._registry.forget(name)
+        declared = {
+            sig.method: sig.set_valued
+            for sig in view.signatures
+            if not sig.args
+        }
+        view.outcome = execute_creation(
+            evaluator,
+            view.query,
+            functor=name,
+            registry=self._registry,
+            member_classes=[name],
+            declared_set_valued=declared,
+        )
+        return view
+
+    # ------------------------------------------------------------------
+    # view updates (§4.2)
+    # ------------------------------------------------------------------
+
+    def base_derivation(self, name: str, oid: FuncOid, attr: str) -> Derivation:
+        """The base object/method a view attribute was derived from."""
+        view = self.get(name)
+        derivation = view.outcome.derivations.get((oid, attr))
+        if derivation is None:
+            raise NonUpdatableViewError(
+                f"attribute {attr} of {oid} has no unambiguous base "
+                f"derivation; the §4.2 one-to-one condition fails"
+            )
+        return derivation
+
+    def update_through_view(
+        self,
+        name: str,
+        attr: str,
+        new_values: Dict[FuncOid, Oid],
+        evaluator: Evaluator,
+        refresh: bool = True,
+    ) -> int:
+        """Translate view-object updates into base-database updates.
+
+        ``new_values`` maps view oids to the new value of *attr*.  Each
+        view object must have an unambiguous derivation for *attr* (the
+        one-to-one correspondence of §4.2); the base attribute is updated
+        and the view re-materialized.  Returns the number of base updates.
+        """
+        view = self.get(name)
+        updates: List[Tuple[Derivation, Oid]] = []
+        for oid, value in new_values.items():
+            if oid not in view.outcome.created:
+                raise NonUpdatableViewError(
+                    f"{oid} is not an object of view {name}"
+                )
+            updates.append((self.base_derivation(name, oid, attr), value))
+        # Detect write-write conflicts before applying anything: two view
+        # objects mapping to one base cell with different values would be
+        # the view-level analogue of an ill-defined query.
+        seen: Dict[Tuple[Oid, Atom, Tuple[Oid, ...]], Oid] = {}
+        for derivation, value in updates:
+            key = (derivation.target, derivation.method, derivation.args)
+            if key in seen and seen[key] != value:
+                raise NonUpdatableViewError(
+                    f"conflicting updates reach base attribute "
+                    f"{derivation.method} of {derivation.target}"
+                )
+            seen[key] = value
+        for derivation, value in updates:
+            self._store.set_attr(
+                derivation.target, derivation.method, value, derivation.args
+            )
+        if refresh:
+            self.refresh(name, evaluator)
+        return len(updates)

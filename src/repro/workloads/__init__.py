@@ -1,0 +1,11 @@
+"""Workloads: the paper's instance database and synthetic generators."""
+
+from repro.workloads.paper_db import populate_paper_database, paper_session
+from repro.workloads.generator import WorkloadConfig, generate_database
+
+__all__ = [
+    "populate_paper_database",
+    "paper_session",
+    "WorkloadConfig",
+    "generate_database",
+]

@@ -1,0 +1,217 @@
+"""The instance database behind the paper's worked examples.
+
+The paper never prints its instance data, only query answers; this module
+reconstructs a database on the Figure 1 schema for which every numbered
+example evaluates to the answer the text states (or illustrates).  The cast:
+
+* ``mary123`` — the Person of path expression (1); lives in New York.
+* ``uniSQL`` — the Company of example (2); its president ``kim`` (age 29)
+  owns a blue and a red automobile (query (8)) and has family members Lee
+  and Sue (their names answer example (2)).
+* ``john13`` — ``_john13`` of §3.2, with a 22-year-old family member.
+* ``ben`` — the >4-family-members, same-residence, under-$35k employee of
+  the aggregate query in §3.2.
+* ``acme`` — the company that pays *all* its division managers more than
+  $200,000 (query (13)); it also employs ``acmeEmp`` whose name equals the
+  company name (explicit join (6)).
+* TurboEngine/DieselEngine instances reached from employee-owned
+  automobiles (the §3.1 unnesting query).
+* Retirees and dependents for the Beneficiaries grouping query (8)/§4.1.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.store import ObjectStore
+from repro.oid import Atom
+from repro.schema.figure1 import build_figure1_schema
+
+__all__ = ["populate_paper_database", "paper_session"]
+
+
+def populate_paper_database(store: ObjectStore) -> ObjectStore:
+    """Populate *store* (already carrying the Figure 1 schema)."""
+    A = Atom
+
+    # -- addresses -------------------------------------------------------
+    addr_ny1 = store.create_object(A("addr_ny1"), ["Address"])
+    store.set_attr(addr_ny1, "Street", "5th Avenue")
+    store.set_attr(addr_ny1, "City", "newyork")
+    store.set_attr(addr_ny1, "State", "NY")
+    store.set_attr(addr_ny1, "Phone", 2125550100)
+
+    addr_ny2 = store.create_object(A("addr_ny2"), ["Address"])
+    store.set_attr(addr_ny2, "Street", "Broadway 12")
+    store.set_attr(addr_ny2, "City", "newyork")
+    store.set_attr(addr_ny2, "State", "NY")
+
+    addr_austin = store.create_object(A("addr_austin"), ["Address"])
+    store.set_attr(addr_austin, "Street", "Research Blvd 9390")
+    store.set_attr(addr_austin, "City", "austin")
+    store.set_attr(addr_austin, "State", "TX")
+
+    addr_sf = store.create_object(A("addr_sf"), ["Address"])
+    store.set_attr(addr_sf, "City", "sanfrancisco")
+    store.set_attr(addr_sf, "State", "CA")
+
+    # -- engines / drivetrains / bodies -----------------------------------
+    eng_turbo = store.create_object(A("eng_turbo"), ["TurboEngine"])
+    store.set_attr(eng_turbo, "HPpower", 300)
+    store.set_attr(eng_turbo, "CCsize", 2000)
+    store.set_attr(eng_turbo, "CylinderN", 6)
+
+    eng_diesel = store.create_object(A("eng_diesel"), ["DieselEngine"])
+    store.set_attr(eng_diesel, "HPpower", 150)
+    store.set_attr(eng_diesel, "CCsize", 2200)
+    store.set_attr(eng_diesel, "CylinderN", 4)
+
+    eng_four = store.create_object(A("eng_four"), ["FourStrokeEngine"])
+    store.set_attr(eng_four, "HPpower", 120)
+    store.set_attr(eng_four, "CCsize", 1600)
+    store.set_attr(eng_four, "CylinderN", 4)
+
+    eng_two = store.create_object(A("eng_two"), ["TwoStrokeEngine"])
+    store.set_attr(eng_two, "HPpower", 25)
+    store.set_attr(eng_two, "CCsize", 250)
+    store.set_attr(eng_two, "CylinderN", 1)
+
+    def drivetrain(name: str, engine, transmission: str):
+        dt = store.create_object(A(name), ["VehicleDrivetrain"])
+        store.set_attr(dt, "Engine", engine)
+        store.set_attr(dt, "Transmission", transmission)
+        return dt
+
+    dt1 = drivetrain("dt1", eng_turbo, "manual")
+    dt2 = drivetrain("dt2", eng_diesel, "automatic")
+    dt3 = drivetrain("dt3", eng_four, "manual")
+    dt4 = drivetrain("dt4", eng_two, "chain")
+
+    body1 = store.create_object(A("body1"), ["AutoBody"])
+    store.set_attr(body1, "Chassis", "steel")
+    store.set_attr(body1, "Interior", "leather")
+    store.set_attr(body1, "Doors", 4)
+
+    # -- people -----------------------------------------------------------
+    def person(name: str, display: str, age: int, residence):
+        obj = store.create_object(A(name), ["Person"])
+        store.set_attr(obj, "Name", display)
+        store.set_attr(obj, "Age", age)
+        store.set_attr(obj, "Residence", residence)
+        return obj
+
+    def employee(name: str, display: str, age: int, residence, salary: int):
+        obj = store.create_object(A(name), ["Employee"])
+        store.set_attr(obj, "Name", display)
+        store.set_attr(obj, "Age", age)
+        store.set_attr(obj, "Residence", residence)
+        store.set_attr(obj, "Salary", salary)
+        return obj
+
+    mary = person("mary123", "Mary", 35, addr_ny1)
+
+    lee = person("lee", "Lee", 25, addr_austin)
+    sue = person("sue", "Sue", 8, addr_austin)
+    anna = person("anna", "Anna", 22, addr_austin)
+    bob = person("bob", "Bob", 15, addr_austin)
+
+    john = employee("john13", "John", 50, addr_austin, 30000)
+    store.set_attr_set(john, "FamMembers", [anna, bob])
+    store.set_attr_set(john, "Dependents", [bob])
+    store.set_attr_set(john, "Qualifications", ["engineer"])
+
+    kim = employee("kim", "Kim", 29, addr_austin, 120000)
+    store.set_attr_set(kim, "FamMembers", [lee, sue])
+    store.set_attr_set(kim, "Qualifications", ["engineer", "manager"])
+
+    # ben's whole family lives at addr_ny2 and has 5 members whose ages
+    # are all below every age in john's family (the all<all example).
+    ben = employee("ben", "Ben", 40, addr_ny2, 30000)
+    family = []
+    for index, age in enumerate((2, 4, 6, 8, 9), start=1):
+        member = person(f"benfam{index}", f"BenFam{index}", age, addr_ny2)
+        family.append(member)
+    store.set_attr_set(ben, "FamMembers", family)
+    store.set_attr_set(ben, "Dependents", [family[0]])
+
+    rich = employee("rich", "Rich", 45, addr_austin, 90000)
+    pat = employee("pat", "Pat", 52, addr_sf, 250000)
+    maria = employee("maria", "Maria", 48, addr_sf, 300000)
+    acme_emp = employee("acmeEmp", "Acme", 33, addr_sf, 20000)
+    retiree = employee("ret1", "Reta", 70, addr_austin, 0)
+    pres_acme = person("presAcme", "Prescott", 55, addr_sf)
+
+    # -- companies & divisions ---------------------------------------------
+    uniSQL = store.create_object(A("uniSQL"), ["Company"])
+    store.set_attr(uniSQL, "Name", "UniSQL")
+    store.set_attr(uniSQL, "Headquarters", addr_austin)
+    store.set_attr(uniSQL, "President", kim)
+    store.set_attr_set(uniSQL, "Retirees", [retiree])
+
+    acme = store.create_object(A("acme"), ["Company"])
+    store.set_attr(acme, "Name", "Acme")
+    store.set_attr(acme, "Headquarters", addr_sf)
+    store.set_attr(acme, "President", pres_acme)
+
+    def division(name: str, display: str, fn: str, location, manager, members):
+        obj = store.create_object(A(name), ["Division"])
+        store.set_attr(obj, "Name", display)
+        store.set_attr(obj, "Function", fn)
+        store.set_attr(obj, "Location", location)
+        store.set_attr(obj, "Manager", manager)
+        store.set_attr_set(obj, "Employees", members)
+        return obj
+
+    # Footnote 10: an employee works in at most one division per company
+    # (the CompSalaries view of §4.2 relies on it), so rich belongs to
+    # d_adv only.
+    d_eng = division(
+        "d_eng", "Engineering", "R&D", addr_austin, john, [john, ben]
+    )
+    d_adv = division(
+        "d_adv", "Advertizing", "ads", addr_austin, rich, [rich]
+    )
+    store.set_attr_set(uniSQL, "Divisions", [d_eng, d_adv])
+
+    d_sales = division(
+        "d_sales", "Sales", "sales", addr_sf, pat, [pat, acme_emp]
+    )
+    d_mkt = division(
+        "d_mkt", "Advertizing", "ads", addr_sf, maria, [maria]
+    )
+    store.set_attr_set(acme, "Divisions", [d_sales, d_mkt])
+
+    # -- vehicles -----------------------------------------------------------
+    def automobile(name: str, color: str, manufacturer, dt, body=None):
+        obj = store.create_object(A(name), ["Automobile"])
+        store.set_attr(obj, "Model", name.upper())
+        store.set_attr(obj, "Color", color)
+        store.set_attr(obj, "Manufacturer", manufacturer)
+        store.set_attr(obj, "Drivetrain", dt)
+        if body is not None:
+            store.set_attr(obj, "Body", body)
+        return obj
+
+    car_blue = automobile("carBlue", "blue", uniSQL, dt1, body1)
+    car_red = automobile("carRed", "red", uniSQL, dt2)
+    car_white = automobile("carWhite", "white", acme, dt3)
+
+    moto = store.create_object(A("moto1"), ["Motorbike"])
+    store.set_attr(moto, "Model", "M250")
+    store.set_attr(moto, "Color", "black")
+    store.set_attr(moto, "Manufacturer", acme)
+    store.set_attr(moto, "Drivetrain", dt4)
+    store.set_attr(moto, "Size", 250)
+
+    store.set_attr_set(kim, "OwnedVehicles", [car_blue, car_red])
+    store.set_attr_set(pat, "OwnedVehicles", [car_white])
+    store.set_attr_set(mary, "OwnedVehicles", [moto])
+    return store
+
+
+def paper_session():
+    """A ready-to-query session on the Figure 1 schema + paper instance."""
+    from repro.xsql.session import Session
+
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    return session

@@ -1,0 +1,36 @@
+"""The XSQL query language: lexer, parser, AST, and evaluation (paper §3–§5).
+
+The public entry point is :class:`repro.xsql.session.Session`, which parses
+and executes XSQL statements against an
+:class:`~repro.datamodel.store.ObjectStore`:
+
+* ``SELECT ... FROM ... WHERE ...`` queries with extended path expressions,
+  quantified comparisons, aggregates, and nested subqueries (§3, §5);
+* object-creating queries with ``OID FUNCTION OF`` (§4.1);
+* ``CREATE VIEW`` definitions (§4.2);
+* ``ALTER CLASS ... ADD SIGNATURE ... SELECT`` query-defined methods and
+  ``UPDATE CLASS ... SET`` update methods (§5).
+"""
+
+from repro.xsql.ast import (
+    Comparison,
+    MethodExpr,
+    PathExpr,
+    Query,
+    Step,
+)
+from repro.xsql.parser import parse_query, parse_statement
+from repro.xsql.result import QueryResult
+from repro.xsql.session import Session
+
+__all__ = [
+    "Session",
+    "QueryResult",
+    "parse_query",
+    "parse_statement",
+    "PathExpr",
+    "Step",
+    "MethodExpr",
+    "Comparison",
+    "Query",
+]

@@ -1,0 +1,71 @@
+"""Aggregate functions over path-expression values (paper §3.2).
+
+"It also makes perfect sense to allow passing path expressions as arguments
+to aggregate functions, such as sum, count, average, and use the result in
+comparisons."  Aggregates consume the *value* of a path (a set of oids) and
+produce a single literal object.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.errors import QueryError
+from repro.oid import Oid, Value
+
+__all__ = ["AGGREGATE_NAMES", "apply_aggregate"]
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def _numerals(values: FrozenSet[Oid], fn: str) -> List[float]:
+    numbers: List[float] = []
+    for term in values:
+        if isinstance(term, Value) and isinstance(term.value, (int, float)) \
+                and not isinstance(term.value, bool):
+            numbers.append(float(term.value))
+        else:
+            raise QueryError(
+                f"{fn} requires numeral values; got {term}"
+            )
+    return numbers
+
+
+def _as_value(number: float) -> Value:
+    if number == int(number):
+        return Value(int(number))
+    return Value(number)
+
+
+def apply_aggregate(fn: str, values: FrozenSet[Oid]) -> Value:
+    """Apply aggregate *fn* to a value set, producing one literal object.
+
+    ``count`` works on any set; ``sum``/``avg`` need numerals; ``min`` and
+    ``max`` accept either all-numeral or all-string sets.  Aggregating an
+    empty set yields ``count = 0`` and ``sum = 0``; ``avg``/``min``/``max``
+    of an empty set raise, since no meaningful object exists.
+    """
+    if fn == "count":
+        return Value(len(values))
+    if fn == "sum":
+        return _as_value(sum(_numerals(values, fn)))
+    if not values:
+        raise QueryError(f"{fn} of an empty set is undefined")
+    if fn == "avg":
+        numbers = _numerals(values, fn)
+        return _as_value(sum(numbers) / len(numbers))
+    if fn in ("min", "max"):
+        try:
+            numbers = _numerals(values, fn)
+            chosen = min(numbers) if fn == "min" else max(numbers)
+            return _as_value(chosen)
+        except QueryError:
+            texts = sorted(
+                term.value
+                for term in values
+                if isinstance(term, Value) and isinstance(term.value, str)
+            )
+            if len(texts) != len(values):
+                raise
+            return Value(texts[0] if fn == "min" else texts[-1])
+    raise QueryError(f"unknown aggregate {fn!r}")

@@ -1,0 +1,129 @@
+"""Query-defined and update methods (paper §5).
+
+``ALTER CLASS C ADD SIGNATURE M : A1, ..., Ak => R SELECT (M @ args) = value
+... OID X WHERE ...`` extends class ``C`` with a new method whose
+implementation *is* the query: invoking ``M`` on object ``o`` with
+arguments ``a1..ak`` binds ``X = o``, unifies the argument patterns, runs
+the query's FROM/WHERE, and returns the values of the SELECT expression.
+Side effects happen through nested ``UPDATE CLASS`` conjuncts, evaluated
+left-to-right (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.datamodel.methods import MethodImplementation
+from repro.datamodel.store import ObjectStore
+from repro.errors import QueryError
+from repro.oid import Atom, Oid, Variable
+from repro.views.id_functions import IdFunctionRegistry
+from repro.xsql import ast
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.paths import Bindings
+
+__all__ = ["QueryMethod", "install_query_method"]
+
+
+@dataclass
+class QueryMethod(MethodImplementation):
+    """A method whose implementation is an XSQL query (§5, query (12))."""
+
+    name: Atom
+    arity: int
+    set_valued: bool
+    query: ast.Query
+    item: ast.MethodItem
+    registry: Optional[IdFunctionRegistry] = None
+
+    def invoke(
+        self, store: ObjectStore, owner: Oid, args: Tuple[Oid, ...]
+    ) -> FrozenSet[Oid]:
+        env: Bindings = {}
+        scope = self.query.oid_scope
+        if scope is None:
+            raise QueryError(
+                f"method {self.name} has no OID scope variable"
+            )
+        env[scope] = owner
+        if len(args) != len(self.item.args):
+            return frozenset()
+        for pattern, value in zip(self.item.args, args):
+            if isinstance(pattern, Oid):
+                if pattern != value:
+                    return frozenset()
+            elif isinstance(pattern, Variable):
+                bound = env.get(pattern)
+                if bound is None:
+                    env[pattern] = value
+                elif bound != value:
+                    return frozenset()
+            else:
+                raise QueryError(
+                    f"method {self.name} has an unresolved argument "
+                    f"pattern {pattern!r}"
+                )
+        instances = self.registry.instances if self.registry else None
+        evaluator = Evaluator(store, id_function_instances=instances)
+        results = set()
+        for satisfied_env in evaluator.env_stream(self.query, env):
+            results |= evaluator.eval_operand(self.item.value, satisfied_env)
+        return frozenset(results)
+
+
+def install_query_method(
+    store: ObjectStore,
+    statement: ast.AlterClass,
+    registry: Optional[IdFunctionRegistry] = None,
+) -> QueryMethod:
+    """Execute ``ALTER CLASS ... ADD SIGNATURE ... SELECT ...``.
+
+    "The following method definition alters the definition of class
+    Company, and the signature of the newly defined method is added to the
+    signatures that are already declared in this class."
+    """
+    signature = statement.signature
+    store.declare_signature(
+        statement.cls,
+        signature.method,
+        signature.result,
+        args=signature.args,
+        set_valued=signature.set_valued,
+    )
+    items = [
+        item
+        for item in statement.query.select
+        if isinstance(item, ast.MethodItem)
+    ]
+    if len(items) != 1:
+        raise QueryError(
+            "an ALTER CLASS query must SELECT exactly one "
+            "(Method @ args) = value item"
+        )
+    item = items[0]
+    if item.method != Atom(signature.method):
+        raise QueryError(
+            f"SELECT defines {item.method} but the signature declares "
+            f"{signature.method}"
+        )
+    if len(item.args) != len(signature.args):
+        raise QueryError(
+            f"method {signature.method} declares {len(signature.args)} "
+            f"argument(s) but the SELECT item has {len(item.args)}"
+        )
+    if statement.query.oid_scope is None:
+        raise QueryError(
+            "an ALTER CLASS query needs an OID <var> clause naming the "
+            "scope object"
+        )
+    method = QueryMethod(
+        name=Atom(signature.method),
+        arity=len(signature.args),
+        set_valued=signature.set_valued,
+        query=statement.query,
+        item=item,
+        registry=registry,
+    )
+    store.define_method(statement.cls, method)
+    return method

@@ -1,0 +1,192 @@
+"""Tokenizer for XSQL source text.
+
+Token kinds:
+
+* ``IDENT`` — names of classes, attributes, methods, objects, variables;
+* ``CLASSVAR`` / ``METHODVAR`` — ``#X``, ``"Y`` (the paper's ``§X`` and
+  ``"Y`` variable sorts, §3.1).  Path variables ``*Y`` are recognized by
+  the parser (``*`` is also multiplication, as in the paper's
+  ``RaiseMngrSalary`` definition, so the lexer cannot decide alone);
+* ``NUMBER`` / ``STRING`` — literal objects;
+* ``OP`` — comparators and arithmetic;
+* punctuation — ``. , ( ) [ ] { } @ ; :`` and the signature arrows.
+
+Keywords (SELECT, FROM, WHERE, ...) are matched case-insensitively, like
+SQL; everything else is case-sensitive, like the paper's examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import XsqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "oid",
+        "function",
+        "of",
+        "and",
+        "or",
+        "not",
+        "create",
+        "view",
+        "as",
+        "subclass",
+        "class",
+        "alter",
+        "add",
+        "signature",
+        "update",
+        "set",
+        "insert",
+        "into",
+        "values",
+        "relation",
+        "union",
+        "minus",
+        "intersect",
+        "some",
+        "all",
+        "contains",
+        "containseq",
+        "subset",
+        "subseteq",
+        "subclassof",
+        "instanceof",
+        "applicableto",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "nil",
+        "true",
+        "false",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<classvar>\#[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<methodvar>"[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<arrow>=>>|=>|->>|->)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/)
+  | (?P<punct>[.,()\[\]{}@;:])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, KEYWORD, NUMBER, STRING, CLASSVAR, METHODVAR,
+    #            OP, ARROW, PUNCT, EOF
+    text: str
+    line: int
+    column: int
+    raw: Optional[str] = None  # original spelling (keywords lowercase text)
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.text in names
+
+    def is_punct(self, *chars: str) -> bool:
+        return self.kind == "PUNCT" and self.text in chars
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "OP" and self.text in ops
+
+
+#: Keywords that only act as keywords in one clause position; elsewhere
+#: they are ordinary identifiers.  Figure 1 itself has an attribute named
+#: ``Function``, so ``FUNCTION`` must stay usable as a name.
+_SOFT_KEYWORDS = {
+    "function": ("oid",),
+    "of": ("function", "subclass"),
+}
+
+
+def _soften_keywords(tokens: List[Token]) -> List[Token]:
+    result: List[Token] = []
+    for token in tokens:
+        if token.kind == "KEYWORD" and token.text in _SOFT_KEYWORDS:
+            previous = result[-1] if result else None
+            allowed_after = _SOFT_KEYWORDS[token.text]
+            if previous is None or not previous.is_keyword(*allowed_after):
+                token = Token(
+                    "IDENT",
+                    token.raw or token.text,
+                    token.line,
+                    token.column,
+                )
+        result.append(token)
+    return result
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, appending a trailing EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise XsqlSyntaxError(
+                f"unexpected character {source[pos]!r}", line, column
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos - len(text.rsplit("\n", 1)[-1])
+            continue
+        if kind == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("KEYWORD", lowered, line, column, text))
+            else:
+                tokens.append(Token("IDENT", text, line, column))
+        elif kind == "number":
+            tokens.append(Token("NUMBER", text, line, column))
+        elif kind == "string":
+            tokens.append(Token("STRING", text, line, column))
+        elif kind == "classvar":
+            tokens.append(Token("CLASSVAR", text[1:], line, column))
+        elif kind == "methodvar":
+            tokens.append(Token("METHODVAR", text[1:], line, column))
+        elif kind == "arrow":
+            tokens.append(Token("ARROW", text, line, column))
+        elif kind == "op":
+            canonical = "!=" if text == "<>" else text
+            tokens.append(Token("OP", canonical, line, column))
+        elif kind == "punct":
+            tokens.append(Token("PUNCT", text, line, column))
+        else:  # pragma: no cover - regex groups are exhaustive
+            raise XsqlSyntaxError(f"unhandled token {text!r}", line, column)
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return _soften_keywords(tokens)
+
+
+def unescape_string(text: str) -> str:
+    """Strip quotes and process backslash escapes of a STRING token."""
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace("\\\\", "\\")

@@ -1,0 +1,409 @@
+"""Evaluation of extended path expressions (paper §3.1 and §5).
+
+A path expression describes the set of database paths that satisfy its
+ground instances.  :class:`PathWalker.walk` enumerates, for a given partial
+variable binding, every way the path can be satisfied: each yielded
+``PathHit`` carries the extended bindings, the tail object, and whether any
+hop along the way was set-valued (the "set-shaped" flag used by
+object-creating queries, §4.1).
+
+Variables are instantiated lazily while walking — selectors constrain,
+unbound selectors bind, method variables range over the methods defined on
+the current object, and path variables (``*Y``) range over method sequences
+up to a configurable depth.  This realizes the naive semantics of §3.4
+without materializing the full substitution space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
+
+from repro.datamodel.store import ObjectStore
+from repro.errors import ArityError, QueryError
+from repro.oid import Atom, FuncOid, Oid, Value, Variable, VarSort, term_sort_key
+from repro.xsql import ast
+
+__all__ = ["Bindings", "PathHit", "PathWalker", "resolve_term"]
+
+#: Bindings map variables to oids — except path variables, which bind to
+#: tuples of method atoms.
+Bindings = Dict[Variable, object]
+
+
+@dataclass(frozen=True)
+class PathHit:
+    """One satisfying database path: bindings, tail object, shape flag."""
+
+    env: Tuple[Tuple[Variable, object], ...]
+    tail: Oid
+    set_shaped: bool
+
+    def bindings(self) -> Bindings:
+        return dict(self.env)
+
+
+def _freeze(env: Bindings) -> Tuple[Tuple[Variable, object], ...]:
+    return tuple(sorted(env.items(), key=lambda kv: (kv[0].name, kv[0].sort.value)))
+
+
+def resolve_term(node: object, env: Bindings) -> object:
+    """Resolve a selector node under *env*: Oid, App, or unbound Variable."""
+    if isinstance(node, Variable):
+        return env.get(node, node)
+    if isinstance(node, ast.App):
+        args = tuple(resolve_term(a, env) for a in node.args)
+        if all(isinstance(a, Oid) for a in args):
+            return FuncOid(node.functor, args)  # type: ignore[arg-type]
+        return ast.App(node.functor, args)
+    return node
+
+
+class PathWalker:
+    """Enumerates the database paths satisfying a path expression."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        max_path_var_length: int = 6,
+        id_function_instances=None,
+        restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
+    ) -> None:
+        self._store = store
+        self._max_seq = max_path_var_length
+        # functor -> iterable of ground argument tuples; lets an App head
+        # with unbound arguments enumerate the view objects that exist
+        # (wired up by the session's view manager).
+        self._id_instances = id_function_instances or (lambda functor: ())
+        # The Theorem 6.1 optimization: per-variable oid restrictions.
+        # "it suffices to consider only those instantiations o of X such
+        # that o ∈ A(X)" — enumeration and selector-binding both prune.
+        self._restrictions = restrictions or {}
+
+    # ------------------------------------------------------------------
+    # universes
+    # ------------------------------------------------------------------
+
+    def universe(self, sort: VarSort) -> List[Oid]:
+        if sort == VarSort.CLASS:
+            return sorted(self._store.class_universe(), key=term_sort_key)
+        if sort == VarSort.METHOD:
+            return sorted(self._store.method_universe(), key=term_sort_key)
+        return sorted(self._store.individual_universe(), key=term_sort_key)
+
+    def variable_candidates(self, var: Variable) -> List[Oid]:
+        """The instantiation candidates of *var*, range-restricted if known."""
+        allowed = self._restrictions.get(var)
+        if allowed is not None:
+            return sorted(allowed, key=term_sort_key)
+        return self.universe(var.sort)
+
+    def admits(self, var: Variable, value: Oid) -> bool:
+        """May *var* be bound to *value* under the active restrictions?"""
+        allowed = self._restrictions.get(var)
+        return allowed is None or value in allowed
+
+    # ------------------------------------------------------------------
+    # selector candidates
+    # ------------------------------------------------------------------
+
+    def _head_candidates(
+        self, head: object, env: Bindings
+    ) -> Iterator[Tuple[Bindings, Oid]]:
+        resolved = resolve_term(head, env)
+        if isinstance(resolved, tuple):
+            # A bound path variable (a method-atom sequence) projected as
+            # a value: reify it as an id-term so it can live in results.
+            yield env, FuncOid("attrpath", resolved)
+            return
+        if isinstance(resolved, Oid):
+            yield env, resolved
+            return
+        if isinstance(resolved, Variable):
+            for candidate in self.variable_candidates(resolved):
+                new_env = dict(env)
+                new_env[resolved] = candidate
+                yield new_env, candidate
+            return
+        if isinstance(resolved, ast.App):
+            # Enumerate materialized instantiations of the id-function and
+            # unify the unbound argument variables against them.
+            for arg_tuple in self._id_instances(resolved.functor):
+                new_env = dict(env)
+                if self._unify_args(resolved.args, arg_tuple, new_env):
+                    yield new_env, FuncOid(resolved.functor, tuple(arg_tuple))
+            return
+        raise QueryError(f"cannot resolve head selector {head!r}")
+
+    @staticmethod
+    def _unify_args(
+        patterns: Tuple[object, ...],
+        values: Tuple[Oid, ...],
+        env: Bindings,
+    ) -> bool:
+        if len(patterns) != len(values):
+            return False
+        for pattern, value in zip(patterns, values):
+            if isinstance(pattern, Oid):
+                if pattern != value:
+                    return False
+            elif isinstance(pattern, Variable):
+                bound = env.get(pattern)
+                if bound is None:
+                    env[pattern] = value
+                elif bound != value:
+                    return False
+            else:
+                return False
+        return True
+
+    def _check_selector(
+        self,
+        selector: Optional[object],
+        value: Oid,
+        env: Bindings,
+    ) -> Optional[Bindings]:
+        """Match *value* against the step selector; None means mismatch."""
+        if selector is None:
+            return env
+        resolved = resolve_term(selector, env)
+        if isinstance(resolved, Oid):
+            return env if resolved == value else None
+        if isinstance(resolved, Variable):
+            if not self.admits(resolved, value):
+                return None
+            new_env = dict(env)
+            new_env[resolved] = value
+            return new_env
+        return None  # an App with unbound arguments cannot match here
+
+    # ------------------------------------------------------------------
+    # argument candidates
+    # ------------------------------------------------------------------
+
+    def _arg_candidates(
+        self, args: Tuple[object, ...], env: Bindings
+    ) -> Iterator[Tuple[Bindings, Tuple[Oid, ...]]]:
+        """All ways to ground the method arguments under *env*."""
+
+        def recurse(
+            index: int, current: Bindings, acc: Tuple[Oid, ...]
+        ) -> Iterator[Tuple[Bindings, Tuple[Oid, ...]]]:
+            if index == len(args):
+                yield current, acc
+                return
+            resolved = resolve_term(args[index], current)
+            if isinstance(resolved, Oid):
+                yield from recurse(index + 1, current, acc + (resolved,))
+            elif isinstance(resolved, Variable):
+                for candidate in self.variable_candidates(resolved):
+                    new_env = dict(current)
+                    new_env[resolved] = candidate
+                    yield from recurse(index + 1, new_env, acc + (candidate,))
+            else:
+                raise QueryError(
+                    f"method argument {args[index]!r} cannot be resolved"
+                )
+
+        yield from recurse(0, env, ())
+
+    # ------------------------------------------------------------------
+    # step evaluation
+    # ------------------------------------------------------------------
+
+    def _invoke(
+        self, obj: Oid, method: Atom, args: Tuple[Oid, ...]
+    ) -> Tuple[FrozenSet[Oid], bool]:
+        try:
+            return self._store.invoke_kinded(obj, method, args)
+        except ArityError:
+            return frozenset(), False
+
+    def _method_candidates(
+        self, obj: Oid, method: Union[Atom, Variable], env: Bindings
+    ) -> Iterator[Tuple[Bindings, Atom]]:
+        if isinstance(method, Atom):
+            yield env, method
+            return
+        bound = env.get(method)
+        if bound is not None:
+            if isinstance(bound, Atom):
+                yield env, bound
+            return
+        for candidate in sorted(
+            self._store.methods_defined_on(obj), key=term_sort_key
+        ):
+            new_env = dict(env)
+            new_env[method] = candidate
+            yield new_env, candidate
+
+    def _walk_step(
+        self, obj: Oid, step: ast.Step, env: Bindings, shaped: bool
+    ) -> Iterator[Tuple[Bindings, Oid, bool]]:
+        method = step.method_expr.method
+        if isinstance(method, Variable) and method.sort == VarSort.PATH:
+            yield from self._walk_path_variable(obj, step, env, shaped)
+            return
+        for env1, method_atom in self._method_candidates(obj, method, env):
+            for env2, arg_tuple in self._arg_candidates(
+                step.method_expr.args, env1
+            ):
+                values, set_valued = self._invoke(obj, method_atom, arg_tuple)
+                for value in sorted(values, key=term_sort_key):
+                    env3 = self._check_selector(step.selector, value, env2)
+                    if env3 is not None:
+                        yield env3, value, shaped or set_valued
+
+    def _walk_path_variable(
+        self, obj: Oid, step: ast.Step, env: Bindings, shaped: bool
+    ) -> Iterator[Tuple[Bindings, Oid, bool]]:
+        """Expand a ``*Y`` step into method sequences of length 0..max.
+
+        "xY can be bound to any sequence of attributes" (§3.1) — we bind
+        the variable to the tuple of method atoms actually traversed.
+        """
+        var = step.method_expr.method
+        assert isinstance(var, Variable)
+        bound = env.get(var)
+        sequences: Iterator[Tuple[Bindings, Oid, Tuple[Atom, ...], bool]]
+        if bound is not None:
+            sequences = self._replay_sequence(obj, tuple(bound), env, shaped)
+        else:
+            sequences = self._explore_sequences(obj, env, shaped)
+        for seq_env, tail, sequence, seq_shaped in sequences:
+            final_env = dict(seq_env)
+            final_env[var] = sequence
+            checked = self._check_selector(step.selector, tail, final_env)
+            if checked is not None:
+                yield checked, tail, seq_shaped
+
+    def _replay_sequence(
+        self,
+        obj: Oid,
+        sequence: Tuple[Atom, ...],
+        env: Bindings,
+        shaped: bool,
+    ) -> Iterator[Tuple[Bindings, Oid, Tuple[Atom, ...], bool]]:
+        frontier = [(obj, shaped)]
+        for method in sequence:
+            next_frontier = []
+            for node, flag in frontier:
+                values, set_valued = self._invoke(node, method, ())
+                next_frontier.extend(
+                    (v, flag or set_valued)
+                    for v in sorted(values, key=term_sort_key)
+                )
+            frontier = next_frontier
+        for node, flag in frontier:
+            yield env, node, sequence, flag
+
+    def _explore_sequences(
+        self, obj: Oid, env: Bindings, shaped: bool
+    ) -> Iterator[Tuple[Bindings, Oid, Tuple[Atom, ...], bool]]:
+        stack: List[Tuple[Oid, Tuple[Atom, ...], bool]] = [(obj, (), shaped)]
+        while stack:
+            node, sequence, flag = stack.pop()
+            yield env, node, sequence, flag
+            if len(sequence) >= self._max_seq:
+                continue
+            for method in sorted(
+                self._store.methods_defined_on(node), key=term_sort_key
+            ):
+                values, set_valued = self._invoke(node, method, ())
+                for value in sorted(values, key=term_sort_key):
+                    stack.append(
+                        (value, sequence + (method,), flag or set_valued)
+                    )
+
+    # ------------------------------------------------------------------
+    # public walk
+    # ------------------------------------------------------------------
+
+    def _indexed_head_candidates(
+        self, path: ast.PathExpr, env: Bindings
+    ) -> Optional[Iterator[Tuple[Bindings, Oid]]]:
+        """Reverse-lookup fast path for an unbound head ([BERT89]).
+
+        Applicable when the head is an unbound variable and the first
+        step has a ground method, ground arguments, and a ground selector
+        value — then ``X.M[v]`` resolves to the indexed owners of ``v``
+        instead of enumerating the whole universe.  Returns ``None`` when
+        the index cannot answer exactly (no index, or inherited/computed
+        sources exist for the method).
+        """
+        head = resolve_term(path.head, env)
+        if (
+            not isinstance(head, Variable)
+            or head.sort != VarSort.INDIVIDUAL
+            or not path.steps
+        ):
+            return None
+        step = path.steps[0]
+        method = step.method_expr.method
+        if not isinstance(method, Atom) or step.selector is None:
+            return None
+        selector = resolve_term(step.selector, env)
+        if not isinstance(selector, Oid):
+            return None
+        args = tuple(
+            resolve_term(arg, env) for arg in step.method_expr.args
+        )
+        if not all(isinstance(a, Oid) for a in args):
+            return None
+        owners = self._store.lookup_by_value(method, selector, args)
+        if owners is None:
+            return None
+
+        def generate() -> Iterator[Tuple[Bindings, Oid]]:
+            for owner in sorted(owners, key=term_sort_key):
+                if self._store.catalogue.is_class(owner):
+                    continue  # individual variables skip class-objects
+                if not self.admits(head, owner):
+                    continue
+                yield {**env, head: owner}, owner
+
+        return generate()
+
+    def walk(
+        self, path: ast.PathExpr, env: Optional[Bindings] = None
+    ) -> Iterator[PathHit]:
+        """Yield every satisfying database path as a :class:`PathHit`."""
+        env = env or {}
+        head_candidates = self._indexed_head_candidates(path, env)
+        if head_candidates is None:
+            head_candidates = self._head_candidates(path.head, env)
+        for head_env, head in head_candidates:
+            frontier: List[Tuple[Bindings, Oid, bool]] = [
+                (head_env, head, False)
+            ]
+            for step in path.steps:
+                next_frontier: List[Tuple[Bindings, Oid, bool]] = []
+                for step_env, obj, flag in frontier:
+                    next_frontier.extend(self._walk_step(obj, step, step_env, flag))
+                frontier = next_frontier
+                if not frontier:
+                    break
+            for final_env, tail, flag in frontier:
+                yield PathHit(_freeze(final_env), tail, flag)
+
+    def value(
+        self, path: ast.PathExpr, env: Optional[Bindings] = None
+    ) -> FrozenSet[Oid]:
+        """The value of a (ground-under-*env*) path: its set of tails (§3.2).
+
+        Variables still unbound in the path are treated existentially — all
+        their instantiations contribute tails, matching the §3.4 semantics
+        of evaluating every ground instance.
+        """
+        return frozenset(hit.tail for hit in self.walk(path, env))
+
+    def value_kinded(
+        self, path: ast.PathExpr, env: Optional[Bindings] = None
+    ) -> Tuple[FrozenSet[Oid], bool]:
+        """Path value plus whether any satisfying walk was set-shaped."""
+        tails = set()
+        shaped = False
+        for hit in self.walk(path, env):
+            tails.add(hit.tail)
+            shaped = shaped or hit.set_shaped
+        return frozenset(tails), shaped

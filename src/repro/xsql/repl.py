@@ -1,0 +1,160 @@
+"""An interactive XSQL shell.
+
+Run with::
+
+    python -m repro.xsql.repl [--paper | --synthetic N] [--typed]
+
+Statements end with ``;``.  Meta-commands (no semicolon):
+
+* ``.help``            — this text
+* ``.schema``          — list classes and their signatures
+* ``.describe <oid>``  — dump one object
+* ``.explain <query>`` — typing discipline, plan, and restrictions
+* ``.naive <query>``   — evaluate with the literal §3.4 semantics
+* ``.save <path>``     — dump the database to JSON
+* ``.load <path>``     — replace the database from a JSON dump
+* ``.quit``            — leave
+
+With ``--paper`` the shell starts on the Figure 1 schema and the paper's
+instance database, so every example of the paper can be typed in
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.errors import XsqlError
+from repro.oid import Atom
+from repro.xsql.session import Session
+
+__all__ = ["main", "run_repl"]
+
+_BANNER = """XSQL shell — Querying Object-Oriented Databases (SIGMOD 1992)
+statements end with ';'   .help for meta-commands   .quit to exit"""
+
+
+def _make_session(args: argparse.Namespace) -> Session:
+    session = Session()
+    if args.paper:
+        from repro.schema.figure1 import build_figure1_schema
+        from repro.workloads.paper_db import populate_paper_database
+
+        build_figure1_schema(session.store)
+        populate_paper_database(session.store)
+    elif args.synthetic:
+        from repro.workloads.generator import (
+            WorkloadConfig,
+            generate_database,
+        )
+
+        generate_database(
+            WorkloadConfig(n_people=args.synthetic), session.store
+        )
+    return session
+
+
+def _print_schema(session: Session, out) -> None:
+    store = session.store
+    for cls in store.hierarchy.topological():
+        parents = sorted(
+            c.name for c in store.hierarchy.direct_superclasses(cls)
+        )
+        suffix = f" :: {', '.join(parents)}" if parents else ""
+        print(f"{cls}{suffix}", file=out)
+        for signature in sorted(
+            store.declared_signatures(cls), key=str
+        ):
+            print(f"  {signature}", file=out)
+
+
+def _handle_meta(session: Session, line: str, out) -> bool:
+    """Process one meta-command; returns False to stop the loop."""
+    command, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if command in (".quit", ".exit"):
+        return False
+    if command == ".help":
+        print(__doc__, file=out)
+    elif command == ".schema":
+        _print_schema(session, out)
+    elif command == ".describe":
+        print(session.store.describe(Atom(rest)), file=out)
+    elif command == ".explain":
+        print(session.explain(rest), file=out)
+    elif command == ".naive":
+        print(session.naive(rest).pretty(), file=out)
+    elif command == ".save":
+        from repro.datamodel.serialize import save_store
+
+        report = save_store(session.store, rest)
+        print(
+            f"saved {report.objects} object(s), {report.cells} cell(s) "
+            f"to {rest}",
+            file=out,
+        )
+        for note in report.skipped:
+            print(f"  skipped: {note}", file=out)
+    elif command == ".load":
+        from repro.datamodel.serialize import load_store
+
+        session.store = load_store(rest)
+        session.views = type(session.views)(session.store, session.registry)
+        print(f"loaded {rest}", file=out)
+    else:
+        print(f"unknown meta-command {command!r} (.help)", file=out)
+    return True
+
+
+def run_repl(session: Session, stdin=None, stdout=None) -> int:
+    """Drive the shell over the given streams (testable entry point)."""
+    stdin = stdin or sys.stdin
+    out = stdout or sys.stdout
+    print(_BANNER, file=out)
+    buffer = ""
+    for raw_line in stdin:
+        line = raw_line.rstrip("\n")
+        stripped = line.strip()
+        if not buffer.strip() and stripped.startswith("."):
+            buffer = ""
+            try:
+                if not _handle_meta(session, stripped, out):
+                    return 0
+            except XsqlError as error:
+                print(f"error: {error}", file=out)
+            continue
+        buffer += line + "\n"
+        while ";" in buffer:
+            statement, _, buffer = buffer.partition(";")
+            if not statement.strip():
+                continue
+            try:
+                result = session.execute(statement)
+                print(result.pretty(limit=50), file=out)
+            except XsqlError as error:
+                print(f"error: {error}", file=out)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description="XSQL interactive shell")
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="start on the Figure 1 schema and the paper instance",
+    )
+    parser.add_argument(
+        "--synthetic",
+        type=int,
+        metavar="N",
+        help="start on a synthetic database with N people",
+    )
+    args = parser.parse_args(argv)
+    session = _make_session(args)
+    return run_repl(session)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

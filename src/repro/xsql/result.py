@@ -1,0 +1,138 @@
+"""Query results: relations of oid tuples with relational operators (§3.3).
+
+"Queries considered so far return relations, i.e., sets of tuples of object
+id's.  The tuples themselves do not have object id's and duplicates are not
+allowed."  ``UNION``/``MINUS``/``INTERSECT`` combine compatible results,
+"as usual in SQL".
+
+Object-creating queries additionally report the oids they minted
+(:attr:`QueryResult.created`), so callers can inspect the new objects in the
+store.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RelationalError
+from repro.oid import Oid, Value, term_sort_key
+
+__all__ = ["QueryResult"]
+
+
+class QueryResult:
+    """A set of tuples of oids, with column names."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Tuple[Oid, ...]] = (),
+        created: Sequence[Oid] = (),
+    ) -> None:
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._rows: Set[Tuple[Oid, ...]] = set()
+        for row in rows:
+            self.add(row)
+        self.created: Tuple[Oid, ...] = tuple(created)
+
+    def add(self, row: Tuple[Oid, ...]) -> None:
+        if len(row) != len(self.columns):
+            raise RelationalError(
+                f"row arity {len(row)} does not match columns "
+                f"{self.columns}"
+            )
+        self._rows.add(tuple(row))
+
+    # -- access ----------------------------------------------------------
+
+    def rows(self) -> FrozenSet[Tuple[Oid, ...]]:
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> List[Tuple[Oid, ...]]:
+        return sorted(
+            self._rows, key=lambda row: tuple(term_sort_key(v) for v in row)
+        )
+
+    def single_column(self) -> FrozenSet[Oid]:
+        """The values of a one-column result (used by nested subqueries)."""
+        if len(self.columns) != 1:
+            raise RelationalError(
+                f"expected a single column, found {len(self.columns)}"
+            )
+        return frozenset(row[0] for row in self._rows)
+
+    def scalars(self) -> List[object]:
+        """Python payloads of a one-column result of literals (testing aid)."""
+        return [
+            value.value if isinstance(value, Value) else value
+            for value in sorted(self.single_column(), key=term_sort_key)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple[Oid, ...]]:
+        return iter(self.sorted_rows())
+
+    def __contains__(self, row: Sequence[Oid]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:  # pragma: no cover - results rarely hashed
+        return hash(frozenset(self._rows))
+
+    # -- relational operators (§3.3) ---------------------------------------
+
+    def _check_compatible(self, other: "QueryResult") -> None:
+        if len(self.columns) != len(other.columns):
+            raise RelationalError(
+                "relational operators need results of equal arity"
+            )
+
+    def union(self, other: "QueryResult") -> "QueryResult":
+        self._check_compatible(other)
+        return QueryResult(self.columns, list(self._rows | other._rows))
+
+    def minus(self, other: "QueryResult") -> "QueryResult":
+        self._check_compatible(other)
+        return QueryResult(self.columns, list(self._rows - other._rows))
+
+    def intersect(self, other: "QueryResult") -> "QueryResult":
+        self._check_compatible(other)
+        return QueryResult(self.columns, list(self._rows & other._rows))
+
+    # -- display -----------------------------------------------------------
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """A fixed-width table rendering for examples and benchmarks."""
+        rows = self.sorted_rows()
+        if limit is not None:
+            rows = rows[:limit]
+        cells = [[str(v) for v in row] for row in rows]
+        headers = list(self.columns)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in cells), 1)
+            if cells
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        if limit is not None and len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(columns={self.columns}, rows={len(self._rows)})"
+        )

@@ -1,0 +1,267 @@
+"""The Session: the top-level XSQL interface.
+
+A session owns an :class:`~repro.datamodel.store.ObjectStore`, the
+id-function registry, and the view manager, and dispatches parsed
+statements:
+
+* plain queries → :class:`~repro.xsql.evaluator.Evaluator`;
+* object-creating queries (``OID FUNCTION OF``) →
+  :mod:`repro.views.creation` with a session-allocated id-function;
+* ``CREATE VIEW`` → :class:`~repro.views.views.ViewManager`;
+* ``ALTER CLASS ... ADD SIGNATURE ... SELECT`` →
+  :func:`repro.xsql.ddl.install_query_method`;
+* ``UPDATE CLASS`` / ``CREATE CLASS`` → direct execution.
+
+``session.query(text)`` is the everyday call; ``session.naive(text)`` runs
+the literal §3.4 semantics as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.datamodel.store import ObjectStore
+from repro.errors import QueryError
+from repro.oid import FuncOid, Oid, Value
+from repro.views.creation import CreationOutcome, execute_creation
+from repro.views.id_functions import IdFunctionRegistry
+from repro.views.views import ViewDef, ViewManager
+from repro.xsql import ast
+from repro.xsql.ddl import install_query_method
+from repro.xsql.evaluator import Evaluator, NaiveEvaluator
+from repro.xsql.parser import parse_statement
+from repro.xsql.result import QueryResult
+
+__all__ = ["Session"]
+
+
+class Session:
+    """An XSQL session over one object store."""
+
+    def __init__(
+        self,
+        store: Optional[ObjectStore] = None,
+        max_path_var_length: int = 6,
+    ) -> None:
+        self.store = store if store is not None else ObjectStore()
+        self.registry = IdFunctionRegistry()
+        self.views = ViewManager(self.store, self.registry)
+        self._max_path_var_length = max_path_var_length
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+
+    def evaluator(self) -> Evaluator:
+        return Evaluator(
+            self.store,
+            id_function_instances=self.registry.instances,
+            max_path_var_length=self._max_path_var_length,
+        )
+
+    def naive_evaluator(self) -> NaiveEvaluator:
+        return NaiveEvaluator(
+            self.store, id_function_instances=self.registry.instances
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, source: str) -> QueryResult:
+        """Parse and execute one XSQL statement; returns a result relation.
+
+        DDL statements return a one-row status relation so scripts can be
+        executed uniformly.
+        """
+        statement = parse_statement(source)
+        return self._dispatch(statement)
+
+    def execute_script(self, source: str) -> List[QueryResult]:
+        """Execute a ``;``-separated script, returning all results."""
+        results = []
+        for chunk in source.split(";"):
+            if chunk.strip():
+                results.append(self.execute(chunk))
+        return results
+
+    def query(self, source: str, optimize: bool = False) -> QueryResult:
+        """Execute a SELECT query (the common case).
+
+        With ``optimize=True`` the untyped greedy planner reorders pure
+        conjunctions by boundness before evaluation — semantics-neutral
+        and schema-free, unlike the Theorem 6.1 typed optimizer.
+        """
+        if not optimize:
+            return self.execute(source)
+        statement = parse_statement(source)
+        if isinstance(statement, ast.Query) and not statement.creates_objects:
+            from repro.xsql.planner import GreedyPlanner
+
+            statement = GreedyPlanner().reorder(statement)
+            return self.evaluator().run(statement)
+        return self._dispatch(statement)
+
+    def naive(self, source: str) -> QueryResult:
+        """Run a query under the literal §3.4 naive semantics (oracle)."""
+        statement = parse_statement(source)
+        if not isinstance(statement, ast.Query):
+            raise QueryError("the naive oracle runs plain queries only")
+        return self.naive_evaluator().run(statement)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, (ast.Query, ast.QueryOp)):
+            if isinstance(statement, ast.Query) and statement.creates_objects:
+                outcome = execute_creation(
+                    self.evaluator(),
+                    statement,
+                    functor=self.registry.fresh_functor(),
+                    registry=self.registry,
+                )
+                return self._creation_result(outcome)
+            return self.evaluator().run(statement)
+        if isinstance(statement, ast.CreateView):
+            view = self.views.create_view(statement, self.evaluator())
+            return self._creation_result(view.outcome)
+        if isinstance(statement, ast.CreateClass):
+            self.store.declare_class(
+                statement.name, list(statement.superclasses)
+            )
+            for sig in statement.signatures:
+                self.store.declare_signature(
+                    statement.name,
+                    sig.method,
+                    sig.result,
+                    args=sig.args,
+                    set_valued=sig.set_valued,
+                )
+            return _status(f"class {statement.name} created")
+        if isinstance(statement, ast.AlterClass):
+            install_query_method(self.store, statement, self.registry)
+            return _status(
+                f"method {statement.signature.method} added to "
+                f"{statement.cls}"
+            )
+        if isinstance(statement, ast.UpdateClass):
+            self.evaluator().execute_update(statement)
+            return _status(f"class {statement.cls} updated")
+        if isinstance(statement, ast.CreateRelation):
+            self.store.declare_relation(
+                statement.name, list(statement.columns)
+            )
+            return _status(f"relation {statement.name} created")
+        if isinstance(statement, ast.InsertInto):
+            return self._insert_into(statement)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+    def _insert_into(self, statement: ast.InsertInto) -> QueryResult:
+        """INSERT INTO a first-class relation (from VALUES or a query)."""
+        relation = self.store.relation(statement.name)
+        if statement.query is not None:
+            result = self.evaluator().run(statement.query)
+            if len(result.columns) != relation.arity:
+                raise QueryError(
+                    f"relation {statement.name} has arity "
+                    f"{relation.arity}; the query produces "
+                    f"{len(result.columns)} columns"
+                )
+            rows = list(result.rows())
+        else:
+            rows = list(statement.rows)
+        for row in rows:
+            self.store.insert_tuple(statement.name, row)
+        return _status(f"{len(rows)} row(s) inserted into {statement.name}")
+
+    @staticmethod
+    def _creation_result(outcome: CreationOutcome) -> QueryResult:
+        return QueryResult(
+            columns=["oid"],
+            rows=[(oid,) for oid in outcome.created],
+            created=list(outcome.created),
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots (poor man's transactions over the serialized state)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the stored database state (schema + data + relations).
+
+        The paper's model has no transactions; snapshots give scripts and
+        tests a checkpoint/rollback primitive.  Computed method
+        implementations are not captured (see
+        :mod:`repro.datamodel.serialize`) and survive a restore untouched
+        only if re-installed by the caller.
+        """
+        from repro.datamodel.serialize import store_to_dict
+
+        payload, _report = store_to_dict(self.store)
+        return payload
+
+    def restore(self, payload: dict) -> None:
+        """Replace the session's database with a snapshot's contents."""
+        from repro.datamodel.serialize import store_from_dict
+
+        self.store = store_from_dict(payload)
+        self.views = ViewManager(self.store, self.registry)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def explain(self, source: str) -> str:
+        """A readable account of how a query would be type-checked and run.
+
+        Reports the parsed form, the §6.2 typing discipline with the
+        witnessing assignment and coherent plan (when one exists), and the
+        per-variable instantiation-set sizes the Theorem 6.1 optimizer
+        would use.
+        """
+        from repro.typing import TypedEvaluator, analyze
+
+        statement = parse_statement(source)
+        if not isinstance(statement, ast.Query):
+            return f"statement: {statement}"
+        lines = [f"query: {statement}"]
+        report = analyze(statement, self.store)
+        lines.append(f"typing: {report.discipline()}")
+        if report.strict_witness is not None:
+            assignment, plan = report.strict_witness
+            lines.append(f"coherent plan: {plan}")
+            for occ, expr in assignment.entries:
+                lines.append(f"  {occ} : {expr}")
+            optimizer = TypedEvaluator(
+                self.store, id_function_instances=self.registry.instances
+            )
+            restrictions = optimizer.extent_restrictions(
+                assignment, report.typed_query, statement
+            )
+            for var, allowed in sorted(
+                restrictions.items(), key=lambda kv: kv[0].name
+            ):
+                lines.append(
+                    f"  instantiations of {var}: {len(allowed)} oid(s)"
+                )
+        elif report.unsupported_reason:
+            lines.append(f"note: {report.unsupported_reason}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # view conveniences (§4.2)
+    # ------------------------------------------------------------------
+
+    def refresh_view(self, name: str) -> ViewDef:
+        return self.views.refresh(name, self.evaluator())
+
+    def update_view(
+        self, name: str, attr: str, new_values: Dict[FuncOid, Oid]
+    ) -> int:
+        return self.views.update_through_view(
+            name, attr, new_values, self.evaluator()
+        )
+
+
+def _status(message: str) -> QueryResult:
+    return QueryResult(columns=["status"], rows=[(Value(message),)])

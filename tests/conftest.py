@@ -1,0 +1,65 @@
+"""Shared fixtures: paper database sessions, schemas, synthetic stores."""
+
+import pytest
+
+from repro import Session
+from repro.schema.figure1 import build_figure1_schema
+from repro.schema.nobel import build_nobel_schema, populate_nobel_database
+from repro.schema.typing_examples import (
+    extend_with_typing_classes,
+    populate_oo_forum,
+)
+from repro.schema.university import (
+    build_university_schema,
+    populate_university_database,
+)
+from repro.workloads.paper_db import populate_paper_database
+
+
+def make_paper_session() -> Session:
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    return session
+
+
+@pytest.fixture
+def paper_session() -> Session:
+    """A fresh Figure 1 + paper-instance session (mutable per test)."""
+    return make_paper_session()
+
+
+@pytest.fixture(scope="session")
+def shared_paper_session() -> Session:
+    """A shared session for read-only query tests (fast)."""
+    return make_paper_session()
+
+
+@pytest.fixture
+def typing_session() -> Session:
+    """Paper session extended with the §6.2 Organization/Association part."""
+    session = make_paper_session()
+    extend_with_typing_classes(session.store)
+    populate_oo_forum(session.store)
+    return session
+
+
+@pytest.fixture
+def nobel_session() -> Session:
+    session = Session()
+    build_nobel_schema(session.store)
+    populate_nobel_database(session.store)
+    return session
+
+
+@pytest.fixture
+def university_session() -> Session:
+    session = Session()
+    build_university_schema(session.store)
+    populate_university_database(session.store)
+    return session
+
+
+def names(result) -> list:
+    """Sorted string forms of a single-column result (test helper)."""
+    return sorted(str(value) for value in result.single_column())

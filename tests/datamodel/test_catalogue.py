@@ -1,0 +1,80 @@
+"""Tests for the system catalogue and object subdomains (paper §2)."""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.datamodel.catalogue import BOOLEAN, NUMERAL, STRING
+from repro.errors import SchemaError
+from repro.oid import NIL, Atom, Value
+
+
+class TestSorts:
+    def test_class_objects_disjoint_from_individuals(self):
+        store = ObjectStore()
+        store.declare_class("Person")
+        assert store.catalogue.is_class(Atom("Person"))
+        with pytest.raises(SchemaError):
+            store.catalogue.check_individual(Atom("Person"))
+
+    def test_method_atoms_registered(self):
+        store = ObjectStore()
+        store.declare_class("Person")
+        store.declare_signature("Person", "Name", "String")
+        assert store.catalogue.is_method(Atom("Name"))
+        assert not store.catalogue.is_method(Atom("Person"))
+
+    def test_method_name_colliding_with_class_rejected(self):
+        store = ObjectStore()
+        store.declare_class("Person")
+        with pytest.raises(SchemaError):
+            store.catalogue.register_method(Atom("Person"))
+
+
+class TestStrictNamespace:
+    def test_relaxed_allows_shared_names(self):
+        # "the user has an added flexibility in choosing names" (§2).
+        store = ObjectStore(strict_method_namespace=False)
+        store.declare_class("Person")
+        store.declare_signature("Person", "Name", "String")
+        store.create_object(Atom("Name"), ["Person"])  # no error
+
+    def test_strict_rejects_method_as_individual(self):
+        # "we gain a degree of syntactic safety" (§2).
+        store = ObjectStore(strict_method_namespace=True)
+        store.declare_class("Person")
+        store.declare_signature("Person", "Name", "String")
+        with pytest.raises(SchemaError):
+            store.create_object(Atom("Name"), ["Person"])
+
+
+class TestLiteralClassification:
+    def test_numbers(self):
+        store = ObjectStore()
+        assert store.catalogue.literal_class(Value(1)) == NUMERAL
+        assert store.catalogue.literal_class(Value(1.5)) == NUMERAL
+
+    def test_strings_and_booleans(self):
+        store = ObjectStore()
+        assert store.catalogue.literal_class(Value("x")) == STRING
+        assert store.catalogue.literal_class(Value(False)) == BOOLEAN
+
+    def test_nil(self):
+        store = ObjectStore()
+        assert store.catalogue.literal_class(NIL) == Atom("Nil")
+
+    def test_plain_atoms_have_no_literal_class(self):
+        store = ObjectStore()
+        assert store.catalogue.literal_class(Atom("pam")) is None
+
+    def test_implicit_classes_include_object(self):
+        store = ObjectStore()
+        implied = store.catalogue.implicit_classes(Value(3))
+        assert Atom("Object") in implied and NUMERAL in implied
+        assert store.catalogue.implicit_classes(Atom("pam")) == frozenset(
+            {Atom("Object")}
+        )
+
+    def test_builtin_classes_under_object(self):
+        store = ObjectStore()
+        for builtin in (NUMERAL, STRING, BOOLEAN):
+            assert store.hierarchy.is_subclass(builtin, Atom("Object"))

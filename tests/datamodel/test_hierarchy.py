@@ -1,0 +1,180 @@
+"""Tests for the IS-A class hierarchy (paper §2 "Classes")."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datamodel.hierarchy import OBJECT_CLASS, ClassHierarchy
+from repro.errors import CyclicHierarchyError, UnknownClassError
+from repro.oid import Atom
+
+
+def build_diamond() -> ClassHierarchy:
+    h = ClassHierarchy()
+    h.add_class(Atom("A"))
+    h.add_class(Atom("B"), [Atom("A")])
+    h.add_class(Atom("C"), [Atom("A")])
+    h.add_class(Atom("D"), [Atom("B"), Atom("C")])
+    return h
+
+
+class TestDeclaration:
+    def test_default_parent_is_object(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("Person"))
+        assert h.is_subclass(Atom("Person"), OBJECT_CLASS)
+
+    def test_redeclaration_adds_edges_only(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("A"))
+        h.add_class(Atom("B"))
+        h.add_class(Atom("B"), [Atom("A")])
+        assert h.is_subclass(Atom("B"), Atom("A"))
+
+    def test_unknown_class_raises(self):
+        h = ClassHierarchy()
+        with pytest.raises(UnknownClassError):
+            h.require(Atom("Nope"))
+
+    def test_non_atom_rejected(self):
+        h = ClassHierarchy()
+        with pytest.raises(Exception):
+            h.add_class("Person")  # type: ignore[arg-type]
+
+
+class TestAcyclicity:
+    def test_self_edge_rejected(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("A"))
+        with pytest.raises(CyclicHierarchyError):
+            h.add_edge(Atom("A"), Atom("A"))
+
+    def test_two_cycle_rejected(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("A"))
+        h.add_class(Atom("B"), [Atom("A")])
+        with pytest.raises(CyclicHierarchyError):
+            h.add_edge(Atom("A"), Atom("B"))
+
+    def test_long_cycle_rejected(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("A"))
+        h.add_class(Atom("B"), [Atom("A")])
+        h.add_class(Atom("C"), [Atom("B")])
+        with pytest.raises(CyclicHierarchyError):
+            h.add_edge(Atom("A"), Atom("C"))
+
+
+class TestSubclassRelation:
+    def test_strict_is_irreflexive(self):
+        # "Cl subclassOf Cl is always false" (§3.1).
+        h = build_diamond()
+        assert not h.is_subclass(Atom("A"), Atom("A"), strict=True)
+        assert h.is_subclass(Atom("A"), Atom("A"), strict=False)
+
+    def test_transitive(self):
+        h = build_diamond()
+        assert h.is_subclass(Atom("D"), Atom("A"))
+
+    def test_diamond_superclasses(self):
+        h = build_diamond()
+        assert h.superclasses(Atom("D")) == frozenset(
+            {Atom("A"), Atom("B"), Atom("C"), OBJECT_CLASS}
+        )
+
+    def test_subclasses(self):
+        h = build_diamond()
+        assert h.subclasses(Atom("A")) == frozenset(
+            {Atom("B"), Atom("C"), Atom("D")}
+        )
+
+    def test_unrelated_classes(self):
+        h = build_diamond()
+        assert not h.is_subclass(Atom("B"), Atom("C"))
+        assert not h.is_subclass(Atom("C"), Atom("B"))
+
+
+class TestSpecificityOrder:
+    def test_subclass_before_superclass(self):
+        h = build_diamond()
+        order = h.specificity_order([Atom("A"), Atom("D"), Atom("B")])
+        assert order.index(Atom("D")) < order.index(Atom("B"))
+        assert order.index(Atom("B")) < order.index(Atom("A"))
+
+    def test_incomparables_sorted_by_name(self):
+        h = build_diamond()
+        order = h.specificity_order([Atom("C"), Atom("B")])
+        assert order == [Atom("B"), Atom("C")]
+
+
+class TestClosureMemoization:
+    def test_cache_invalidated_by_new_edges(self):
+        h = build_diamond()
+        assert Atom("A") in h.superclasses(Atom("D"))  # warm the cache
+        h.add_class(Atom("E"))
+        h.add_edge(Atom("A"), Atom("E"))
+        assert Atom("E") in h.superclasses(Atom("D"))
+        assert Atom("D") in h.subclasses(Atom("E"))
+
+    def test_nonstrict_does_not_pollute_strict(self):
+        h = build_diamond()
+        nonstrict = h.superclasses(Atom("B"), strict=False)
+        strict = h.superclasses(Atom("B"), strict=True)
+        assert Atom("B") in nonstrict
+        assert Atom("B") not in strict
+
+
+class TestRangeReasoning:
+    def test_common_descendants_diamond(self):
+        h = build_diamond()
+        assert Atom("D") in h.common_descendants([Atom("B"), Atom("C")])
+
+    def test_disjoint_classes_not_joint(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("Person"))
+        h.add_class(Atom("Company"))
+        assert not h.potentially_joint([Atom("Person"), Atom("Company")])
+
+    def test_subclass_chain_joint(self):
+        h = ClassHierarchy()
+        h.add_class(Atom("Person"))
+        h.add_class(Atom("Employee"), [Atom("Person")])
+        assert h.potentially_joint([Atom("Person"), Atom("Employee")])
+
+    def test_empty_set_joint(self):
+        h = ClassHierarchy()
+        assert h.potentially_joint([])
+
+
+class TestTopological:
+    def test_supers_before_subs(self):
+        h = build_diamond()
+        order = h.topological()
+        assert order.index(Atom("A")) < order.index(Atom("B"))
+        assert order.index(Atom("B")) < order.index(Atom("D"))
+        assert order.index(OBJECT_CLASS) == 0
+
+    def test_edges_listing(self):
+        h = build_diamond()
+        assert (Atom("D"), Atom("B")) in h.edges()
+        assert (Atom("D"), Atom("C")) in h.edges()
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40))
+def test_random_edge_insertion_never_creates_cycles(edges):
+    """Property: every accepted edge keeps the graph acyclic."""
+    h = ClassHierarchy()
+    for i in range(13):
+        h.add_class(Atom(f"C{i}"))
+    for sub, sup in edges:
+        try:
+            h.add_edge(Atom(f"C{sub}"), Atom(f"C{sup}"))
+        except CyclicHierarchyError:
+            continue
+    # Transitivity + irreflexivity imply acyclicity of the strict order.
+    for cls in h.classes():
+        assert not h.is_subclass(cls, cls, strict=True)
+        for sup in h.superclasses(cls):
+            assert not h.is_subclass(sup, cls, strict=True) or not h.is_subclass(
+                cls, sup, strict=True
+            )

@@ -1,0 +1,126 @@
+"""Tests for inverted attribute indexes ([BERT89]-style)."""
+
+import pytest
+
+from repro.datamodel import ObjectStore, PythonMethod
+from repro.oid import Atom, Value
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.declare_class("P")
+    s.declare_class("Addr")
+    s.declare_signature("P", "Residence", "Addr")
+    s.declare_signature("P", "Knows", "P", set_valued=True)
+    home = s.create_object(Atom("home"), ["Addr"])
+    away = s.create_object(Atom("away"), ["Addr"])
+    a = s.create_object(Atom("a"), ["P"])
+    b = s.create_object(Atom("b"), ["P"])
+    s.set_attr(a, "Residence", home)
+    s.set_attr(b, "Residence", home)
+    s.add_to_set(a, "Knows", b)
+    return s
+
+
+class TestMaintenance:
+    def test_backfill_on_enable(self, store):
+        store.enable_index("Residence")
+        owners = store.lookup_by_value("Residence", Atom("home"))
+        assert owners == frozenset({Atom("a"), Atom("b")})
+
+    def test_incremental_scalar_update(self, store):
+        store.enable_index("Residence")
+        store.set_attr(Atom("a"), "Residence", Atom("away"))
+        assert store.lookup_by_value("Residence", Atom("home")) == frozenset(
+            {Atom("b")}
+        )
+        assert store.lookup_by_value("Residence", Atom("away")) == frozenset(
+            {Atom("a")}
+        )
+
+    def test_set_membership_updates(self, store):
+        store.enable_index("Knows")
+        store.add_to_set(Atom("b"), "Knows", Atom("a"))
+        assert store.lookup_by_value("Knows", Atom("a")) == frozenset(
+            {Atom("b")}
+        )
+        store.set_attr_set(Atom("b"), "Knows", [])
+        assert store.lookup_by_value("Knows", Atom("a")) == frozenset()
+
+    def test_unset_removes_entries(self, store):
+        store.enable_index("Residence")
+        store.unset_attr(Atom("a"), "Residence")
+        assert store.lookup_by_value("Residence", Atom("home")) == frozenset(
+            {Atom("b")}
+        )
+
+    def test_purge_removes_owner(self, store):
+        store.enable_index("Residence")
+        store.purge_object(Atom("a"))
+        assert store.lookup_by_value("Residence", Atom("home")) == frozenset(
+            {Atom("b")}
+        )
+
+    def test_disable(self, store):
+        store.enable_index("Residence")
+        store.disable_index("Residence")
+        assert store.lookup_by_value("Residence", Atom("home")) is None
+
+
+class TestCompleteness:
+    def test_no_index_means_no_answer(self, store):
+        assert store.lookup_by_value("Residence", Atom("home")) is None
+
+    def test_class_default_disables_reverse_lookup(self, store):
+        # A class-level default can give instances values with no own
+        # cell — the index must refuse rather than answer incompletely.
+        store.enable_index("Residence")
+        store.set_attr(Atom("P"), "Residence", Atom("away"))
+        assert store.lookup_by_value("Residence", Atom("home")) is None
+
+    def test_computed_method_disables_reverse_lookup(self, store):
+        store.enable_index("Residence")
+        store.define_method(
+            "P",
+            PythonMethod(name=Atom("Residence"), fn=lambda s, o: Atom("home")),
+        )
+        assert store.lookup_by_value("Residence", Atom("home")) is None
+
+    def test_args_distinguish_cells(self, store):
+        store.declare_class("Sem")
+        sem = store.create_object(Atom("f95"), ["Sem"])
+        store.set_attr(Atom("a"), "Works", Value(10), args=[sem])
+        store.enable_index("Works")
+        assert store.lookup_by_value(
+            "Works", Value(10), args=[sem]
+        ) == frozenset({Atom("a")})
+        assert store.lookup_by_value("Works", Value(10), args=[]) == frozenset()
+
+
+class TestQueryIntegration:
+    def test_indexed_and_scan_answers_agree(self, paper_session):
+        query = "SELECT X WHERE X.Residence[addr_austin]"
+        scan = paper_session.query(query)
+        paper_session.store.enable_index("Residence")
+        indexed = paper_session.query(query)
+        assert indexed.rows() == scan.rows()
+        assert paper_session.store.indexes.hits > 0
+
+    def test_index_not_used_for_unbound_selector(self, paper_session):
+        paper_session.store.enable_index("Residence")
+        hits_before = paper_session.store.indexes.hits
+        paper_session.query("SELECT Y FROM Person X WHERE X.Residence[Y]")
+        assert paper_session.store.indexes.hits == hits_before
+
+    def test_index_used_after_selector_bound_elsewhere(self, paper_session):
+        paper_session.store.enable_index("Residence")
+        query = (
+            "SELECT X FROM Address Y "
+            "WHERE Y.City['newyork'] and X.Residence[Y]"
+        )
+        indexed = paper_session.query(query)
+        paper_session.store.disable_index("Residence")
+        scan = paper_session.query(query)
+        assert indexed.rows() == scan.rows()
+        assert len(indexed) > 0

@@ -1,0 +1,147 @@
+"""Tests for behavioral inheritance (paper §2 "Inheritance", §6.1)."""
+
+import pytest
+
+from repro.datamodel import ObjectStore, PythonMethod
+from repro.errors import InheritanceConflictError
+from repro.oid import Atom, Value
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.declare_class("Person")
+    s.declare_class("Employee", ["Person"])
+    s.declare_class("Student", ["Person"])
+    s.declare_class("Workstudy", ["Employee", "Student"])
+    return s
+
+
+class TestDefaultValueInheritance:
+    def test_instance_inherits_class_default(self, store):
+        store.set_attr(Atom("Person"), "LegalStatus", "citizen")
+        pam = store.create_object(Atom("pam"), ["Employee"])
+        assert store.invoke(pam, "LegalStatus") == frozenset(
+            {Value("citizen")}
+        )
+
+    def test_own_value_overrides_default(self, store):
+        store.set_attr(Atom("Person"), "LegalStatus", "citizen")
+        pam = store.create_object(Atom("pam"), ["Employee"])
+        store.set_attr(pam, "LegalStatus", "visitor")
+        assert store.invoke(pam, "LegalStatus") == frozenset(
+            {Value("visitor")}
+        )
+
+    def test_subclass_default_overrides_superclass(self, store):
+        store.set_attr(Atom("Person"), "Hours", 0)
+        store.set_attr(Atom("Employee"), "Hours", 40)
+        pam = store.create_object(Atom("pam"), ["Employee"])
+        assert store.invoke(pam, "Hours") == frozenset({Value(40)})
+
+    def test_class_object_inherits_from_superclass(self, store):
+        # "even though a function may not be explicitly defined on a
+        # class-object ... it may still be implicitly defined" (§2).
+        store.set_attr(Atom("Person"), "Kind", "human")
+        assert store.invoke(Atom("Employee"), "Kind") == frozenset(
+            {Value("human")}
+        )
+
+
+class TestMultipleInheritanceConflicts:
+    def test_unresolved_conflict_raises(self, store):
+        store.set_attr(Atom("Employee"), "Stipend", 100)
+        store.set_attr(Atom("Student"), "Stipend", 50)
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        with pytest.raises(InheritanceConflictError):
+            store.invoke(pam, "Stipend")
+
+    def test_explicit_resolution(self, store):
+        # Meyer-style: "the user should state which definition of M is
+        # inherited in C' as part of the schema definition" (§6.1).
+        store.set_attr(Atom("Employee"), "Stipend", 100)
+        store.set_attr(Atom("Student"), "Stipend", 50)
+        store.resolve_inheritance("Workstudy", "Stipend", "Employee")
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        assert store.invoke(pam, "Stipend") == frozenset({Value(100)})
+
+    def test_resolution_must_name_a_superclass(self, store):
+        with pytest.raises(InheritanceConflictError):
+            store.resolve_inheritance("Employee", "Stipend", "Student")
+
+    def test_no_conflict_when_one_class_more_specific(self, store):
+        store.set_attr(Atom("Person"), "Stipend", 10)
+        store.set_attr(Atom("Employee"), "Stipend", 100)
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        assert store.invoke(pam, "Stipend") == frozenset({Value(100)})
+
+
+class TestImplementationInheritance:
+    def test_method_inherited_by_subclass_instances(self, store):
+        double_age = PythonMethod(
+            name=Atom("DoubleAge"),
+            fn=lambda s, owner: Value(
+                2 * s.invoke_scalar(owner, "Age").value
+            ),
+        )
+        store.declare_signature("Person", "Age", "Numeral")
+        store.define_method("Person", double_age)
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        store.set_attr(pam, "Age", 21)
+        assert store.invoke(pam, "DoubleAge") == frozenset({Value(42)})
+
+    def test_overriding_implementation(self, store):
+        base = PythonMethod(name=Atom("Greet"), fn=lambda s, o: Value("hi"))
+        derived = PythonMethod(
+            name=Atom("Greet"), fn=lambda s, o: Value("hello")
+        )
+        store.define_method("Person", base)
+        store.define_method("Employee", derived)
+        pam = store.create_object(Atom("pam"), ["Employee"])
+        tom = store.create_object(Atom("tom"), ["Student"])
+        assert store.invoke(pam, "Greet") == frozenset({Value("hello")})
+        assert store.invoke(tom, "Greet") == frozenset({Value("hi")})
+
+    def test_conflicting_implementations_raise(self, store):
+        store.define_method(
+            "Employee", PythonMethod(name=Atom("G"), fn=lambda s, o: Value(1))
+        )
+        store.define_method(
+            "Student", PythonMethod(name=Atom("G"), fn=lambda s, o: Value(2))
+        )
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        with pytest.raises(InheritanceConflictError):
+            store.invoke(pam, "G")
+
+    def test_conflicting_implementations_resolved(self, store):
+        store.define_method(
+            "Employee", PythonMethod(name=Atom("G"), fn=lambda s, o: Value(1))
+        )
+        store.define_method(
+            "Student", PythonMethod(name=Atom("G"), fn=lambda s, o: Value(2))
+        )
+        store.resolve_inheritance("Workstudy", "G", "Student")
+        pam = store.create_object(Atom("pam"), ["Workstudy"])
+        assert store.invoke(pam, "G") == frozenset({Value(2)})
+
+
+class TestStructuralInheritance:
+    def test_signatures_always_union_never_overridden(self, store):
+        # "the set of signatures of M in C' consists of all signatures in
+        # the ancestors of C' and all signatures in the new definitions".
+        store.declare_class("UPay")
+        store.declare_class("UGrade")
+        store.declare_class("UProject")
+        store.declare_class("UCourse")
+        store.declare_signature("Employee", "earns", "UPay", args=["UProject"])
+        store.declare_signature("Student", "earns", "UGrade", args=["UCourse"])
+        sigs = store.signatures_of("Workstudy", "earns")
+        results = {s.result.name for s in sigs}
+        assert results == {"UPay", "UGrade"}
+
+    def test_inherited_signature_visible_one_level_down(self, store):
+        store.declare_signature("Person", "Name", "String")
+        assert any(
+            s.method == Atom("Name")
+            for s in store.signatures_of("Workstudy")
+        )

@@ -1,0 +1,101 @@
+"""Tests for tuple-object records and value cells (paper §2)."""
+
+import pytest
+
+from repro.datamodel.objects import ObjectRecord, ScalarCell, SetCell
+from repro.errors import ArityError
+from repro.oid import Atom, Value
+
+
+@pytest.fixture
+def record() -> ObjectRecord:
+    return ObjectRecord(Atom("mary123"))
+
+
+class TestScalarCells:
+    def test_set_and_get(self, record):
+        record.set_scalar(Atom("Age"), Value(35))
+        cell = record.get(Atom("Age"))
+        assert isinstance(cell, ScalarCell)
+        assert cell.as_set() == frozenset({Value(35)})
+        assert not cell.set_valued
+
+    def test_overwrite(self, record):
+        record.set_scalar(Atom("Age"), Value(35))
+        record.set_scalar(Atom("Age"), Value(36))
+        assert record.get(Atom("Age")).as_set() == frozenset({Value(36)})
+
+    def test_scalar_cannot_become_set_member_target(self, record):
+        record.set_scalar(Atom("Age"), Value(35))
+        with pytest.raises(ArityError):
+            record.add_to_set(Atom("Age"), Value(36))
+
+
+class TestSetCells:
+    def test_add_members(self, record):
+        record.add_to_set(Atom("FamMembers"), Atom("bob"))
+        record.add_to_set(Atom("FamMembers"), Atom("anna"))
+        cell = record.get(Atom("FamMembers"))
+        assert isinstance(cell, SetCell)
+        assert cell.as_set() == frozenset({Atom("bob"), Atom("anna")})
+
+    def test_remove_member(self, record):
+        record.set_set(Atom("FamMembers"), frozenset({Atom("bob")}))
+        record.remove_from_set(Atom("FamMembers"), Atom("bob"))
+        assert record.get(Atom("FamMembers")).as_set() == frozenset()
+
+    def test_remove_from_scalar_rejected(self, record):
+        record.set_scalar(Atom("Age"), Value(35))
+        with pytest.raises(ArityError):
+            record.remove_from_set(Atom("Age"), Value(35))
+
+    def test_set_cannot_be_assigned_scalar(self, record):
+        record.add_to_set(Atom("FamMembers"), Atom("bob"))
+        with pytest.raises(ArityError):
+            record.set_scalar(Atom("FamMembers"), Atom("bob"))
+
+
+class TestMethodArguments:
+    def test_cells_keyed_by_arguments(self, record):
+        # earns(proj) and earns(course) are distinct cells (§2 "Methods").
+        record.set_scalar(Atom("earns"), Atom("pay1"), (Atom("proj"),))
+        record.set_scalar(Atom("earns"), Atom("gradeA"), (Atom("course"),))
+        assert record.get(Atom("earns"), (Atom("proj"),)).as_set() == frozenset(
+            {Atom("pay1")}
+        )
+        assert record.get(Atom("earns"), (Atom("course"),)).as_set() == frozenset(
+            {Atom("gradeA")}
+        )
+        assert record.get(Atom("earns")) is None
+
+
+class TestUndefinedness:
+    def test_absent_is_undefined(self, record):
+        # Undefinedness is "analogous to the null value" — simply no cell.
+        assert record.get(Atom("Age")) is None
+
+    def test_unset_restores_undefined(self, record):
+        record.set_scalar(Atom("Age"), Value(35))
+        record.unset(Atom("Age"))
+        assert record.get(Atom("Age")) is None
+
+    def test_unset_missing_is_noop(self, record):
+        record.unset(Atom("Age"))
+
+
+class TestIntrospection:
+    def test_defined_methods_deduplicated(self, record):
+        record.set_scalar(Atom("earns"), Atom("p"), (Atom("a"),))
+        record.set_scalar(Atom("earns"), Atom("q"), (Atom("b"),))
+        record.set_scalar(Atom("Age"), Value(1))
+        assert sorted(m.name for m in record.defined_methods()) == [
+            "Age",
+            "earns",
+        ]
+
+    def test_entries_iteration(self, record):
+        record.set_scalar(Atom("Age"), Value(1))
+        entries = list(record.entries())
+        assert len(entries) == 1
+        (method, args), cell = entries[0]
+        assert method == Atom("Age") and args == ()

@@ -1,0 +1,108 @@
+"""Tests for signatures and the sub/supertype order (paper §2, §6.1)."""
+
+import pytest
+
+from repro.datamodel.hierarchy import ClassHierarchy
+from repro.datamodel.signatures import Signature, TypeExpr, combine_result_classes
+from repro.errors import SignatureError
+from repro.oid import Atom
+
+
+@pytest.fixture
+def hierarchy() -> ClassHierarchy:
+    h = ClassHierarchy()
+    h.add_class(Atom("Person"))
+    h.add_class(Atom("Employee"), [Atom("Person")])
+    h.add_class(Atom("Student"), [Atom("Person")])
+    h.add_class(Atom("Workstudy"), [Atom("Employee"), Atom("Student")])
+    h.add_class(Atom("Pay"))
+    h.add_class(Atom("Bonus"), [Atom("Pay")])
+    return h
+
+
+def te(scope, args, result, set_valued=False):
+    return TypeExpr(Atom(scope), tuple(Atom(a) for a in args), Atom(result), set_valued)
+
+
+class TestTypeExpr:
+    def test_str_scalar(self):
+        assert str(te("Person", ["Pay"], "Pay")) == "(Person, Pay => Pay)"
+
+    def test_str_set(self):
+        assert "=>>" in str(te("Person", [], "Pay", set_valued=True))
+
+    def test_arity_excludes_scope(self):
+        # "there are actually k + 1 (rather than k) arguments" — the scope
+        # is the 0th argument and not counted in arity.
+        assert te("Person", ["Pay", "Pay"], "Pay").arity == 2
+
+
+class TestSupertypeOrder:
+    def test_reflexive(self, hierarchy):
+        expr = te("Person", [], "Pay")
+        assert expr.is_supertype_of(expr, hierarchy)
+
+    def test_narrower_scope_is_subtype_direction(self, hierarchy):
+        # (15) is a supertype of (14) iff each Ai' is a subclass of Ai and
+        # R' a superclass of R.
+        broad = te("Employee", [], "Pay")  # narrower scope
+        base = te("Person", [], "Pay")
+        assert broad.is_supertype_of(base, hierarchy)
+        assert not base.is_supertype_of(broad, hierarchy)
+
+    def test_result_covariance(self, hierarchy):
+        general = te("Person", [], "Pay")
+        specific = te("Person", [], "Bonus")
+        assert general.is_supertype_of(specific, hierarchy)
+        assert specific.is_subtype_of(general, hierarchy)
+
+    def test_arrow_kinds_never_comparable(self, hierarchy):
+        scalar = te("Person", [], "Pay")
+        set_valued = te("Person", [], "Pay", set_valued=True)
+        assert not scalar.is_supertype_of(set_valued, hierarchy)
+        assert not set_valued.is_supertype_of(scalar, hierarchy)
+
+    def test_arity_mismatch_never_comparable(self, hierarchy):
+        assert not te("Person", [], "Pay").is_supertype_of(
+            te("Person", ["Pay"], "Pay"), hierarchy
+        )
+
+    def test_argument_positions(self, hierarchy):
+        narrow_arg = te("Person", ["Employee"], "Pay")
+        wide_arg = te("Person", ["Person"], "Pay")
+        assert narrow_arg.is_supertype_of(wide_arg, hierarchy)
+        assert not wide_arg.is_supertype_of(narrow_arg, hierarchy)
+
+    def test_applies_to_scope(self, hierarchy):
+        expr = te("Employee", [], "Pay")
+        assert expr.applies_to_scope([Atom("Workstudy")], hierarchy)
+        assert not expr.applies_to_scope([Atom("Student")], hierarchy)
+
+
+class TestSignature:
+    def test_str_attribute(self):
+        sig = Signature(Atom("Name"), te("Person", [], "Pay"))
+        assert str(sig) == "Name => Pay"
+
+    def test_str_method(self):
+        sig = Signature(Atom("earns"), te("Person", ["Pay"], "Pay"))
+        assert str(sig) == "earns : Pay => Pay"
+
+    def test_name_must_be_atom(self):
+        with pytest.raises(SignatureError):
+            Signature("Name", te("Person", [], "Pay"))  # type: ignore[arg-type]
+
+
+class TestBraceShorthand:
+    def test_combined_signatures_expand(self):
+        # workstudy : semester =>> {student, employee} (§2).
+        sigs = combine_result_classes(
+            Atom("workstudy"),
+            Atom("Person"),
+            (Atom("Pay"),),
+            [Atom("Student"), Atom("Employee")],
+            set_valued=True,
+        )
+        assert len(sigs) == 2
+        assert {s.result for s in sigs} == {Atom("Student"), Atom("Employee")}
+        assert all(s.set_valued for s in sigs)

@@ -1,0 +1,79 @@
+"""Edge cases for the F-logic export: id-terms, arities, accessors."""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.flogic import FlogicDatabase, FlogicQuery, evaluate
+from repro.flogic.molecules import DataAtom, atom_variables, IsaAtom, SubclassAtom, BuiltinAtom
+from repro.oid import Atom, FuncOid, Value, Variable
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.declare_class("P")
+    view_obj = FuncOid("V", (Atom("a"),))
+    s.create_object(Atom("a"), ["P"])
+    s.create_object(view_obj, ["P"])
+    s.set_attr(view_obj, "Score", 7)
+    s.set_attr(Atom("a"), "earns", Value(5), args=[Atom("projX")])
+    return s
+
+
+class TestExportEdges:
+    def test_funcoid_hosts_exported(self, store):
+        db = FlogicDatabase.from_store(store)
+        x = Variable("X")
+        query = FlogicQuery(
+            head=(x,), body=(DataAtom(x, Atom("Score"), (), Value(7)),)
+        )
+        assert evaluate(db, query) == frozenset(
+            {(FuncOid("V", (Atom("a"),)),)}
+        )
+
+    def test_method_arguments_matched_by_arity(self, store):
+        db = FlogicDatabase.from_store(store)
+        w = Variable("W")
+        with_arg = FlogicQuery(
+            head=(w,),
+            body=(DataAtom(Atom("a"), Atom("earns"), (Atom("projX"),), w),),
+        )
+        assert evaluate(db, with_arg) == frozenset({(Value(5),)})
+        without_arg = FlogicQuery(
+            head=(w,), body=(DataAtom(Atom("a"), Atom("earns"), (), w),)
+        )
+        assert evaluate(db, without_arg) == frozenset()
+
+    def test_argument_variables_bind(self, store):
+        db = FlogicDatabase.from_store(store)
+        arg = Variable("A")
+        query = FlogicQuery(
+            head=(arg,),
+            body=(DataAtom(Atom("a"), Atom("earns"), (arg,), Value(5)),),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("projX"),)})
+
+    def test_universe_accessors(self, store):
+        db = FlogicDatabase.from_store(store)
+        assert Atom("a") in db.individuals()
+        assert Atom("P") in db.classes()
+        assert Atom("Score") in db.methods()
+        assert Atom("P") not in db.individuals()
+
+
+class TestMoleculeHelpers:
+    def test_atom_variables(self):
+        x, y = Variable("X"), Variable("Y")
+        assert set(atom_variables(DataAtom(x, Atom("m"), (y,), Value(1)))) == {
+            x,
+            y,
+        }
+        assert set(atom_variables(IsaAtom(x, Atom("C")))) == {x}
+        assert set(atom_variables(SubclassAtom(Atom("A"), Atom("B")))) == set()
+        assert set(atom_variables(BuiltinAtom("<", x, Value(2)))) == {x}
+
+    def test_rendering(self):
+        atom = DataAtom(Atom("o"), Atom("m"), (Value(1),), Atom("r"))
+        assert str(atom) == "o[m@1 -> r]"
+        assert str(IsaAtom(Atom("o"), Atom("C"))) == "o : C"
+        assert str(SubclassAtom(Atom("A"), Atom("B"))) == "A :: B"

@@ -1,0 +1,133 @@
+"""Tests for the F-logic kernel: molecules, export, and evaluation."""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.errors import QueryError
+from repro.flogic import (
+    BuiltinAtom,
+    DataAtom,
+    FlogicDatabase,
+    FlogicQuery,
+    IsaAtom,
+    SubclassAtom,
+    evaluate,
+)
+from repro.oid import Atom, Value, Variable
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.declare_class("P")
+    s.declare_class("Q", ["P"])
+    s.declare_signature("P", "Age", "Numeral")
+    s.declare_signature("P", "Knows", "P", set_valued=True)
+    a = s.create_object(Atom("a"), ["P"])
+    b = s.create_object(Atom("b"), ["Q"])
+    s.set_attr(a, "Age", 30)
+    s.set_attr(b, "Age", 40)
+    s.add_to_set(a, "Knows", b)
+    return s
+
+
+@pytest.fixture
+def db(store) -> FlogicDatabase:
+    return FlogicDatabase.from_store(store)
+
+
+class TestExport:
+    def test_fact_count(self, db):
+        assert db.fact_count() == 3  # two ages + one knows member
+
+    def test_molecule_rendering(self, db):
+        molecules = {str(m) for m in db.all_molecules()}
+        assert "a[Age -> 30]" in molecules
+        assert "a[Knows -> b]" in molecules
+
+    def test_isa_closure(self, db):
+        assert db.isa_holds(Atom("b"), Atom("P"))
+        assert db.isa_holds(Atom("b"), Atom("Object"))
+        assert not db.isa_holds(Atom("a"), Atom("Q"))
+
+    def test_subclass_strict(self, db):
+        assert db.subclass_holds(Atom("Q"), Atom("P"))
+        assert not db.subclass_holds(Atom("P"), Atom("P"))
+
+
+class TestEvaluation:
+    def test_data_atom_ground(self, db):
+        query = FlogicQuery(
+            head=(Atom("a"),),
+            body=(DataAtom(Atom("a"), Atom("Age"), (), Value(30)),),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("a"),)})
+
+    def test_data_atom_binds_variable(self, db):
+        x = Variable("X")
+        query = FlogicQuery(
+            head=(x,),
+            body=(DataAtom(x, Atom("Age"), (), Value(40)),),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("b"),)})
+
+    def test_method_variable(self, db):
+        m = Variable("M")
+        query = FlogicQuery(
+            head=(m,),
+            body=(DataAtom(Atom("a"), m, (), Atom("b")),),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("Knows"),)})
+
+    def test_isa_atom(self, db):
+        x = Variable("X")
+        query = FlogicQuery(
+            head=(x,), body=(IsaAtom(x, Atom("Q")),)
+        )
+        assert evaluate(db, query) == frozenset({(Atom("b"),)})
+
+    def test_subclass_atom_enumeration(self, db):
+        c = Variable("C")
+        query = FlogicQuery(
+            head=(c,), body=(SubclassAtom(Atom("Q"), c),)
+        )
+        answers = {row[0] for row in evaluate(db, query)}
+        assert answers == {Atom("P"), Atom("Object")}
+
+    def test_join_across_atoms(self, db):
+        x, y, w = Variable("X"), Variable("Y"), Variable("W")
+        query = FlogicQuery(
+            head=(x, w),
+            body=(
+                DataAtom(x, Atom("Knows"), (), y),
+                DataAtom(y, Atom("Age"), (), w),
+            ),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("a"), Value(40))})
+
+    def test_builtin_comparison(self, db):
+        x, w = Variable("X"), Variable("W")
+        query = FlogicQuery(
+            head=(x,),
+            body=(
+                DataAtom(x, Atom("Age"), (), w),
+                BuiltinAtom(">", w, Value(35)),
+            ),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("b"),)})
+
+    def test_builtins_reordered_after_binders(self, db):
+        x, w = Variable("X"), Variable("W")
+        query = FlogicQuery(
+            head=(x,),
+            body=(
+                BuiltinAtom(">", w, Value(35)),  # unbound here ...
+                DataAtom(x, Atom("Age"), (), w),  # ... bound here
+            ),
+        )
+        assert evaluate(db, query) == frozenset({(Atom("b"),)})
+
+    def test_unbound_answer_variable_rejected(self, db):
+        query = FlogicQuery(head=(Variable("Z"),), body=())
+        with pytest.raises(QueryError):
+            evaluate(db, query)

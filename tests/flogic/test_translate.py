@@ -1,0 +1,107 @@
+"""Theorem 3.1: the translation P and its equivalence with the evaluator."""
+
+import pytest
+
+from repro.flogic import (
+    FlogicDatabase,
+    TranslationUnsupported,
+    evaluate,
+    translate,
+)
+from repro.flogic.molecules import BuiltinAtom, DataAtom, IsaAtom
+from repro.xsql.parser import parse_query
+
+#: Conjunctive paper queries covered by the executable fragment of P.
+EQUIVALENCE_QUERIES = [
+    "SELECT mary123.Residence.City",
+    "SELECT uniSQL.President.FamMembers.Name",
+    "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+    "SELECT Z FROM Employee X, Automobile Y "
+    "WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]",
+    "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20",
+    "SELECT X, Y FROM Company X "
+    "WHERE X.Name =some X.Divisions.Employees[Y].Name",
+    "SELECT #X WHERE TurboEngine subclassOf #X",
+    "SELECT Y FROM Person X WHERE X.Y.City['newyork']",
+    "SELECT X.Name, W.Salary FROM Company X WHERE X.Divisions.Employees[W]",
+    "SELECT X FROM Employee X WHERE X.Salary < 35000",
+    "SELECT X WHERE X instanceOf Employee",
+]
+
+
+class TestTranslationShape:
+    def test_from_becomes_isa(self, shared_paper_session):
+        query = parse_query("SELECT X FROM Person X")
+        translated = translate(query)
+        assert any(isinstance(a, IsaAtom) for a in translated.body)
+
+    def test_path_becomes_molecule_chain(self, shared_paper_session):
+        query = parse_query("SELECT mary123.Residence.City")
+        translated = translate(query)
+        data_atoms = [a for a in translated.body if isinstance(a, DataAtom)]
+        assert len(data_atoms) == 2
+        # chained through a fresh intermediate variable
+        assert data_atoms[0].value == data_atoms[1].host
+
+    def test_comparison_becomes_builtin(self, shared_paper_session):
+        query = parse_query(
+            "SELECT X FROM Employee X WHERE X.Salary > 1000"
+        )
+        translated = translate(query)
+        assert any(
+            isinstance(a, BuiltinAtom) and a.op == ">"
+            for a in translated.body
+        )
+
+    def test_rendering(self, shared_paper_session):
+        query = parse_query("SELECT X FROM Person X WHERE X.Age > 1")
+        text = str(translate(query))
+        assert "X : Person" in text
+        assert "[Age ->" in text
+
+
+class TestTheorem31Equivalence:
+    @pytest.mark.parametrize("text", EQUIVALENCE_QUERIES)
+    def test_flogic_equals_native(self, shared_paper_session, text):
+        session = shared_paper_session
+        query = parse_query(text)
+        db = FlogicDatabase.from_store(session.store)
+        flogic_answers = evaluate(db, translate(query))
+        native_answers = session.query(text).rows()
+        assert flogic_answers == native_answers, text
+
+
+class TestUnsupportedFragment:
+    def test_universal_quantifier(self):
+        query = parse_query(
+            "SELECT X WHERE X.Residence =all X.FamMembers.Residence"
+        )
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_disjunction(self):
+        query = parse_query("SELECT X WHERE X.A or X.B")
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_negation(self):
+        query = parse_query("SELECT X WHERE not X.A")
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_aggregates(self):
+        query = parse_query("SELECT X WHERE count(X.FamMembers) > 4")
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_creating_queries(self):
+        query = parse_query(
+            "SELECT N = X.Name FROM Company X OID FUNCTION OF X"
+        )
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_path_variables(self):
+        query = parse_query("SELECT X WHERE X.*P.City['a']")
+        with pytest.raises(TranslationUnsupported):
+            translate(query)

@@ -1,0 +1,87 @@
+"""Integrity of the Figure 1 schema as built by the library."""
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom
+from repro.schema.figure1 import FIGURE1_CLASSES, build_figure1_schema
+
+
+def test_all_classes_declared():
+    store = build_figure1_schema(ObjectStore())
+    for name in FIGURE1_CLASSES:
+        assert Atom(name) in store.class_universe(), name
+
+
+def test_isa_hierarchy_matches_figure():
+    store = build_figure1_schema(ObjectStore())
+    h = store.hierarchy
+    expectations = [
+        ("Motorbike", "Vehicle"),
+        ("Bicycle", "Vehicle"),
+        ("Automobile", "Vehicle"),
+        ("Employee", "Person"),
+        ("TwoStrokeEngine", "PistonEngine"),
+        ("FourStrokeEngine", "PistonEngine"),
+        ("TurboEngine", "FourStrokeEngine"),
+        ("DieselEngine", "FourStrokeEngine"),
+        ("TurboEngine", "PistonEngine"),  # transitive
+    ]
+    for sub, sup in expectations:
+        assert h.is_subclass(Atom(sub), Atom(sup)), (sub, sup)
+    # the figure has no Engine superclass between PistonEngine and Object:
+    # query (4)'s stated answer {FourStrokeEngine, PistonEngine, Object}
+    # depends on this.
+    assert h.superclasses(Atom("TurboEngine")) == frozenset(
+        {Atom("FourStrokeEngine"), Atom("PistonEngine"), Atom("Object")}
+    )
+
+
+def test_set_valued_attributes_starred_in_figure():
+    store = build_figure1_schema(ObjectStore())
+    starred = [
+        ("Person", "OwnedVehicles"),
+        ("Employee", "Qualifications"),
+        ("Employee", "FamMembers"),
+        ("Company", "Divisions"),
+        ("Division", "Employees"),
+    ]
+    for cls, attr in starred:
+        sigs = store.signatures_of(cls, attr)
+        assert sigs and all(s.set_valued for s in sigs), (cls, attr)
+    scalar = [
+        ("Person", "Residence"),
+        ("Vehicle", "Manufacturer"),
+        ("Division", "Manager"),
+        ("Company", "President"),
+    ]
+    for cls, attr in scalar:
+        sigs = store.signatures_of(cls, attr)
+        assert sigs and not any(s.set_valued for s in sigs), (cls, attr)
+
+
+def test_aggregation_domains():
+    store = build_figure1_schema(ObjectStore())
+    domains = {
+        ("Vehicle", "Manufacturer"): "Company",
+        ("Vehicle", "Drivetrain"): "VehicleDrivetrain",
+        ("VehicleDrivetrain", "Engine"): "PistonEngine",
+        ("Automobile", "Body"): "AutoBody",
+        ("Person", "Residence"): "Address",
+        ("Company", "Divisions"): "Division",
+        ("Division", "Manager"): "Employee",
+    }
+    for (cls, attr), result in domains.items():
+        sigs = store.declared_signatures(cls, attr)
+        assert sigs and sigs[0].result == Atom(result), (cls, attr)
+
+
+def test_footnote9_attributes_present():
+    store = build_figure1_schema(ObjectStore())
+    assert store.signatures_of("Company", "Retirees")
+    assert store.signatures_of("Employee", "Dependents")
+
+
+def test_idempotent_build():
+    store = ObjectStore()
+    build_figure1_schema(store)
+    build_figure1_schema(store)  # no duplicate-edge/cycle errors
+    assert len(store.signatures_of("Employee", "FamMembers")) == 1

@@ -1,0 +1,368 @@
+"""Every worked example of the paper, end to end.
+
+Each test carries the paper locus it reproduces; answers asserted here are
+either stated in the paper's text or follow from the reconstructed
+instance database (see ``repro.workloads.paper_db``).
+"""
+
+import pytest
+
+from repro.errors import IllDefinedQueryError
+from repro.oid import NIL, Atom, FuncOid, Value
+from tests.conftest import names
+
+
+class TestSection31PathExpressions:
+    def test_expression_1_residence_city(self, shared_paper_session):
+        # (1) mary123.Residence.City
+        result = shared_paper_session.query("SELECT mary123.Residence.City")
+        assert result.scalars() == ["newyork"]
+
+    def test_type_error_path_is_empty(self, shared_paper_session):
+        # "mary123.Residence.Salary ... is a type error" — under the
+        # metalogical reading it simply describes no paths.
+        result = shared_paper_session.query(
+            "SELECT mary123.Residence.Salary"
+        )
+        assert len(result) == 0
+
+    def test_president_family_names(self, shared_paper_session):
+        # uniSQL.President.FamlMembers.Name — several satisfying paths.
+        result = shared_paper_session.query(
+            "SELECT uniSQL.President.FamMembers.Name"
+        )
+        assert result.scalars() == ["Lee", "Sue"]
+
+    def test_selector_query_newyork(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']"
+        )
+        assert names(result) == ["addr_ny1", "addr_ny2"]
+
+    def test_intermediate_vselector_restricts_class(self, shared_paper_session):
+        # "the purpose of the variable Y is to restrict the search through
+        # employee-owned vehicles to just automobiles" — mary's motorbike
+        # engine is excluded both by FROM Employee and FROM Automobile.
+        result = shared_paper_session.query(
+            "SELECT Z FROM Employee X, Automobile Y "
+            "WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]"
+        )
+        assert names(result) == ["eng_diesel", "eng_four", "eng_turbo"]
+
+    def test_query_3_schema_browsing(self, shared_paper_session):
+        # (3): which attribute connects a Person to newyork?
+        result = shared_paper_session.query(
+            "SELECT Y FROM Person X WHERE X.Y.City['newyork']"
+        )
+        assert names(result) == ["Residence"]
+
+    def test_query_3_without_selector_is_weaker(self, shared_paper_session):
+        # "if the selector ['newyork'] were omitted ... the above query
+        # would have (potentially) returned more attributes".
+        with_selector = shared_paper_session.query(
+            "SELECT Y FROM Person X WHERE X.Y.City['austin']"
+        )
+        without = shared_paper_session.query(
+            "SELECT Y FROM Person X WHERE X.Y.City"
+        )
+        assert set(names(with_selector)) <= set(names(without))
+
+    def test_query_4_subclassOf(self, shared_paper_session):
+        # (4): the paper states the answer exactly.
+        result = shared_paper_session.query(
+            "SELECT #X WHERE TurboEngine subclassOf #X"
+        )
+        assert names(result) == ["FourStrokeEngine", "Object", "PistonEngine"]
+
+    def test_subclassOf_is_strict(self, shared_paper_session):
+        # "Cl subclassOf Cl is always false".
+        result = shared_paper_session.query(
+            "SELECT #X WHERE #X subclassOf #X"
+        )
+        assert len(result) == 0
+
+    def test_template_class_of_individuals(self, shared_paper_session):
+        # the §3.1 closing template: classes of individuals satisfying a
+        # condition.
+        result = shared_paper_session.query(
+            "SELECT #X FROM #X Y WHERE Y.CylinderN[6]"
+        )
+        assert "TurboEngine" in names(result)
+
+    def test_path_variable_extension(self, shared_paper_session):
+        # "we could then replace the path expression in (3) by
+        # X.*Y.City['newyork']".
+        result = shared_paper_session.query(
+            "SELECT X FROM Person X WHERE X.*Y.City['newyork']"
+        )
+        assert "mary123" in names(result)
+        assert "ben" in names(result)
+
+
+class TestSection32Comparisons:
+    def test_john_family_some_over_20(self, shared_paper_session):
+        # _john13.FamMembers.Age some> 20 is true (Anna is 22).
+        result = shared_paper_session.query(
+            "SELECT X WHERE john13.FamMembers.Age some> 20"
+        )
+        assert len(result) > 0
+
+    def test_employees_with_adult_family(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+        )
+        assert names(result) == ["john13", "kim"]
+
+    def test_blue_and_red_young_president(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Automobile Y WHERE Y.Manufacturer[X] "
+            "and X.President.OwnedVehicles.Color containsEq "
+            "{'blue', 'red'} and X.President.Age < 30"
+        )
+        assert names(result) == ["uniSQL"]
+
+    def test_range_inferred_without_from(self, shared_paper_session):
+        # "it is not necessary to define the range of X since it can be
+        # inferred from the path expression".
+        result = shared_paper_session.query(
+            "SELECT X FROM Automobile Y WHERE Y.Manufacturer[X]"
+        )
+        assert set(names(result)) == {"uniSQL", "acme"}
+
+    def test_same_city_all(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) > 0 and "
+            "X.Residence.City =all X.FamMembers.Residence.City"
+        )
+        assert names(result) == ["ben", "john13", "kim"]
+
+    def test_all_less_than_all(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT Y, X FROM Employee Y, Employee X "
+            "WHERE count(Y.FamMembers) > 0 and count(X.FamMembers) > 0 "
+            "and Y.FamMembers.Age all<all X.FamMembers.Age"
+        )
+        assert [(str(a), str(b)) for a, b in result.rows()] == [
+            ("ben", "john13")
+        ]
+
+    def test_aggregate_query(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) > 4 "
+            "and X.Residence =all X.FamMembers.Residence "
+            "and X.Salary < 35000"
+        )
+        assert names(result) == ["ben"]
+
+
+class TestSection33Relations:
+    def test_query_5_company_salary_relation(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X.Name, W.Salary FROM Company X "
+            "WHERE X.Divisions.Employees[W]"
+        )
+        rows = {(str(a), str(b)) for a, b in result.rows()}
+        assert ("'UniSQL'", "30000") in rows
+        assert ("'Acme'", "250000") in rows
+        assert len(rows) == 5  # ben and john13 share (UniSQL, 30000)
+
+    def test_query_6_explicit_join(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X, Y FROM Company X "
+            "WHERE X.Name =some X.Divisions.Employees[Y].Name"
+        )
+        assert [(str(a), str(b)) for a, b in result.rows()] == [
+            ("acme", "acmeEmp")
+        ]
+
+    def test_union_minus(self, shared_paper_session):
+        employees = shared_paper_session.query("SELECT X FROM Employee X")
+        non_employees = shared_paper_session.query(
+            "SELECT X FROM Person X MINUS SELECT X FROM Employee X"
+        )
+        assert len(non_employees) > 0
+        assert not (employees.rows() & non_employees.rows())
+
+
+class TestSection41Creation:
+    def test_emp_salary_per_pair(self, paper_session):
+        result = paper_session.execute(
+            "SELECT EmpSalary = W.Salary FROM Company X "
+            "OID FUNCTION OF X, W WHERE X.Divisions.Employees[W]"
+        )
+        assert len(result.created) == 6
+
+    def test_ill_defined_query_detected(self, paper_session):
+        with pytest.raises(IllDefinedQueryError):
+            paper_session.execute(
+                "SELECT CompName = X.Name, EmpSalary = W.Salary "
+                "FROM Company X OID FUNCTION OF X "
+                "WHERE X.Divisions.Employees[W]"
+            )
+
+    def test_query_7_company_rosters(self, paper_session):
+        result = paper_session.execute(
+            "SELECT CompName = Y.Name, Employees = Y.Divisions.Employees "
+            "FROM Company Y OID FUNCTION OF Y"
+        )
+        store = paper_session.store
+        created = {str(o): o for o in result.created}
+        uni = next(o for s, o in created.items() if "uniSQL" in s)
+        assert store.invoke(uni, "Employees") == frozenset(
+            {Atom("john13"), Atom("ben"), Atom("rich")}
+        )
+
+    def test_query_8_beneficiaries(self, paper_session):
+        result = paper_session.execute(
+            "SELECT CompName = Y.Name, Beneficiaries = {W} "
+            "FROM Company Y OID FUNCTION OF Y "
+            "WHERE Y.Retirees[W] or Y.Divisions.Employees.Dependents[W]"
+        )
+        store = paper_session.store
+        (uni,) = result.created  # acme has no beneficiaries
+        assert store.invoke(uni, "Beneficiaries") == frozenset(
+            {Atom("ret1"), Atom("bob"), Atom("benfam1")}
+        )
+
+
+class TestSection42Views:
+    VIEW = (
+        "CREATE VIEW CompSalaries AS SUBCLASS OF Object "
+        "SIGNATURE CompName = String, DivName = String, Salary = Numeral "
+        "SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary "
+        "FROM Company X OID FUNCTION OF X, W "
+        "WHERE X.Divisions[Y].Employees[W]"
+    )
+
+    def test_query_9_view_creation(self, paper_session):
+        paper_session.execute(self.VIEW)
+        assert len(paper_session.store.extent("CompSalaries")) == 6
+
+    def test_query_10_view_in_query(self, paper_session):
+        paper_session.execute(self.VIEW)
+        result = paper_session.query(
+            "SELECT X.Manufacturer.Name FROM Automobile X, Employee W "
+            "WHERE CompSalaries(X.Manufacturer, W).Salary > 35000"
+        )
+        assert sorted(result.scalars()) == ["Acme", "UniSQL"]
+
+    def test_view_update_translation(self, paper_session):
+        paper_session.execute(self.VIEW)
+        target = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("rich")))
+        paper_session.update_view(
+            "CompSalaries", "Salary", {target: Value(95000)}
+        )
+        assert paper_session.store.invoke_scalar(
+            Atom("rich"), "Salary"
+        ) == Value(95000)
+
+
+class TestSection5Methods:
+    MNGR = (
+        "ALTER CLASS Company "
+        "ADD SIGNATURE MngrSalary : String => Numeral "
+        "SELECT (MngrSalary @ Y.Name) = W FROM Company X OID X "
+        "WHERE X.Divisions[Y].Manager.Salary[W]"
+    )
+    RAISE = (
+        "ALTER CLASS Company "
+        "ADD SIGNATURE RaiseMngrSalary : Numeral => Object "
+        "SELECT (RaiseMngrSalary @ W) = nil FROM Company X, Numeral W "
+        "OID X WHERE W < 20 and (UPDATE CLASS Company "
+        "SET X.Divisions[Y].Manager.Salary = "
+        "(1 + W/100) * X.(MngrSalary @ Y.Name))"
+    )
+
+    def test_query_12_method_definition(self, paper_session):
+        paper_session.execute(self.MNGR)
+        assert paper_session.store.invoke(
+            Atom("acme"), "MngrSalary", [Value("Advertizing")]
+        ) == frozenset({Value(300000)})
+
+    def test_query_13_high_paying_manufacturers(self, paper_session):
+        paper_session.execute(self.MNGR)
+        result = paper_session.query(
+            "SELECT X FROM Vehicle X WHERE 200000 <all "
+            "(SELECT W FROM Division Y "
+            "WHERE X.Manufacturer.(MngrSalary @ Y.Name)[W])"
+        )
+        assert names(result) == ["carWhite", "moto1"]
+
+    def test_update_method_raise(self, paper_session):
+        paper_session.execute(self.MNGR)
+        paper_session.execute(self.RAISE)
+        outcome = paper_session.store.invoke(
+            Atom("uniSQL"), "RaiseMngrSalary", [Value(10)]
+        )
+        assert outcome == frozenset({NIL})
+        assert paper_session.store.invoke_scalar(
+            Atom("john13"), "Salary"
+        ) == Value(33000)
+
+    def test_update_method_guard(self, paper_session):
+        paper_session.execute(self.MNGR)
+        paper_session.execute(self.RAISE)
+        outcome = paper_session.store.invoke(
+            Atom("uniSQL"), "RaiseMngrSalary", [Value(50)]
+        )
+        assert outcome == frozenset()
+
+
+class TestIntroductionExamples:
+    def test_nobel_prize_query(self, nobel_session):
+        result = nobel_session.query("SELECT X WHERE X.WonNobelPrize")
+        assert names(result) == ["einstein", "unicef"]
+
+    def test_engine_types_installed(self, shared_paper_session):
+        # footnote 1: engine types "currently installed in some vehicles".
+        result = shared_paper_session.query(
+            "SELECT #E FROM Vehicle X, #E Z "
+            "WHERE X.Drivetrain.Engine[Z] and #E subclassOf PistonEngine"
+        )
+        assert names(result) == [
+            "DieselEngine",
+            "FourStrokeEngine",
+            "TurboEngine",
+            "TwoStrokeEngine",
+        ]
+
+    def test_engine_types_all(self, shared_paper_session):
+        # footnote 1: "all the engine types that exist, including those
+        # that are currently not installed" — pure schema query.
+        result = shared_paper_session.query(
+            "SELECT #X WHERE #X subclassOf PistonEngine"
+        )
+        assert names(result) == [
+            "DieselEngine",
+            "FourStrokeEngine",
+            "TurboEngine",
+            "TwoStrokeEngine",
+        ]
+
+
+class TestSection2University:
+    def test_workstudy_polymorphic_signatures(self, university_session):
+        sigs = university_session.store.signatures_of(
+            "UDepartment", "workstudy"
+        )
+        assert {s.result.name for s in sigs} == {"UStudent", "UEmployee"}
+
+    def test_earns_two_type_expressions(self, university_session):
+        # "earns has two type expressions, employee, project => pay and
+        # student, course => grade" — both visible on workstudy (§6.1).
+        exprs = university_session.store.all_type_exprs("earns")
+        assert len(exprs) == 2
+
+    def test_workstudy_earns_both_ways(self, university_session):
+        store = university_session.store
+        pay = store.invoke(Atom("pam"), "earns", [Atom("proj1")])
+        grade = store.invoke(Atom("pam"), "earns", [Atom("cse305")])
+        assert pay == frozenset({Atom("pay1")})
+        assert grade == frozenset({Atom("gradeA")})
+
+    def test_workstudy_query(self, university_session):
+        result = university_session.query(
+            "SELECT W FROM UDepartment D "
+            "WHERE D.(workstudy @ fall95)[W]"
+        )
+        assert names(result) == ["pam"]

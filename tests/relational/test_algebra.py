@@ -1,0 +1,141 @@
+"""Tests for the relational baseline: relations and algebra laws."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RelationalError
+from repro.relational import (
+    Relation,
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    theta_join,
+    union,
+)
+
+
+@pytest.fixture
+def people() -> Relation:
+    return Relation(
+        ["pid", "name", "age"],
+        [
+            ("p1", "Ann", 30),
+            ("p2", "Bob", 40),
+            ("p3", "Cy", 40),
+        ],
+    )
+
+
+@pytest.fixture
+def owns() -> Relation:
+    return Relation(
+        ["pid", "vid"],
+        [("p1", "v1"), ("p2", "v2"), ("p2", "v3")],
+    )
+
+
+class TestRelation:
+    def test_set_semantics(self):
+        r = Relation(["x"], [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Relation(["x", "x"])
+
+    def test_arity_enforced(self):
+        with pytest.raises(RelationalError):
+            Relation(["x"], [(1, 2)])
+
+    def test_column_values(self, people):
+        assert people.column_values("age") == frozenset({30, 40})
+
+    def test_as_dicts(self, people):
+        dicts = people.as_dicts()
+        assert {"pid": "p1", "name": "Ann", "age": 30} in dicts
+
+
+class TestOperators:
+    def test_select(self, people):
+        adults = select(people, lambda row: row["age"] > 35)
+        assert len(adults) == 2
+
+    def test_project_eliminates_duplicates(self, people):
+        ages = project(people, ["age"])
+        assert len(ages) == 2
+
+    def test_rename(self, people):
+        renamed = rename(people, {"pid": "person_id"})
+        assert "person_id" in renamed.columns
+        assert len(renamed) == len(people)
+
+    def test_product_disjointness(self, people, owns):
+        with pytest.raises(RelationalError):
+            product(people, owns)  # shares pid
+
+    def test_natural_join(self, people, owns):
+        joined = natural_join(people, owns)
+        assert len(joined) == 3
+        assert set(joined.columns) == {"pid", "name", "age", "vid"}
+
+    def test_natural_join_without_shared_is_product(self, people):
+        other = Relation(["color"], [("red",), ("blue",)])
+        assert len(natural_join(people, other)) == 6
+
+    def test_theta_join(self, people):
+        older = theta_join(
+            rename(people, {"pid": "a", "name": "an", "age": "aa"}),
+            rename(people, {"pid": "b", "name": "bn", "age": "ba"}),
+            lambda l, r: l["aa"] > r["ba"],
+        )
+        assert len(older) == 2  # Bob>Ann, Cy>Ann
+
+    def test_set_operators(self, people):
+        forty = select(people, lambda r: r["age"] == 40)
+        thirty = select(people, lambda r: r["age"] == 30)
+        assert len(union(forty, thirty)) == 3
+        assert len(difference(people, forty)) == 1
+        assert len(intersection(people, forty)) == 2
+
+    def test_union_schema_checked(self, people, owns):
+        with pytest.raises(RelationalError):
+            union(people, owns)
+
+
+rows_strategy = st.frozensets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12
+)
+
+
+@given(a=rows_strategy, b=rows_strategy, c=rows_strategy)
+def test_set_operator_laws(a, b, c):
+    """Property: standard algebra laws on union/difference/intersection."""
+    cols = ["x", "y"]
+    ra, rb, rc = Relation(cols, a), Relation(cols, b), Relation(cols, c)
+    assert union(ra, rb) == union(rb, ra)
+    assert intersection(ra, rb) == intersection(rb, ra)
+    assert union(ra, union(rb, rc)) == union(union(ra, rb), rc)
+    # De Morgan-ish: A - (B ∪ C) == (A - B) ∩ (A - C)
+    assert difference(ra, union(rb, rc)) == intersection(
+        difference(ra, rb), difference(ra, rc)
+    )
+
+
+@given(a=rows_strategy, b=rows_strategy)
+def test_join_project_laws(a, b):
+    """Property: natural join on identical schemas is intersection."""
+    cols = ["x", "y"]
+    ra, rb = Relation(cols, a), Relation(cols, b)
+    assert natural_join(ra, rb) == intersection(ra, rb)
+
+
+@given(a=rows_strategy)
+def test_project_idempotent(a):
+    r = Relation(["x", "y"], a)
+    once = project(r, ["x"])
+    assert project(once, ["x"]) == once

@@ -1,0 +1,96 @@
+"""Tests for the relational database and the Figure 1 mirror (§1)."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import RelationalDatabase, mirror_figure1, project, select
+
+
+class TestRelationalDatabase:
+    def test_create_insert_query(self):
+        db = RelationalDatabase()
+        db.create("t", ["a", "b"])
+        db.insert("t", (1, 2))
+        db.insert_many("t", [(3, 4), (1, 2)])
+        assert len(db.table("t")) == 2
+
+    def test_duplicate_table_rejected(self):
+        db = RelationalDatabase()
+        db.create("t", ["a"])
+        with pytest.raises(RelationalError):
+            db.create("t", ["a"])
+
+    def test_missing_table(self):
+        db = RelationalDatabase()
+        with pytest.raises(RelationalError):
+            db.table("nope")
+        assert "nope" not in db
+
+
+class TestFigure1Mirror:
+    def test_engine_type_becomes_data(self, shared_paper_session):
+        # The §1 contrast: IS-A position flattened into a column.
+        db = mirror_figure1(shared_paper_session.store)
+        installed = project(db.table("vehicles"), ["engine_type"])
+        assert {row[0] for row in installed} == {
+            "TurboEngine",
+            "DieselEngine",
+            "FourStrokeEngine",
+            "TwoStrokeEngine",
+        }
+
+    def test_engine_catalog_covers_schema(self, shared_paper_session):
+        db = mirror_figure1(shared_paper_session.store)
+        catalog = {row[0] for row in db.table("engine_catalog")}
+        assert catalog == {
+            "TurboEngine",
+            "DieselEngine",
+            "FourStrokeEngine",
+            "TwoStrokeEngine",
+        }
+
+    def test_people_mirrored_with_employee_flag(self, shared_paper_session):
+        db = mirror_figure1(shared_paper_session.store)
+        employees = select(
+            db.table("people"), lambda r: r["is_employee"]
+        )
+        names = {r[1] for r in employees}
+        assert "'John'" not in names  # payloads, not rendered oids
+        assert "John" in {r["name"] for r in employees.as_dicts()}
+
+    def test_relational_join_reproduces_xsql_answer(
+        self, shared_paper_session
+    ):
+        """The §3.2 some>-query, spelled relationally: join + filter."""
+        from repro.relational import natural_join, rename
+
+        db = mirror_figure1(shared_paper_session.store)
+        fam = db.table("fam_members")
+        members = rename(
+            db.table("people"),
+            {
+                "pid": "member",
+                "name": "mname",
+                "age": "mage",
+                "city": "mcity",
+                "salary": "msalary",
+                "is_employee": "memp",
+            },
+        )
+        joined = natural_join(fam, members)
+        over20 = select(joined, lambda r: (r["mage"] or 0) > 20)
+        relational_answer = {r[0] for r in project(over20, ["pid"])}
+        xsql_answer = {
+            str(v)
+            for v in shared_paper_session.query(
+                "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+            ).single_column()
+        }
+        assert relational_answer == xsql_answer
+
+    def test_divisions_linkage(self, shared_paper_session):
+        db = mirror_figure1(shared_paper_session.store)
+        divisions = db.table("divisions")
+        assert len(divisions) == 4
+        memberships = db.table("division_employees")
+        assert len(memberships) == 6

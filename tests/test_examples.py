@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print their results"
+
+
+def test_quickstart_shows_paper_answers():
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "newyork" in completed.stdout
+    assert "uniSQL" in completed.stdout
+    assert "ben" in completed.stdout

@@ -1,0 +1,57 @@
+"""Edge cases of the one-call typing analysis."""
+
+import pytest
+
+from repro.typing import analyze
+from repro.typing.occurrences import TypingUnsupportedError
+from repro.xsql.parser import parse_query
+from repro.xsql import ast
+
+
+class TestAnalyzeInputs:
+    def test_accepts_parsed_query(self, shared_paper_session):
+        query = parse_query("SELECT X FROM Employee X WHERE X.Salary[W]")
+        report = analyze(query, shared_paper_session.store)
+        assert report.strict
+
+    def test_union_rejected(self, shared_paper_session):
+        with pytest.raises(TypingUnsupportedError):
+            analyze(
+                "SELECT X FROM Person X UNION SELECT X FROM Company X",
+                shared_paper_session.store,
+            )
+
+    def test_creating_query_outside_fragment(self, shared_paper_session):
+        report = analyze(
+            "SELECT N = X.Name FROM Company X OID FUNCTION OF X",
+            shared_paper_session.store,
+        )
+        assert report.discipline() == "outside-fragment"
+
+    def test_no_where_clause_is_trivially_strict(self, shared_paper_session):
+        report = analyze(
+            "SELECT X FROM Employee X", shared_paper_session.store
+        )
+        assert report.strict
+        assert report.typed_query.paths == ()
+
+
+class TestSummaries:
+    def test_liberal_only_summary_lists_assignment(self, nobel_session):
+        report = analyze("SELECT X WHERE X.WonNobelPrize", nobel_session.store)
+        text = report.summary()
+        assert "liberal-only" in text
+        assert "WonNobelPrize" in text
+
+    def test_outside_fragment_summary(self, shared_paper_session):
+        report = analyze(
+            "SELECT X WHERE X.A or X.B", shared_paper_session.store
+        )
+        assert "outside the" in report.summary()
+
+    def test_ill_typed_summary(self, shared_paper_session):
+        report = analyze(
+            "SELECT X FROM Person X WHERE X.Divisions[D]",
+            shared_paper_session.store,
+        )
+        assert report.summary() == "discipline: ill-typed"

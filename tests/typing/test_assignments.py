@@ -1,0 +1,133 @@
+"""Tests for type assignments, candidates, and validity (§6.2)."""
+
+import pytest
+
+from repro.oid import Atom, Value, Variable
+from repro.typing.assignments import (
+    TypeAssignment,
+    candidate_type_exprs,
+    is_valid_assignment,
+    validity_failure,
+)
+from repro.typing.occurrences import build_typed_query
+from repro.xsql.parser import parse_query
+
+
+def typed(text):
+    return build_typed_query(parse_query(text))
+
+
+def assign_all(typed_query, store, chooser=None):
+    """Assign each occurrence its first (or chosen) candidate."""
+    mapping = {}
+    for occ in typed_query.all_occurrences():
+        candidates = candidate_type_exprs(store, occ)
+        assert candidates, f"no candidates for {occ}"
+        chosen = candidates[0]
+        if chooser is not None:
+            chosen = chooser(occ, candidates)
+        mapping[occ] = chosen
+    return TypeAssignment.of(mapping)
+
+
+class TestCandidates:
+    def test_declared_expression_first(self, shared_paper_session):
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        occ = query.all_occurrences()[0]
+        candidates = candidate_type_exprs(shared_paper_session.store, occ)
+        assert candidates[0].scope == Atom("Vehicle")
+        assert candidates[0].result == Atom("Company")
+
+    def test_result_superclass_variants_included(self, shared_paper_session):
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        occ = query.all_occurrences()[0]
+        candidates = candidate_type_exprs(shared_paper_session.store, occ)
+        results = {c.result for c in candidates}
+        assert Atom("Object") in results  # generalized result
+
+    def test_arity_filtering(self, typing_session):
+        query = typed("SELECT M WHERE OO_Forum.(Member @ Y)[M]")
+        occ = query.all_occurrences()[0]
+        candidates = candidate_type_exprs(typing_session.store, occ)
+        assert all(c.arity == 1 for c in candidates)
+
+    def test_unknown_method_has_no_candidates(self, shared_paper_session):
+        query = typed("SELECT X WHERE X.NoSuchAttr[Y]")
+        occ = query.all_occurrences()[0]
+        assert candidate_type_exprs(shared_paper_session.store, occ) == []
+
+
+class TestForcedTypesAndRanges:
+    def test_forcing_rule(self, shared_paper_session):
+        # "A_ij is assigned T_ij, Sel_{i-1} is assigned T_i0, and Sel_i is
+        # assigned R_i".
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        assignment = assign_all(query, shared_paper_session.store)
+        forced = assignment.forced_types(query)
+        assert forced[Variable("X")] == [Atom("Vehicle")]
+        assert forced[Variable("M")] == [Atom("Company")]
+
+    def test_range_includes_from_and_object(self, shared_paper_session):
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        assignment = assign_all(query, shared_paper_session.store)
+        range_x = assignment.range_of(Variable("X"), query)
+        assert Atom("Vehicle") in range_x.classes
+        assert Atom("Object") in range_x.classes
+
+    def test_restriction_drops_entries(self, shared_paper_session):
+        query = typed(
+            "SELECT X FROM Vehicle X "
+            "WHERE X.Manufacturer[M] and M.President[P]"
+        )
+        assignment = assign_all(query, shared_paper_session.store)
+        restricted = assignment.restrict_to([])
+        assert restricted.entries == ()
+        assert restricted.range_of(Variable("M"), query).classes == frozenset(
+            {Atom("Object")}
+        )
+
+
+class TestValidity:
+    def test_valid_assignment(self, shared_paper_session):
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        assignment = assign_all(query, shared_paper_session.store)
+        assert is_valid_assignment(
+            assignment, query, shared_paper_session.store
+        )
+
+    def test_oid_selector_instance_check(self, shared_paper_session):
+        # mary123 is a Person, not a Company: President's scope fails.
+        query = typed("SELECT P WHERE mary123.President[P]")
+        assignment = assign_all(query, shared_paper_session.store)
+        failure = validity_failure(
+            assignment, query, shared_paper_session.store
+        )
+        assert failure is not None and "mary123" in failure
+
+    def test_comparison_domain_check(self, shared_paper_session):
+        # Name (String) < 5 (Numeral) is never well defined.
+        query = typed("SELECT X FROM Person X WHERE X.Name < 5")
+        assignment = assign_all(query, shared_paper_session.store)
+        failure = validity_failure(
+            assignment, query, shared_paper_session.store
+        )
+        assert failure is not None and "not well defined" in failure
+
+    def test_string_ordering_is_well_defined(self, shared_paper_session):
+        query = typed("SELECT X FROM Person X WHERE X.Name < 'zzz'")
+        assignment = assign_all(query, shared_paper_session.store)
+        assert is_valid_assignment(
+            assignment, query, shared_paper_session.store
+        )
+
+    def test_equality_always_well_defined(self, shared_paper_session):
+        query = typed("SELECT X FROM Person X WHERE X.Name =some X.Age")
+        assignment = assign_all(query, shared_paper_session.store)
+        assert is_valid_assignment(
+            assignment, query, shared_paper_session.store
+        )
+
+    def test_incomplete_detected(self, shared_paper_session):
+        query = typed("SELECT X FROM Vehicle X WHERE X.Manufacturer[M]")
+        empty = TypeAssignment.of({})
+        assert not empty.is_complete_for(query)

@@ -1,0 +1,53 @@
+"""Tests for minimal-exemption inference (well-typing with exemptions)."""
+
+from repro.typing import Exemptions, minimal_exemptions, build_typed_query
+from repro.typing.strict import find_coherent_pair
+from repro.xsql.parser import parse_query
+
+
+def typed(text):
+    return build_typed_query(parse_query(text))
+
+
+class TestMinimalExemptions:
+    def test_strict_query_needs_nothing(self, shared_paper_session):
+        query = typed(
+            "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] "
+            "and M.President.OwnedVehicles[X]"
+        )
+        found = minimal_exemptions(query, shared_paper_session.store)
+        assert found == Exemptions.NONE
+
+    def test_nobel_needs_exactly_the_scope_argument(self, nobel_session):
+        # The paper's fix, found automatically: "we can exempt the 0-th
+        # argument of WonNobelPrize".
+        query = typed("SELECT X WHERE X.WonNobelPrize")
+        found = minimal_exemptions(query, nobel_session.store)
+        assert found is not None
+        assert found.by_method == frozenset({("WonNobelPrize", 0)})
+
+    def test_found_set_actually_works(self, nobel_session):
+        query = typed("SELECT X WHERE X.WonNobelPrize")
+        found = minimal_exemptions(query, nobel_session.store)
+        assert find_coherent_pair(
+            query, nobel_session.store, found
+        ) is not None
+
+    def test_unrepairable_query_returns_none(self, shared_paper_session):
+        # Ranges stay empty no matter which coherence checks are waived:
+        # X is both a Person (FROM) and in Divisions' scope (Company).
+        query = typed("SELECT X FROM Person X WHERE X.Divisions[D]")
+        assert (
+            minimal_exemptions(query, shared_paper_session.store) is None
+        )
+
+    def test_two_positions_when_needed(self, nobel_session):
+        # Two independent unconstrained scopes need two exemptions.
+        query = typed(
+            "SELECT X WHERE X.WonNobelPrize and Y.WonNobelPrize"
+        )
+        found = minimal_exemptions(query, nobel_session.store)
+        assert found is not None
+        # a single method-level exemption covers both occurrences here,
+        # so the minimal set is still size one.
+        assert len(found.by_method) == 1

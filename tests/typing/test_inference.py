@@ -1,0 +1,118 @@
+"""Tests for signature inference (schema discovery)."""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom, Value
+from repro.typing import analyze
+from repro.typing.inference import infer_signatures, install_inferred
+
+
+@pytest.fixture
+def untyped_store() -> ObjectStore:
+    """Data without any declared signatures."""
+    store = ObjectStore()
+    store.declare_class("City")
+    store.declare_class("Capital", ["City"])
+    store.declare_class("P")
+    boston = store.create_object(Atom("boston"), ["City"])
+    paris = store.create_object(Atom("paris"), ["Capital"])
+    a = store.create_object(Atom("a"), ["P"])
+    b = store.create_object(Atom("b"), ["P"])
+    store.set_attr(a, "Home", boston)
+    store.set_attr(b, "Home", paris)
+    store.set_attr(a, "Age", 30)
+    store.add_to_set(a, "Visited", paris)
+    store.add_to_set(b, "Visited", paris)
+    store.set_attr(a, "Grade", Value("A"), args=[boston])
+    return store
+
+
+class TestInference:
+    def test_scalar_result_class(self, untyped_store):
+        proposals = {
+            p.signature.method.name: p
+            for p in infer_signatures(untyped_store, Atom("P"))
+        }
+        home = proposals["Home"].signature
+        # boston: City, paris: Capital -> most specific common is City.
+        assert home.result == Atom("City")
+        assert not home.set_valued
+
+    def test_literal_result_class(self, untyped_store):
+        proposals = {
+            p.signature.method.name: p
+            for p in infer_signatures(untyped_store, Atom("P"))
+        }
+        assert proposals["Age"].signature.result == Atom("Numeral")
+
+    def test_set_valued_detected(self, untyped_store):
+        proposals = {
+            p.signature.method.name: p
+            for p in infer_signatures(untyped_store, Atom("P"))
+        }
+        visited = proposals["Visited"].signature
+        assert visited.set_valued
+        assert visited.result == Atom("Capital")  # all values are capitals
+
+    def test_argument_types_inferred(self, untyped_store):
+        proposals = {
+            (p.signature.method.name, p.signature.arity): p
+            for p in infer_signatures(untyped_store, Atom("P"))
+        }
+        grade = proposals[("Grade", 1)].signature
+        assert grade.type_expr.args == (Atom("City"),)
+        assert grade.result == Atom("String")
+
+    def test_support_counts(self, untyped_store):
+        proposals = {
+            p.signature.method.name: p
+            for p in infer_signatures(untyped_store, Atom("P"))
+        }
+        assert proposals["Home"].support == 2
+        assert proposals["Age"].support == 1
+
+    def test_min_support_filters(self, untyped_store):
+        names = {
+            p.signature.method.name
+            for p in infer_signatures(untyped_store, Atom("P"), min_support=2)
+        }
+        assert "Home" in names and "Age" not in names
+
+
+class TestInstall:
+    def test_installed_signatures_enable_typing(self, untyped_store):
+        query = "SELECT X FROM P X WHERE X.Home[H] and H.Name"
+        # without signatures the query cannot be strictly typed (no
+        # candidates for Home).
+        untyped_store.declare_signature("City", "Name", "String")
+        before = analyze(
+            "SELECT X FROM P X WHERE X.Home[H]", untyped_store
+        )
+        assert not before.liberal  # Home possesses no type yet
+        install_inferred(untyped_store, Atom("P"))
+        after = analyze(
+            "SELECT X FROM P X WHERE X.Home[H]", untyped_store
+        )
+        assert after.strict
+
+    def test_existing_declarations_not_overwritten(self, untyped_store):
+        untyped_store.declare_signature("P", "Home", "Object")
+        installed = install_inferred(untyped_store, Atom("P"))
+        assert all(
+            p.signature.method != Atom("Home") for p in installed
+        )
+        exprs = untyped_store.all_type_exprs("Home")
+        assert len(exprs) == 1 and exprs[0].result == Atom("Object")
+
+    def test_paper_database_inference_round(self):
+        # inferring on an already-typed store proposes compatible shapes.
+        from tests.conftest import make_paper_session
+
+        store = make_paper_session().store
+        proposals = {
+            p.signature.method.name: p.signature
+            for p in infer_signatures(store, Atom("Employee"))
+        }
+        assert proposals["Salary"].result == Atom("Numeral")
+        assert proposals["FamMembers"].set_valued

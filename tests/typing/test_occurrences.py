@@ -1,0 +1,119 @@
+"""Tests for the §6.2 typing normal form."""
+
+import pytest
+
+from repro.oid import Atom, Value, Variable
+from repro.typing.occurrences import (
+    TypingUnsupportedError,
+    build_typed_query,
+)
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+
+
+def typed(text: str):
+    return build_typed_query(parse_query(text))
+
+
+class TestPaths:
+    def test_selector_completion(self):
+        # "adding new distinct v-selectors wherever selectors are
+        # originally missing".
+        query = typed(
+            "SELECT X FROM Person X WHERE X.Residence.City['newyork']"
+        )
+        path = query.paths[0]
+        assert len(path.selectors) == 3
+        assert isinstance(path.selectors[1], Variable)  # fresh
+        assert path.selectors[2] == Value("newyork")
+
+    def test_occurrences_numbered(self):
+        query = typed("SELECT X WHERE X.Manufacturer[M].President[P]")
+        occs = query.paths[0].occurrences
+        assert [o.position for o in occs] == [1, 2]
+        assert occs[0].method == Atom("Manufacturer")
+
+    def test_path_sources_recorded(self):
+        query = typed(
+            "SELECT X FROM Person X WHERE X.Residence[R] and R.City[C]"
+        )
+        assert query.path_sources == (0, 1)
+
+
+class TestFootnote13:
+    def test_comparison_side_gets_fresh_tail(self):
+        query = typed(
+            "SELECT X FROM Employee X WHERE X.Salary > 100"
+        )
+        assert len(query.paths) == 1  # the desugared X.Salary[_t]
+        comp = query.comparisons[0]
+        assert isinstance(comp.left.term, Variable)
+        assert comp.right.term == Value(100)
+
+    def test_comparison_side_with_selector_reused(self):
+        query = typed(
+            "SELECT X FROM Employee X WHERE X.Salary[W] =some W2.Salary[W]"
+        )
+        # both sides end in the v-selector W.
+        assert all(
+            c.left.term == Variable("W") or c.right.term == Variable("W")
+            for c in query.comparisons
+        )
+
+    def test_aggregate_side_is_numeral(self):
+        query = typed(
+            "SELECT X FROM Employee X WHERE count(X.FamMembers) > 4"
+        )
+        comp = query.comparisons[0]
+        assert comp.left.kind == "numeral"
+        assert len(query.paths) == 1
+
+
+class TestFromAndSelect:
+    def test_from_types_collected(self):
+        query = typed("SELECT X FROM Employee X, Company X")
+        assert query.from_types[Variable("X")] == (
+            Atom("Employee"),
+            Atom("Company"),
+        )
+
+    def test_select_terms(self):
+        query = typed("SELECT X, mary123 FROM Person X")
+        assert query.select_terms == (Variable("X"), Atom("mary123"))
+
+    def test_variables_collects_everything(self):
+        query = typed(
+            "SELECT X FROM Person X WHERE X.Residence[R] and R.City > 'a'"
+        )
+        names = {v.name for v in query.variables()}
+        assert {"X", "R"} <= names
+
+
+class TestOutsideFragment:
+    def test_disjunction_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed("SELECT X WHERE X.A or X.B")
+
+    def test_negation_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed("SELECT X WHERE not X.A")
+
+    def test_method_variable_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed('SELECT X WHERE X."Y.City')
+
+    def test_path_variable_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed("SELECT X WHERE X.*P.City")
+
+    def test_class_var_in_from_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed("SELECT X FROM #C X WHERE X.Age")
+
+    def test_non_variable_select_path_unsupported(self):
+        with pytest.raises(TypingUnsupportedError):
+            typed("SELECT X.Name FROM Person X")
+
+    def test_schema_conditions_tolerated(self):
+        query = typed("SELECT #X FROM Person Y WHERE TurboEngine subclassOf #X")
+        assert query.paths == ()

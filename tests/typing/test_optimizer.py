@@ -1,0 +1,149 @@
+"""Tests for the Theorem 6.1 optimizer."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IllTypedQueryError
+from repro.oid import Atom, Variable
+from repro.typing import TypedEvaluator, analyze, build_typed_query
+from repro.typing.plans import ExecutionPlan
+from repro.typing.strict import is_coherent
+from repro.workloads.generator import WorkloadConfig, generate_database
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.parser import parse_query
+
+FRAGMENT = (
+    "SELECT X FROM Vehicle X "
+    "WHERE M.President.OwnedVehicles[X] and X.Manufacturer[M]"
+)
+
+TYPED_QUERIES = [
+    FRAGMENT,
+    "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] "
+    "and M.President.OwnedVehicles[X]",
+    "SELECT X FROM Employee X WHERE X.Salary[W] and W > 50000",
+    "SELECT X FROM Company X WHERE X.Divisions[D].Manager[M] "
+    "and M.Salary[W] and W > 100000",
+    "SELECT X FROM Person X WHERE X.Residence[R] and R.City[C]",
+]
+
+
+class TestRunEquivalence:
+    @pytest.mark.parametrize("text", TYPED_QUERIES)
+    def test_typed_equals_untyped_on_paper_db(
+        self, shared_paper_session, text
+    ):
+        query = parse_query(text)
+        typed = TypedEvaluator(shared_paper_session.store).run(query)
+        plain = Evaluator(shared_paper_session.store).run(query)
+        assert typed.rows() == plain.rows()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_typed_equals_untyped_on_synthetic(self, seed):
+        store = generate_database(
+            WorkloadConfig(n_people=30, n_companies=3, seed=seed)
+        )
+        query = parse_query(FRAGMENT)
+        typed = TypedEvaluator(store).run(query)
+        plain = Evaluator(store).run(query)
+        assert typed.rows() == plain.rows()
+
+    def test_not_strict_raises(self, nobel_session):
+        query = parse_query("SELECT X WHERE X.WonNobelPrize")
+        with pytest.raises(IllTypedQueryError):
+            TypedEvaluator(nobel_session.store).run(query)
+
+    def test_precomputed_report_reused(self, shared_paper_session):
+        evaluator = TypedEvaluator(shared_paper_session.store)
+        query = parse_query(FRAGMENT)
+        report = evaluator.plan(query)
+        first = evaluator.run(query, report)
+        second = evaluator.run(query, report)
+        assert first.rows() == second.rows()
+
+
+class TestTheoremParts:
+    def test_plan_independence(self, shared_paper_session):
+        """Theorem 6.1(1): every coherent plan yields the same result."""
+        store = shared_paper_session.store
+        query = parse_query(FRAGMENT)
+        report = analyze(query, store)
+        assert report.strict
+        assignment, _plan = report.strict_witness
+        typed_query = report.typed_query
+        evaluator = TypedEvaluator(store)
+        results = []
+        from repro.typing.plans import all_plans
+
+        for plan in all_plans(typed_query):
+            if is_coherent(assignment, plan, typed_query, store):
+                restrictions = evaluator.extent_restrictions(
+                    assignment, typed_query, query
+                )
+                reordered = evaluator.reorder(query, typed_query, plan)
+                result = Evaluator(
+                    store, restrictions=restrictions
+                ).run(reordered)
+                results.append(result.rows())
+        assert results and all(r == results[0] for r in results)
+
+    def test_restrictions_computed_from_ranges(self, shared_paper_session):
+        store = shared_paper_session.store
+        query = parse_query(FRAGMENT)
+        report = analyze(query, store)
+        assignment, _ = report.strict_witness
+        evaluator = TypedEvaluator(store)
+        restrictions = evaluator.extent_restrictions(
+            assignment, report.typed_query, query
+        )
+        m_allowed = restrictions[Variable("M")]
+        assert m_allowed == store.extent("Company")
+        x_allowed = restrictions[Variable("X")]
+        assert x_allowed <= store.extent("Vehicle")
+
+    def test_reorder_respects_plan(self, shared_paper_session):
+        store = shared_paper_session.store
+        query = parse_query(FRAGMENT)
+        report = analyze(query, store)
+        _assignment, plan = report.strict_witness
+        evaluator = TypedEvaluator(store)
+        reordered = evaluator.reorder(query, report.typed_query, plan)
+        conjuncts = reordered.where.items
+        # the Manufacturer path must now come before the President path.
+        first = str(conjuncts[0])
+        assert "Manufacturer" in first
+
+    def test_reorder_keeps_non_path_conjuncts(self, shared_paper_session):
+        store = shared_paper_session.store
+        text = (
+            "SELECT X FROM Employee X WHERE X.Salary[W] and W > 50000"
+        )
+        query = parse_query(text)
+        report = analyze(query, store)
+        evaluator = TypedEvaluator(store)
+        reordered = evaluator.reorder(
+            query, report.typed_query, report.strict_witness[1]
+        )
+        plain = Evaluator(store).run(query)
+        result = Evaluator(store).run(reordered)
+        assert result.rows() == plain.rows()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_range_restriction_soundness_property(seed):
+    """Theorem 6.1(2) as a property: restriction never changes answers."""
+    store = generate_database(
+        WorkloadConfig(n_people=16, n_companies=2, seed=seed)
+    )
+    query = parse_query(
+        "SELECT X FROM Employee X WHERE X.Salary[W] and W > 100000"
+    )
+    typed = TypedEvaluator(store).run(query)
+    plain = Evaluator(store).run(query)
+    assert typed.rows() == plain.rows()

@@ -1,0 +1,53 @@
+"""Tests for execution plans (§6.2)."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.typing.occurrences import build_typed_query
+from repro.typing.plans import ExecutionPlan, all_plans
+from repro.xsql.parser import parse_query
+
+
+def typed(text):
+    return build_typed_query(parse_query(text))
+
+
+class TestExecutionPlan:
+    def test_positions(self):
+        plan = ExecutionPlan((2, 0, 1))
+        assert plan.position_of(0) == 1
+        assert plan.preceding(1) == (2, 0)
+        assert plan.preceding(2) == ()
+
+    def test_str(self):
+        assert str(ExecutionPlan((1, 0))) == "p1 -> p0"
+
+
+class TestEnumeration:
+    def test_counts_are_factorial(self):
+        query = typed(
+            "SELECT X FROM Company X WHERE X.Divisions[D] "
+            "and D.Manager[M] and M.Salary[W]"
+        )
+        assert len(list(all_plans(query))) == 6
+
+    def test_single_path_single_plan(self):
+        query = typed("SELECT X FROM Person X WHERE X.Age[W]")
+        assert [p.order for p in all_plans(query)] == [(0,)]
+
+    def test_no_paths_yields_empty_plan(self):
+        query = typed("SELECT X FROM Person X")
+        assert [p.order for p in all_plans(query)] == [()]
+
+    def test_enumeration_guard(self):
+        conjuncts = " and ".join(f"X.Age[W{i}]" for i in range(9))
+        query = typed(f"SELECT X FROM Person X WHERE {conjuncts}")
+        with pytest.raises(TypingError):
+            list(all_plans(query))
+
+    def test_plans_are_distinct_orders(self):
+        query = typed(
+            "SELECT X FROM Person X WHERE X.Age[W] and X.Name[N]"
+        )
+        orders = [p.order for p in all_plans(query)]
+        assert sorted(orders) == [(0, 1), (1, 0)]

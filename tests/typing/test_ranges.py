@@ -1,0 +1,78 @@
+"""Tests for variable ranges (§6.2)."""
+
+from repro.datamodel.hierarchy import OBJECT_CLASS
+from repro.oid import Atom, Value
+from repro.typing.ranges import Range
+
+
+class TestConstruction:
+    def test_object_always_included(self):
+        assert OBJECT_CLASS in Range.of([]).classes
+        assert OBJECT_CLASS in Range.of([Atom("Person")]).classes
+
+    def test_with_classes(self):
+        range_ = Range.of([Atom("A")]).with_classes([Atom("B")])
+        assert Atom("A") in range_.classes and Atom("B") in range_.classes
+
+
+class TestEmptiness:
+    def test_person_company_empty(self, shared_paper_session):
+        # "if A(X) contains both Person and Company, then it is empty".
+        hierarchy = shared_paper_session.store.hierarchy
+        assert Range.of(
+            [Atom("Person"), Atom("Company")]
+        ).is_empty(hierarchy)
+
+    def test_person_employee_nonempty(self, shared_paper_session):
+        hierarchy = shared_paper_session.store.hierarchy
+        assert not Range.of(
+            [Atom("Person"), Atom("Employee")]
+        ).is_empty(hierarchy)
+
+    def test_object_only_nonempty(self, shared_paper_session):
+        assert not Range.of([]).is_empty(shared_paper_session.store.hierarchy)
+
+    def test_numeral_string_empty(self, shared_paper_session):
+        hierarchy = shared_paper_session.store.hierarchy
+        assert Range.of(
+            [Atom("Numeral"), Atom("String")]
+        ).is_empty(hierarchy)
+
+
+class TestSubrange:
+    def test_object_not_subrange_of_company(self, shared_paper_session):
+        # the key failure in the paper's example (17)/(18).
+        hierarchy = shared_paper_session.store.hierarchy
+        assert not Range.of([]).is_subrange_of(Atom("Company"), hierarchy)
+
+    def test_subclass_in_range_suffices(self, shared_paper_session):
+        hierarchy = shared_paper_session.store.hierarchy
+        range_ = Range.of([Atom("Employee")])
+        assert range_.is_subrange_of(Atom("Person"), hierarchy)
+        assert range_.is_subrange_of(Atom("Employee"), hierarchy)
+
+    def test_superclass_does_not_suffice(self, shared_paper_session):
+        hierarchy = shared_paper_session.store.hierarchy
+        assert not Range.of([Atom("Person")]).is_subrange_of(
+            Atom("Employee"), hierarchy
+        )
+
+    def test_everything_subrange_of_object(self, shared_paper_session):
+        hierarchy = shared_paper_session.store.hierarchy
+        assert Range.of([]).is_subrange_of(OBJECT_CLASS, hierarchy)
+
+
+class TestOidMembership:
+    def test_contains_oid(self, shared_paper_session):
+        store = shared_paper_session.store
+        range_ = Range.of([Atom("Employee")])
+        assert range_.contains_oid(Atom("john13"), store)
+        assert not range_.contains_oid(Atom("mary123"), store)
+
+    def test_literal_in_numeral_range(self, shared_paper_session):
+        store = shared_paper_session.store
+        assert Range.of([Atom("Numeral")]).contains_oid(Value(5), store)
+
+    def test_str_rendering(self):
+        text = str(Range.of([Atom("Person")]))
+        assert "Person" in text and "Object" in text

@@ -1,0 +1,150 @@
+"""Tests for object-creating queries (paper §4.1)."""
+
+import pytest
+
+from repro.errors import IllDefinedQueryError, QueryError, UnsafeQueryError
+from repro.oid import Atom, FuncOid, Value
+from repro.views.creation import execute_creation
+from repro.views.id_functions import IdFunctionRegistry
+from repro.xsql.parser import parse_query
+
+
+def create(session, text, functor="f", **kwargs):
+    query = parse_query(text)
+    return execute_creation(
+        session.evaluator(), query, functor, session.registry, **kwargs
+    )
+
+
+class TestGrouping:
+    def test_one_object_per_group_key(self, paper_session):
+        outcome = create(
+            paper_session,
+            "SELECT EmpSalary = W.Salary FROM Company X "
+            "OID FUNCTION OF X, W WHERE X.Divisions.Employees[W]",
+        )
+        assert len(outcome.created) == 6  # one per (company, employee)
+
+    def test_id_function_of_single_variable(self, paper_session):
+        outcome = create(
+            paper_session,
+            "SELECT EmpSalary = W.Salary FROM Company X "
+            "OID FUNCTION OF W WHERE X.Divisions.Employees[W]",
+        )
+        # one object per employee — "for each object of class Employee,
+        # there will be a unique tuple in the result" (§4.1).
+        assert len(outcome.created) == 6
+        assert all(len(o.args) == 1 for o in outcome.created)
+
+    def test_conflicting_scalars_are_ill_defined(self, paper_session):
+        # The paper's ill-defined query: OID FUNCTION OF X only, but
+        # salaries vary within a company.
+        with pytest.raises(IllDefinedQueryError):
+            create(
+                paper_session,
+                "SELECT CompName = X.Name, EmpSalary = W.Salary "
+                "FROM Company X OID FUNCTION OF X "
+                "WHERE X.Divisions.Employees[W]",
+            )
+
+    def test_oid_var_must_be_bound(self, paper_session):
+        with pytest.raises(UnsafeQueryError):
+            create(
+                paper_session,
+                "SELECT N = X.Name FROM Company X OID FUNCTION OF Z",
+            )
+
+    def test_non_creating_query_rejected(self, paper_session):
+        with pytest.raises(QueryError):
+            create(paper_session, "SELECT X FROM Company X")
+
+
+class TestAttributes:
+    def test_scalar_attribute_stored(self, paper_session):
+        outcome = create(
+            paper_session,
+            "SELECT CompName = Y.Name FROM Company Y OID FUNCTION OF Y",
+        )
+        store = paper_session.store
+        acme_view = FuncOid("f", (Atom("acme"),))
+        assert store.invoke_scalar(acme_view, "CompName") == Value("Acme")
+
+    def test_set_shaped_path_stores_set(self, paper_session):
+        # Query (7): Employees = Y.Divisions.Employees.
+        outcome = create(
+            paper_session,
+            "SELECT CompName = Y.Name, Employees = Y.Divisions.Employees "
+            "FROM Company Y OID FUNCTION OF Y",
+        )
+        store = paper_session.store
+        uni_view = FuncOid("f", (Atom("uniSQL"),))
+        employees = store.invoke(uni_view, "Employees")
+        assert employees == frozenset(
+            {Atom("john13"), Atom("ben"), Atom("rich")}
+        )
+
+    def test_set_item_groups_bindings(self, paper_session):
+        # Query (8): Beneficiaries = {W}.
+        outcome = create(
+            paper_session,
+            "SELECT CompName = Y.Name, Beneficiaries = {W} "
+            "FROM Company Y OID FUNCTION OF Y "
+            "WHERE Y.Retirees[W] or Y.Divisions.Employees.Dependents[W]",
+        )
+        store = paper_session.store
+        uni_view = FuncOid("f", (Atom("uniSQL"),))
+        beneficiaries = store.invoke(uni_view, "Beneficiaries")
+        assert beneficiaries == frozenset(
+            {Atom("ret1"), Atom("bob"), Atom("benfam1")}
+        )
+
+    def test_unnamed_select_item_rejected(self, paper_session):
+        with pytest.raises(QueryError):
+            create(
+                paper_session,
+                "SELECT Y.Name FROM Company Y OID FUNCTION OF Y",
+            )
+
+    def test_member_classes_assigned(self, paper_session):
+        paper_session.store.declare_class("Snapshot")
+        outcome = create(
+            paper_session,
+            "SELECT CompName = Y.Name FROM Company Y OID FUNCTION OF Y",
+            member_classes=["Snapshot"],
+        )
+        for oid in outcome.created:
+            assert paper_session.store.is_instance(oid, "Snapshot")
+
+    def test_declared_set_valued_overrides_shape(self, paper_session):
+        # A scalar-shaped path declared set-valued stores a set cell.
+        outcome = create(
+            paper_session,
+            "SELECT Names = Y.Name FROM Company Y OID FUNCTION OF Y",
+            declared_set_valued={"Names": True},
+        )
+        store = paper_session.store
+        cell = store.explicit_cell(outcome.created[0], "Names")
+        assert cell.set_valued
+
+
+class TestDerivations:
+    def test_scalar_derivation_recorded(self, paper_session):
+        outcome = create(
+            paper_session,
+            "SELECT EmpSalary = W.Salary FROM Company X "
+            "OID FUNCTION OF X, W WHERE X.Divisions.Employees[W]",
+        )
+        key = (
+            FuncOid("f", (Atom("uniSQL"), Atom("rich"))),
+            "EmpSalary",
+        )
+        derivation = outcome.derivations[key]
+        assert derivation.target == Atom("rich")
+        assert derivation.method == Atom("Salary")
+
+    def test_trivial_path_has_no_derivation(self, paper_session):
+        outcome = create(
+            paper_session,
+            "SELECT Self = Y FROM Company Y OID FUNCTION OF Y",
+        )
+        assert not outcome.derivations

@@ -1,0 +1,40 @@
+"""Tests for the id-function registry (paper §4.1)."""
+
+from repro.oid import Atom, FuncOid, Value
+from repro.views.id_functions import IdFunctionRegistry
+
+
+class TestRegistry:
+    def test_record_returns_oid(self):
+        registry = IdFunctionRegistry()
+        oid = registry.record("f", (Atom("a"), Value(1)))
+        assert oid == FuncOid("f", (Atom("a"), Value(1)))
+
+    def test_instances_listed_deterministically(self):
+        registry = IdFunctionRegistry()
+        registry.record("f", (Atom("b"),))
+        registry.record("f", (Atom("a"),))
+        registry.record("f", (Atom("a"),))  # idempotent
+        assert registry.instances("f") == [(Atom("a"),), (Atom("b"),)]
+
+    def test_known(self):
+        registry = IdFunctionRegistry()
+        assert not registry.known("f")
+        registry.record("f", ())
+        assert registry.known("f")
+
+    def test_forget(self):
+        registry = IdFunctionRegistry()
+        registry.record("f", (Atom("a"),))
+        registry.forget("f")
+        assert registry.instances("f") == []
+
+    def test_fresh_functors_unique(self):
+        registry = IdFunctionRegistry()
+        names = {registry.fresh_functor() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_oids_helper(self):
+        registry = IdFunctionRegistry()
+        registry.record("f", (Atom("a"),))
+        assert registry.oids("f") == [FuncOid("f", (Atom("a"),))]

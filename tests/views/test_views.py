@@ -1,0 +1,168 @@
+"""Tests for views and view updates (paper §4.2)."""
+
+import pytest
+
+from repro.errors import NonUpdatableViewError, ViewError
+from repro.oid import Atom, FuncOid, Value
+from tests.conftest import names
+
+COMP_SALARIES = """
+CREATE VIEW CompSalaries AS SUBCLASS OF Object
+SIGNATURE CompName = String, DivName = String, Salary = Numeral
+SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary
+FROM Company X
+OID FUNCTION OF X, W
+WHERE X.Divisions[Y].Employees[W]
+"""
+
+
+class TestCreateView:
+    def test_view_class_declared_as_subclass(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        hierarchy = paper_session.store.hierarchy
+        assert hierarchy.is_subclass(Atom("CompSalaries"), Atom("Object"))
+
+    def test_view_objects_materialized(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        extent = paper_session.store.extent("CompSalaries")
+        # six (company, employee) pairs; the *relation* rendering has only
+        # five rows because two UniSQL employees share a salary — objects
+        # keep their identity even when attribute-equal (§4.2).
+        assert len(extent) == 6
+        assert all(isinstance(o, FuncOid) for o in extent)
+
+    def test_view_signatures_installed(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        sigs = paper_session.store.signatures_of("CompSalaries", "Salary")
+        assert sigs and sigs[0].result == Atom("Numeral")
+
+    def test_view_queryable_as_class(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        result = paper_session.query(
+            "SELECT V.Salary FROM CompSalaries V WHERE V.CompName['Acme']"
+        )
+        assert sorted(result.scalars()) == [20000, 250000, 300000]
+
+    def test_view_id_term_in_query(self, paper_session):
+        # Query (10): views and non-views in one query.
+        paper_session.execute(COMP_SALARIES)
+        result = paper_session.query(
+            "SELECT X.Manufacturer.Name FROM Automobile X, Employee W "
+            "WHERE CompSalaries(X.Manufacturer, W).Salary > 35000"
+        )
+        assert sorted(result.scalars()) == ["Acme", "UniSQL"]
+
+    def test_duplicate_view_rejected(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        with pytest.raises(ViewError):
+            paper_session.execute(COMP_SALARIES)
+
+    def test_view_requires_oid_clause(self, paper_session):
+        with pytest.raises(ViewError):
+            paper_session.execute(
+                "CREATE VIEW Bad AS SUBCLASS OF Object "
+                "SIGNATURE N = String "
+                "SELECT N = X.Name FROM Company X"
+            )
+
+    def test_view_hides_base_identity(self, paper_session):
+        # "a view that could provide aggregate information about companies
+        # and salaries without containing explicit information about the
+        # employees having those salaries" (§4.2).
+        paper_session.execute(COMP_SALARIES)
+        view_obj = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+        record_methods = paper_session.store.methods_defined_on(view_obj)
+        assert Atom("Name") not in record_methods  # no employee Name
+        assert Atom("Salary") in record_methods
+
+
+class TestRefresh:
+    def test_refresh_reflects_base_updates(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        paper_session.store.set_attr(Atom("ben"), "Salary", 31000)
+        paper_session.refresh_view("CompSalaries")
+        view_obj = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+        assert paper_session.store.invoke_scalar(
+            view_obj, "Salary"
+        ) == Value(31000)
+
+    def test_refresh_drops_stale_objects(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        # remove ben from his division: the view row must disappear.
+        paper_session.store.remove_instance(Atom("ben"), "Employee")
+        paper_session.store.set_attr_set(
+            Atom("d_eng"), "Employees", [Atom("john13")]
+        )
+        paper_session.refresh_view("CompSalaries")
+        stale = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+        assert stale not in paper_session.store.extent("CompSalaries")
+
+    def test_refresh_unknown_view(self, paper_session):
+        with pytest.raises(ViewError):
+            paper_session.refresh_view("Nope")
+
+
+class TestViewUpdates:
+    def test_update_translated_to_base(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        target = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+        count = paper_session.update_view(
+            "CompSalaries", "Salary", {target: Value(42000)}
+        )
+        assert count == 1
+        assert paper_session.store.invoke_scalar(
+            Atom("ben"), "Salary"
+        ) == Value(42000)
+        # refresh happened: the view shows the new salary too.
+        assert paper_session.store.invoke_scalar(
+            target, "Salary"
+        ) == Value(42000)
+
+    def test_update_unknown_view_object(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        ghost = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ghost")))
+        with pytest.raises(NonUpdatableViewError):
+            paper_session.update_view(
+                "CompSalaries", "Salary", {ghost: Value(1)}
+            )
+
+    def test_update_underived_attribute_rejected(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        target = FuncOid("CompSalaries", (Atom("uniSQL"), Atom("ben")))
+        with pytest.raises(NonUpdatableViewError):
+            paper_session.update_view(
+                "CompSalaries", "Nonexistent", {target: Value(1)}
+            )
+
+    def test_conflicting_updates_rejected(self, paper_session):
+        # Two view objects deriving from one base cell with different new
+        # values must be rejected before anything is written.
+        paper_session.execute(
+            """
+            CREATE VIEW SalaryPairs AS SUBCLASS OF Object
+            SIGNATURE Salary = Numeral
+            SELECT Salary = W.Salary
+            FROM Employee W, Division D
+            OID FUNCTION OF W, D
+            WHERE D.Employees[W]
+            """
+        )
+        pairs = [
+            o
+            for o in paper_session.registry.oids("SalaryPairs")
+            if o.args[0] == Atom("ben")
+        ]
+        assert pairs
+        target = pairs[0]
+        other = FuncOid("SalaryPairs", (Atom("ben"), Atom("d_adv")))
+        mapping = {target: Value(1)}
+        if other in paper_session.store.extent("SalaryPairs"):
+            mapping[other] = Value(2)
+            with pytest.raises(NonUpdatableViewError):
+                paper_session.update_view("SalaryPairs", "Salary", mapping)
+        else:
+            # ben belongs to exactly one division; a single update works.
+            count = paper_session.update_view(
+                "SalaryPairs", "Salary", mapping
+            )
+            assert count == 1

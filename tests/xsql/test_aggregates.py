@@ -1,0 +1,76 @@
+"""Tests for aggregate functions (paper §3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.oid import Atom, Value
+from repro.xsql.aggregates import apply_aggregate
+
+
+def values(*items):
+    return frozenset(Value(i) for i in items)
+
+
+class TestCount:
+    def test_counts_any_objects(self):
+        assert apply_aggregate("count", frozenset({Atom("a"), Value(1)})) == Value(2)
+
+    def test_empty(self):
+        assert apply_aggregate("count", frozenset()) == Value(0)
+
+
+class TestNumericAggregates:
+    def test_sum(self):
+        assert apply_aggregate("sum", values(1, 2, 3)) == Value(6)
+
+    def test_sum_empty_is_zero(self):
+        assert apply_aggregate("sum", frozenset()) == Value(0)
+
+    def test_avg(self):
+        assert apply_aggregate("avg", values(2, 4)) == Value(3)
+
+    def test_avg_fractional(self):
+        assert apply_aggregate("avg", values(1, 2)) == Value(1.5)
+
+    def test_min_max(self):
+        assert apply_aggregate("min", values(5, 1, 9)) == Value(1)
+        assert apply_aggregate("max", values(5, 1, 9)) == Value(9)
+
+    def test_non_numeral_rejected(self):
+        with pytest.raises(QueryError):
+            apply_aggregate("sum", frozenset({Atom("a")}))
+
+    def test_empty_avg_undefined(self):
+        with pytest.raises(QueryError):
+            apply_aggregate("avg", frozenset())
+
+
+class TestStringMinMax:
+    def test_min_max_strings(self):
+        names = values("bob", "anna", "zoe")
+        assert apply_aggregate("min", names) == Value("anna")
+        assert apply_aggregate("max", names) == Value("zoe")
+
+    def test_mixed_rejected(self):
+        with pytest.raises(QueryError):
+            apply_aggregate("min", frozenset({Value(1), Value("a")}))
+
+
+class TestErrors:
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            apply_aggregate("median", values(1))
+
+
+@given(st.frozensets(st.integers(-1000, 1000).map(Value), min_size=1, max_size=8))
+def test_aggregate_invariants(numbers):
+    """Property: min <= avg <= max and sum = avg * count."""
+    low = apply_aggregate("min", numbers).value
+    high = apply_aggregate("max", numbers).value
+    mean = apply_aggregate("avg", numbers).value
+    total = apply_aggregate("sum", numbers).value
+    count = apply_aggregate("count", numbers).value
+    assert low <= mean <= high
+    assert abs(total - mean * count) < 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the ``applicableTo`` schema condition.
+
+§2 distinguishes three states of an attribute on an object: *defined*
+(has a value), *undefined* (applicable but null), and *inapplicable* (a
+type error).  §3.1 motivates querying applicability and defers the
+machinery to [KSK92]; ``applicableTo`` realizes it.
+"""
+
+import pytest
+
+from repro.flogic import TranslationUnsupported, translate
+from repro.oid import Atom
+from repro.xsql.parser import parse_query
+from tests.conftest import names
+
+
+@pytest.fixture
+def session(nobel_session):
+    # curie: a Scientist with *no* stored prize — applicable, undefined.
+    store = nobel_session.store
+    curie = store.create_object(Atom("curie"), ["Scientist"])
+    store.set_attr(curie, "Name", "Curie")
+    return nobel_session
+
+
+class TestApplicability:
+    def test_applicable_methods_of_object(self, session):
+        result = session.query("SELECT M WHERE M applicableTo einstein")
+        assert names(result) == ["Name", "WonNobelPrize"]
+
+    def test_inapplicable_excluded(self, session):
+        # WonNobelPrize is declared on Scientist and Fund only; for a
+        # Politician it is *inapplicable*.
+        result = session.query("SELECT M WHERE M applicableTo smith")
+        assert names(result) == ["Name"]
+
+    def test_applicable_but_undefined(self, session):
+        # curie: applicable (Scientist signature) yet no stored value —
+        # the §2 null, distinct from inapplicability.
+        applicable = session.query("SELECT M WHERE M applicableTo curie")
+        assert "WonNobelPrize" in names(applicable)
+        defined = session.query("SELECT M WHERE curie.M")
+        assert "WonNobelPrize" not in names(defined)
+
+    def test_objects_an_attribute_applies_to(self, session):
+        result = session.query(
+            "SELECT X WHERE WonNobelPrize applicableTo X"
+        )
+        assert set(names(result)) == {"einstein", "unicef", "curie"}
+
+    def test_ground_check(self, session):
+        assert len(
+            session.query("SELECT X WHERE Name applicableTo einstein")
+        ) > 0
+        assert (
+            len(
+                session.query(
+                    "SELECT X WHERE WonNobelPrize applicableTo smith"
+                )
+            )
+            == 0
+        )
+
+    def test_inherited_applicability(self, shared_paper_session):
+        # Name is declared on Person; it is applicable to employees too.
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE Name applicableTo X "
+            "and X.Salary > 200000"
+        )
+        assert set(names(result)) == {"pat", "maria"}
+
+    def test_conservative_nobel_reformulation(self, session):
+        # The introduction's dilemma, resolved with applicability: find
+        # winners without naming classes, but staying schema-aware.
+        result = session.query(
+            "SELECT X WHERE WonNobelPrize applicableTo X "
+            "and X.WonNobelPrize"
+        )
+        assert names(result) == ["einstein", "unicef"]
+
+    def test_not_translatable_to_data_molecules(self, session):
+        query = parse_query("SELECT M WHERE M applicableTo einstein")
+        with pytest.raises(TranslationUnsupported):
+            translate(query)
+
+    def test_naive_agreement(self, session):
+        text = "SELECT M WHERE M applicableTo einstein"
+        assert session.naive(text).rows() == session.query(text).rows()

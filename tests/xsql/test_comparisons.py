@@ -1,0 +1,135 @@
+"""Tests for quantified comparisons (paper §3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.oid import Atom, Value
+from repro.xsql.comparisons import compare, element_compare
+
+
+def values(*items):
+    return frozenset(Value(i) for i in items)
+
+
+class TestElementCompare:
+    def test_numeric_ordering(self):
+        assert element_compare("<", Value(1), Value(2))
+        assert element_compare(">=", Value(2), Value(2))
+        assert not element_compare(">", Value(1), Value(2))
+
+    def test_int_float_equality(self):
+        assert element_compare("=", Value(2), Value(2.0))
+
+    def test_string_ordering(self):
+        assert element_compare("<", Value("abc"), Value("abd"))
+
+    def test_oid_equality(self):
+        assert element_compare("=", Atom("a"), Atom("a"))
+        assert element_compare("!=", Atom("a"), Atom("b"))
+
+    def test_incomparable_pairs_fail_quietly(self):
+        # metalogical typing: an ill-typed comparison yields no answers.
+        assert not element_compare("<", Atom("a"), Value(1))
+        assert not element_compare("<", Value("x"), Value(1))
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            element_compare("~", Value(1), Value(2))
+
+
+class TestQuantifiers:
+    def test_default_is_some(self):
+        assert compare(">", values(10, 30), values(20))
+        assert not compare(">", values(10, 15), values(20))
+
+    def test_some_explicit(self):
+        # _john13.FamMembers.Age some> 20 (§3.2).
+        assert compare(">", values(22, 15), values(20), lq="some")
+
+    def test_all_left(self):
+        assert compare(">", values(25, 30), values(20), lq="all")
+        assert not compare(">", values(25, 15), values(20), lq="all")
+
+    def test_all_right(self):
+        # 200000 <all (...): every element of the right exceeds the left.
+        assert compare("<", values(200000), values(250000, 300000), rq="all")
+        assert not compare(
+            "<", values(200000), values(250000, 100000), rq="all"
+        )
+
+    def test_all_lt_all(self):
+        assert compare("<", values(1, 2), values(3, 4), lq="all", rq="all")
+        assert not compare(
+            "<", values(1, 5), values(3, 4), lq="all", rq="all"
+        )
+
+    def test_all_vacuous_on_empty(self):
+        # An empty nested result "contains only numerals greater than
+        # $200,000" vacuously — query (13) depends on this.
+        assert compare("<", values(200000), frozenset(), rq="all")
+        assert compare(">", frozenset(), values(1), lq="all")
+
+    def test_some_false_on_empty(self):
+        assert not compare("<", values(1), frozenset(), rq="some")
+        assert not compare("=", frozenset(), frozenset())
+
+    def test_eq_all(self):
+        # X.Residence =all X.FamMembers.Residence (§3.2).
+        home = frozenset({Atom("addr1")})
+        assert compare("=", home, frozenset({Atom("addr1")}), rq="all")
+        assert not compare(
+            "=", home, frozenset({Atom("addr1"), Atom("addr2")}), rq="all"
+        )
+
+
+class TestSetComparators:
+    def test_containsEq(self):
+        owned = frozenset({Value("blue"), Value("red"), Value("white")})
+        wanted = frozenset({Value("blue"), Value("red")})
+        assert compare("containsEq", owned, wanted)
+        assert compare("containsEq", wanted, wanted)
+
+    def test_contains_is_strict(self):
+        s = frozenset({Value(1)})
+        assert not compare("contains", s, s)
+        assert compare("contains", s | {Value(2)}, s)
+
+    def test_subset_pair(self):
+        small = frozenset({Value(1)})
+        big = frozenset({Value(1), Value(2)})
+        assert compare("subset", small, big)
+        assert compare("subsetEq", small, small)
+        assert not compare("subset", small, small)
+
+
+@given(
+    st.frozensets(st.integers(-50, 50).map(Value), max_size=6),
+    st.frozensets(st.integers(-50, 50).map(Value), max_size=6),
+)
+def test_quantifier_duality(left, right):
+    """Property: all-quantified < is the negation of some-quantified >=.
+
+    not (∀x∀y. x < y) == ∃x∃y. x >= y — standard duality, which pins the
+    empty-set conventions (all vacuous-true, some false).
+    """
+    forall = compare("<", left, right, lq="all", rq="all")
+    exists_ge = compare(">=", left, right, lq="some", rq="some")
+    assert forall == (not exists_ge) or (not left or not right)
+    if left and right:
+        assert forall == (not exists_ge)
+
+
+@given(
+    st.frozensets(st.integers(0, 20).map(Value), max_size=5),
+    st.frozensets(st.integers(0, 20).map(Value), max_size=5),
+)
+def test_set_comparator_consistency(left, right):
+    """Property: contains == containsEq and not equal, etc."""
+    assert compare("containsEq", left, right) == (
+        compare("contains", left, right) or left == right
+    )
+    assert compare("subsetEq", left, right) == compare(
+        "containsEq", right, left
+    )

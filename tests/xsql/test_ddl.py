@@ -1,0 +1,132 @@
+"""Tests for query-defined and update methods (paper §5)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.oid import NIL, Atom, Value
+from tests.conftest import names
+
+MNGR_SALARY = """
+ALTER CLASS Company
+ADD SIGNATURE MngrSalary : String => Numeral
+SELECT (MngrSalary @ Y.Name) = W
+FROM Company X
+OID X
+WHERE X.Divisions[Y].Manager.Salary[W]
+"""
+
+RAISE_MNGR = """
+ALTER CLASS Company
+ADD SIGNATURE RaiseMngrSalary : Numeral => Object
+SELECT (RaiseMngrSalary @ W) = nil
+FROM Company X, Numeral W
+OID X
+WHERE W < 20
+and (UPDATE CLASS Company
+     SET X.Divisions[Y].Manager.Salary = (1 + W/100) * X.(MngrSalary @ Y.Name))
+"""
+
+
+class TestQueryDefinedMethods:
+    def test_method_definition_installs_signature(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        sigs = paper_session.store.signatures_of("Company", "MngrSalary")
+        assert len(sigs) == 1
+        assert sigs[0].arity == 1
+
+    def test_invocation_with_ground_argument(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        result = paper_session.store.invoke(
+            Atom("uniSQL"), "MngrSalary", [Value("Engineering")]
+        )
+        assert result == frozenset({Value(30000)})
+
+    def test_invocation_no_match_is_undefined(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        result = paper_session.store.invoke(
+            Atom("uniSQL"), "MngrSalary", [Value("NoSuchDivision")]
+        )
+        assert result == frozenset()
+
+    def test_method_usable_in_path_expressions(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        result = paper_session.query(
+            "SELECT W FROM Company X WHERE X.(MngrSalary @ 'Sales')[W]"
+        )
+        assert result.scalars() == [250000]
+
+    def test_query_13_nested_subquery(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        result = paper_session.query(
+            """
+            SELECT X
+            FROM Vehicle X
+            WHERE 200000 <all (SELECT W
+                               FROM Division Y
+                               WHERE X.Manufacturer.(MngrSalary @ Y.Name)[W])
+            """
+        )
+        assert names(result) == ["carWhite", "moto1"]
+
+    def test_method_arg_as_selector_variant(self, paper_session):
+        # "using (MngrSalary @ 'Advertizing') ... will direct the system
+        # to retrieve those vehicles whose manufacturers pay high salaries
+        # to their advertizing chiefs" (§5).
+        paper_session.execute(MNGR_SALARY)
+        result = paper_session.query(
+            """
+            SELECT X FROM Vehicle X
+            WHERE 200000 <all (SELECT W WHERE
+                X.Manufacturer.(MngrSalary @ 'Advertizing')[W])
+            """
+        )
+        assert names(result) == ["carWhite", "moto1"]
+
+
+class TestUpdateMethods:
+    def test_raise_applies_percentage(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        paper_session.execute(RAISE_MNGR)
+        result = paper_session.store.invoke(
+            Atom("uniSQL"), "RaiseMngrSalary", [Value(10)]
+        )
+        assert result == frozenset({NIL})
+        store = paper_session.store
+        assert store.invoke_scalar(Atom("john13"), "Salary") == Value(33000)
+        assert store.invoke_scalar(Atom("rich"), "Salary") == Value(99000)
+        # other companies untouched
+        assert store.invoke_scalar(Atom("pat"), "Salary") == Value(250000)
+
+    def test_guard_rejects_large_raise(self, paper_session):
+        paper_session.execute(MNGR_SALARY)
+        paper_session.execute(RAISE_MNGR)
+        result = paper_session.store.invoke(
+            Atom("uniSQL"), "RaiseMngrSalary", [Value(25)]
+        )
+        assert result == frozenset()
+        assert paper_session.store.invoke_scalar(
+            Atom("john13"), "Salary"
+        ) == Value(30000)
+
+
+class TestDdlValidation:
+    def test_signature_method_must_match_select(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.execute(
+                "ALTER CLASS Company ADD SIGNATURE Foo : String => Numeral "
+                "SELECT (Bar @ W) = W FROM Company X OID X WHERE X.Name[W]"
+            )
+
+    def test_arity_must_match(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.execute(
+                "ALTER CLASS Company ADD SIGNATURE Foo : String => Numeral "
+                "SELECT (Foo @) = W FROM Company X OID X WHERE X.Name[W]"
+            )
+
+    def test_oid_scope_required(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.execute(
+                "ALTER CLASS Company ADD SIGNATURE Foo : String => Numeral "
+                "SELECT (Foo @ Z) = W FROM Company X WHERE X.Name[W]"
+            )

@@ -1,0 +1,244 @@
+"""Tests for query evaluation (paper §3.4, §5)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.oid import Atom, Value, Variable
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.parser import parse_query, parse_statement
+from repro.xsql import ast
+from tests.conftest import names
+
+
+class TestFromClause:
+    def test_from_restricts_to_extent(self, shared_paper_session):
+        result = shared_paper_session.query("SELECT X FROM Employee X")
+        assert "mary123" not in names(result)
+        assert "john13" in names(result)
+
+    def test_from_inheritance(self, shared_paper_session):
+        result = shared_paper_session.query("SELECT X FROM Person X")
+        assert "john13" in names(result)  # employees are persons
+
+    def test_from_class_variable(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT #C FROM #C X WHERE X.CylinderN[6]"
+        )
+        assert "TurboEngine" in names(result)
+
+    def test_from_unknown_class_is_empty(self, shared_paper_session):
+        result = shared_paper_session.query("SELECT X FROM Martian X")
+        assert len(result) == 0
+
+    def test_from_numeral_active_domain(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT W FROM Numeral W WHERE W > 200000"
+        )
+        assert Value(250000) in result.single_column()
+
+
+class TestBooleans:
+    def test_conjunction_binds_across_conjuncts(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT Y FROM Company X "
+            "WHERE X.Divisions[Y] and Y.Name['Engineering']"
+        )
+        assert names(result) == ["d_eng"]
+
+    def test_disjunction_unions_bindings(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT W FROM Company Y WHERE Y.Retirees[W] "
+            "or Y.Divisions.Employees.Dependents[W]"
+        )
+        assert set(names(result)) == {"benfam1", "bob", "ret1"}
+
+    def test_negation_ground(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Company X WHERE not X.Retirees"
+        )
+        assert names(result) == ["acme"]
+
+    def test_negation_with_free_vars_is_ground_instance_semantics(
+        self, shared_paper_session
+    ):
+        # ∃Y. not Residence(X, Y): true for every person, since some Y
+        # fails to be their residence — the §3.4 substitution semantics.
+        result = shared_paper_session.query(
+            "SELECT X FROM Person X WHERE not X.Residence[Y]"
+        )
+        assert len(result) == len(
+            shared_paper_session.query("SELECT X FROM Person X")
+        )
+
+    def test_nested_boolean_structure(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE "
+            "(X.Salary > 100000 or X.Salary < 25000) and X.Age < 50"
+        )
+        assert set(names(result)) == {"kim", "acmeEmp", "maria"}
+
+
+class TestComparisonsEndToEnd:
+    def test_free_variable_enumeration(self, shared_paper_session):
+        # W appears only in the comparison; it is enumerated over the
+        # universe per the naive semantics.
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE X.Salary =some W.Salary "
+            "and X.Age > 50"
+        )
+        assert "pat" in names(result)
+
+    def test_arithmetic_in_comparison(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Employee X WHERE X.Salary > 100 * 2000"
+        )
+        assert set(names(result)) == {"pat", "maria"}
+
+    def test_set_operand_union(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Person X WHERE "
+            "X.Residence.City =some ({'newyork'} UNION {'austin'}) "
+            "and X.Age > 45"
+        )
+        assert "john13" in names(result)
+
+    def test_division_by_zero_raises(self, shared_paper_session):
+        with pytest.raises(QueryError):
+            shared_paper_session.query("SELECT X FROM Person X WHERE X.Age > 1/0")
+
+
+class TestSubqueries:
+    def test_correlated_subquery(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Company X WHERE 100000 <all "
+            "(SELECT W FROM Division Y WHERE X.Divisions[Y].Manager.Salary[W])"
+        )
+        assert names(result) == ["acme"]
+
+    def test_subquery_must_be_single_column(self, shared_paper_session):
+        with pytest.raises(Exception):
+            shared_paper_session.query(
+                "SELECT X FROM Company X WHERE 1 =some "
+                "(SELECT Y, Z FROM Division Y WHERE Y.Name[Z])"
+            )
+
+
+class TestSelectSemantics:
+    def test_duplicate_elimination(self, shared_paper_session):
+        # Two Acme employees share no salary, but several share CompName.
+        result = shared_paper_session.query(
+            "SELECT X.Name FROM Company X WHERE X.Divisions.Employees[W]"
+        )
+        assert len(result) == 2  # one row per company name
+
+    def test_shared_variables_across_select_items(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT W.Name, W.Salary FROM Employee W WHERE W.Salary > 200000"
+        )
+        rows = {(str(a), str(b)) for a, b in result.rows()}
+        assert rows == {("'Pat'", "250000"), ("'Maria'", "300000")}
+
+    def test_set_shaped_select_item_flattens(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT kim.FamMembers.Name"
+        )
+        assert result.scalars() == ["Lee", "Sue"]
+
+    def test_column_naming(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT Who = X.Name FROM Company X"
+        )
+        assert result.columns == ("Who",)
+
+
+class TestUpdates:
+    def test_top_level_update(self, paper_session):
+        paper_session.execute(
+            "UPDATE CLASS Division SET d_eng.Function = 'research'"
+        )
+        assert paper_session.store.invoke_scalar(
+            Atom("d_eng"), "Function"
+        ) == Value("research")
+
+    def test_update_with_variables(self, paper_session):
+        paper_session.execute(
+            "UPDATE CLASS Company SET uniSQL.Divisions[Y].Function = 'frozen'"
+        )
+        for name in ("d_eng", "d_adv"):
+            assert paper_session.store.invoke_scalar(
+                Atom(name), "Function"
+            ) == Value("frozen")
+        # acme divisions untouched
+        assert paper_session.store.invoke_scalar(
+            Atom("d_sales"), "Function"
+        ) == Value("sales")
+
+    def test_update_set_valued_attribute(self, paper_session):
+        paper_session.execute(
+            "UPDATE CLASS Employee SET ben.Qualifications = "
+            "{'welder', 'driver'}"
+        )
+        values = paper_session.store.invoke(Atom("ben"), "Qualifications")
+        assert values == frozenset({Value("welder"), Value("driver")})
+
+    def test_update_requires_method_tail(self, paper_session):
+        statement = parse_statement(
+            "UPDATE CLASS Company SET uniSQL.Name = 'X'"
+        )
+        # fine: Name is a method step
+        paper_session.evaluator().execute_update(statement)
+        bad = ast.UpdateClass(
+            cls="Company",
+            assignments=(
+                (ast.PathExpr(head=Atom("uniSQL")), ast.PathOperand(
+                    ast.path_of_term(Value(1))
+                )),
+            ),
+        )
+        with pytest.raises(QueryError):
+            paper_session.evaluator().execute_update(bad)
+
+
+class TestRelationsInWhere:
+    def test_relation_membership_condition(self, paper_session):
+        store = paper_session.store
+        store.declare_relation("Mentors", ["senior", "junior"])
+        store.insert_tuple("Mentors", [Atom("pat"), Atom("acmeEmp")])
+        store.insert_tuple("Mentors", [Atom("kim"), Atom("rich")])
+        result = paper_session.query(
+            "SELECT X, Y FROM Employee X WHERE Mentors(X, Y)"
+        )
+        assert {(str(a), str(b)) for a, b in result.rows()} == {
+            ("pat", "acmeEmp"),
+            ("kim", "rich"),
+        }
+
+    def test_relation_with_ground_argument(self, paper_session):
+        store = paper_session.store
+        store.declare_relation("Mentors", ["senior", "junior"])
+        store.insert_tuple("Mentors", [Atom("pat"), Atom("acmeEmp")])
+        result = paper_session.query("SELECT Y WHERE Mentors(pat, Y)")
+        assert names(result) == ["acmeEmp"]
+
+
+class TestGuards:
+    def test_creating_query_rejected_by_plain_run(self, shared_paper_session):
+        query = parse_query(
+            "SELECT A = X.Name FROM Company X OID FUNCTION OF X"
+        )
+        with pytest.raises(QueryError):
+            Evaluator(shared_paper_session.store).run(query)
+
+    def test_method_item_rejected_by_plain_run(self, shared_paper_session):
+        query = parse_query(
+            "SELECT (M @ W) = W FROM Company X OID X WHERE X.Name[W]"
+        )
+        query = ast.Query(
+            select=query.select,
+            from_=query.from_,
+            where=query.where,
+            oid_vars=None,
+            oid_scope=None,
+        )
+        with pytest.raises(QueryError):
+            Evaluator(shared_paper_session.store).run(query)

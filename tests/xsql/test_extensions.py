@@ -1,0 +1,165 @@
+"""Tests for the language-margin extensions.
+
+Covers features the paper mentions without fully developing: first-class
+relation DDL/DML (§2 "Relations", upward compatibility with relational
+SQL), id-terms as method arguments (footnote 11), path variables in the
+SELECT clause (§3.1's "details of this extension are easy"), the
+``explain`` introspection helper, and the conservative value-checking
+store mode.
+"""
+
+import pytest
+
+from repro.errors import QueryError, ValueTypeError, XsqlSyntaxError
+from repro.oid import Atom, FuncOid, Value
+from repro.datamodel import ObjectStore
+from tests.conftest import names
+
+
+class TestRelationStatements:
+    def test_create_relation_and_insert_values(self, paper_session):
+        paper_session.execute("CREATE RELATION Mentors (senior, junior)")
+        paper_session.execute(
+            "INSERT INTO Mentors VALUES (pat, acmeEmp), (kim, rich)"
+        )
+        result = paper_session.query("SELECT Y WHERE Mentors(pat, Y)")
+        assert names(result) == ["acmeEmp"]
+
+    def test_insert_from_query(self, paper_session):
+        paper_session.execute("CREATE RELATION Salaries (who, amount)")
+        paper_session.execute(
+            "INSERT INTO Salaries SELECT W, W.Salary FROM Employee W"
+        )
+        relation = paper_session.store.relation("Salaries")
+        assert (Atom("pat"), Value(250000)) in relation
+
+    def test_insert_literal_values(self, paper_session):
+        paper_session.execute("CREATE RELATION Limits (kind, cap)")
+        paper_session.execute(
+            "INSERT INTO Limits VALUES ('raise', 20)"
+        )
+        assert (Value("raise"), Value(20)) in paper_session.store.relation(
+            "Limits"
+        )
+
+    def test_insert_arity_mismatch(self, paper_session):
+        paper_session.execute("CREATE RELATION Solo (one)")
+        with pytest.raises(QueryError):
+            paper_session.execute(
+                "INSERT INTO Solo SELECT W, W.Salary FROM Employee W"
+            )
+
+    def test_insert_into_unknown_relation(self, paper_session):
+        with pytest.raises(Exception):
+            paper_session.execute("INSERT INTO Ghost VALUES (1)")
+
+    def test_relation_joined_with_paths(self, paper_session):
+        paper_session.execute("CREATE RELATION Mentors (senior, junior)")
+        paper_session.execute("INSERT INTO Mentors VALUES (pat, acmeEmp)")
+        result = paper_session.query(
+            "SELECT Y.Name FROM Employee X "
+            "WHERE Mentors(X, Y) and X.Salary > 200000"
+        )
+        assert result.scalars() == ["Acme"]
+
+
+class TestIdTermArguments:
+    def test_ground_id_term_as_method_argument(self, paper_session):
+        # footnote 11: "a method expression or an argument could even be
+        # an id-term".
+        store = paper_session.store
+        store.declare_class("Committee")
+        committee = FuncOid("committee", (Atom("uniSQL"),))
+        store.create_object(committee, ["Committee"])
+        store.declare_signature(
+            "Employee", "ServesOn", "Boolean", args=["Committee"]
+        )
+        store.set_attr(Atom("kim"), "ServesOn", True, args=[committee])
+        result = paper_session.query(
+            "SELECT X FROM Employee X "
+            "WHERE X.(ServesOn @ committee(uniSQL))[true]"
+        )
+        assert names(result) == ["kim"]
+
+
+class TestPathVariableProjection:
+    def test_select_path_variable(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT P WHERE mary123.*P.City['newyork']"
+        )
+        projected = {str(v) for v in result.single_column()}
+        assert "attrpath(Residence)" in projected
+
+    def test_empty_sequence_projected(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT P WHERE mary123.*P[mary123]"
+        )
+        assert "attrpath()" in {str(v) for v in result.single_column()}
+
+
+class TestExplain:
+    def test_strict_query_explained(self, shared_paper_session):
+        text = shared_paper_session.explain(
+            "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] "
+            "and M.President.OwnedVehicles[X]"
+        )
+        assert "typing: strict" in text
+        assert "coherent plan" in text
+        assert "instantiations of M" in text
+
+    def test_liberal_query_explained(self, nobel_session):
+        text = nobel_session.explain("SELECT X WHERE X.WonNobelPrize")
+        assert "typing: liberal-only" in text
+
+    def test_outside_fragment_explained(self, shared_paper_session):
+        text = shared_paper_session.explain("SELECT X WHERE X.A or X.B")
+        assert "outside-fragment" in text
+
+    def test_ddl_explained_as_statement(self, shared_paper_session):
+        text = shared_paper_session.explain(
+            "UPDATE CLASS Division SET d_eng.Function = 'x'"
+        )
+        assert text.startswith("statement:")
+
+
+class TestValueValidationMode:
+    def build(self) -> ObjectStore:
+        store = ObjectStore(validate_values=True)
+        store.declare_class("P")
+        store.declare_class("Addr")
+        store.declare_signature("P", "Residence", "Addr")
+        store.declare_signature("P", "Age", "Numeral")
+        return store
+
+    def test_conforming_value_accepted(self):
+        store = self.build()
+        home = store.create_object(Atom("home"), ["Addr"])
+        person = store.create_object(Atom("p1"), ["P"])
+        store.set_attr(person, "Residence", home)
+        store.set_attr(person, "Age", 33)
+
+    def test_wrong_class_rejected(self):
+        store = self.build()
+        person = store.create_object(Atom("p1"), ["P"])
+        stranger = store.create_object(Atom("s1"), ["P"])
+        with pytest.raises(ValueTypeError):
+            store.set_attr(person, "Residence", stranger)
+
+    def test_wrong_literal_rejected(self):
+        store = self.build()
+        person = store.create_object(Atom("p1"), ["P"])
+        with pytest.raises(ValueTypeError):
+            store.set_attr(person, "Age", "not a number")
+
+    def test_undeclared_attribute_unchecked(self):
+        # no signature -> nothing to validate against (liberal stance).
+        store = self.build()
+        person = store.create_object(Atom("p1"), ["P"])
+        store.set_attr(person, "Nickname", "zed")
+
+    def test_default_store_never_validates(self):
+        store = ObjectStore()
+        store.declare_class("P")
+        store.declare_signature("P", "Age", "Numeral")
+        person = store.create_object(Atom("p1"), ["P"])
+        store.set_attr(person, "Age", "free-form")  # no error

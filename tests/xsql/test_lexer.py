@@ -1,0 +1,110 @@
+"""Tests for the XSQL tokenizer."""
+
+import pytest
+
+from repro.errors import XsqlSyntaxError
+from repro.xsql.lexer import Token, tokenize, unescape_string
+
+
+def kinds(source: str):
+    return [t.kind for t in tokenize(source) if t.kind != "EOF"]
+
+
+def texts(source: str):
+    return [t.text for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert texts("SELECT select SeLeCt") == ["select"] * 3
+        assert kinds("SELECT") == ["KEYWORD"]
+
+    def test_identifiers_case_sensitive(self):
+        assert texts("Person mary123 OO_Forum") == [
+            "Person",
+            "mary123",
+            "OO_Forum",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].kind == "NUMBER" and tokens[0].text == "42"
+        assert tokens[1].kind == "NUMBER" and tokens[1].text == "3.5"
+
+    def test_strings(self):
+        token = tokenize("'newyork'")[0]
+        assert token.kind == "STRING"
+        assert unescape_string(token.text) == "newyork"
+
+    def test_string_escapes(self):
+        token = tokenize(r"'it\'s'")[0]
+        assert unescape_string(token.text) == "it's"
+
+    def test_eof_always_appended(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestVariableMarkers:
+    def test_class_variable(self):
+        token = tokenize("#X")[0]
+        assert token.kind == "CLASSVAR" and token.text == "X"
+
+    def test_method_variable(self):
+        token = tokenize('"Y')[0]
+        assert token.kind == "METHODVAR" and token.text == "Y"
+
+    def test_star_is_op_for_parser_to_interpret(self):
+        # `*` is both multiplication and the path-variable marker; the
+        # lexer always emits OP and the parser decides by context.
+        tokens = tokenize("X.*Y")
+        assert [t.kind for t in tokens[:4]] == ["IDENT", "PUNCT", "OP", "IDENT"]
+
+
+class TestOperators:
+    def test_comparators(self):
+        assert texts("= != <> < <= > >=") == [
+            "=",
+            "!=",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ]
+
+    def test_arrows(self):
+        assert kinds("=> =>> ->>") == ["ARROW"] * 3
+
+    def test_quantified_comparator_splits(self):
+        # `some>` lexes as the keyword SOME then OP `>`.
+        assert texts("some> =all all<all") == [
+            "some",
+            ">",
+            "=",
+            "all",
+            "all",
+            "<",
+            "all",
+        ]
+
+    def test_punctuation(self):
+        assert kinds(". , ( ) [ ] { } @ ;") == ["PUNCT"] * 10
+
+
+class TestErrorsAndPositions:
+    def test_unexpected_character(self):
+        with pytest.raises(XsqlSyntaxError):
+            tokenize("SELECT ?")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("SELECT X\nFROM Person X")
+        from_token = next(t for t in tokens if t.text == "from")
+        assert from_token.line == 2 and from_token.column == 1
+
+    def test_comments_skipped(self):
+        assert texts("SELECT X -- the answer\n, Y") == [
+            "select",
+            "X",
+            ",",
+            "Y",
+        ]

@@ -1,0 +1,158 @@
+"""Coverage for remaining corners: method protocols, shared path
+variables, views over views, correlated initial bindings."""
+
+import pytest
+
+from repro.datamodel import ObjectStore, PythonMethod
+from repro.datamodel.methods import UNDEFINED
+from repro.oid import Atom, FuncOid, Value, Variable, VarSort
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.parser import parse_query
+from tests.conftest import names
+
+
+class TestPythonMethodProtocol:
+    def build(self):
+        store = ObjectStore()
+        store.declare_class("P")
+        obj = store.create_object(Atom("o"), ["P"])
+        return store, obj
+
+    def test_scalar_must_return_oid(self):
+        store, obj = self.build()
+        store.define_method(
+            "P", PythonMethod(name=Atom("Bad"), fn=lambda s, o: 42)
+        )
+        with pytest.raises(TypeError):
+            store.invoke(obj, "Bad")
+
+    def test_set_valued_members_must_be_oids(self):
+        store, obj = self.build()
+        store.define_method(
+            "P",
+            PythonMethod(
+                name=Atom("Bad"), fn=lambda s, o: [1, 2], set_valued=True
+            ),
+        )
+        with pytest.raises(TypeError):
+            store.invoke(obj, "Bad")
+
+    def test_none_means_undefined(self):
+        store, obj = self.build()
+        store.define_method(
+            "P", PythonMethod(name=Atom("Nothing"), fn=lambda s, o: None)
+        )
+        assert store.invoke(obj, "Nothing") == frozenset()
+
+    def test_set_valued_empty_iterable(self):
+        store, obj = self.build()
+        store.define_method(
+            "P",
+            PythonMethod(
+                name=Atom("Empty"), fn=lambda s, o: [], set_valued=True
+            ),
+        )
+        values, set_valued = store.invoke_kinded(obj, "Empty")
+        assert values == frozenset() and set_valued
+
+    def test_method_with_arguments(self):
+        store, obj = self.build()
+        store.define_method(
+            "P",
+            PythonMethod(
+                name=Atom("Plus"),
+                fn=lambda s, o, x: Value(x.value + 1),
+                arity=1,
+            ),
+        )
+        assert store.invoke(obj, "Plus", [Value(4)]) == frozenset(
+            {Value(5)}
+        )
+
+
+class TestSharedPathVariables:
+    def test_path_variable_shared_across_conjuncts(self, shared_paper_session):
+        # *P bound by the first path must replay identically in the
+        # second: people reachable from both mary123 and ben via the SAME
+        # attribute sequence ending in 'newyork'.
+        result = shared_paper_session.query(
+            "SELECT P WHERE mary123.*P.City['newyork'] "
+            "and ben.*P.City['newyork']"
+        )
+        projected = {str(v) for v in result.single_column()}
+        assert "attrpath(Residence)" in projected
+
+    def test_replay_filters_mismatched_sequences(self, shared_paper_session):
+        # kim reaches 'austin' via Residence.City; mary does not.
+        result = shared_paper_session.query(
+            "SELECT P WHERE kim.*P.City['austin'] "
+            "and mary123.*P.City['austin']"
+        )
+        projected = {str(v) for v in result.single_column()}
+        assert "attrpath(Residence)" not in projected
+
+
+class TestViewsOverViews:
+    def test_view_defined_over_a_view(self, paper_session):
+        # views are classes, so a second view can range over the first —
+        # the germ of the view hierarchies the paper defers to [KSK92].
+        paper_session.execute(
+            """
+            CREATE VIEW Salaries AS SUBCLASS OF Object
+            SIGNATURE Amount = Numeral
+            SELECT Amount = W.Salary
+            FROM Employee W
+            OID FUNCTION OF W
+            """
+        )
+        paper_session.execute(
+            """
+            CREATE VIEW HighSalaries AS SUBCLASS OF Salaries
+            SIGNATURE Amount = Numeral
+            SELECT Amount = V.Amount
+            FROM Salaries V
+            OID FUNCTION OF V
+            WHERE V.Amount > 200000
+            """
+        )
+        result = paper_session.query(
+            "SELECT H.Amount FROM HighSalaries H"
+        )
+        assert sorted(result.scalars()) == [250000, 300000]
+        # and the sub-view is a subclass of the first view's class.
+        assert paper_session.store.hierarchy.is_subclass(
+            Atom("HighSalaries"), Atom("Salaries")
+        )
+
+
+class TestInitialBindings:
+    def test_env_stream_with_initial_binding(self, shared_paper_session):
+        evaluator = Evaluator(shared_paper_session.store)
+        query = parse_query(
+            "SELECT W FROM Company X WHERE X.Divisions.Employees[W]"
+        )
+        initial = {Variable("X"): Atom("acme")}
+        bound = {
+            env[Variable("W")]
+            for env in evaluator.env_stream(query, initial)
+        }
+        assert bound == {Atom("pat"), Atom("acmeEmp"), Atom("maria")}
+
+    def test_run_with_initial_binding(self, shared_paper_session):
+        evaluator = Evaluator(shared_paper_session.store)
+        query = parse_query("SELECT X.Name FROM Company X")
+        result = evaluator.run(query, {Variable("X"): Atom("uniSQL")})
+        assert result.scalars() == ["UniSQL"]
+
+
+class TestScripts:
+    def test_execute_script_returns_all_results(self, paper_session):
+        results = paper_session.execute_script(
+            """
+            CREATE CLASS Tag;
+            SELECT X FROM Company X;
+            SELECT X FROM Division X;
+            """
+        )
+        assert len(results) == 3
+        assert len(results[1]) == 2 and len(results[2]) == 4

@@ -1,0 +1,79 @@
+"""Property tests: the production evaluator matches the §3.4 oracle.
+
+:class:`NaiveEvaluator` enumerates every sort-respecting substitution — the
+paper's literal semantics.  These tests generate small random databases and
+random queries from a §3-shaped grammar and require identical answers.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom, Value
+from repro.xsql.evaluator import Evaluator, NaiveEvaluator
+from repro.xsql.parser import parse_query
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_store(people, edges, ages) -> ObjectStore:
+    """A small Person/knows/Age database from generated data."""
+    store = ObjectStore()
+    store.declare_class("P")
+    store.declare_class("Q", ["P"])
+    store.declare_signature("P", "Age", "Numeral")
+    store.declare_signature("P", "Knows", "P", set_valued=True)
+    store.declare_signature("P", "Best", "P")
+    atoms = [Atom(f"o{i}") for i in people]
+    for index, atom in enumerate(atoms):
+        cls = "Q" if index % 2 else "P"
+        store.create_object(atom, [cls])
+    for index, atom in enumerate(atoms):
+        if index < len(ages):
+            store.set_attr(atom, "Age", ages[index])
+    for a, b in edges:
+        if a < len(atoms) and b < len(atoms):
+            store.add_to_set(atoms[a], "Knows", atoms[b])
+            store.set_attr(atoms[a], "Best", atoms[b])
+    return store
+
+
+db_strategy = st.tuples(
+    st.lists(st.integers(0, 5), min_size=1, max_size=5, unique=True),
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8
+    ),
+    st.lists(st.integers(0, 99), max_size=5),
+)
+
+QUERIES = [
+    "SELECT X FROM P X",
+    "SELECT X FROM Q X",
+    "SELECT X, Y FROM P X WHERE X.Knows[Y]",
+    "SELECT X FROM P X WHERE X.Knows.Age some> 40",
+    "SELECT X FROM P X WHERE X.Best[Y] and Y.Age > 30",
+    "SELECT Y FROM P X WHERE X.Y.Age[W] and W < 50",
+    "SELECT X.Age FROM P X WHERE X.Knows[X]",
+    "SELECT X FROM P X WHERE X.Age =some Y.Age and X.Knows[Y]",
+    "SELECT X FROM P X WHERE not X.Knows[Y]",
+    "SELECT X FROM P X WHERE X.Knows[Y] or X.Best[Y]",
+    "SELECT X FROM P X WHERE count(X.Knows) > 1",
+    "SELECT X FROM P X WHERE X.Age all<all Y.Knows.Age and Y.Knows[X]",
+    "SELECT #C FROM #C X WHERE X.Age > 50",
+]
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+@given(data=db_strategy)
+@SETTINGS
+def test_smart_equals_naive(query_text, data):
+    store = build_store(*data)
+    query = parse_query(query_text)
+    smart = Evaluator(store).run(query)
+    naive = NaiveEvaluator(store).run(query)
+    assert smart.rows() == naive.rows(), query_text

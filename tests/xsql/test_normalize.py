@@ -1,0 +1,146 @@
+"""Tests for AST normalization: sort unification and §5 desugaring."""
+
+import pytest
+
+from repro.errors import XsqlSyntaxError
+from repro.oid import Atom, Variable, VarSort
+from repro.xsql import ast
+from repro.xsql.normalize import (
+    desugar,
+    rewrite_variables,
+    unify_variable_sorts,
+    with_tail_variable,
+)
+from repro.xsql.parser import parse_query, parse_statement
+
+
+class TestWithTailVariable:
+    def test_appends_selector(self):
+        query = parse_query("SELECT X WHERE X.Name[Z]")
+        # build a selector-less path manually
+        path = ast.PathExpr(
+            head=Variable("Y"),
+            steps=(ast.Step(ast.MethodExpr(Atom("Name"))),),
+        )
+        rewritten = with_tail_variable(path, Variable("W"))
+        assert rewritten.steps[-1].selector == Variable("W")
+
+    def test_trivial_path_rejected(self):
+        with pytest.raises(ValueError):
+            with_tail_variable(ast.PathExpr(head=Variable("Y")), Variable("W"))
+
+    def test_existing_selector_rejected(self):
+        path = ast.PathExpr(
+            head=Variable("Y"),
+            steps=(ast.Step(ast.MethodExpr(Atom("Name")), Variable("Z")),),
+        )
+        with pytest.raises(ValueError):
+            with_tail_variable(path, Variable("W"))
+
+
+class TestSortUnification:
+    def test_method_position_propagates(self):
+        query = parse_query("SELECT Y FROM Person X WHERE X.Y.City")
+        head = query.select[0].path.head
+        assert head.sort == VarSort.METHOD
+
+    def test_path_var_propagates(self):
+        query = parse_query("SELECT P FROM Person X WHERE X.*P.City")
+        head = query.select[0].path.head
+        assert head.sort == VarSort.PATH
+
+    def test_class_and_method_conflict(self):
+        with pytest.raises(XsqlSyntaxError):
+            parse_query('SELECT X WHERE Y."Z and W.Z[V] and #Z subclassOf #Q')
+
+    def test_rewrite_variables_generic(self):
+        query = parse_query("SELECT X FROM Person X WHERE X.Age > 3")
+        renamed = rewrite_variables(
+            query, lambda v: Variable(v.name + "_r", v.sort)
+        )
+        assert renamed.from_[0].var.name == "X_r"
+
+
+class TestDesugaring:
+    def test_method_argument_path_extracted(self):
+        from repro.typing.occurrences import flatten_conjunction
+
+        query = parse_query(
+            "SELECT W FROM Company X "
+            "WHERE X.(MngrSalary @ Y.Name)[W] and X.Divisions[Y]"
+        )
+        conjuncts = flatten_conjunction(query.where)
+        # the argument Y.Name became a fresh variable + a binding conjunct
+        binding = [
+            c
+            for c in conjuncts
+            if isinstance(c, ast.PathCond)
+            and c.path.head == Variable("Y")
+            and c.path.steps[0].method_expr.method == Atom("Name")
+        ]
+        assert binding, [str(c) for c in conjuncts]
+        # and the binding conjunct precedes the use (left-to-right, §5).
+        use_index = next(
+            i
+            for i, c in enumerate(conjuncts)
+            if isinstance(c, ast.PathCond)
+            and c.path.steps
+            and c.path.steps[0].method_expr.args
+        )
+        bind_index = conjuncts.index(binding[0])
+        assert bind_index < use_index
+
+    def test_id_term_argument_path_extracted(self):
+        query = parse_query(
+            "SELECT X FROM Automobile X, Employee W "
+            "WHERE CompSalaries(X.Manufacturer, W).Salary > 1"
+        )
+        conjuncts = query.where.items
+        manufacturer_bind = [
+            c
+            for c in conjuncts
+            if isinstance(c, ast.PathCond)
+            and c.path.steps
+            and c.path.steps[0].method_expr.method == Atom("Manufacturer")
+        ]
+        assert manufacturer_bind
+
+    def test_select_item_argument_appended_to_where(self):
+        statement = parse_statement(
+            "ALTER CLASS Company ADD SIGNATURE M : String => Numeral "
+            "SELECT (M @ Y.Name) = W FROM Company X OID X "
+            "WHERE X.Divisions[Y].Manager.Salary[W]"
+        )
+        conjuncts = statement.query.where.items
+        assert any(
+            isinstance(c, ast.PathCond)
+            and c.path.head == Variable("Y")
+            for c in conjuncts
+        )
+
+    def test_fresh_variables_do_not_collide(self):
+        query = parse_query(
+            "SELECT W FROM Company X WHERE X.(M @ Y.Name)[W] "
+            "and X.(M @ Z.Name)[W]"
+        )
+        fresh = {
+            v.name
+            for v in ast.free_variables(query)
+            if v.name.startswith("_")
+        }
+        assert len(fresh) == 2
+
+    def test_nested_subquery_desugared(self):
+        query = parse_query(
+            "SELECT X FROM Vehicle X WHERE 1 <all "
+            "(SELECT W FROM Division Y "
+            "WHERE X.Manufacturer.(M @ Y.Name)[W])"
+        )
+        sub = query.where.rhs.query
+        assert isinstance(sub.where, ast.AndCond)
+
+    def test_top_level_update_with_path_arg_rejected(self):
+        with pytest.raises(XsqlSyntaxError):
+            parse_statement(
+                "UPDATE CLASS Company SET X.Salary = X.(M @ Y.Name)"
+            )

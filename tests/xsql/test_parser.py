@@ -1,0 +1,281 @@
+"""Tests for the XSQL parser, including every numbered paper query."""
+
+import pytest
+
+from repro.errors import XsqlSyntaxError
+from repro.oid import Atom, Value, Variable, VarSort
+from repro.xsql import ast
+from repro.xsql.parser import parse_query, parse_statement, parse_statements
+
+
+class TestPathExpressions:
+    def test_simple_path(self):
+        query = parse_query("SELECT mary123.Residence.City")
+        item = query.select[0]
+        assert isinstance(item, ast.PathItem)
+        assert item.path.head == Atom("mary123")
+        assert [s.method_expr.method.name for s in item.path.steps] == [
+            "Residence",
+            "City",
+        ]
+
+    def test_selectors(self):
+        query = parse_query(
+            "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']"
+        )
+        cond = query.where
+        assert isinstance(cond, ast.PathCond)
+        assert cond.path.steps[0].selector == Variable("Y")
+        assert cond.path.steps[1].selector == Value("newyork")
+
+    def test_variable_recognition_single_letters(self):
+        query = parse_query("SELECT X WHERE X.WonNobelPrize")
+        assert query.select[0].path.head == Variable("X")
+
+    def test_from_declared_multiletter_variable(self):
+        query = parse_query("SELECT Year FROM Numeral Year WHERE Year > 0")
+        assert query.from_[0].var == Variable("Year")
+        assert query.select[0].path.head == Variable("Year")
+
+    def test_multiletter_names_are_atoms(self):
+        query = parse_query("SELECT uniSQL.President")
+        assert query.select[0].path.head == Atom("uniSQL")
+
+    def test_method_expression_with_args(self):
+        query = parse_query(
+            "SELECT X FROM Company X WHERE X.(MngrSalary @ 'Sales')[W]"
+        )
+        step = query.where.path.steps[0]
+        assert step.method_expr.method == Atom("MngrSalary")
+        assert step.method_expr.args == (Value("Sales"),)
+
+    def test_path_variable(self):
+        query = parse_query("SELECT X WHERE X.*Y.City['newyork']")
+        step = query.where.path.steps[0]
+        method = step.method_expr.method
+        assert isinstance(method, Variable) and method.sort == VarSort.PATH
+
+
+class TestVariableSortUnification:
+    def test_bare_variable_in_method_position_becomes_method_var(self):
+        # Query (3): X.Y.City is shorthand for X."Y.City.
+        query = parse_query(
+            "SELECT Y FROM Person X WHERE X.Y.City['newyork']"
+        )
+        select_head = query.select[0].path.head
+        assert select_head.sort == VarSort.METHOD
+        step_method = query.where.path.steps[0].method_expr.method
+        assert step_method == select_head
+
+    def test_class_variable_unified(self):
+        query = parse_query("SELECT #X WHERE TurboEngine subclassOf #X")
+        assert query.select[0].path.head.sort == VarSort.CLASS
+
+    def test_incompatible_sorts_rejected(self):
+        with pytest.raises(XsqlSyntaxError):
+            parse_query('SELECT #X WHERE Y."X and TurboEngine subclassOf #X')
+
+
+class TestComparisons:
+    def test_quantifier_positions(self):
+        query = parse_query(
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+        )
+        comparison = query.where
+        assert comparison.lq == "some" and comparison.rq is None
+        assert comparison.op == ">"
+
+    def test_eq_all(self):
+        query = parse_query(
+            "SELECT X WHERE X.Residence =all X.FamMembers.Residence"
+        )
+        assert query.where.lq is None and query.where.rq == "all"
+
+    def test_all_lt_all(self):
+        query = parse_query(
+            "SELECT X WHERE Y.FamMembers.Age all<all X.FamMembers.Age"
+        )
+        assert query.where.lq == "all" and query.where.rq == "all"
+
+    def test_set_comparators(self):
+        query = parse_query(
+            "SELECT X WHERE X.Colors containsEq {'blue', 'red'}"
+        )
+        assert query.where.op == "containsEq"
+        assert isinstance(query.where.rhs, ast.SetLitOperand)
+
+    def test_aggregates(self):
+        query = parse_query("SELECT X WHERE count(X.FamMembers) > 4")
+        assert isinstance(query.where.lhs, ast.AggOperand)
+        assert query.where.lhs.fn == "count"
+
+    def test_subquery_operand(self):
+        query = parse_query(
+            "SELECT X FROM Vehicle X WHERE 200000 <all "
+            "(SELECT W FROM Division Y WHERE X.Age[W])"
+        )
+        assert isinstance(query.where.rhs, ast.SubQueryOperand)
+        sub = query.where.rhs.query
+        assert sub.from_[0].cls == Atom("Division")
+
+    def test_arithmetic(self):
+        query = parse_query("SELECT X WHERE X.Age > (1 + 2) * 3")
+        rhs = query.where.rhs
+        assert isinstance(rhs, ast.ArithOperand) and rhs.op == "*"
+
+    def test_schema_conditions(self):
+        query = parse_query("SELECT #X WHERE TurboEngine subclassOf #X")
+        assert isinstance(query.where, ast.SchemaCond)
+        query = parse_query("SELECT X WHERE X instanceOf Person")
+        assert query.where.kind == "instanceOf"
+
+
+class TestBooleans:
+    def test_precedence_or_over_and(self):
+        query = parse_query("SELECT X WHERE X.A and X.B or X.C")
+        assert isinstance(query.where, ast.OrCond)
+        assert isinstance(query.where.items[0], ast.AndCond)
+
+    def test_not(self):
+        query = parse_query("SELECT X WHERE not X.Retirees")
+        assert isinstance(query.where, ast.NotCond)
+
+    def test_parenthesized_condition(self):
+        query = parse_query("SELECT X WHERE X.A and (X.B or X.C)")
+        assert isinstance(query.where, ast.AndCond)
+        assert isinstance(query.where.items[1], ast.OrCond)
+
+
+class TestSelectClause:
+    def test_named_items(self):
+        query = parse_query(
+            "SELECT CompName = Y.Name FROM Company Y OID FUNCTION OF Y"
+        )
+        assert query.select[0].name == "CompName"
+        assert query.oid_vars == (Variable("Y"),)
+
+    def test_set_item(self):
+        query = parse_query(
+            "SELECT Beneficiaries = {W} FROM Company Y OID FUNCTION OF Y"
+        )
+        assert isinstance(query.select[0], ast.SetItem)
+        assert query.select[0].var == Variable("W")
+
+    def test_method_item_with_desugared_path_argument(self):
+        # §5: (MngrSalary @ Y.Name) adds the conjunct Y.Name[Z].
+        query = parse_query(
+            "SELECT (MngrSalary @ Y.Name) = W FROM Company X OID X "
+            "WHERE X.Divisions[Y].Manager.Salary[W]"
+        )
+        item = query.select[0]
+        assert isinstance(item, ast.MethodItem)
+        (arg,) = item.args
+        assert isinstance(arg, Variable)
+        conjuncts = query.where.items
+        assert any(
+            isinstance(c, ast.PathCond)
+            and c.path.head == Variable("Y")
+            and c.path.steps[0].selector == arg
+            for c in conjuncts
+        )
+        assert query.oid_scope == Variable("X")
+
+    def test_multiple_items(self):
+        query = parse_query("SELECT X.Name, W.Salary FROM Company X")
+        assert len(query.select) == 2
+
+
+class TestIdTerms:
+    def test_view_id_term_selector_desugars(self):
+        # §4.2: CompSalaries(X.Manufacturer, W) becomes CompSalaries(Y, W)
+        # plus the conjunct X.Manufacturer[Y].
+        query = parse_query(
+            "SELECT X FROM Automobile X, Employee W "
+            "WHERE CompSalaries(X.Manufacturer, W).Salary > 35000"
+        )
+        conjuncts = query.where.items
+        app_conds = [
+            c
+            for c in conjuncts
+            if isinstance(c, ast.Comparison)
+        ]
+        assert len(app_conds) == 1
+        lhs_path = app_conds[0].lhs.path
+        assert isinstance(lhs_path.head, ast.App)
+        assert lhs_path.head.functor == "CompSalaries"
+        assert all(
+            isinstance(a, (Variable,)) for a in lhs_path.head.args
+        )
+
+    def test_ground_id_term(self):
+        query = parse_query("SELECT secretary(dept77).Name")
+        head = query.select[0].path.head
+        assert isinstance(head, ast.App)
+        assert head.args == (Atom("dept77"),)
+
+
+class TestStatements:
+    def test_create_view(self):
+        statement = parse_statement(
+            "CREATE VIEW V AS SUBCLASS OF Object "
+            "SIGNATURE A = String, B : Numeral => Numeral "
+            "SELECT A = X.Name FROM Company X OID FUNCTION OF X"
+        )
+        assert isinstance(statement, ast.CreateView)
+        assert statement.superclass == "Object"
+        assert statement.signatures[0].method == "A"
+        assert statement.signatures[1].args == ("Numeral",)
+
+    def test_create_class(self):
+        statement = parse_statement(
+            "CREATE CLASS Robot AS SUBCLASS OF Person "
+            "SIGNATURE Serial => Numeral, Skills =>> String"
+        )
+        assert isinstance(statement, ast.CreateClass)
+        assert statement.signatures[1].set_valued
+
+    def test_alter_class(self):
+        statement = parse_statement(
+            "ALTER CLASS Company ADD SIGNATURE M : String => Numeral "
+            "SELECT (M @ W) = W FROM Company X OID X WHERE X.Name[W]"
+        )
+        assert isinstance(statement, ast.AlterClass)
+        assert statement.signature.method == "M"
+
+    def test_update_class(self):
+        statement = parse_statement(
+            "UPDATE CLASS Company SET X.Divisions[Y].Manager.Salary = 10"
+        )
+        assert isinstance(statement, ast.UpdateClass)
+        path, expr = statement.assignments[0]
+        assert path.steps[-1].method_expr.method == Atom("Salary")
+
+    def test_union(self):
+        statement = parse_statement(
+            "SELECT X FROM Person X UNION SELECT X FROM Company X"
+        )
+        assert isinstance(statement, ast.QueryOp)
+        assert statement.op == "union"
+
+    def test_script_splitting(self):
+        statements = parse_statements(
+            "SELECT X FROM Person X; SELECT Y FROM Company Y;"
+        )
+        assert len(statements) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XsqlSyntaxError):
+            parse_query("SELECT X FROM Person X garbage garbage")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(XsqlSyntaxError):
+            parse_statement("DROP TABLE Person")
+
+
+class TestRoundTripRendering:
+    def test_query_str_is_stable(self):
+        text = "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+        rendered = str(parse_query(text))
+        assert "SELECT X" in rendered
+        assert "FROM Employee X" in rendered
+        assert "some" in rendered and ">" in rendered

@@ -1,0 +1,54 @@
+"""Fuzz property: the parser is total over arbitrary input.
+
+Whatever bytes arrive, the parser either returns an AST or raises
+:class:`XsqlSyntaxError` (with position info) — never an internal
+exception.  This is the robustness contract the REPL and Session rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XsqlError
+from repro.xsql.lexer import tokenize
+from repro.xsql.parser import parse_statement
+
+# plausible XSQL fragments plus noise, to reach deep parser states
+_TOKENS = st.sampled_from(
+    [
+        "SELECT", "FROM", "WHERE", "OID", "FUNCTION", "OF", "AND", "OR",
+        "NOT", "CREATE", "VIEW", "CLASS", "ALTER", "UPDATE", "SET",
+        "INSERT", "INTO", "VALUES", "UNION", "X", "Y", "Person", "Name",
+        "mary123", "42", "'text'", ".", ",", "(", ")", "[", "]", "{", "}",
+        "@", "=", "<", ">", "<=", "!=", "=>", "=>>", "#X", '"Y', "*", "+",
+        "-", "/", "some", "all", "count", "subclassOf", "nil", ";", ":",
+    ]
+)
+
+
+@given(st.lists(_TOKENS, max_size=25).map(" ".join))
+@settings(max_examples=300, deadline=None)
+def test_parser_never_raises_internal_errors(source):
+    try:
+        parse_statement(source)
+    except XsqlError:
+        pass  # the declared failure mode
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_lexer_total_over_arbitrary_text(source):
+    try:
+        tokens = tokenize(source)
+    except XsqlError:
+        return
+    assert tokens[-1].kind == "EOF"
+
+
+@given(st.text(alphabet="SELECT FROMWHERE.XY[]()'#\"*=<>", max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_parser_total_over_query_like_noise(source):
+    try:
+        parse_statement(source)
+    except XsqlError:
+        pass

@@ -1,0 +1,108 @@
+"""Property: path-expression values compose step by step.
+
+The §3.1 semantics makes a path's value the image of the head under the
+composed step relations; these properties pin that compositionality on
+random small databases — value(p.q) equals the union of values of q
+started from each tail of p, and a trivial path is the identity.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+from repro.xsql.paths import PathWalker
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["R", "S"]),
+        st.integers(0, 4),
+        st.integers(0, 4),
+    ),
+    max_size=15,
+)
+
+
+def build(edges) -> ObjectStore:
+    store = ObjectStore()
+    store.declare_class("N")
+    for index in range(5):
+        store.create_object(Atom(f"n{index}"), ["N"])
+    for method, src, dst in edges:
+        store.add_to_set(Atom(f"n{src}"), method, Atom(f"n{dst}"))
+    return store
+
+
+def path_from(head: Atom, *methods: str) -> ast.PathExpr:
+    return ast.PathExpr(
+        head=head,
+        steps=tuple(ast.Step(ast.MethodExpr(Atom(m))) for m in methods),
+    )
+
+
+@given(edges=edges_strategy, start=st.integers(0, 4))
+@SETTINGS
+def test_two_step_value_composes(edges, start):
+    store = build(edges)
+    walker = PathWalker(store)
+    head = Atom(f"n{start}")
+    composed = walker.value(path_from(head, "R", "S"))
+    stepwise = frozenset(
+        tail
+        for mid in walker.value(path_from(head, "R"))
+        for tail in walker.value(path_from(mid, "S"))
+    )
+    assert composed == stepwise
+
+
+@given(edges=edges_strategy, start=st.integers(0, 4))
+@SETTINGS
+def test_trivial_path_is_identity(edges, start):
+    store = build(edges)
+    walker = PathWalker(store)
+    head = Atom(f"n{start}")
+    assert walker.value(ast.PathExpr(head=head)) == frozenset({head})
+
+
+@given(edges=edges_strategy, start=st.integers(0, 4))
+@SETTINGS
+def test_selector_filters_value(edges, start):
+    store = build(edges)
+    walker = PathWalker(store)
+    head = Atom(f"n{start}")
+    full = walker.value(path_from(head, "R"))
+    for candidate_index in range(5):
+        candidate = Atom(f"n{candidate_index}")
+        filtered_path = ast.PathExpr(
+            head=head,
+            steps=(ast.Step(ast.MethodExpr(Atom("R")), candidate),),
+        )
+        filtered = walker.value(filtered_path)
+        if candidate in full:
+            assert filtered == frozenset({candidate})
+        else:
+            assert filtered == frozenset()
+
+
+@given(edges=edges_strategy)
+@SETTINGS
+def test_method_variable_union(edges):
+    """X."M covers exactly the union of all per-method images."""
+    store = build(edges)
+    walker = PathWalker(store)
+    head = Atom("n0")
+    query = parse_query('SELECT W WHERE n0."M[W]')
+    via_var = walker.value(query.where.path)
+    via_union = walker.value(path_from(head, "R")) | walker.value(
+        path_from(head, "S")
+    )
+    assert via_var == via_union

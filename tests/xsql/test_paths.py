@@ -1,0 +1,187 @@
+"""Tests for path-expression walking (paper §3.1, §5)."""
+
+import pytest
+
+from repro.datamodel import ObjectStore
+from repro.oid import Atom, Value, Variable, VarSort
+from repro.xsql.parser import parse_query
+from repro.xsql.paths import PathWalker
+
+
+def path_of(text: str):
+    """Extract the WHERE path of ``SELECT X WHERE <path>``."""
+    return parse_query(text).where.path
+
+
+def select_path(text: str):
+    return parse_query(text).select[0].path
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.declare_class("Person")
+    s.declare_class("Address")
+    s.declare_signature("Person", "Residence", "Address")
+    s.declare_signature("Person", "FamMembers", "Person", set_valued=True)
+    s.declare_signature("Address", "City", "String")
+    mary = s.create_object(Atom("mary"), ["Person"])
+    bob = s.create_object(Atom("bob"), ["Person"])
+    sue = s.create_object(Atom("sue"), ["Person"])
+    addr1 = s.create_object(Atom("addr1"), ["Address"])
+    addr2 = s.create_object(Atom("addr2"), ["Address"])
+    s.set_attr(addr1, "City", "newyork")
+    s.set_attr(addr2, "City", "austin")
+    s.set_attr(mary, "Residence", addr1)
+    s.set_attr(bob, "Residence", addr2)
+    s.set_attr_set(mary, "FamMembers", [bob, sue])
+    return s
+
+
+@pytest.fixture
+def walker(store) -> PathWalker:
+    return PathWalker(store)
+
+
+class TestGroundPaths:
+    def test_scalar_chain(self, walker):
+        path = select_path("SELECT mary.Residence.City")
+        assert walker.value(path) == frozenset({Value("newyork")})
+
+    def test_trivial_path_is_its_head(self, walker):
+        path = select_path("SELECT mary")
+        assert walker.value(path) == frozenset({Atom("mary")})
+
+    def test_literal_trivial_path(self, walker):
+        path = select_path("SELECT 20")
+        assert walker.value(path) == frozenset({Value(20)})
+
+    def test_missing_object_yields_empty(self, walker):
+        path = select_path("SELECT ghost47.Residence.City")
+        assert walker.value(path) == frozenset()
+
+    def test_undefined_attribute_yields_empty(self, walker):
+        path = select_path("SELECT sue.Residence.City")
+        assert walker.value(path) == frozenset()
+
+    def test_set_valued_fanout(self, walker):
+        path = select_path("SELECT mary.FamMembers")
+        assert walker.value(path) == frozenset({Atom("bob"), Atom("sue")})
+
+    def test_flattening_through_sets(self, walker):
+        path = select_path("SELECT mary.FamMembers.Residence.City")
+        assert walker.value(path) == frozenset({Value("austin")})
+
+
+class TestSelectors:
+    def test_ground_selector_filters(self, walker):
+        hits = list(
+            walker.walk(path_of("SELECT X WHERE mary.FamMembers[bob]"))
+        )
+        assert [h.tail for h in hits] == [Atom("bob")]
+
+    def test_ground_selector_mismatch(self, walker):
+        assert (
+            walker.value(path_of("SELECT X WHERE mary.FamMembers[zed]"))
+            == frozenset()
+        )
+
+    def test_variable_selector_binds(self, walker):
+        hits = list(
+            walker.walk(path_of("SELECT Y WHERE mary.Residence[Y]"))
+        )
+        assert len(hits) == 1
+        assert hits[0].bindings()[Variable("Y")] == Atom("addr1")
+
+    def test_bound_variable_selector_checks(self, walker):
+        path = path_of("SELECT Y WHERE mary.Residence[Y]")
+        hits = list(walker.walk(path, {Variable("Y"): Atom("addr2")}))
+        assert hits == []
+
+    def test_head_variable_enumerates_universe(self, walker):
+        path = path_of("SELECT X WHERE X.Residence[addr1]")
+        tails = {h.bindings()[Variable("X")] for h in walker.walk(path)}
+        assert tails == {Atom("mary")}
+
+
+class TestMethodVariables:
+    def test_method_variable_enumerates_defined(self, walker):
+        path = path_of('SELECT Y WHERE mary."Y[addr1]')
+        methods = {
+            h.bindings()[Variable("Y", VarSort.METHOD)]
+            for h in walker.walk(path)
+        }
+        assert methods == {Atom("Residence")}
+
+    def test_method_variable_multiple_matches(self, walker):
+        path = path_of('SELECT Y WHERE mary."Y')
+        methods = {
+            h.bindings()[Variable("Y", VarSort.METHOD)]
+            for h in walker.walk(path)
+        }
+        assert methods == {Atom("Residence"), Atom("FamMembers")}
+
+
+class TestPathVariables:
+    def test_sequences_bound(self, walker):
+        path = path_of("SELECT X WHERE mary.*P.City['newyork']")
+        hits = list(walker.walk(path))
+        sequences = {
+            h.bindings()[Variable("P", VarSort.PATH)] for h in hits
+        }
+        assert (Atom("Residence"),) in sequences
+
+    def test_zero_length_sequence(self, walker):
+        path = path_of("SELECT X WHERE mary.*P[mary]")
+        hits = list(walker.walk(path))
+        assert any(h.bindings()[Variable("P", VarSort.PATH)] == () for h in hits)
+
+    def test_depth_limit_respected(self, store):
+        tight = PathWalker(store, max_path_var_length=1)
+        path = path_of("SELECT X WHERE mary.*P.City['austin']")
+        # austin needs FamMembers.Residence (length 2) before City.
+        assert list(tight.walk(path)) == []
+
+
+class TestMethodArguments:
+    def test_ground_args(self, store):
+        s = store
+        s.declare_class("Course")
+        s.declare_class("Grade")
+        s.declare_signature("Person", "earns", "Grade", args=["Course"])
+        course = s.create_object(Atom("cse305"), ["Course"])
+        grade = s.create_object(Atom("gradeA"), ["Grade"])
+        s.set_attr(Atom("mary"), "earns", grade, args=[course])
+        walker = PathWalker(s)
+        path = path_of("SELECT X WHERE mary.(earns @ cse305)[gradeA]")
+        assert len(list(walker.walk(path))) == 1
+
+    def test_variable_args_enumerate(self, store):
+        s = store
+        s.declare_class("Course")
+        s.declare_class("Grade")
+        course = s.create_object(Atom("cse305"), ["Course"])
+        grade = s.create_object(Atom("gradeA"), ["Grade"])
+        s.set_attr(Atom("mary"), "earns", grade, args=[course])
+        walker = PathWalker(s)
+        path = path_of("SELECT C WHERE mary.(earns @ C)[gradeA]")
+        hits = list(walker.walk(path))
+        assert {h.bindings()[Variable("C")] for h in hits} == {course}
+
+
+class TestSetShapedFlag:
+    def test_scalar_path_not_shaped(self, walker):
+        _, shaped = walker.value_kinded(
+            select_path("SELECT mary.Residence.City")
+        )
+        assert not shaped
+
+    def test_set_hop_shapes(self, walker):
+        _, shaped = walker.value_kinded(select_path("SELECT mary.FamMembers"))
+        assert shaped
+
+    def test_set_then_scalar_still_shaped(self, walker):
+        _, shaped = walker.value_kinded(
+            select_path("SELECT mary.FamMembers.Residence")
+        )
+        assert shaped

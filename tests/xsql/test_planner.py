@@ -1,0 +1,104 @@
+"""Tests for the greedy (untyped) conjunct planner."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.typing.occurrences import flatten_conjunction
+from repro.workloads.generator import WorkloadConfig, generate_database
+from repro.xsql import ast
+from repro.xsql.evaluator import Evaluator
+from repro.xsql.parser import parse_query
+from repro.xsql.planner import GreedyPlanner
+
+UNFAVOURABLE = (
+    "SELECT X FROM Vehicle X "
+    "WHERE M.President.OwnedVehicles[X] and X.Manufacturer[M]"
+)
+
+
+class TestReordering:
+    def test_bound_head_scheduled_first(self):
+        query = parse_query(UNFAVOURABLE)
+        planned = GreedyPlanner().reorder(query)
+        conjuncts = flatten_conjunction(planned.where)
+        assert "Manufacturer" in str(conjuncts[0])
+
+    def test_single_conjunct_untouched(self):
+        query = parse_query("SELECT X FROM Person X WHERE X.Age > 3")
+        assert GreedyPlanner().reorder(query) is query
+
+    def test_updates_never_reordered(self):
+        query = parse_query(
+            "SELECT (M @ W) = nil FROM Company X, Numeral W OID X "
+            "WHERE W < 20 and (UPDATE CLASS Company SET X.Name = 'x')"
+        )
+        planner = GreedyPlanner()
+        assert not planner.applicable(query)
+        assert planner.reorder(query) is query
+
+    def test_comparisons_after_binders(self):
+        query = parse_query(
+            "SELECT X FROM Employee X WHERE W > 50000 and X.Salary[W]"
+        )
+        planned = GreedyPlanner().reorder(query)
+        conjuncts = flatten_conjunction(planned.where)
+        assert isinstance(conjuncts[0], ast.PathCond)
+        assert isinstance(conjuncts[1], ast.Comparison)
+
+    def test_no_where_is_noop(self):
+        query = parse_query("SELECT X FROM Person X")
+        assert GreedyPlanner().reorder(query) is query
+
+
+class TestEquivalence:
+    CORPUS = [
+        UNFAVOURABLE,
+        "SELECT X FROM Employee X WHERE W > 50000 and X.Salary[W]",
+        "SELECT X FROM Company X WHERE D.Manager[M] and X.Divisions[D] "
+        "and M.Salary[W] and W > 100000",
+        "SELECT Y FROM Person X WHERE Y.City['newyork'] and X.Residence[Y]",
+    ]
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_planned_equals_unplanned(self, shared_paper_session, text):
+        store = shared_paper_session.store
+        query = parse_query(text)
+        plain = Evaluator(store).run(query)
+        planned = Evaluator(store).run(GreedyPlanner().reorder(query))
+        assert planned.rows() == plain.rows()
+
+    def test_session_optimize_flag(self, shared_paper_session):
+        plain = shared_paper_session.query(UNFAVOURABLE)
+        optimized = shared_paper_session.query(UNFAVOURABLE, optimize=True)
+        assert optimized.rows() == plain.rows()
+
+    @given(seed=st.integers(0, 5000))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_equivalence_on_random_databases(self, seed):
+        store = generate_database(WorkloadConfig(n_people=14, seed=seed))
+        query = parse_query(self.CORPUS[2])
+        plain = Evaluator(store).run(query)
+        planned = Evaluator(store).run(GreedyPlanner().reorder(query))
+        assert planned.rows() == plain.rows()
+
+
+class TestPerformanceShape:
+    def test_greedy_beats_textual_order(self):
+        import time
+
+        store = generate_database(WorkloadConfig(n_people=80, seed=2))
+        query = parse_query(UNFAVOURABLE)
+        start = time.perf_counter()
+        plain = Evaluator(store).run(query)
+        plain_s = time.perf_counter() - start
+        planned_query = GreedyPlanner().reorder(query)
+        start = time.perf_counter()
+        planned = Evaluator(store).run(planned_query)
+        planned_s = time.perf_counter() - start
+        assert planned.rows() == plain.rows()
+        assert planned_s < plain_s

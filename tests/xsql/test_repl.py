@@ -1,0 +1,101 @@
+"""Tests for the interactive shell (driven over in-memory streams)."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.xsql.repl import run_repl
+from tests.conftest import make_paper_session
+
+
+def drive(script: str) -> str:
+    session = make_paper_session()
+    out = io.StringIO()
+    run_repl(session, stdin=io.StringIO(script), stdout=out)
+    return out.getvalue()
+
+
+class TestStatements:
+    def test_query_prints_table(self):
+        output = drive("SELECT X FROM Company X;\n")
+        assert "uniSQL" in output and "acme" in output
+
+    def test_multiline_statement(self):
+        output = drive(
+            "SELECT X\nFROM Employee X\nWHERE X.Salary > 200000;\n"
+        )
+        assert "pat" in output and "maria" in output
+
+    def test_several_statements_one_line(self):
+        output = drive(
+            "SELECT X FROM Motorbike X; SELECT X FROM Bicycle X;\n"
+        )
+        assert "moto1" in output
+
+    def test_error_reported_session_survives(self):
+        output = drive("SELECT FROM;\nSELECT X FROM Company X;\n")
+        assert "error:" in output
+        assert "uniSQL" in output
+
+    def test_ddl_status(self):
+        output = drive("CREATE CLASS Robot;\n")
+        assert "Robot" in output
+
+
+class TestMetaCommands:
+    def test_help(self):
+        assert ".schema" in drive(".help\n")
+
+    def test_schema_listing(self):
+        output = drive(".schema\n")
+        assert "Employee :: Person" in output
+        assert "FamMembers" in output
+
+    def test_describe(self):
+        output = drive(".describe mary123\n")
+        assert "Residence" in output
+
+    def test_explain(self):
+        output = drive(
+            ".explain SELECT X FROM Vehicle X WHERE X.Manufacturer[M] "
+            "and M.President.OwnedVehicles[X]\n"
+        )
+        assert "typing: strict" in output
+
+    def test_naive(self):
+        output = drive(".naive SELECT mary123.Residence.City\n")
+        assert "newyork" in output
+
+    def test_quit_stops(self):
+        output = drive(".quit\nSELECT X FROM Company X;\n")
+        assert "uniSQL" not in output
+
+    def test_unknown_meta(self):
+        assert "unknown meta-command" in drive(".frobnicate\n")
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "dump.json"
+        output = drive(
+            f".save {path}\n"
+            f"UPDATE CLASS Division SET d_eng.Function = 'changed';\n"
+            f".load {path}\n"
+            f"SELECT d_eng.Function;\n"
+        )
+        assert "saved" in output and "loaded" in output
+        assert "'R&D'" in output  # the pre-save value came back
+        assert "'changed'" not in output.split("loaded")[1]
+
+
+class TestProcessEntryPoint:
+    def test_module_runs_with_paper_flag(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.xsql.repl", "--paper"],
+            input="SELECT mary123.Residence.City;\n.quit\n",
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0
+        assert "newyork" in completed.stdout

@@ -1,0 +1,91 @@
+"""Tests for query-result relations and their operators (§3.3)."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.oid import Atom, Value
+from repro.xsql.result import QueryResult
+
+
+def result_of(columns, rows):
+    return QueryResult(columns, rows)
+
+
+class TestBasics:
+    def test_duplicates_eliminated(self):
+        result = result_of(["x"], [(Value(1),), (Value(1),)])
+        assert len(result) == 1
+
+    def test_arity_checked(self):
+        with pytest.raises(RelationalError):
+            result_of(["x"], [(Value(1), Value(2))])
+
+    def test_sorted_iteration_deterministic(self):
+        result = result_of(["x"], [(Value(3),), (Value(1),), (Atom("a"),)])
+        assert list(result) == [(Value(1),), (Value(3),), (Atom("a"),)]
+
+    def test_single_column(self):
+        result = result_of(["x"], [(Value(1),), (Value(2),)])
+        assert result.single_column() == frozenset({Value(1), Value(2)})
+
+    def test_single_column_requires_one_column(self):
+        result = result_of(["x", "y"], [])
+        with pytest.raises(RelationalError):
+            result.single_column()
+
+    def test_scalars_unwraps_payloads(self):
+        result = result_of(["x"], [(Value(2),), (Value("a"),)])
+        assert result.scalars() == [2, "a"]
+
+    def test_membership(self):
+        result = result_of(["x"], [(Value(1),)])
+        assert (Value(1),) in result
+        assert (Value(9),) not in result
+
+
+class TestOperators:
+    def test_union(self):
+        a = result_of(["x"], [(Value(1),)])
+        b = result_of(["x"], [(Value(2),)])
+        assert len(a.union(b)) == 2
+
+    def test_minus(self):
+        a = result_of(["x"], [(Value(1),), (Value(2),)])
+        b = result_of(["x"], [(Value(2),)])
+        assert a.minus(b).single_column() == frozenset({Value(1)})
+
+    def test_intersect(self):
+        a = result_of(["x"], [(Value(1),), (Value(2),)])
+        b = result_of(["x"], [(Value(2),), (Value(3),)])
+        assert a.intersect(b).single_column() == frozenset({Value(2)})
+
+    def test_arity_mismatch_rejected(self):
+        a = result_of(["x"], [])
+        b = result_of(["x", "y"], [])
+        with pytest.raises(RelationalError):
+            a.union(b)
+
+    def test_equality_ignores_column_names(self):
+        # equality is on the tuple sets (names are presentation).
+        a = result_of(["x"], [(Value(1),)])
+        b = result_of(["y"], [(Value(1),)])
+        assert a == b
+
+
+class TestPretty:
+    def test_renders_headers_and_rows(self):
+        result = result_of(
+            ["name", "salary"], [(Value("Pat"), Value(250000))]
+        )
+        text = result.pretty()
+        assert "name" in text and "salary" in text
+        assert "'Pat'" in text and "250000" in text
+
+    def test_limit(self):
+        result = result_of(["x"], [(Value(i),) for i in range(10)])
+        text = result.pretty(limit=3)
+        assert "(7 more)" in text
+
+    def test_empty_result(self):
+        text = result_of(["x"], []).pretty()
+        assert "x" in text

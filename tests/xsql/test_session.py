@@ -1,0 +1,91 @@
+"""Tests for the Session facade."""
+
+import pytest
+
+from repro import Session
+from repro.errors import QueryError, XsqlSyntaxError
+from repro.oid import Atom, Value
+from tests.conftest import names
+
+
+class TestDispatch:
+    def test_query(self, shared_paper_session):
+        result = shared_paper_session.query("SELECT X FROM Company X")
+        assert set(names(result)) == {"uniSQL", "acme"}
+
+    def test_create_class(self):
+        session = Session()
+        session.execute(
+            "CREATE CLASS Robot SIGNATURE Serial => Numeral"
+        )
+        assert Atom("Robot") in session.store.class_universe()
+        assert session.store.signatures_of("Robot", "Serial")
+
+    def test_create_class_with_superclasses(self):
+        session = Session()
+        session.execute("CREATE CLASS Agent")
+        session.execute("CREATE CLASS Robot AS SUBCLASS OF Agent")
+        assert session.store.hierarchy.is_subclass(
+            Atom("Robot"), Atom("Agent")
+        )
+
+    def test_creating_query_returns_created_oids(self, paper_session):
+        result = paper_session.execute(
+            "SELECT CompName = Y.Name FROM Company Y OID FUNCTION OF Y"
+        )
+        assert len(result.created) == 2
+        assert all(str(o).startswith("qf") for o in result.created)
+
+    def test_update_returns_status(self, paper_session):
+        result = paper_session.execute(
+            "UPDATE CLASS Division SET d_eng.Function = 'x'"
+        )
+        assert result.columns == ("status",)
+
+    def test_syntax_error_propagates(self):
+        session = Session()
+        with pytest.raises(XsqlSyntaxError):
+            session.execute("SELECT FROM")
+
+    def test_script_execution(self, paper_session):
+        results = paper_session.execute_script(
+            "SELECT X FROM Company X; SELECT X FROM Division X;"
+        )
+        assert len(results) == 2
+        assert len(results[1]) == 4
+
+    def test_union_query(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Motorbike X UNION SELECT X FROM Automobile X"
+        )
+        assert len(result) == 4
+
+    def test_minus_query(self, shared_paper_session):
+        result = shared_paper_session.query(
+            "SELECT X FROM Person X MINUS SELECT X FROM Employee X"
+        )
+        assert "mary123" in names(result)
+        assert "john13" not in names(result)
+
+
+class TestNaiveOracle:
+    def test_naive_matches_smart_on_paper_query(self, shared_paper_session):
+        text = "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']"
+        assert (
+            shared_paper_session.naive(text).rows()
+            == shared_paper_session.query(text).rows()
+        )
+
+    def test_naive_rejects_ddl(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.naive(
+                "UPDATE CLASS Division SET d_eng.Function = 'x'"
+            )
+
+
+class TestSessionIsolation:
+    def test_fresh_sessions_do_not_share_state(self):
+        a = Session()
+        b = Session()
+        a.store.declare_class("OnlyInA")
+        assert Atom("OnlyInA") not in b.store.class_universe()

@@ -1,0 +1,50 @@
+"""Tests for session snapshots (checkpoint/rollback)."""
+
+import pytest
+
+from repro.oid import Atom, Value
+from tests.conftest import names
+
+
+class TestSnapshots:
+    def test_rollback_after_update(self, paper_session):
+        checkpoint = paper_session.snapshot()
+        paper_session.execute(
+            "UPDATE CLASS Division SET d_eng.Function = 'changed'"
+        )
+        assert paper_session.store.invoke_scalar(
+            Atom("d_eng"), "Function"
+        ) == Value("changed")
+        paper_session.restore(checkpoint)
+        assert paper_session.store.invoke_scalar(
+            Atom("d_eng"), "Function"
+        ) == Value("R&D")
+
+    def test_rollback_removes_created_objects(self, paper_session):
+        checkpoint = paper_session.snapshot()
+        result = paper_session.execute(
+            "SELECT N = Y.Name FROM Company Y OID FUNCTION OF Y"
+        )
+        created = result.created[0]
+        assert created in paper_session.store.known_objects()
+        paper_session.restore(checkpoint)
+        assert created not in paper_session.store.known_objects()
+
+    def test_queries_work_after_restore(self, paper_session):
+        checkpoint = paper_session.snapshot()
+        paper_session.restore(checkpoint)
+        result = paper_session.query(
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+        )
+        assert names(result) == ["john13", "kim"]
+
+    def test_snapshot_is_isolated_from_later_writes(self, paper_session):
+        checkpoint = paper_session.snapshot()
+        paper_session.execute(
+            "UPDATE CLASS Employee SET ben.Salary = 1"
+        )
+        # mutating after the snapshot must not alter the captured state.
+        paper_session.restore(checkpoint)
+        assert paper_session.store.invoke_scalar(
+            Atom("ben"), "Salary"
+        ) == Value(30000)
