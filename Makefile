@@ -1,14 +1,36 @@
 # Convenience targets for the XSQL reproduction.
 
-.PHONY: install test bench report examples all
+.PHONY: install test test-all fuzz-smoke fuzz bench report examples all
 
 install:
 	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
 	# the setup.py path below works in fully offline environments too.
 	pip install -e . 2>/dev/null || python setup.py develop
 
-test:
+# Tier-1: the fast suite (slow-marked tests skipped) plus a fixed-seed
+# differential fuzz smoke pass (see docs/DIFFTEST.md).
+test: fuzz-smoke
 	pytest tests/
+
+# Everything: slow-marked tests (large workloads, naive-oracle
+# equivalence) and a deeper fuzz run across workload sizes.
+test-all:
+	pytest tests/ --runslow
+	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 500 --quiet
+
+# ~200 queries, fixed seed, smallest store: catches engine divergence
+# in a few seconds without bloating the edit-test loop.
+fuzz-smoke:
+	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 200 --sizes tiny --quiet
+
+# Open-ended fuzzing; override SEED/QUERIES/SIZES as needed, e.g.
+#   make fuzz SEED=7 QUERIES=2000 SIZES=tiny,medium
+SEED ?= 0
+QUERIES ?= 1000
+SIZES ?= tiny,small
+fuzz:
+	PYTHONPATH=src python -m repro.difftest --seed $(SEED) --queries $(QUERIES) \
+		--sizes $(SIZES) --corpus-dir tests/corpus
 
 bench:
 	pytest benchmarks/ --benchmark-only

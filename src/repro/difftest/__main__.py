@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.difftest``.
+
+Examples::
+
+    python -m repro.difftest --seed 0 --queries 500
+    python -m repro.difftest --queries 200 --sizes tiny --max-depth 4
+    python -m repro.difftest --corpus-dir tests/corpus --fail-fast
+
+Exits non-zero iff the oracle found a disagreement (or a generated query
+failed the render→parse round-trip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.difftest.grammar import GeneratorConfig
+from repro.difftest.runner import run_fuzz
+from repro.errors import XsqlError
+from repro.workloads.generator import WORKLOAD_PRESETS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.difftest",
+        description="Differential fuzzing of the XSQL engines.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=500,
+        help="total query budget, split across --sizes (default 500)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default="tiny,small",
+        help="comma-separated workload presets "
+        f"(choices: {','.join(WORKLOAD_PRESETS)}; default tiny,small)",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="max path expression depth (default from GeneratorConfig)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        help="save minimized counterexamples here (e.g. tests/corpus)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first disagreement",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final summary"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        config = GeneratorConfig()
+        if args.max_depth is not None:
+            config = GeneratorConfig(max_path_depth=args.max_depth)
+        stats = run_fuzz(
+            seed=args.seed,
+            queries=args.queries,
+            sizes=tuple(
+                s.strip() for s in args.sizes.split(",") if s.strip()
+            ),
+            config=config,
+            corpus_dir=args.corpus_dir,
+            fail_fast=args.fail_fast,
+            progress=None
+            if args.quiet
+            else lambda line: print(line, flush=True),
+        )
+    except XsqlError as exc:
+        parser.error(str(exc))
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

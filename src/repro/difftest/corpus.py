@@ -1,0 +1,122 @@
+"""Replayable counterexample corpus for the differential fuzzer.
+
+Every disagreement the fuzzer finds is minimized (:mod:`.shrink`) and
+persisted as a small JSON file under ``tests/corpus/``.  A corpus case is
+fully self-contained — the query's concrete syntax plus the workload
+configuration that rebuilds the exact store — so replay needs no fuzzer
+state: ``tests/difftest/test_corpus.py`` regenerates the store, runs the
+oracle, and asserts the engines agree again.  A case therefore starts
+life as a bug report and is checked in as a regression test once fixed.
+
+File layout::
+
+    {
+      "description": "flogic drops rows for ...",
+      "query": "SELECT X FROM Person X WHERE ...",
+      "workload": {"preset": "tiny"} | {"n_people": 6, ...},
+      "found_by": {"seed": 0, "index": 37, "disagreements": [...]}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.datamodel.store import ObjectStore
+from repro.workloads.generator import (
+    WORKLOAD_PRESETS,
+    WorkloadConfig,
+    generate_database,
+)
+
+__all__ = [
+    "CorpusCase",
+    "save_case",
+    "load_case",
+    "iter_corpus",
+    "workload_from_dict",
+    "workload_to_dict",
+]
+
+
+def workload_to_dict(config: WorkloadConfig) -> Dict:
+    """Serialize a workload config, preferring a preset name."""
+    for name, preset in WORKLOAD_PRESETS.items():
+        if preset == config:
+            return {"preset": name}
+    return dataclasses.asdict(config)
+
+
+def workload_from_dict(payload: Dict) -> WorkloadConfig:
+    if "preset" in payload:
+        return WORKLOAD_PRESETS[payload["preset"]]
+    return WorkloadConfig(**payload)
+
+
+@dataclass
+class CorpusCase:
+    """One persisted counterexample (or regression) case."""
+
+    description: str
+    query: str
+    workload: WorkloadConfig = field(
+        default_factory=lambda: WORKLOAD_PRESETS["tiny"]
+    )
+    found_by: Dict = field(default_factory=dict)
+
+    def build_store(self) -> ObjectStore:
+        """Rebuild the exact store the case was found on."""
+        return generate_database(self.workload)
+
+    def to_dict(self) -> Dict:
+        return {
+            "description": self.description,
+            "query": self.query,
+            "workload": workload_to_dict(self.workload),
+            "found_by": self.found_by,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CorpusCase":
+        return cls(
+            description=payload["description"],
+            query=payload["query"],
+            workload=workload_from_dict(payload.get("workload", {})),
+            found_by=payload.get("found_by", {}),
+        )
+
+    def slug(self) -> str:
+        """A stable filename stem derived from the case content."""
+        digest = hashlib.sha1(
+            f"{self.query}|{workload_to_dict(self.workload)}".encode()
+        ).hexdigest()[:10]
+        return f"case-{digest}"
+
+
+def save_case(
+    case: CorpusCase, directory: Path, name: Optional[str] = None
+) -> Path:
+    """Write *case* under *directory*; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name or case.slug()}.json"
+    path.write_text(json.dumps(case.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_case(path: Path) -> CorpusCase:
+    return CorpusCase.from_dict(json.loads(Path(path).read_text()))
+
+
+def iter_corpus(directory: Path) -> Iterator[Path]:
+    """Corpus files under *directory*, sorted for stable test ordering."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path

@@ -1,0 +1,236 @@
+"""The differential oracle: one query, every engine, one verdict.
+
+Engine matrix (see ``docs/DIFFTEST.md``):
+
+========== ============================================= ==================
+engine     implementation                                runs when
+========== ============================================= ==================
+reference  ``Session.query(text, optimize=False)``       always
+optimized  ``Session.query(text, optimize=True)``        always
+naive      :class:`~repro.xsql.evaluator.NaiveEvaluator` substitution space
+                                                         below the cap
+flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
+                                                         fragment only
+snapshot   ``store_to_dict``/``store_from_dict`` then    always
+           the reference evaluator on the restored store
+========== ============================================= ==================
+
+Results are compared as order-insensitive multisets of oid tuples.  XSQL
+result relations are duplicate-free sets (§3.3), so the multiset
+comparison is a frozenset comparison of rows; the oracle still goes
+through :meth:`QueryResult.rows` so a future bag semantics only needs one
+change here.
+
+An engine ends in one of three states: ``ok`` (rows produced), ``skip``
+(outside the engine's fragment — recorded, never a failure), or ``error``
+(the engine raised).  A disagreement is an ``ok`` engine whose rows differ
+from the reference, or an engine error while the reference succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.datamodel.store import ObjectStore
+from repro.errors import XsqlError
+from repro.flogic import FlogicDatabase, TranslationUnsupported, evaluate, translate
+from repro.oid import Oid
+from repro.xsql import ast
+from repro.xsql.evaluator import Evaluator, NaiveEvaluator
+from repro.xsql.parser import parse_query
+from repro.xsql.session import Session
+
+__all__ = ["EngineOutcome", "OracleReport", "Oracle", "ENGINE_NAMES"]
+
+Rows = FrozenSet[Tuple[Oid, ...]]
+
+ENGINE_NAMES = ("reference", "optimized", "naive", "flogic", "snapshot")
+
+
+@dataclass
+class EngineOutcome:
+    """What one engine did with one query."""
+
+    engine: str
+    status: str  # 'ok' | 'skip' | 'error'
+    rows: Optional[Rows] = None
+    detail: str = ""
+
+
+@dataclass
+class OracleReport:
+    """The oracle's verdict on one query."""
+
+    text: str
+    outcomes: Dict[str, EngineOutcome] = field(default_factory=dict)
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def reference_failed(self) -> bool:
+        ref = self.outcomes.get("reference")
+        return ref is None or ref.status != "ok"
+
+    @property
+    def agreed(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        lines = [f"query: {self.text}"]
+        for name, outcome in self.outcomes.items():
+            size = "-" if outcome.rows is None else str(len(outcome.rows))
+            lines.append(
+                f"  {name:10s} {outcome.status:5s} rows={size} "
+                f"{outcome.detail}"
+            )
+        for item in self.disagreements:
+            lines.append(f"  DISAGREE: {item}")
+        return "\n".join(lines)
+
+
+class Oracle:
+    """Runs queries over one store through every engine and compares.
+
+    The store is treated as read-only (the fuzzer generates no updates);
+    the F-logic export and the serialization round-trip are computed once
+    and cached.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        naive_max_product: int = 20_000,
+        naive_enabled: bool = True,
+    ) -> None:
+        self.store = store
+        self.session = Session(store)
+        self.naive_max_product = naive_max_product
+        self.naive_enabled = naive_enabled
+        self._flogic_db: Optional[FlogicDatabase] = None
+        self._roundtrip_store: Optional[ObjectStore] = None
+        self._universe_sizes: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # cached artifacts
+    # ------------------------------------------------------------------
+
+    def _flogic(self) -> FlogicDatabase:
+        if self._flogic_db is None:
+            self._flogic_db = FlogicDatabase.from_store(self.store)
+        return self._flogic_db
+
+    def _roundtrip(self) -> ObjectStore:
+        if self._roundtrip_store is None:
+            from repro.datamodel.serialize import store_from_dict, store_to_dict
+
+            payload, _report = store_to_dict(self.store)
+            self._roundtrip_store = store_from_dict(payload)
+        return self._roundtrip_store
+
+    def _universes(self) -> Dict[str, int]:
+        if self._universe_sizes is None:
+            self._universe_sizes = {
+                "individual": len(self.store.individual_universe()),
+                "class": len(self.store.class_universe()),
+                "method": len(self.store.method_universe()),
+            }
+        return self._universe_sizes
+
+    # ------------------------------------------------------------------
+    # the oracle
+    # ------------------------------------------------------------------
+
+    def run(
+        self, query: Union[str, ast.Query], engines: Tuple[str, ...] = ENGINE_NAMES
+    ) -> OracleReport:
+        """Run *query* through the engine matrix and compare results."""
+        if isinstance(query, str):
+            text = query
+            parsed = parse_query(text)
+        else:
+            parsed = query
+            text = str(query)
+        if not isinstance(parsed, ast.Query):
+            raise XsqlError(
+                "the oracle runs plain SELECT queries (no UNION chains)"
+            )
+        report = OracleReport(text=text)
+
+        runners = {
+            "reference": lambda: self.session.query(text, optimize=False).rows(),
+            "optimized": lambda: self.session.query(text, optimize=True).rows(),
+            "naive": lambda: NaiveEvaluator(self.store).run(parsed).rows(),
+            "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
+            "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed).rows(),
+        }
+        for name in engines:
+            if name not in runners:
+                raise XsqlError(f"unknown oracle engine {name!r}")
+
+        for name in engines:
+            skip_reason = self._skip_reason(name, parsed)
+            if skip_reason is not None:
+                report.outcomes[name] = EngineOutcome(
+                    engine=name, status="skip", detail=skip_reason
+                )
+                continue
+            try:
+                rows = runners[name]()
+            except TranslationUnsupported as exc:
+                report.outcomes[name] = EngineOutcome(
+                    engine=name, status="skip", detail=str(exc)
+                )
+            except XsqlError as exc:
+                report.outcomes[name] = EngineOutcome(
+                    engine=name,
+                    status="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                report.outcomes[name] = EngineOutcome(
+                    engine=name, status="ok", rows=rows
+                )
+
+        self._judge(report)
+        return report
+
+    def _skip_reason(self, engine: str, parsed: ast.Query) -> Optional[str]:
+        if engine != "naive":
+            return None
+        if not self.naive_enabled:
+            return "naive oracle disabled for this store size"
+        sizes = self._universes()
+        product = 1
+        for var in dict.fromkeys(ast.free_variables(parsed)):
+            product *= max(1, sizes.get(var.sort.value, sizes["individual"]))
+            if product > self.naive_max_product:
+                return (
+                    f"substitution space exceeds cap "
+                    f"({product} > {self.naive_max_product})"
+                )
+        return None
+
+    def _judge(self, report: OracleReport) -> None:
+        reference = report.outcomes.get("reference")
+        if reference is None:
+            return
+        if reference.status != "ok":
+            # Nothing to compare against; the runner tracks these.
+            return
+        assert reference.rows is not None
+        for name, outcome in report.outcomes.items():
+            if name == "reference":
+                continue
+            if outcome.status == "error":
+                report.disagreements.append(
+                    f"{name} errored while reference succeeded: "
+                    f"{outcome.detail}"
+                )
+            elif outcome.status == "ok" and outcome.rows != reference.rows:
+                assert outcome.rows is not None
+                missing = len(reference.rows - outcome.rows)
+                extra = len(outcome.rows - reference.rows)
+                report.disagreements.append(
+                    f"{name} rows differ from reference "
+                    f"(missing {missing}, extra {extra})"
+                )

@@ -1,0 +1,183 @@
+"""Greedy AST shrinking for failing fuzzer queries.
+
+Raw generated counterexamples are noisy: three conjuncts, two FROM
+declarations, and a three-hop path when the actual bug needs one
+comparison.  :func:`shrink_query` minimizes a query while a caller-supplied
+predicate (usually "the oracle still disagrees") keeps holding, by
+repeatedly trying single structural edits in decreasing order of
+aggressiveness:
+
+* drop the entire WHERE clause;
+* drop a WHERE conjunct / collapse a disjunction to one branch / unwrap a
+  negation;
+* drop a SELECT item or an unused FROM declaration;
+* strip quantifiers from a comparison, demote an aggregate to its path,
+  shrink a set literal;
+* truncate trailing path steps and drop selectors.
+
+Each accepted edit restarts the scan (greedy descent), so the result is a
+local minimum: no single further edit keeps the predicate true.  Every
+candidate is validated by a render→parse round-trip and the *reparsed*
+query is what the predicate sees, so the minimized form is always
+replayable from its concrete syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Set
+
+from repro.errors import XsqlError
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+
+__all__ = ["shrink_query"]
+
+Predicate = Callable[[ast.Query], bool]
+
+
+def shrink_query(
+    query: ast.Query, predicate: Predicate, max_attempts: int = 2000
+) -> ast.Query:
+    """Return a locally minimal query for which *predicate* still holds.
+
+    *predicate* must hold for *query* itself (this is not checked — a
+    predicate that fails on the input simply yields the input back).
+    Predicate exceptions are treated as "does not hold".
+    """
+    current = query
+    seen: Set[str] = {str(query)}
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _query_variants(current):
+            text = str(candidate)
+            if text in seen:
+                continue
+            seen.add(text)
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            reparsed = _reparse(text)
+            if reparsed is None:
+                continue
+            try:
+                holds = predicate(reparsed)
+            except Exception:
+                holds = False
+            if holds:
+                current = reparsed
+                improved = True
+                break
+    return current
+
+
+def _reparse(text: str) -> Optional[ast.Query]:
+    try:
+        parsed = parse_query(text)
+    except XsqlError:
+        return None
+    return parsed if isinstance(parsed, ast.Query) else None
+
+
+# ----------------------------------------------------------------------
+# candidate edits
+# ----------------------------------------------------------------------
+
+
+def _query_variants(query: ast.Query) -> Iterator[ast.Query]:
+    # Biggest deletions first: greedy descent converges faster when a
+    # whole clause can go in one step.
+    if query.where is not None:
+        yield ast.Query(select=query.select, from_=query.from_, where=None)
+        for cond in _cond_variants(query.where):
+            yield ast.Query(
+                select=query.select, from_=query.from_, where=cond
+            )
+    if len(query.select) > 1:
+        for index in range(len(query.select)):
+            select = query.select[:index] + query.select[index + 1 :]
+            yield ast.Query(
+                select=select, from_=query.from_, where=query.where
+            )
+    for index in range(len(query.from_)):
+        from_ = query.from_[:index] + query.from_[index + 1 :]
+        yield ast.Query(select=query.select, from_=from_, where=query.where)
+    for index, item in enumerate(query.select):
+        if not isinstance(item, ast.PathItem):
+            continue
+        for p in _path_variants(item.path):
+            select = (
+                query.select[:index]
+                + (ast.PathItem(path=p, name=item.name),)
+                + query.select[index + 1 :]
+            )
+            yield ast.Query(
+                select=select, from_=query.from_, where=query.where
+            )
+
+
+def _cond_variants(cond: ast.Cond) -> Iterator[ast.Cond]:
+    if isinstance(cond, ast.AndCond):
+        for index in range(len(cond.items)):
+            rest = cond.items[:index] + cond.items[index + 1 :]
+            yield rest[0] if len(rest) == 1 else ast.AndCond(rest)
+        for index, item in enumerate(cond.items):
+            for sub in _cond_variants(item):
+                items = cond.items[:index] + (sub,) + cond.items[index + 1 :]
+                yield ast.AndCond(items)
+    elif isinstance(cond, ast.OrCond):
+        for item in cond.items:
+            yield item
+        for index, item in enumerate(cond.items):
+            for sub in _cond_variants(item):
+                items = cond.items[:index] + (sub,) + cond.items[index + 1 :]
+                yield ast.OrCond(items)
+    elif isinstance(cond, ast.NotCond):
+        yield cond.item
+        for sub in _cond_variants(cond.item):
+            yield ast.NotCond(sub)
+    elif isinstance(cond, ast.Comparison):
+        if cond.lq is not None or cond.rq is not None:
+            yield ast.Comparison(
+                lhs=cond.lhs, op=cond.op, rhs=cond.rhs, lq=None, rq=None
+            )
+        for lhs in _operand_variants(cond.lhs):
+            yield ast.Comparison(
+                lhs=lhs, op=cond.op, rhs=cond.rhs, lq=cond.lq, rq=cond.rq
+            )
+        for rhs in _operand_variants(cond.rhs):
+            yield ast.Comparison(
+                lhs=cond.lhs, op=cond.op, rhs=rhs, lq=cond.lq, rq=cond.rq
+            )
+    elif isinstance(cond, ast.PathCond):
+        for p in _path_variants(cond.path):
+            yield ast.PathCond(p)
+
+
+def _operand_variants(op: ast.Operand) -> Iterator[ast.Operand]:
+    if isinstance(op, ast.PathOperand):
+        for p in _path_variants(op.path):
+            yield ast.PathOperand(p)
+    elif isinstance(op, ast.AggOperand):
+        yield ast.PathOperand(op.path)
+        for p in _path_variants(op.path):
+            yield ast.AggOperand(op.fn, p)
+    elif isinstance(op, ast.SetLitOperand):
+        if len(op.values) > 1:
+            for index in range(len(op.values)):
+                values = op.values[:index] + op.values[index + 1 :]
+                yield ast.SetLitOperand(values)
+
+
+def _path_variants(path: ast.PathExpr) -> Iterator[ast.PathExpr]:
+    if path.steps:
+        yield ast.PathExpr(head=path.head, steps=path.steps[:-1])
+    for index, s in enumerate(path.steps):
+        if s.selector is not None:
+            steps = (
+                path.steps[:index]
+                + (ast.Step(method_expr=s.method_expr, selector=None),)
+                + path.steps[index + 1 :]
+            )
+            yield ast.PathExpr(head=path.head, steps=steps)

@@ -95,6 +95,31 @@ class _Translator:
     def operand_term(self, operand: ast.Operand) -> Term:
         if isinstance(operand, ast.PathOperand):
             return self.path_tail(operand.path)
+        if isinstance(operand, ast.AggOperand):
+            raise TranslationUnsupported(
+                f"aggregate {operand.fn}(...) ranges over a whole value "
+                f"set; aggregates are outside the conjunctive fragment"
+            )
+        if isinstance(operand, ast.SetLitOperand):
+            raise TranslationUnsupported(
+                f"set literal {operand} denotes a whole set; set literals "
+                f"are outside the conjunctive fragment"
+            )
+        if isinstance(operand, ast.SubQueryOperand):
+            raise TranslationUnsupported(
+                "subquery operands nest a second-order query block; "
+                "subqueries are outside the conjunctive fragment"
+            )
+        if isinstance(operand, ast.ArithOperand):
+            raise TranslationUnsupported(
+                f"arithmetic expression {operand} needs interpreted "
+                f"functions; arithmetic is outside the conjunctive fragment"
+            )
+        if isinstance(operand, ast.SetOpOperand):
+            raise TranslationUnsupported(
+                f"set operation {operand.op} combines whole result sets; "
+                f"set operations are outside the conjunctive fragment"
+            )
         raise TranslationUnsupported(
             f"operand {operand} is outside the conjunctive fragment"
         )
@@ -120,8 +145,9 @@ class _Translator:
         elif isinstance(cond, ast.Comparison):
             if cond.lq == "all" or cond.rq == "all":
                 raise TranslationUnsupported(
-                    "universally quantified comparisons translate to "
-                    "non-conjunctive first-order formulas"
+                    "'all'-quantified comparison translates to a "
+                    "universally quantified, non-conjunctive first-order "
+                    "formula"
                 )
             if cond.op not in ("=", "!=", "<", "<=", ">", ">="):
                 raise TranslationUnsupported(
@@ -130,10 +156,19 @@ class _Translator:
             left = self.operand_term(cond.lhs)
             right = self.operand_term(cond.rhs)
             self.emit(BuiltinAtom(cond.op, left, right))
+        elif isinstance(cond, ast.OrCond):
+            raise TranslationUnsupported(
+                "disjunction ('or') translates to a non-conjunctive "
+                "first-order formula"
+            )
+        elif isinstance(cond, ast.NotCond):
+            raise TranslationUnsupported(
+                "negation ('not') translates to a non-conjunctive "
+                "first-order formula"
+            )
         else:
             raise TranslationUnsupported(
-                f"{type(cond).__name__} is outside the conjunctive "
-                f"fragment (disjunction/negation translate to full FO)"
+                f"{type(cond).__name__} is outside the conjunctive fragment"
             )
 
 

@@ -22,7 +22,7 @@ from repro.datamodel.store import ObjectStore
 from repro.oid import Atom
 from repro.schema.figure1 import build_figure1_schema
 
-__all__ = ["WorkloadConfig", "generate_database"]
+__all__ = ["WorkloadConfig", "WORKLOAD_PRESETS", "generate_database"]
 
 _CITIES = (
     "newyork",
@@ -57,6 +57,19 @@ class WorkloadConfig:
     @property
     def n_employees(self) -> int:
         return int(self.n_people * self.employee_fraction)
+
+
+#: Named sizes used by benchmarks and the differential fuzzer
+#: (:mod:`repro.difftest`).  ``tiny`` is small enough for the naive
+#: §3.4 oracle to enumerate full substitution spaces.
+WORKLOAD_PRESETS = {
+    "tiny": WorkloadConfig(
+        n_people=6, n_companies=2, divisions_per_company=2, max_family=2
+    ),
+    "small": WorkloadConfig(n_people=16, n_companies=3),
+    "medium": WorkloadConfig(n_people=40, n_companies=4),
+    "large": WorkloadConfig(n_people=120, n_companies=6),
+}
 
 
 def generate_database(

@@ -12,6 +12,7 @@ and executes XSQL statements against an
   ``UPDATE CLASS ... SET`` update methods (§5).
 """
 
+from repro.xsql import build
 from repro.xsql.ast import (
     Comparison,
     MethodExpr,
@@ -26,6 +27,7 @@ from repro.xsql.session import Session
 __all__ = [
     "Session",
     "QueryResult",
+    "build",
     "parse_query",
     "parse_statement",
     "PathExpr",

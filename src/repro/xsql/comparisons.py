@@ -99,6 +99,15 @@ def compare(
         raise QueryError(f"unknown comparator {op!r}")
     lq = lq or "some"
     rq = rq or "some"
+    # Vacuous truth (§3.3): an ``all``-quantified side over an empty set
+    # holds for every candidate, and a ``some``-quantified side over an
+    # empty set never does.  The explicit early returns pin the semantics
+    # query (13) relies on instead of leaving it to Python's all()/any()
+    # on empty iterables.
+    if not left:
+        return lq == "all"
+    if not right:
+        return rq == "all"
 
     def right_holds(x: Oid) -> bool:
         if rq == "all":

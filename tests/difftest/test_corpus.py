@@ -1,0 +1,77 @@
+"""Corpus persistence round-trips, and every checked-in case replays.
+
+The replay test is the regression suite the fuzzer feeds: any
+counterexample checked in under ``tests/corpus/`` is rebuilt from its
+workload config and pushed through the full engine matrix again.  A case
+that disagrees here is a reopened engine bug.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.difftest.corpus import (
+    CorpusCase,
+    iter_corpus,
+    load_case,
+    save_case,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.difftest.oracle import Oracle
+from repro.workloads.generator import WORKLOAD_PRESETS, WorkloadConfig
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def test_save_load_roundtrip(tmp_path):
+    case = CorpusCase(
+        description="example",
+        query="SELECT X FROM Person X",
+        workload=WORKLOAD_PRESETS["tiny"],
+        found_by={"seed": 9, "index": 4},
+    )
+    path = save_case(case, tmp_path)
+    loaded = load_case(path)
+    assert loaded == case
+    assert list(iter_corpus(tmp_path)) == [path]
+
+
+def test_workload_serialization_prefers_presets():
+    assert workload_to_dict(WORKLOAD_PRESETS["small"]) == {"preset": "small"}
+    custom = WorkloadConfig(n_people=7)
+    payload = workload_to_dict(custom)
+    assert payload["n_people"] == 7
+    assert workload_from_dict(payload) == custom
+    assert workload_from_dict({"preset": "tiny"}) == WORKLOAD_PRESETS["tiny"]
+
+
+def test_iter_corpus_on_missing_dir(tmp_path):
+    assert list(iter_corpus(tmp_path / "nope")) == []
+
+
+def test_corpus_is_not_empty():
+    assert list(iter_corpus(CORPUS_DIR)), (
+        "tests/corpus should carry at least the seeded regression cases"
+    )
+
+
+_oracles = {}
+
+
+def _oracle_for(config: WorkloadConfig) -> Oracle:
+    # Cases share stores keyed by workload config so replay stays fast.
+    if config not in _oracles:
+        _oracles[config] = Oracle(CorpusCase("", "", config).build_store())
+    return _oracles[config]
+
+
+@pytest.mark.parametrize(
+    "path", list(iter_corpus(CORPUS_DIR)), ids=lambda p: p.stem
+)
+def test_replay_corpus_case(path):
+    case = load_case(path)
+    oracle = _oracle_for(case.workload)
+    report = oracle.run(case.query)
+    assert not report.reference_failed, report.summary()
+    assert report.agreed, f"{case.description}\n{report.summary()}"

@@ -1,0 +1,156 @@
+"""The generator produces deterministic, well-formed, parseable XSQL."""
+
+import pytest
+
+from repro.difftest.grammar import GeneratorConfig, QueryGenerator, SchemaModel
+from repro.workloads.generator import WORKLOAD_PRESETS, generate_database
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def tiny_store():
+    return generate_database(WORKLOAD_PRESETS["tiny"])
+
+
+@pytest.fixture(scope="module")
+def generator(tiny_store):
+    return QueryGenerator(SchemaModel.from_store(tiny_store), seed=0)
+
+
+def test_same_seed_same_queries(tiny_store):
+    schema = SchemaModel.from_store(tiny_store)
+    first = [str(QueryGenerator(schema, seed=3).generate(i)) for i in range(40)]
+    second = [str(QueryGenerator(schema, seed=3).generate(i)) for i in range(40)]
+    assert first == second
+
+
+def test_different_seeds_differ(tiny_store):
+    schema = SchemaModel.from_store(tiny_store)
+    a = [str(QueryGenerator(schema, seed=0).generate(i)) for i in range(40)]
+    b = [str(QueryGenerator(schema, seed=1).generate(i)) for i in range(40)]
+    assert a != b
+
+
+def test_render_parse_roundtrip(generator):
+    """str(q) must parse, and the reparse must be a fixpoint."""
+    for index in range(150):
+        query = generator.generate(index)
+        text = str(query)
+        parsed = parse_query(text)
+        assert isinstance(parsed, ast.Query), text
+        assert str(parse_query(str(parsed))) == str(parsed), text
+
+
+def test_queries_are_range_restricted(generator):
+    """Every free variable is introduced by a FROM declaration or bound
+    as a path selector — the naive §3.4 oracle rejects unsafe queries."""
+    for index in range(150):
+        query = generator.generate(index)
+        declared = {decl.var for decl in query.from_}
+        selectors = set()
+        if query.where is not None:
+            for cond in _conjuncts(query.where):
+                if isinstance(cond, ast.PathCond):
+                    for step in cond.path.steps:
+                        from repro.oid import Variable
+
+                        if isinstance(step.selector, Variable):
+                            selectors.add(step.selector)
+        from repro.oid import VarSort
+
+        for var in ast.free_variables(query):
+            if var.sort is VarSort.CLASS:
+                continue  # schema queries quantify class vars implicitly
+            assert var in declared | selectors, (str(query), var)
+
+
+def _conjuncts(cond):
+    if isinstance(cond, ast.AndCond):
+        for item in cond.items:
+            yield from _conjuncts(item)
+    else:
+        yield cond
+
+
+def test_max_path_depth_respected(tiny_store):
+    schema = SchemaModel.from_store(tiny_store)
+    config = GeneratorConfig(max_path_depth=2)
+    generator = QueryGenerator(schema, config, seed=5)
+    for index in range(100):
+        query = generator.generate(index)
+        for path in _paths_of(query):
+            assert len(path.steps) <= 2, str(query)
+
+
+def _paths_of(query):
+    for item in query.select:
+        if isinstance(item, ast.PathItem):
+            yield item.path
+    if query.where is not None:
+        stack = [query.where]
+        while stack:
+            cond = stack.pop()
+            if isinstance(cond, (ast.AndCond, ast.OrCond)):
+                stack.extend(cond.items)
+            elif isinstance(cond, ast.NotCond):
+                stack.append(cond.item)
+            elif isinstance(cond, ast.PathCond):
+                yield cond.path
+            elif isinstance(cond, ast.Comparison):
+                for operand in (cond.lhs, cond.rhs):
+                    if isinstance(operand, ast.PathOperand):
+                        yield operand.path
+                    elif isinstance(operand, ast.AggOperand):
+                        yield operand.path
+
+
+def test_grammar_covers_condition_kinds(generator):
+    """A few hundred draws exercise every major grammar production."""
+    seen = set()
+    for index in range(300):
+        query = generator.generate(index)
+        if query.where is None:
+            seen.add("nowhere")
+            continue
+        stack = [query.where]
+        while stack:
+            cond = stack.pop()
+            if isinstance(cond, ast.AndCond):
+                stack.extend(cond.items)
+            elif isinstance(cond, ast.OrCond):
+                seen.add("or")
+                stack.extend(cond.items)
+            elif isinstance(cond, ast.NotCond):
+                seen.add("not")
+                stack.append(cond.item)
+            elif isinstance(cond, ast.SchemaCond):
+                seen.add(cond.kind)
+            elif isinstance(cond, ast.PathCond):
+                seen.add("pathcond")
+            elif isinstance(cond, ast.Comparison):
+                seen.add("comparison")
+                if cond.lq == "all" or cond.rq == "all":
+                    seen.add("all")
+                if isinstance(cond.lhs, ast.AggOperand):
+                    seen.add("aggregate")
+                if isinstance(cond.rhs, ast.SetLitOperand):
+                    seen.add("setlit")
+    assert {
+        "comparison",
+        "pathcond",
+        "aggregate",
+        "setlit",
+        "all",
+        "or",
+        "not",
+        "instanceOf",
+    } <= seen, seen
+
+
+def test_schema_model_reflects_figure1(tiny_store):
+    schema = SchemaModel.from_store(tiny_store)
+    assert "Person" in schema.class_names()
+    attrs = {a.name for a in schema.attrs_of("Employee")}
+    assert {"Name", "Age", "Salary"} <= attrs
+    assert "Person" in schema.populated_classes()

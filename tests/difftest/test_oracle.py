@@ -1,0 +1,117 @@
+"""The oracle's engine matrix, skip classification, and judgement."""
+
+import pytest
+
+from repro.difftest.oracle import EngineOutcome, Oracle, OracleReport
+from repro.workloads.generator import WORKLOAD_PRESETS, generate_database
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return Oracle(generate_database(WORKLOAD_PRESETS["tiny"]))
+
+
+def test_all_engines_agree_on_conjunctive_query(oracle):
+    report = oracle.run(
+        "SELECT X.Name FROM Employee X WHERE X.Salary > 20000"
+    )
+    assert report.agreed
+    for name in ("reference", "optimized", "naive", "flogic", "snapshot"):
+        assert report.outcomes[name].status == "ok", report.summary()
+    assert report.outcomes["flogic"].rows == report.outcomes["reference"].rows
+
+
+def test_flogic_skips_outside_fragment(oracle):
+    report = oracle.run(
+        "SELECT X FROM Person X WHERE (X.Age > 10) or (X.Age < 5)"
+    )
+    assert report.agreed
+    assert report.outcomes["flogic"].status == "skip"
+    assert report.outcomes["reference"].status == "ok"
+
+
+def test_naive_skips_when_substitution_space_too_big(oracle):
+    report = oracle.run(
+        "SELECT X, Y, Z FROM Person X, Person Y, Person Z "
+        "WHERE (X.Age > Y.Age) and (Y.Age > Z.Age)"
+    )
+    assert report.outcomes["naive"].status == "skip"
+    assert "substitution space" in report.outcomes["naive"].detail
+    assert report.agreed
+
+
+def test_naive_can_be_disabled():
+    oracle = Oracle(
+        generate_database(WORKLOAD_PRESETS["tiny"]), naive_enabled=False
+    )
+    report = oracle.run("SELECT X.Name FROM Person X")
+    assert report.outcomes["naive"].status == "skip"
+    assert report.agreed
+
+
+def test_reference_error_is_not_a_disagreement(oracle):
+    # avg over an empty set raises QueryError in every engine alike;
+    # the oracle records the reference failure and judges nothing.
+    report = oracle.run(
+        "SELECT X FROM Person X WHERE avg(X.Dependents.Salary) > 1"
+    )
+    if report.outcomes["reference"].status == "error":
+        assert report.reference_failed
+        assert report.agreed
+
+
+def test_engine_subset(oracle):
+    report = oracle.run(
+        "SELECT X FROM Person X", engines=("reference", "snapshot")
+    )
+    assert set(report.outcomes) == {"reference", "snapshot"}
+    assert report.agreed
+
+
+def test_judge_flags_row_differences(oracle):
+    report = OracleReport(text="synthetic")
+    report.outcomes["reference"] = EngineOutcome(
+        engine="reference", status="ok", rows=frozenset({("a",), ("b",)})
+    )
+    report.outcomes["flogic"] = EngineOutcome(
+        engine="flogic", status="ok", rows=frozenset({("a",)})
+    )
+    oracle._judge(report)
+    assert len(report.disagreements) == 1
+    assert "missing 1" in report.disagreements[0]
+
+
+def test_judge_flags_engine_error_when_reference_ok(oracle):
+    report = OracleReport(text="synthetic")
+    report.outcomes["reference"] = EngineOutcome(
+        engine="reference", status="ok", rows=frozenset()
+    )
+    report.outcomes["naive"] = EngineOutcome(
+        engine="naive", status="error", detail="QueryError: boom"
+    )
+    oracle._judge(report)
+    assert len(report.disagreements) == 1
+    assert "errored" in report.disagreements[0]
+
+
+def test_judge_ignores_skips(oracle):
+    report = OracleReport(text="synthetic")
+    report.outcomes["reference"] = EngineOutcome(
+        engine="reference", status="ok", rows=frozenset()
+    )
+    report.outcomes["flogic"] = EngineOutcome(
+        engine="flogic", status="skip", detail="outside fragment"
+    )
+    oracle._judge(report)
+    assert report.agreed
+
+
+def test_snapshot_engine_runs_on_restored_store(oracle):
+    report = oracle.run(
+        "SELECT X.Residence.City FROM Employee X WHERE X.Salary > 0"
+    )
+    assert report.outcomes["snapshot"].status == "ok"
+    assert report.outcomes["snapshot"].rows == report.outcomes["reference"].rows
+    # The restored store is cached, not the live one.
+    assert oracle._roundtrip() is not oracle.store
+    assert oracle._roundtrip() is oracle._roundtrip()

@@ -1,0 +1,93 @@
+"""The fuzz loop end-to-end: stats, summaries, and counterexample flow."""
+
+import pytest
+
+from repro.difftest.corpus import load_case
+from repro.difftest.oracle import EngineOutcome, OracleReport
+from repro.difftest.runner import FuzzStats, run_fuzz
+from repro.difftest.__main__ import main as cli_main
+from repro.errors import XsqlError
+
+
+def test_smoke_fuzz_agrees():
+    stats = run_fuzz(seed=0, queries=40, sizes=("tiny",))
+    assert stats.ok, stats.summary()
+    assert stats.queries == 40
+    assert stats.engine_counts["reference"]["ok"] + stats.reference_errors == 40
+    assert stats.engine_counts["flogic"]["skip"] < 40
+    assert "disagreements: 0" in stats.summary()
+
+
+def test_budget_splits_across_sizes():
+    stats = run_fuzz(seed=1, queries=21, sizes=("tiny", "small"))
+    assert stats.queries == 21  # 11 tiny (remainder) + 10 small
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(XsqlError):
+        run_fuzz(seed=0, queries=5, sizes=("galactic",))
+
+
+def test_skip_rate_accounting():
+    stats = FuzzStats()
+    for status in ("ok", "ok", "skip", "error"):
+        stats.record_outcome("flogic", status)
+    assert stats.skip_rate("flogic") == 0.25
+    assert stats.skip_rate("unknown") == 0.0
+
+
+def test_disagreement_is_shrunk_and_saved(tmp_path, monkeypatch):
+    # Break one engine deliberately: drop a row from flogic's answers.
+    from repro.difftest import oracle as oracle_mod
+
+    real_judge = oracle_mod.Oracle._judge
+
+    def sabotaged_judge(self, report):
+        flogic = report.outcomes.get("flogic")
+        if flogic is not None and flogic.status == "ok" and flogic.rows:
+            report.outcomes["flogic"] = EngineOutcome(
+                engine="flogic",
+                status="ok",
+                rows=frozenset(list(flogic.rows)[1:]),
+            )
+        real_judge(self, report)
+
+    monkeypatch.setattr(oracle_mod.Oracle, "_judge", sabotaged_judge)
+    stats = run_fuzz(
+        seed=0,
+        queries=30,
+        sizes=("tiny",),
+        corpus_dir=tmp_path,
+        fail_fast=True,
+    )
+    assert not stats.ok
+    assert stats.disagreements
+    entry = stats.disagreements[0]
+    assert "flogic" in entry["reasons"][0]
+    # The counterexample was persisted and replays standalone.
+    assert stats.corpus_paths
+    case = load_case(stats.corpus_paths[0])
+    assert case.query == entry["minimized"]
+    assert case.found_by["seed"] == 0
+    # The minimized query is no larger than the original.
+    assert len(entry["minimized"]) <= len(entry["query"])
+
+
+def test_cli_smoke(capsys):
+    code = cli_main(
+        ["--seed", "0", "--queries", "20", "--sizes", "tiny", "--quiet"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "disagreements: 0" in out
+    assert "engine flogic" in out
+
+
+def test_cli_max_depth(capsys):
+    code = cli_main(
+        [
+            "--seed", "2", "--queries", "15", "--sizes", "tiny",
+            "--max-depth", "1", "--quiet",
+        ]
+    )
+    assert code == 0

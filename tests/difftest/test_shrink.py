@@ -1,0 +1,96 @@
+"""Shrinking minimizes failing queries while preserving the failure."""
+
+from repro.difftest.shrink import shrink_query
+from repro.xsql import ast
+from repro.xsql.parser import parse_query
+
+
+def _parse(text):
+    query = parse_query(text)
+    assert isinstance(query, ast.Query)
+    return query
+
+
+def test_shrink_drops_irrelevant_conjuncts():
+    query = _parse(
+        "SELECT X.Name, X.Age FROM Employee X, Company Y "
+        "WHERE (X.Salary > 10) and (X.Age < 99) and (Y.Name = 'c')"
+    )
+
+    def mentions_salary(candidate):
+        return "Salary" in str(candidate)
+
+    small = shrink_query(query, mentions_salary)
+    text = str(small)
+    assert "Salary" in text
+    assert "Age <" not in text
+    assert "Y.Name" not in text
+    # The unused Company declaration and the extra select item go too.
+    assert "Company" not in text
+    assert text.count(",") == 0
+
+
+def test_shrink_result_parses_and_holds():
+    query = _parse(
+        "SELECT X FROM Person X "
+        "WHERE (count(X.OwnedVehicles) >= 1) and (X.Age > 3)"
+    )
+
+    def has_count(candidate):
+        return "count(" in str(candidate)
+
+    small = shrink_query(query, has_count)
+    assert "count(" in str(small)
+    reparsed = parse_query(str(small))
+    assert str(reparsed) == str(small)
+
+
+def test_shrink_unwraps_negation_and_disjunction():
+    query = _parse(
+        "SELECT X FROM Person X "
+        "WHERE (not (X.Age = 5)) and ((X.Age > 1) or (X.Age < 90))"
+    )
+
+    def mentions_age(candidate):
+        return "Age" in str(candidate)
+
+    small = shrink_query(query, mentions_age)
+    text = str(small)
+    assert "not" not in text
+    assert "or" not in text
+    assert "and" not in text
+
+
+def test_shrink_truncates_paths():
+    query = _parse(
+        "SELECT X.Residence.City FROM Person X WHERE X.Age > 0"
+    )
+
+    def selects_from_person(candidate):
+        return bool(candidate.from_) and "Person" in str(candidate.from_[0])
+
+    small = shrink_query(query, selects_from_person)
+    # Both the WHERE clause and the path steps are deletable here.
+    assert small.where is None
+    (item,) = small.select
+    assert not item.path.steps
+
+
+def test_shrink_is_identity_when_nothing_deletable():
+    query = _parse("SELECT X FROM Person X WHERE X.Age > 5")
+
+    def needs_everything(candidate):
+        return "Age > 5" in str(candidate) and bool(candidate.from_)
+
+    small = shrink_query(query, needs_everything)
+    assert str(small) == str(query)
+
+
+def test_shrink_survives_predicate_exceptions():
+    query = _parse("SELECT X FROM Person X WHERE X.Age > 5")
+
+    def explosive(candidate):
+        raise RuntimeError("oracle crashed")
+
+    small = shrink_query(query, explosive)
+    assert str(small) == str(query)

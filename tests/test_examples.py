@@ -10,8 +10,19 @@ EXAMPLES = sorted(
     (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
 )
 
+#: Examples that run large workloads (minutes, not seconds).
+_SLOW_EXAMPLES = {"typed_optimization"}
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+_EXAMPLE_PARAMS = [
+    pytest.param(p, marks=pytest.mark.slow) if p.stem in _SLOW_EXAMPLES
+    else p
+    for p in EXAMPLES
+]
+
+
+@pytest.mark.parametrize(
+    "script", _EXAMPLE_PARAMS, ids=[p.stem for p in EXAMPLES]
+)
 def test_example_runs(script):
     completed = subprocess.run(
         [sys.executable, str(script)],

@@ -15,6 +15,11 @@ from repro.workloads.generator import WorkloadConfig, generate_database
 from repro.xsql.evaluator import NaiveEvaluator
 from repro.xsql.parser import parse_query
 
+# The NaiveEvaluator enumerates the full substitution space, so this
+# differential suite takes minutes; the seeded fuzzer (repro.difftest)
+# covers the same engine pair on every `make test` run.
+pytestmark = pytest.mark.slow
+
 QUERIES = [
     "SELECT X FROM Employee X WHERE X.Salary[W] and W > 100000",
     "SELECT X FROM Person X WHERE X.Residence[R] and R.City[C]",

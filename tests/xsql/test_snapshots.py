@@ -48,3 +48,63 @@ class TestSnapshots:
         assert paper_session.store.invoke_scalar(
             Atom("ben"), "Salary"
         ) == Value(30000)
+
+
+COMP_SALARIES = """
+CREATE VIEW CompSalaries AS SUBCLASS OF Object
+SIGNATURE CompName = String, DivName = String, Salary = Numeral
+SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary
+FROM Company X
+OID FUNCTION OF X, W
+WHERE X.Divisions[Y].Employees[W]
+"""
+
+
+class TestSnapshotRoundTripWithViewsAndCreation:
+    """§4.1/§4.2 state — materialized views and OID-function objects —
+    must survive a snapshot/restore round-trip intact."""
+
+    def test_view_state_survives_roundtrip(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        extent_before = paper_session.store.extent("CompSalaries")
+        rows_before = paper_session.query(
+            "SELECT V.Salary FROM CompSalaries V WHERE V.CompName['Acme']"
+        ).rows()
+        paper_session.restore(paper_session.snapshot())
+        assert paper_session.store.extent("CompSalaries") == extent_before
+        hierarchy = paper_session.store.hierarchy
+        assert hierarchy.is_subclass(Atom("CompSalaries"), Atom("Object"))
+        sigs = paper_session.store.signatures_of("CompSalaries", "Salary")
+        assert sigs and sigs[0].result == Atom("Numeral")
+        rows_after = paper_session.query(
+            "SELECT V.Salary FROM CompSalaries V WHERE V.CompName['Acme']"
+        ).rows()
+        assert rows_after == rows_before
+
+    def test_created_objects_survive_roundtrip(self, paper_session):
+        result = paper_session.execute(
+            "SELECT N = Y.Name FROM Company Y OID FUNCTION OF Y"
+        )
+        created = set(result.created)
+        assert created
+        paper_session.restore(paper_session.snapshot())
+        assert created <= paper_session.store.known_objects()
+        for oid in created:
+            assert paper_session.store.invoke_scalar(oid, "N") is not None
+
+    def test_snapshot_is_stable_under_roundtrip(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        paper_session.execute(
+            "SELECT N = Y.Name FROM Company Y OID FUNCTION OF Y"
+        )
+        first = paper_session.snapshot()
+        paper_session.restore(first)
+        second = paper_session.snapshot()
+        assert first == second
+
+    def test_restore_older_snapshot_drops_view(self, paper_session):
+        checkpoint = paper_session.snapshot()
+        paper_session.execute(COMP_SALARIES)
+        assert paper_session.store.extent("CompSalaries")
+        paper_session.restore(checkpoint)
+        assert Atom("CompSalaries") not in paper_session.store.hierarchy.classes()

@@ -1,0 +1,94 @@
+"""Vacuous truth of ``all``-quantified comparisons over empty sets (§3.3).
+
+Query (13) of the paper selects employees whose ``Dependents.Age`` set
+"contains only numerals greater than $200,000-style bounds" — and an
+employee with *no* dependents qualifies, because ``all`` over the empty
+set is vacuously true.  These tests pin that reading end-to-end: in
+``compare()`` (the full quantifier/emptiness matrix) and through the
+``Evaluator`` and ``NaiveEvaluator`` on a real store.
+"""
+
+import pytest
+
+from repro.datamodel.store import ObjectStore
+from repro.oid import Atom
+from repro.schema.figure1 import build_figure1_schema
+from repro.xsql.comparisons import compare
+from repro.xsql.evaluator import Evaluator, NaiveEvaluator
+from repro.xsql.parser import parse_query
+
+EMPTY = frozenset()
+SOME_VALUES = frozenset({Atom("a")})
+
+
+@pytest.mark.parametrize(
+    "lq,rq,left,right,expected",
+    [
+        # Empty left side: the left quantifier alone decides.
+        ("all", "all", EMPTY, SOME_VALUES, True),
+        ("all", "some", EMPTY, SOME_VALUES, True),
+        ("some", "all", EMPTY, SOME_VALUES, False),
+        ("some", "some", EMPTY, SOME_VALUES, False),
+        # Non-empty left, empty right: the right quantifier decides.
+        ("all", "all", SOME_VALUES, EMPTY, True),
+        ("some", "all", SOME_VALUES, EMPTY, True),
+        ("all", "some", SOME_VALUES, EMPTY, False),
+        ("some", "some", SOME_VALUES, EMPTY, False),
+        # Both empty: the left quantifier short-circuits.
+        ("all", "all", EMPTY, EMPTY, True),
+        ("all", "some", EMPTY, EMPTY, True),
+        ("some", "all", EMPTY, EMPTY, False),
+        ("some", "some", EMPTY, EMPTY, False),
+    ],
+)
+def test_empty_set_quantifier_matrix(lq, rq, left, right, expected):
+    assert compare("=", left, right, lq=lq, rq=rq) is expected
+
+
+@pytest.fixture()
+def store():
+    store = ObjectStore()
+    build_figure1_schema(store)
+    rich = store.create_object(Atom("rich"), ["Employee"])
+    store.set_attr(rich, "Name", "rich")
+    store.set_attr(rich, "Salary", 300000)
+    poor = store.create_object(Atom("poor"), ["Employee"])
+    store.set_attr(poor, "Name", "poor")
+    store.set_attr(poor, "Salary", 10000)
+    loner = store.create_object(Atom("loner"), ["Employee"])
+    store.set_attr(loner, "Name", "loner")
+    # rich dependents: only highly-paid ones; poor dependents: not.
+    store.set_attr_set(rich, "Dependents", [rich])
+    store.set_attr_set(poor, "Dependents", [poor])
+    # loner has NO dependents at all — the vacuous case.
+    return store
+
+
+QUERY_13_STYLE = (
+    "SELECT X.Name FROM Employee X WHERE X.Dependents.Salary all> 200000"
+)
+
+
+def test_evaluator_vacuous_all(store):
+    """An employee with no dependents satisfies the all-comparison."""
+    result = Evaluator(store).run(parse_query(QUERY_13_STYLE))
+    names = {row[0].value for row in result.rows()}
+    assert names == {"rich", "loner"}
+
+
+def test_naive_evaluator_agrees_on_vacuous_all(store):
+    reference = Evaluator(store).run(parse_query(QUERY_13_STYLE)).rows()
+    naive = NaiveEvaluator(store).run(parse_query(QUERY_13_STYLE)).rows()
+    assert naive == reference
+
+
+def test_evaluator_some_on_empty_is_false(store):
+    result = Evaluator(store).run(
+        parse_query(
+            "SELECT X.Name FROM Employee X "
+            "WHERE X.Dependents.Salary some> 0"
+        )
+    )
+    names = {row[0].value for row in result.rows()}
+    assert "loner" not in names
+    assert names == {"rich", "poor"}
