@@ -35,13 +35,16 @@ Quickstart::
 
 from repro.datamodel import ObjectStore, PythonMethod
 from repro.errors import XsqlError
+from repro.metrics import SessionMetrics
 from repro.oid import NIL, Atom, FuncOid, Oid, Value, Variable, VarSort
-from repro.xsql import QueryResult, Session
+from repro.xsql import CompiledQuery, QueryResult, Session
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Session",
+    "CompiledQuery",
+    "SessionMetrics",
     "ObjectStore",
     "QueryResult",
     "PythonMethod",

@@ -88,6 +88,14 @@ class ObjectStore:
         self._known: Set[Oid] = set()
         #: Opt-in inverted attribute indexes ([BERT89]-style).
         self.indexes = AttributeIndexes()
+        #: Monotone counter bumped by every schema-shaping operation
+        #: (classes, signatures, relations, implementations, inheritance
+        #: resolutions, indexes).  Compiled query plans are keyed on it:
+        #: typing analysis and plan choice depend only on the schema, so
+        #: DDL invalidates cached plans while plain data writes do not
+        #: (data-dependent artifacts such as Theorem 6.1 extent
+        #: restrictions are recomputed per execution).
+        self.schema_generation = 0
 
     # ------------------------------------------------------------------
     # schema: classes and signatures
@@ -100,6 +108,7 @@ class ObjectStore:
         cls = _atom(name)
         self.hierarchy.add_class(cls, [_atom(p) for p in parents])
         self._known.add(cls)
+        self.schema_generation += 1
         return cls
 
     def declare_signature(
@@ -134,6 +143,7 @@ class ObjectStore:
             existing.append(signature)
         self.catalogue.register_method(method_atom)
         self._known.add(method_atom)
+        self.schema_generation += 1
         return signature
 
     def declared_signatures(
@@ -473,6 +483,7 @@ class ObjectStore:
         self._implementations[(cls_atom, name)] = impl
         self.catalogue.register_method(name)
         self._known.add(name)
+        self.schema_generation += 1
 
     def implementation_classes(self, method: Atom) -> List[Atom]:
         return sorted(
@@ -487,6 +498,7 @@ class ObjectStore:
         self.resolver.declare_resolution(
             _atom(cls), _atom(method), _atom(use_class)
         )
+        self.schema_generation += 1
 
     # ------------------------------------------------------------------
     # invocation: the heart of the data model
@@ -623,9 +635,11 @@ class ObjectStore:
     def enable_index(self, method: ClassLike) -> None:
         """Build and maintain an inverted value→owners index for *method*."""
         self.indexes.enable(_atom(method), self)
+        self.schema_generation += 1
 
     def disable_index(self, method: ClassLike) -> None:
         self.indexes.disable(_atom(method))
+        self.schema_generation += 1
 
     def index_is_complete_for(self, method: ClassLike) -> bool:
         """Can the index answer reverse lookups exactly for *method*?
@@ -672,6 +686,7 @@ class ObjectStore:
     ) -> StoredRelation:
         relation = StoredRelation(name, tuple(column_names))
         self._relations[name] = relation
+        self.schema_generation += 1
         return relation
 
     def relation(self, name: str) -> StoredRelation:

@@ -60,6 +60,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the final summary"
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the oracle session's pipeline metrics per workload",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -82,6 +87,11 @@ def main(argv=None) -> int:
     except XsqlError as exc:
         parser.error(str(exc))
     print(stats.summary())
+    if args.stats:
+        for size, report in stats.pipeline_reports.items():
+            print(f"pipeline metrics [{size}]:")
+            for line in report.splitlines():
+                print(f"  {line}")
     return 0 if stats.ok else 1
 
 

@@ -5,8 +5,10 @@ Engine matrix (see ``docs/DIFFTEST.md``):
 ========== ============================================= ==================
 engine     implementation                                runs when
 ========== ============================================= ==================
-reference  ``Session.query(text, optimize=False)``       always
-optimized  ``Session.query(text, optimize=True)``        always
+reference  ``Session.query(text, plan="none")``          always
+optimized  ``Session.query(text, plan="greedy")``        always
+cached     ``Session.prepare(text, plan="greedy")`` run  always
+           twice through the LRU statement cache
 naive      :class:`~repro.xsql.evaluator.NaiveEvaluator` substitution space
                                                          below the cap
 flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
@@ -45,7 +47,14 @@ __all__ = ["EngineOutcome", "OracleReport", "Oracle", "ENGINE_NAMES"]
 
 Rows = FrozenSet[Tuple[Oid, ...]]
 
-ENGINE_NAMES = ("reference", "optimized", "naive", "flogic", "snapshot")
+ENGINE_NAMES = (
+    "reference",
+    "optimized",
+    "cached",
+    "naive",
+    "flogic",
+    "snapshot",
+)
 
 
 @dataclass
@@ -157,8 +166,9 @@ class Oracle:
         report = OracleReport(text=text)
 
         runners = {
-            "reference": lambda: self.session.query(text, optimize=False).rows(),
-            "optimized": lambda: self.session.query(text, optimize=True).rows(),
+            "reference": lambda: self.session.query(text, plan="none").rows(),
+            "optimized": lambda: self.session.query(text, plan="greedy").rows(),
+            "cached": lambda: self._run_cached(text),
             "naive": lambda: NaiveEvaluator(self.store).run(parsed).rows(),
             "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
             "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed).rows(),
@@ -193,6 +203,25 @@ class Oracle:
 
         self._judge(report)
         return report
+
+    def _run_cached(self, text: str) -> Rows:
+        """The pipeline-cache engine: prepare once, run twice.
+
+        Exercises the LRU statement cache across the whole fuzz run (the
+        oracle's session is persistent, so repeated shapes hit) and
+        checks that a :class:`~repro.xsql.pipeline.CompiledQuery` is
+        genuinely re-runnable: both executions must agree before the rows
+        are handed to the cross-engine judge.
+        """
+        compiled = self.session.prepare(text, plan="greedy")
+        first = compiled.run().rows()
+        second = compiled.run().rows()
+        if first != second:
+            raise XsqlError(
+                "compiled query is not re-runnable: two executions of one "
+                "CompiledQuery disagree"
+            )
+        return first
 
     def _skip_reason(self, engine: str, parsed: ast.Query) -> Optional[str]:
         if engine != "naive":

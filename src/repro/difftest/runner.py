@@ -51,6 +51,9 @@ class FuzzStats:
     typing_disciplines: Dict[str, int] = field(default_factory=dict)
     disagreements: List[Dict] = field(default_factory=list)
     corpus_paths: List[Path] = field(default_factory=list)
+    #: Per-size pipeline metrics report from the oracle's session
+    #: (``python -m repro.difftest --stats`` prints these).
+    pipeline_reports: Dict[str, str] = field(default_factory=dict)
     elapsed: float = 0.0
 
     def record_outcome(self, engine: str, status: str) -> None:
@@ -185,6 +188,7 @@ def run_fuzz(
                     return stats
             elif progress and (index + 1) % 100 == 0:
                 progress(f"[{size}] {index + 1}/{budget} queries agree")
+        stats.pipeline_reports[size] = oracle.session.metrics.summary()
 
     stats.elapsed = time.monotonic() - started
     return stats

@@ -1,0 +1,157 @@
+"""Lightweight per-session execution metrics.
+
+Every :class:`~repro.xsql.session.Session` owns a
+:class:`SessionMetrics`; the staged pipeline
+(:mod:`repro.xsql.pipeline`) reports into it as statements flow through
+``parse → normalize → analyze → plan → execute``:
+
+* **timers** — cumulative wall time and call count per stage;
+* **counters** — monotonically increasing event counts (statement/plan
+  cache hits and misses, typed-plan fallbacks, statements executed);
+* **observations** — value distributions (rows produced per query,
+  per-variable instantiation-set sizes from the Theorem 6.1 optimizer).
+
+The collector is deliberately dependency-free and cheap: one dict lookup
+and a ``perf_counter`` pair per stage.  ``session.stats()`` returns
+:meth:`SessionMetrics.snapshot`; the REPL's ``--stats`` flag and
+``python -m repro.difftest --stats`` print :meth:`SessionMetrics.summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["Observation", "SessionMetrics"]
+
+
+@dataclass
+class Observation:
+    """Running count/total/min/max of one observed quantity."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+        }
+
+
+@dataclass
+class SessionMetrics:
+    """The per-session metrics collector."""
+
+    timers: Dict[str, Observation] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    observations: Dict[str, Observation] = field(default_factory=dict)
+    #: Per-statement scratch: stage -> seconds (and string notes), cleared
+    #: by :meth:`begin_statement`.  The REPL's ``--stats`` one-liner reads
+    #: this after each executed statement.
+    last: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Time a pipeline stage; records cumulative and last-statement."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timers.setdefault(stage, Observation()).record(elapsed)
+            self.last[stage] = self.last.get(stage, 0.0) + elapsed  # type: ignore[operator]
+
+    def count(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def observe(self, name: str, value: float) -> None:
+        self.observations.setdefault(name, Observation()).record(value)
+
+    def begin_statement(self) -> None:
+        """Reset the per-statement scratch (one statement is starting)."""
+        self.last = {}
+
+    def note_last(self, key: str, value: object) -> None:
+        """Attach a non-timer note (e.g. ``cache: hit``) to the statement."""
+        self.last[key] = value
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-friendly copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: obs.as_dict() for name, obs in self.timers.items()
+            },
+            "observations": {
+                name: obs.as_dict()
+                for name, obs in self.observations.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """A readable multi-line account of the collected metrics."""
+        lines = ["metrics:"]
+        if self.counters:
+            for name in sorted(self.counters):
+                lines.append(f"  {name:28s} {self.counters[name]}")
+        for name in sorted(self.timers):
+            obs = self.timers[name]
+            lines.append(
+                f"  stage {name:12s} calls={obs.count:6d} "
+                f"total={obs.total * 1000.0:9.2f}ms "
+                f"mean={obs.mean * 1000.0:7.3f}ms"
+            )
+        for name in sorted(self.observations):
+            obs = self.observations[name]
+            lines.append(
+                f"  {name:18s} n={obs.count:6d} mean={obs.mean:10.2f} "
+                f"min={obs.minimum if obs.minimum is not None else 0:g} "
+                f"max={obs.maximum if obs.maximum is not None else 0:g}"
+            )
+        if len(lines) == 1:
+            lines.append("  (nothing recorded)")
+        return "\n".join(lines)
+
+    def statement_line(self) -> str:
+        """A one-line per-statement report for the REPL's ``--stats``."""
+        parts = []
+        for stage in ("parse", "normalize", "analyze", "plan", "execute"):
+            value = self.last.get(stage)
+            if isinstance(value, float):
+                parts.append(f"{stage}={value * 1000.0:.2f}ms")
+        for key, value in self.last.items():
+            if not isinstance(value, float):
+                parts.append(f"{key}={value}")
+        return "-- " + ("  ".join(parts) if parts else "(no pipeline activity)")
+
+    def reset(self) -> None:
+        self.timers.clear()
+        self.counters.clear()
+        self.observations.clear()
+        self.last = {}

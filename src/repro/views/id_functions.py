@@ -14,11 +14,14 @@ arguments are still unbound.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Set, Tuple
 
 from repro.oid import FuncOid, Oid
 
 __all__ = ["IdFunctionRegistry"]
+
+_ADHOC_FUNCTOR = re.compile(r"qf(\d+)\Z")
 
 
 class IdFunctionRegistry:
@@ -58,3 +61,35 @@ class IdFunctionRegistry:
 
     def oids(self, functor: str) -> List[FuncOid]:
         return [FuncOid(functor, args) for args in self.instances(functor)]
+
+    @classmethod
+    def rebuild_from_store(cls, store) -> "IdFunctionRegistry":
+        """Reconstruct the id-function table from a store's oids.
+
+        A restored snapshot carries :class:`FuncOid` values inside the
+        object graph but no registry; reusing the pre-snapshot registry
+        would let ``fresh_functor`` collide with a restored ``qfN`` (two
+        unrelated creating queries sharing one functor — two descriptions
+        of "the same" object, §4.1).  So: scan every known oid, re-record
+        each functor application (recursing through nested arguments),
+        and reseed the ad-hoc counter past the highest restored ``qfN``.
+        """
+        registry = cls()
+        seen: Set[FuncOid] = set()
+
+        def visit(oid: Oid) -> None:
+            if isinstance(oid, FuncOid) and oid not in seen:
+                seen.add(oid)
+                registry.record(oid.functor, tuple(oid.args))
+                for arg in oid.args:
+                    visit(arg)
+
+        for oid in store.known_objects():
+            visit(oid)
+        highest = 0
+        for functor in registry._instances:
+            match = _ADHOC_FUNCTOR.match(functor)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        registry._counter = highest
+        return registry

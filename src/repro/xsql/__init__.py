@@ -21,11 +21,14 @@ from repro.xsql.ast import (
     Step,
 )
 from repro.xsql.parser import parse_query, parse_statement
+from repro.xsql.pipeline import CompiledQuery, QueryPipeline
 from repro.xsql.result import QueryResult
 from repro.xsql.session import Session
 
 __all__ = [
     "Session",
+    "CompiledQuery",
+    "QueryPipeline",
     "QueryResult",
     "build",
     "parse_query",

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import XsqlSyntaxError
 
-__all__ = ["Token", "tokenize", "KEYWORDS"]
+__all__ = ["Token", "tokenize", "split_script", "split_statements", "KEYWORDS"]
 
 KEYWORDS = frozenset(
     {
@@ -184,6 +184,45 @@ def tokenize(source: str) -> List[Token]:
             raise XsqlSyntaxError(f"unhandled token {text!r}", line, column)
     tokens.append(Token("EOF", "", line, pos - line_start + 1))
     return _soften_keywords(tokens)
+
+
+def split_script(source: str) -> "Tuple[List[str], str]":
+    """Split a script on *statement-level* ``;`` using the token scan.
+
+    Returns ``(statements, remainder)`` where *remainder* is the text
+    after the last semicolon (the incomplete trailing statement a REPL is
+    still accumulating).  Because the split walks the same regex the
+    tokenizer uses, semicolons inside string literals and ``--`` comments
+    never split a statement — unlike a raw ``source.split(";")``.
+
+    The scan is total: a character the tokenizer would reject is carried
+    into the current statement verbatim, so the *parser* reports the
+    error with position info when that statement is executed.
+    """
+    statements: List[str] = []
+    start = 0
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            # e.g. an unterminated string literal: leave the text in the
+            # current statement and let the parser produce the error.
+            pos += 1
+            continue
+        if match.lastgroup == "punct" and match.group() == ";":
+            statements.append(source[start : match.start()])
+            start = match.end()
+        pos = match.end()
+    return statements, source[start:]
+
+
+def split_statements(source: str) -> List[str]:
+    """All non-blank statements of a script (trailing ``;`` optional)."""
+    statements, remainder = split_script(source)
+    if remainder.strip():
+        statements.append(remainder)
+    return [s for s in statements if s.strip()]
 
 
 def unescape_string(text: str) -> str:

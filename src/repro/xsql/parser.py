@@ -20,10 +20,16 @@ from typing import List, Optional, Sequence, Set, Tuple, Union
 from repro.errors import XsqlSyntaxError
 from repro.oid import NIL, Atom, Oid, Value, Variable, VarSort
 from repro.xsql import ast
-from repro.xsql.lexer import Token, tokenize, unescape_string
+from repro.xsql.lexer import Token, split_statements, tokenize, unescape_string
 from repro.xsql.normalize import desugar, unify_variable_sorts
 
-__all__ = ["parse_query", "parse_statement", "parse_statements"]
+__all__ = [
+    "parse_query",
+    "parse_statement",
+    "parse_statement_raw",
+    "parse_statements",
+    "normalize_statement",
+]
 
 _VARLIKE_RE = re.compile(r"^[A-Z][0-9]*$")
 
@@ -796,17 +802,35 @@ def parse_statement(
     source: str, outer_vars: Sequence[str] = ()
 ) -> ast.Statement:
     """Parse one XSQL statement (query or DDL)."""
+    return _finalize(parse_statement_raw(source, outer_vars))
+
+
+def parse_statement_raw(
+    source: str, outer_vars: Sequence[str] = ()
+) -> ast.Statement:
+    """Parse one statement *without* normalization.
+
+    The staged pipeline (:mod:`repro.xsql.pipeline`) times parsing and
+    normalization separately; everyone else should call
+    :func:`parse_statement`, which composes this with
+    :func:`normalize_statement`.
+    """
     parser = _Parser(tokenize(source), set(outer_vars))
     statement = parser.parse_statement()
     if not parser.at_end():
         raise parser._error("trailing input after statement")
+    return statement
+
+
+def normalize_statement(statement: ast.Statement) -> ast.Statement:
+    """Sort unification + §5 desugaring of a raw parsed statement."""
     return _finalize(statement)
 
 
 def parse_statements(source: str) -> List[ast.Statement]:
-    """Parse a ``;``-separated script of XSQL statements."""
-    statements: List[ast.Statement] = []
-    for chunk in source.split(";"):
-        if chunk.strip():
-            statements.append(parse_statement(chunk))
-    return statements
+    """Parse a ``;``-separated script of XSQL statements.
+
+    Statements are split with the lexer's token scan, so semicolons
+    inside string literals do not terminate a statement.
+    """
+    return [parse_statement(chunk) for chunk in split_statements(source)]

@@ -1,0 +1,343 @@
+"""The staged query pipeline: parse → normalize → analyze → plan → execute.
+
+Before this module, every ``Session.query()`` re-parsed, re-typed, and
+re-planned its text from scratch.  The pipeline reifies compilation as a
+first-class :class:`CompiledQuery` — cheap to re-run, inspectable via
+:meth:`CompiledQuery.explain` — and memoizes it in an LRU statement cache
+so repeated-query workloads pay the front half of the pipeline once.
+
+Stages (each timed into :class:`repro.metrics.SessionMetrics`):
+
+1. **parse** — tokenize + recursive descent (store-independent);
+2. **normalize** — variable-sort unification and §5 desugaring;
+3. **analyze** — the §6.2 typing spectrum (only under ``plan="typed"``,
+   or lazily for ``explain()``);
+4. **plan** — conjunct reordering: the untyped greedy boundness planner
+   (``plan="greedy"``) or the Theorem 6.1 coherent plan (``plan="typed"``,
+   falling back to greedy when the query is not strictly well-typed);
+5. **execute** — the reference binding-stream evaluator or the literal
+   §3.4 naive engine, with Theorem 6.1 extent restrictions applied under
+   ``plan="typed"``.
+
+Cache soundness: entries are keyed on ``(source, plan, engine)`` and
+stamped with the owning store's ``schema_generation``.  Typing analysis
+and conjunct order depend only on the schema, so DDL invalidates cached
+plans while plain data updates do not; the one data-dependent artifact —
+the extent-restriction sets of Theorem 6.1 — is recomputed on every
+execution.  Replacing the store (``Session.restore``) clears the cache
+outright.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.xsql import ast
+from repro.xsql.parser import normalize_statement, parse_statement_raw
+from repro.xsql.result import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.typing.analysis import TypingReport
+    from repro.xsql.session import Session
+
+__all__ = ["CompiledQuery", "QueryPipeline", "PLAN_MODES", "ENGINES"]
+
+#: Plan modes: ``none`` executes WHERE in source order, ``greedy`` applies
+#: the untyped boundness planner, ``typed`` applies the Theorem 6.1
+#: coherent plan + extent restriction (greedy fallback outside the
+#: strictly well-typed fragment).
+PLAN_MODES = ("none", "greedy", "typed")
+
+#: Engines: the production binding-stream evaluator, or the literal §3.4
+#: enumerate-all-substitutions oracle.
+ENGINES = ("reference", "naive")
+
+
+@dataclass
+class CompiledQuery:
+    """One statement, compiled through the pipeline and re-runnable.
+
+    Obtained from :meth:`repro.xsql.session.Session.prepare`; re-running
+    skips parse/normalize/analyze/plan entirely (they are refreshed
+    transparently if DDL has moved the store's schema generation).
+    """
+
+    session: "Session"
+    source: str
+    plan: str
+    engine: str
+    #: The normalized statement (post sort-unification and desugaring).
+    statement: ast.Statement = field(repr=False, default=None)  # type: ignore[assignment]
+    #: The statement with its WHERE conjunction reordered by the planner.
+    planned: ast.Statement = field(repr=False, default=None)  # type: ignore[assignment]
+    #: §6.2 typing report; computed under ``plan="typed"`` or by explain().
+    report: Optional["TypingReport"] = field(repr=False, default=None)
+    #: Schema generation of the owning store when this compile happened.
+    schema_generation: int = -1
+    _store_token: int = field(repr=False, default=-1)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> QueryResult:
+        """Execute against the session's *current* database state."""
+        return self.session.pipeline.execute(self)
+
+    __call__ = run
+
+    @property
+    def is_stale(self) -> bool:
+        """Has DDL (or a store swap) outdated the compiled artifacts?"""
+        store = self.session.store
+        return (
+            id(store) != self._store_token
+            or store.schema_generation != self.schema_generation
+        )
+
+    @property
+    def discipline(self) -> Optional[str]:
+        """The §6.2 typing discipline, when analysis has run."""
+        return self.report.discipline() if self.report is not None else None
+
+    # ------------------------------------------------------------------
+
+    def explain(self) -> str:
+        """A readable account of typing, plan, and restriction sizes.
+
+        Reports the parsed form, the §6.2 discipline with the witnessing
+        assignment and coherent plan (when one exists), the per-variable
+        instantiation-set sizes the Theorem 6.1 optimizer would use, and
+        the pipeline configuration this statement was compiled under.
+        """
+        self.session.pipeline.ensure_report(self)
+        statement = self.statement
+        if not isinstance(statement, ast.Query):
+            return f"statement: {statement}"
+        lines = [f"query: {statement}"]
+        report = self.report
+        assert report is not None
+        lines.append(f"typing: {report.discipline()}")
+        if report.strict_witness is not None:
+            assignment, plan = report.strict_witness
+            lines.append(f"coherent plan: {plan}")
+            for occ, expr in assignment.entries:
+                lines.append(f"  {occ} : {expr}")
+            from repro.typing import TypedEvaluator
+
+            optimizer = TypedEvaluator(
+                self.session.store,
+                id_function_instances=self.session.registry.instances,
+            )
+            restrictions = optimizer.extent_restrictions(
+                assignment, report.typed_query, statement
+            )
+            for var, allowed in sorted(
+                restrictions.items(), key=lambda kv: kv[0].name
+            ):
+                lines.append(
+                    f"  instantiations of {var}: {len(allowed)} oid(s)"
+                )
+        elif report.unsupported_reason:
+            lines.append(f"note: {report.unsupported_reason}")
+        lines.append(f"pipeline: plan={self.plan} engine={self.engine}")
+        return "\n".join(lines)
+
+
+class QueryPipeline:
+    """Owns the staged compiler and the LRU statement cache of a session."""
+
+    def __init__(self, session: "Session", cache_size: int = 128) -> None:
+        self.session = session
+        self.cache_size = max(0, cache_size)
+        self._cache: "OrderedDict[Tuple[str, str, str], CompiledQuery]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+
+    def compile(
+        self, source: str, plan: str = "none", engine: str = "reference"
+    ) -> CompiledQuery:
+        """Compile *source*, reusing a cached compilation when sound."""
+        if plan not in PLAN_MODES:
+            raise QueryError(
+                f"unknown plan mode {plan!r}; choose from {PLAN_MODES}"
+            )
+        if engine not in ENGINES:
+            raise QueryError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        metrics = self.session.metrics
+        key = (source, plan, engine)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if cached.is_stale:
+                metrics.count("cache.invalidated")
+                metrics.note_last("cache", "invalidated")
+                self._build(cached)
+            else:
+                metrics.count("cache.hit")
+                metrics.note_last("cache", "hit")
+            self._cache.move_to_end(key)
+            return cached
+        metrics.count("cache.miss")
+        metrics.note_last("cache", "miss")
+        compiled = CompiledQuery(
+            session=self.session, source=source, plan=plan, engine=engine
+        )
+        self._build(compiled)
+        if self.cache_size:
+            self._cache[key] = compiled
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                metrics.count("cache.evicted")
+        return compiled
+
+    def _build(self, compiled: CompiledQuery) -> None:
+        """Run the compile-time stages, filling *compiled* in place."""
+        metrics = self.session.metrics
+        store = self.session.store
+        with metrics.time("parse"):
+            raw = parse_statement_raw(compiled.source)
+        with metrics.time("normalize"):
+            statement = normalize_statement(raw)
+        compiled.statement = statement
+        compiled.report = None
+        if compiled.plan == "typed" and isinstance(statement, ast.Query):
+            with metrics.time("analyze"):
+                from repro.typing.analysis import analyze
+
+                compiled.report = analyze(statement, store)
+        with metrics.time("plan"):
+            compiled.planned = self._plan_statement(compiled)
+        compiled.schema_generation = store.schema_generation
+        compiled._store_token = id(store)
+
+    def _plan_statement(self, compiled: CompiledQuery) -> ast.Statement:
+        statement = compiled.statement
+        if (
+            compiled.plan == "none"
+            or not isinstance(statement, ast.Query)
+            or statement.creates_objects
+        ):
+            return statement
+        report = compiled.report
+        if (
+            compiled.plan == "typed"
+            and report is not None
+            and report.strict_witness is not None
+        ):
+            from repro.typing import TypedEvaluator
+
+            _assignment, exec_plan = report.strict_witness
+            assert report.typed_query is not None
+            return TypedEvaluator(self.session.store).reorder(
+                statement, report.typed_query, exec_plan
+            )
+        if compiled.plan == "typed":
+            # Outside the strictly well-typed fragment Theorem 6.1 does
+            # not apply; fall back to the untyped boundness planner.
+            self.session.metrics.count("plan.typed.fallback")
+        from repro.xsql.planner import GreedyPlanner
+
+        return GreedyPlanner().reorder(statement)
+
+    def ensure_report(self, compiled: CompiledQuery) -> None:
+        """Lazily attach the typing report (``explain`` needs it)."""
+        if compiled.is_stale:
+            self.session.metrics.count("cache.invalidated")
+            self._build(compiled)
+        if compiled.report is None and isinstance(
+            compiled.statement, ast.Query
+        ):
+            with self.session.metrics.time("analyze"):
+                from repro.typing.analysis import analyze
+
+                compiled.report = analyze(
+                    compiled.statement, self.session.store
+                )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, compiled: CompiledQuery) -> QueryResult:
+        """Run a compiled statement against the current database state."""
+        metrics = self.session.metrics
+        if compiled.is_stale:
+            metrics.count("cache.invalidated")
+            metrics.note_last("cache", "invalidated")
+            self._build(compiled)
+        metrics.count("statements")
+        with metrics.time("execute"):
+            result = self._run(compiled)
+        if isinstance(result, QueryResult):
+            metrics.observe("rows", len(result))
+            metrics.note_last("rows", len(result))
+        return result
+
+    def _run(self, compiled: CompiledQuery) -> QueryResult:
+        session = self.session
+        statement = compiled.statement
+        if compiled.engine == "naive":
+            if not isinstance(statement, ast.Query):
+                raise QueryError("the naive oracle runs plain queries only")
+            return session.naive_evaluator().run(statement)
+        if not isinstance(statement, (ast.Query, ast.QueryOp)) or (
+            isinstance(statement, ast.Query) and statement.creates_objects
+        ):
+            return session._dispatch(statement)
+        if (
+            compiled.plan == "typed"
+            and isinstance(statement, ast.Query)
+            and compiled.report is not None
+            and compiled.report.strict_witness is not None
+        ):
+            return self._run_typed(compiled)
+        return session.evaluator().run(compiled.planned)
+
+    def _run_typed(self, compiled: CompiledQuery) -> QueryResult:
+        """Theorem 6.1 execution: cached plan, fresh extent restrictions.
+
+        The coherent reorder was computed at compile time (schema-only);
+        the per-variable instantiation sets depend on the data, so they
+        are rebuilt here on every run and their sizes recorded.
+        """
+        from repro.typing import TypedEvaluator
+        from repro.xsql.evaluator import Evaluator
+
+        session = self.session
+        report = compiled.report
+        assert report is not None and report.strict_witness is not None
+        assignment, _plan = report.strict_witness
+        assert report.typed_query is not None
+        assert isinstance(compiled.statement, ast.Query)
+        optimizer = TypedEvaluator(
+            session.store,
+            id_function_instances=session.registry.instances,
+        )
+        restrictions = optimizer.extent_restrictions(
+            assignment, report.typed_query, compiled.statement
+        )
+        for allowed in restrictions.values():
+            session.metrics.observe("restriction", len(allowed))
+        evaluator = Evaluator(
+            session.store,
+            id_function_instances=session.registry.instances,
+            max_path_var_length=session._max_path_var_length,
+            restrictions=restrictions or None,
+        )
+        return evaluator.run(compiled.planned)
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached compilation (the store was replaced)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

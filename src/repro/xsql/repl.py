@@ -2,7 +2,8 @@
 
 Run with::
 
-    python -m repro.xsql.repl [--paper | --synthetic N] [--typed]
+    python -m repro.xsql.repl [--paper | --synthetic N]
+                              [--plan {none,greedy,typed}] [--stats]
 
 Statements end with ``;``.  Meta-commands (no semicolon):
 
@@ -11,13 +12,16 @@ Statements end with ``;``.  Meta-commands (no semicolon):
 * ``.describe <oid>``  — dump one object
 * ``.explain <query>`` — typing discipline, plan, and restrictions
 * ``.naive <query>``   — evaluate with the literal §3.4 semantics
+* ``.stats``           — cumulative pipeline metrics for this session
 * ``.save <path>``     — dump the database to JSON
 * ``.load <path>``     — replace the database from a JSON dump
 * ``.quit``            — leave
 
 With ``--paper`` the shell starts on the Figure 1 schema and the paper's
 instance database, so every example of the paper can be typed in
-directly.
+directly.  ``--plan`` selects the conjunct planner every statement runs
+under; ``--stats`` prints a per-statement pipeline timing line and a
+cumulative report on exit.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from typing import Optional
 
 from repro.errors import XsqlError
 from repro.oid import Atom
+from repro.xsql.lexer import split_script
+from repro.xsql.pipeline import PLAN_MODES
 from repro.xsql.session import Session
 
 __all__ = ["main", "run_repl"]
@@ -70,7 +76,7 @@ def _print_schema(session: Session, out) -> None:
             print(f"  {signature}", file=out)
 
 
-def _handle_meta(session: Session, line: str, out) -> bool:
+def _handle_meta(session: Session, line: str, out, plan: str = "none") -> bool:
     """Process one meta-command; returns False to stop the loop."""
     command, _, rest = line.partition(" ")
     rest = rest.strip()
@@ -83,9 +89,11 @@ def _handle_meta(session: Session, line: str, out) -> bool:
     elif command == ".describe":
         print(session.store.describe(Atom(rest)), file=out)
     elif command == ".explain":
-        print(session.explain(rest), file=out)
+        print(session.explain(rest, plan=plan), file=out)
     elif command == ".naive":
-        print(session.naive(rest).pretty(), file=out)
+        print(session.query(rest, engine="naive").pretty(), file=out)
+    elif command == ".stats":
+        print(session.metrics.summary(), file=out)
     elif command == ".save":
         from repro.datamodel.serialize import save_store
 
@@ -100,15 +108,20 @@ def _handle_meta(session: Session, line: str, out) -> bool:
     elif command == ".load":
         from repro.datamodel.serialize import load_store
 
-        session.store = load_store(rest)
-        session.views = type(session.views)(session.store, session.registry)
+        session.replace_store(load_store(rest))
         print(f"loaded {rest}", file=out)
     else:
         print(f"unknown meta-command {command!r} (.help)", file=out)
     return True
 
 
-def run_repl(session: Session, stdin=None, stdout=None) -> int:
+def run_repl(
+    session: Session,
+    stdin=None,
+    stdout=None,
+    plan: str = "none",
+    show_stats: bool = False,
+) -> int:
     """Drive the shell over the given streams (testable entry point)."""
     stdin = stdin or sys.stdin
     out = stdout or sys.stdout
@@ -120,21 +133,27 @@ def run_repl(session: Session, stdin=None, stdout=None) -> int:
         if not buffer.strip() and stripped.startswith("."):
             buffer = ""
             try:
-                if not _handle_meta(session, stripped, out):
+                if not _handle_meta(session, stripped, out, plan=plan):
                     return 0
             except XsqlError as error:
                 print(f"error: {error}", file=out)
             continue
         buffer += line + "\n"
-        while ";" in buffer:
-            statement, _, buffer = buffer.partition(";")
+        # Token-level split: a ';' inside a string literal or a comment
+        # stays in the statement instead of cutting it short.
+        statements, buffer = split_script(buffer)
+        for statement in statements:
             if not statement.strip():
                 continue
             try:
-                result = session.execute(statement)
+                result = session.query(statement, plan=plan)
                 print(result.pretty(limit=50), file=out)
             except XsqlError as error:
                 print(f"error: {error}", file=out)
+            if show_stats:
+                print(session.metrics.statement_line(), file=out)
+    if show_stats:
+        print(session.metrics.summary(), file=out)
     return 0
 
 
@@ -151,9 +170,22 @@ def main(argv: Optional[list] = None) -> int:
         metavar="N",
         help="start on a synthetic database with N people",
     )
+    parser.add_argument(
+        "--plan",
+        choices=PLAN_MODES,
+        default="none",
+        help="conjunct planner for executed statements (default: none)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-statement pipeline timings and a final summary",
+    )
     args = parser.parse_args(argv)
     session = _make_session(args)
-    return run_repl(session)
+    return run_repl(
+        session, plan=args.plan, show_stats=args.stats
+    )
 
 
 if __name__ == "__main__":

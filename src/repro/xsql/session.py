@@ -1,8 +1,9 @@
 """The Session: the top-level XSQL interface.
 
 A session owns an :class:`~repro.datamodel.store.ObjectStore`, the
-id-function registry, and the view manager, and dispatches parsed
-statements:
+id-function registry, the view manager, the per-session metrics
+collector, and the staged query pipeline
+(:mod:`repro.xsql.pipeline`), and dispatches parsed statements:
 
 * plain queries → :class:`~repro.xsql.evaluator.Evaluator`;
 * object-creating queries (``OID FUNCTION OF``) →
@@ -12,16 +13,29 @@ statements:
   :func:`repro.xsql.ddl.install_query_method`;
 * ``UPDATE CLASS`` / ``CREATE CLASS`` → direct execution.
 
-``session.query(text)`` is the everyday call; ``session.naive(text)`` runs
-the literal §3.4 semantics as an oracle.
+The everyday calls::
+
+    session.query(text)                          # parse + plan + run
+    session.query(text, plan="greedy")           # untyped boundness planner
+    session.query(text, plan="typed")            # Theorem 6.1 optimizer
+    session.query(text, engine="naive")          # literal §3.4 semantics
+    compiled = session.prepare(text)             # compile once ...
+    compiled.run(); compiled.run()               # ... run many times
+    session.stats()                              # pipeline metrics snapshot
+
+``session.query(text, optimize=True)`` and ``session.naive(text)`` are
+deprecated shims over the ``plan=`` / ``engine=`` keywords; they warn
+:class:`~repro.errors.XsqlDeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.datamodel.store import ObjectStore
-from repro.errors import QueryError
+from repro.errors import QueryError, XsqlDeprecationWarning
+from repro.metrics import SessionMetrics
 from repro.oid import FuncOid, Oid, Value
 from repro.views.creation import CreationOutcome, execute_creation
 from repro.views.id_functions import IdFunctionRegistry
@@ -29,7 +43,8 @@ from repro.views.views import ViewDef, ViewManager
 from repro.xsql import ast
 from repro.xsql.ddl import install_query_method
 from repro.xsql.evaluator import Evaluator, NaiveEvaluator
-from repro.xsql.parser import parse_statement
+from repro.xsql.lexer import split_statements
+from repro.xsql.pipeline import CompiledQuery, QueryPipeline
 from repro.xsql.result import QueryResult
 
 __all__ = ["Session"]
@@ -42,11 +57,14 @@ class Session:
         self,
         store: Optional[ObjectStore] = None,
         max_path_var_length: int = 6,
+        statement_cache_size: int = 128,
     ) -> None:
         self.store = store if store is not None else ObjectStore()
         self.registry = IdFunctionRegistry()
         self.views = ViewManager(self.store, self.registry)
         self._max_path_var_length = max_path_var_length
+        self.metrics = SessionMetrics()
+        self.pipeline = QueryPipeline(self, cache_size=statement_cache_size)
 
     # ------------------------------------------------------------------
     # engines
@@ -68,46 +86,96 @@ class Session:
     # execution
     # ------------------------------------------------------------------
 
+    def prepare(
+        self,
+        source: str,
+        *,
+        plan: str = "none",
+        engine: str = "reference",
+    ) -> CompiledQuery:
+        """Compile one statement through the pipeline, without running it.
+
+        The returned :class:`~repro.xsql.pipeline.CompiledQuery` is
+        re-runnable (``compiled.run()``) and inspectable
+        (``compiled.explain()``); re-runs skip parsing, typing, and
+        planning.  Compilations are memoized in the session's LRU
+        statement cache and transparently refreshed when DDL bumps the
+        store's schema generation.
+        """
+        self.metrics.begin_statement()
+        return self.pipeline.compile(source, plan=plan, engine=engine)
+
+    def query(
+        self,
+        source: str,
+        optimize: Optional[bool] = None,
+        *,
+        plan: Optional[str] = None,
+        engine: str = "reference",
+    ) -> QueryResult:
+        """Execute a SELECT query (the common case).
+
+        ``plan`` selects the conjunct planner: ``"none"`` (source order),
+        ``"greedy"`` (untyped boundness reorder), or ``"typed"`` (the
+        Theorem 6.1 coherent plan + extent restrictions, falling back to
+        greedy outside the strictly well-typed fragment).  ``engine``
+        selects ``"reference"`` (the binding-stream evaluator) or
+        ``"naive"`` (the literal §3.4 enumerate-all-substitutions
+        semantics).
+
+        ``optimize=`` is the pre-pipeline spelling of ``plan=`` and is
+        deprecated: ``True`` means ``plan="greedy"``, ``False`` means
+        ``plan="none"``.
+        """
+        if optimize is not None:
+            if plan is not None:
+                raise QueryError(
+                    "pass either plan= or the deprecated optimize=, not both"
+                )
+            warnings.warn(
+                "Session.query(optimize=...) is deprecated; use "
+                "plan='greedy' (optimize=True) or plan='none'",
+                XsqlDeprecationWarning,
+                stacklevel=2,
+            )
+            plan = "greedy" if optimize else "none"
+        self.metrics.begin_statement()
+        compiled = self.pipeline.compile(
+            source, plan=plan or "none", engine=engine
+        )
+        return self.pipeline.execute(compiled)
+
     def execute(self, source: str) -> QueryResult:
         """Parse and execute one XSQL statement; returns a result relation.
 
         DDL statements return a one-row status relation so scripts can be
-        executed uniformly.
+        executed uniformly.  Equivalent to ``query(source)``; kept as the
+        statement-oriented name scripts and the REPL use.
         """
-        statement = parse_statement(source)
-        return self._dispatch(statement)
+        return self.query(source)
 
     def execute_script(self, source: str) -> List[QueryResult]:
-        """Execute a ``;``-separated script, returning all results."""
-        results = []
-        for chunk in source.split(";"):
-            if chunk.strip():
-                results.append(self.execute(chunk))
-        return results
+        """Execute a ``;``-separated script, returning all results.
 
-    def query(self, source: str, optimize: bool = False) -> QueryResult:
-        """Execute a SELECT query (the common case).
-
-        With ``optimize=True`` the untyped greedy planner reorders pure
-        conjunctions by boundness before evaluation — semantics-neutral
-        and schema-free, unlike the Theorem 6.1 typed optimizer.
+        Statements are split with the lexer's token scan
+        (:func:`repro.xsql.lexer.split_statements`), so semicolons inside
+        string literals and ``--`` comments do not terminate a statement.
         """
-        if not optimize:
-            return self.execute(source)
-        statement = parse_statement(source)
-        if isinstance(statement, ast.Query) and not statement.creates_objects:
-            from repro.xsql.planner import GreedyPlanner
-
-            statement = GreedyPlanner().reorder(statement)
-            return self.evaluator().run(statement)
-        return self._dispatch(statement)
+        return [self.execute(chunk) for chunk in split_statements(source)]
 
     def naive(self, source: str) -> QueryResult:
-        """Run a query under the literal §3.4 naive semantics (oracle)."""
-        statement = parse_statement(source)
-        if not isinstance(statement, ast.Query):
-            raise QueryError("the naive oracle runs plain queries only")
-        return self.naive_evaluator().run(statement)
+        """Deprecated: use ``query(source, engine="naive")``."""
+        warnings.warn(
+            "Session.naive(text) is deprecated; use "
+            "Session.query(text, engine='naive')",
+            XsqlDeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(source, engine="naive")
+
+    def stats(self) -> Dict[str, Dict]:
+        """A JSON-friendly snapshot of the session's pipeline metrics."""
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
 
@@ -201,52 +269,40 @@ class Session:
         return payload
 
     def restore(self, payload: dict) -> None:
-        """Replace the session's database with a snapshot's contents."""
+        """Replace the session's database with a snapshot's contents.
+
+        The id-function registry is rebuilt from the restored object
+        graph (not carried over from the pre-snapshot session), so ad-hoc
+        functor allocation resumes past every restored ``qfN`` instead of
+        colliding with it.
+        """
         from repro.datamodel.serialize import store_from_dict
 
-        self.store = store_from_dict(payload)
+        self.replace_store(store_from_dict(payload))
+
+    def replace_store(self, store: ObjectStore) -> None:
+        """Swap in a different store, resetting store-derived state.
+
+        Rebuilds the id-function registry and the view manager from the
+        new store and drops every cached compilation (cached typing and
+        plans refer to the old schema).
+        """
+        self.store = store
+        self.registry = IdFunctionRegistry.rebuild_from_store(store)
         self.views = ViewManager(self.store, self.registry)
+        self.pipeline.clear()
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
-    def explain(self, source: str) -> str:
+    def explain(self, source: str, *, plan: str = "none") -> str:
         """A readable account of how a query would be type-checked and run.
 
-        Reports the parsed form, the §6.2 typing discipline with the
-        witnessing assignment and coherent plan (when one exists), and the
-        per-variable instantiation-set sizes the Theorem 6.1 optimizer
-        would use.
+        Delegates to :meth:`repro.xsql.pipeline.CompiledQuery.explain` on
+        the compiled statement.
         """
-        from repro.typing import TypedEvaluator, analyze
-
-        statement = parse_statement(source)
-        if not isinstance(statement, ast.Query):
-            return f"statement: {statement}"
-        lines = [f"query: {statement}"]
-        report = analyze(statement, self.store)
-        lines.append(f"typing: {report.discipline()}")
-        if report.strict_witness is not None:
-            assignment, plan = report.strict_witness
-            lines.append(f"coherent plan: {plan}")
-            for occ, expr in assignment.entries:
-                lines.append(f"  {occ} : {expr}")
-            optimizer = TypedEvaluator(
-                self.store, id_function_instances=self.registry.instances
-            )
-            restrictions = optimizer.extent_restrictions(
-                assignment, report.typed_query, statement
-            )
-            for var, allowed in sorted(
-                restrictions.items(), key=lambda kv: kv[0].name
-            ):
-                lines.append(
-                    f"  instantiations of {var}: {len(allowed)} oid(s)"
-                )
-        elif report.unsupported_reason:
-            lines.append(f"note: {report.unsupported_reason}")
-        return "\n".join(lines)
+        return self.prepare(source, plan=plan).explain()
 
     # ------------------------------------------------------------------
     # view conveniences (§4.2)

@@ -16,9 +16,28 @@ def test_all_engines_agree_on_conjunctive_query(oracle):
         "SELECT X.Name FROM Employee X WHERE X.Salary > 20000"
     )
     assert report.agreed
-    for name in ("reference", "optimized", "naive", "flogic", "snapshot"):
+    for name in (
+        "reference",
+        "optimized",
+        "cached",
+        "naive",
+        "flogic",
+        "snapshot",
+    ):
         assert report.outcomes[name].status == "ok", report.summary()
     assert report.outcomes["flogic"].rows == report.outcomes["reference"].rows
+
+
+def test_cached_engine_hits_statement_cache(oracle):
+    text = "SELECT X FROM Employee X WHERE X.Salary > 30000"
+    oracle.run(text)
+    before = oracle.session.stats()["counters"].get("cache.hit", 0)
+    report = oracle.run(text)
+    assert report.agreed
+    after = oracle.session.stats()["counters"].get("cache.hit", 0)
+    # Second oracle run re-prepares the same (text, plan) key: a hit,
+    # plus the compiled query's own second execution.
+    assert after > before
 
 
 def test_flogic_skips_outside_fragment(oracle):

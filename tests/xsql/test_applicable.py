@@ -85,4 +85,7 @@ class TestApplicability:
 
     def test_naive_agreement(self, session):
         text = "SELECT M WHERE M applicableTo einstein"
-        assert session.naive(text).rows() == session.query(text).rows()
+        assert (
+            session.query(text, engine="naive").rows()
+            == session.query(text).rows()
+        )

@@ -88,8 +88,9 @@ class TestPathVarGuards:
 
     def test_naive_rejects_path_vars(self, shared_paper_session):
         with pytest.raises(UnsafeQueryError):
-            shared_paper_session.naive(
-                "SELECT X FROM Person X WHERE X.*P.City['newyork']"
+            shared_paper_session.query(
+                "SELECT X FROM Person X WHERE X.*P.City['newyork']",
+                engine="naive",
             )
 
 

@@ -1,0 +1,71 @@
+"""Golden-file tests for ``CompiledQuery.explain`` across the §6.2 spectrum.
+
+One golden file per typing discipline (strict, liberal-only, ill-typed,
+outside-fragment).  Regenerate after an intentional format change with::
+
+    REGEN_EXPLAIN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/xsql/test_explain_golden.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+STRICT_QUERY = (
+    "SELECT X FROM Vehicle X "
+    "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]"
+)
+ILL_TYPED_QUERY = "SELECT X FROM Person X WHERE X.Divisions[D]"
+OUTSIDE_FRAGMENT_QUERY = "SELECT X WHERE X.A or X.B"
+LIBERAL_ONLY_QUERY = "SELECT X WHERE X.WonNobelPrize"
+
+
+def _check(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / f"explain_{name}.txt"
+    if os.environ.get("REGEN_EXPLAIN_GOLDENS"):
+        path.write_text(actual + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), f"missing golden file {path}"
+    assert actual + "\n" == path.read_text(), (
+        f"explain output drifted from {path.name}; regenerate with "
+        f"REGEN_EXPLAIN_GOLDENS=1 if the change is intentional"
+    )
+
+
+def test_strict_discipline_golden(shared_paper_session):
+    compiled = shared_paper_session.prepare(STRICT_QUERY, plan="typed")
+    _check("strict", compiled.explain())
+    assert compiled.discipline == "strict"
+
+
+def test_ill_typed_discipline_golden(shared_paper_session):
+    compiled = shared_paper_session.prepare(ILL_TYPED_QUERY)
+    _check("ill_typed", compiled.explain())
+    assert compiled.discipline == "ill-typed"
+
+
+def test_outside_fragment_discipline_golden(shared_paper_session):
+    compiled = shared_paper_session.prepare(OUTSIDE_FRAGMENT_QUERY)
+    _check("outside_fragment", compiled.explain())
+    assert compiled.discipline == "outside-fragment"
+
+
+def test_liberal_only_discipline_golden(nobel_session):
+    compiled = nobel_session.prepare(LIBERAL_ONLY_QUERY)
+    _check("liberal_only", compiled.explain())
+    assert compiled.discipline == "liberal-only"
+
+
+def test_session_explain_matches_compiled_explain(shared_paper_session):
+    # Session.explain is a convenience over prepare().explain().
+    assert shared_paper_session.explain(
+        STRICT_QUERY, plan="typed"
+    ) == shared_paper_session.prepare(STRICT_QUERY, plan="typed").explain()
+
+
+def test_explain_on_non_query_statement(paper_session):
+    text = "CREATE CLASS Spaceship AS SUBCLASS OF Vehicle"
+    assert paper_session.explain(text).startswith("statement:")

@@ -1,0 +1,209 @@
+"""The staged pipeline: CompiledQuery, the statement cache, and metrics."""
+
+import pytest
+
+from repro.errors import QueryError, XsqlDeprecationWarning
+from repro.xsql.pipeline import ENGINES, PLAN_MODES, CompiledQuery
+from tests.conftest import names
+
+STRICT_QUERY = (
+    "SELECT X FROM Vehicle X "
+    "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]"
+)
+FAMILY_QUERY = "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+
+
+class TestCompiledQuery:
+    def test_prepare_returns_runnable_compiled_query(self, paper_session):
+        compiled = paper_session.prepare(FAMILY_QUERY)
+        assert isinstance(compiled, CompiledQuery)
+        assert names(compiled.run()) == ["john13", "kim"]
+        # Re-running yields the same answer without recompiling.
+        assert names(compiled.run()) == ["john13", "kim"]
+        assert paper_session.stats()["timers"]["parse"]["count"] == 1
+
+    def test_compiled_query_is_callable(self, paper_session):
+        compiled = paper_session.prepare(FAMILY_QUERY)
+        assert compiled().rows() == compiled.run().rows()
+
+    def test_prepared_query_sees_later_data_updates(self, paper_session):
+        compiled = paper_session.prepare(
+            "SELECT X FROM Employee X WHERE X.Salary > 90000"
+        )
+        before = len(compiled.run())
+        paper_session.execute("UPDATE CLASS Employee SET ben.Salary = 95000")
+        # Data updates do not invalidate the plan, but the execution
+        # always runs against current state.
+        assert len(compiled.run()) == before + 1
+
+    def test_ddl_marks_compilation_stale(self, paper_session):
+        compiled = paper_session.prepare(FAMILY_QUERY)
+        assert not compiled.is_stale
+        paper_session.execute("CREATE CLASS Spacecraft")
+        assert compiled.is_stale
+        assert names(compiled.run()) == ["john13", "kim"]
+        assert not compiled.is_stale
+        assert (
+            paper_session.stats()["counters"]["cache.invalidated"] >= 1
+        )
+
+
+class TestPlanAndEngineMatrix:
+    @pytest.mark.parametrize("plan", PLAN_MODES)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_modes_agree(self, shared_paper_session, plan, engine):
+        result = shared_paper_session.query(
+            STRICT_QUERY, plan=plan, engine=engine
+        )
+        reference = shared_paper_session.query(STRICT_QUERY)
+        assert result.rows() == reference.rows()
+
+    def test_typed_plan_applies_restrictions(self, paper_session):
+        paper_session.query(STRICT_QUERY, plan="typed")
+        stats = paper_session.stats()
+        assert stats["observations"]["restriction"]["count"] >= 1
+        assert "plan.typed.fallback" not in stats["counters"]
+
+    def test_typed_plan_falls_back_outside_strict(self, paper_session):
+        # Ill-typed per §6.2, but evaluable: typed planning must fall
+        # back to the greedy planner instead of raising.
+        text = "SELECT X FROM Person X WHERE X.Divisions[D]"
+        result = paper_session.query(text, plan="typed")
+        assert result.rows() == paper_session.query(text).rows()
+        assert paper_session.stats()["counters"]["plan.typed.fallback"] == 1
+
+    def test_naive_engine_rejects_ddl(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.query("CREATE CLASS Oddity", engine="naive")
+
+    def test_unknown_plan_and_engine_raise(self, shared_paper_session):
+        with pytest.raises(QueryError):
+            shared_paper_session.query(FAMILY_QUERY, plan="bogus")
+        with pytest.raises(QueryError):
+            shared_paper_session.query(FAMILY_QUERY, engine="bogus")
+
+
+class TestStatementCache:
+    def test_repeated_query_hits_cache(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        paper_session.query(FAMILY_QUERY)
+        counters = paper_session.stats()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters["cache.hit"] == 1
+        assert paper_session.stats()["timers"]["parse"]["count"] == 1
+
+    def test_plan_modes_cache_separately(self, paper_session):
+        paper_session.query(FAMILY_QUERY, plan="none")
+        paper_session.query(FAMILY_QUERY, plan="greedy")
+        assert paper_session.stats()["counters"]["cache.miss"] == 2
+
+    def test_ddl_invalidates_cached_statement(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        paper_session.execute("CREATE CLASS Starbase")
+        paper_session.query(FAMILY_QUERY)
+        counters = paper_session.stats()["counters"]
+        assert counters["cache.invalidated"] >= 1
+
+    def test_data_updates_do_not_invalidate(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        paper_session.execute("UPDATE CLASS Employee SET ben.Salary = 1")
+        paper_session.query(FAMILY_QUERY)
+        counters = paper_session.stats()["counters"]
+        assert "cache.invalidated" not in counters
+        assert counters["cache.hit"] == 1
+
+    def test_lru_eviction(self, paper_session):
+        paper_session.pipeline.cache_size = 2
+        paper_session.query("SELECT X FROM Company X")
+        paper_session.query("SELECT X FROM Division X")
+        paper_session.query("SELECT X FROM Vehicle X")
+        assert len(paper_session.pipeline) == 2
+        assert paper_session.stats()["counters"]["cache.evicted"] == 1
+        # The evicted (oldest) entry misses again.
+        paper_session.query("SELECT X FROM Company X")
+        assert paper_session.stats()["counters"]["cache.miss"] == 4
+
+    def test_replace_store_clears_cache(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        assert len(paper_session.pipeline) == 1
+        paper_session.restore(paper_session.snapshot())
+        assert len(paper_session.pipeline) == 0
+
+
+class TestDeprecationShims:
+    def test_optimize_kwarg_warns_and_maps_to_greedy(self, paper_session):
+        with pytest.warns(XsqlDeprecationWarning):
+            result = paper_session.query(FAMILY_QUERY, optimize=True)
+        assert names(result) == ["john13", "kim"]
+        with pytest.warns(XsqlDeprecationWarning):
+            plain = paper_session.query(FAMILY_QUERY, optimize=False)
+        assert plain.rows() == result.rows()
+
+    def test_naive_method_warns(self, paper_session):
+        with pytest.warns(XsqlDeprecationWarning):
+            result = paper_session.naive("SELECT X FROM Vehicle X")
+        assert result.rows() == paper_session.query(
+            "SELECT X FROM Vehicle X"
+        ).rows()
+
+    def test_optimize_and_plan_together_is_an_error(self, paper_session):
+        with pytest.raises(QueryError):
+            paper_session.query(FAMILY_QUERY, optimize=True, plan="typed")
+
+
+class TestScriptSplitting:
+    def test_semicolon_inside_string_literal(self, paper_session):
+        results = paper_session.execute_script(
+            "SELECT X FROM Person X WHERE X.Name['a;b']; "
+            "SELECT X FROM Vehicle X;"
+        )
+        assert len(results) == 2
+        assert len(results[0]) == 0
+        assert len(results[1]) == 4
+
+    def test_semicolon_inside_comment(self, paper_session):
+        results = paper_session.execute_script(
+            "SELECT X FROM Vehicle X  -- trailing; comment\n;"
+            "SELECT X FROM Company X;"
+        )
+        assert len(results) == 2
+
+    def test_update_with_semicolon_in_value(self, paper_session):
+        from repro.oid import Atom, Value
+
+        paper_session.execute_script(
+            "UPDATE CLASS Division SET d_eng.Function = 'R;D';"
+        )
+        assert paper_session.store.invoke_scalar(
+            Atom("d_eng"), "Function"
+        ) == Value("R;D")
+
+    def test_trailing_statement_without_semicolon(self, paper_session):
+        results = paper_session.execute_script(
+            "SELECT X FROM Vehicle X; SELECT X FROM Company X"
+        )
+        assert len(results) == 2
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self, paper_session):
+        paper_session.query(FAMILY_QUERY, plan="typed")
+        stats = paper_session.stats()
+        assert set(stats) == {"counters", "timers", "observations"}
+        for stage in ("parse", "normalize", "analyze", "plan", "execute"):
+            assert stats["timers"][stage]["count"] >= 1
+        assert stats["observations"]["rows"]["count"] == 1
+        assert stats["counters"]["statements"] == 1
+
+    def test_statement_line_reports_stages(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        line = paper_session.metrics.statement_line()
+        assert "parse=" in line and "execute=" in line
+        assert "cache=miss" in line
+
+    def test_summary_mentions_counters(self, paper_session):
+        paper_session.query(FAMILY_QUERY)
+        paper_session.query(FAMILY_QUERY)
+        summary = paper_session.metrics.summary()
+        assert "cache.hit" in summary
+        assert "stage parse" in summary

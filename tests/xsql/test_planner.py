@@ -68,9 +68,9 @@ class TestEquivalence:
         planned = Evaluator(store).run(GreedyPlanner().reorder(query))
         assert planned.rows() == plain.rows()
 
-    def test_session_optimize_flag(self, shared_paper_session):
+    def test_session_plan_kwarg(self, shared_paper_session):
         plain = shared_paper_session.query(UNFAVOURABLE)
-        optimized = shared_paper_session.query(UNFAVOURABLE, optimize=True)
+        optimized = shared_paper_session.query(UNFAVOURABLE, plan="greedy")
         assert optimized.rows() == plain.rows()
 
     @given(seed=st.integers(0, 5000))

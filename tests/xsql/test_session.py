@@ -72,14 +72,15 @@ class TestNaiveOracle:
     def test_naive_matches_smart_on_paper_query(self, shared_paper_session):
         text = "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']"
         assert (
-            shared_paper_session.naive(text).rows()
+            shared_paper_session.query(text, engine="naive").rows()
             == shared_paper_session.query(text).rows()
         )
 
     def test_naive_rejects_ddl(self, paper_session):
         with pytest.raises(QueryError):
-            paper_session.naive(
-                "UPDATE CLASS Division SET d_eng.Function = 'x'"
+            paper_session.query(
+                "UPDATE CLASS Division SET d_eng.Function = 'x'",
+                engine="naive",
             )
 
 

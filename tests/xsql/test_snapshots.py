@@ -108,3 +108,57 @@ class TestSnapshotRoundTripWithViewsAndCreation:
         assert paper_session.store.extent("CompSalaries")
         paper_session.restore(checkpoint)
         assert Atom("CompSalaries") not in paper_session.store.hierarchy.classes()
+
+
+CREATE_COMPANY_OBJECTS = (
+    "SELECT N = Y.Name FROM Company Y OID FUNCTION OF Y"
+)
+
+
+class TestRestoreRebuildsIdFunctionRegistry:
+    """``restore`` must reseed the id-function registry from the restored
+    object graph, not carry the pre-snapshot table forward (§4.1: one
+    functor per creating query, or two queries share "the same" oids)."""
+
+    def test_restore_into_fresh_session_knows_restored_functors(
+        self, paper_session
+    ):
+        from repro.xsql.session import Session
+
+        paper_session.execute(CREATE_COMPANY_OBJECTS)  # allocates qf1
+        payload = paper_session.snapshot()
+        fresh = Session()
+        fresh.restore(payload)
+        assert fresh.registry.known("qf1")
+        # The ad-hoc counter resumes past the restored functor: the next
+        # creating query must NOT reuse qf1.
+        assert fresh.registry.fresh_functor() == "qf2"
+
+    def test_creation_after_restore_does_not_collide(self, paper_session):
+        first = paper_session.execute(CREATE_COMPANY_OBJECTS)
+        paper_session.restore(paper_session.snapshot())
+        second = paper_session.execute(CREATE_COMPANY_OBJECTS)
+        functors_first = {oid.functor for oid in first.created}
+        functors_second = {oid.functor for oid in second.created}
+        assert functors_first.isdisjoint(functors_second)
+
+    def test_restore_drops_registry_entries_for_dropped_objects(
+        self, paper_session
+    ):
+        checkpoint = paper_session.snapshot()
+        paper_session.execute(CREATE_COMPANY_OBJECTS)
+        assert paper_session.registry.known("qf1")
+        paper_session.restore(checkpoint)
+        # The snapshot predates the creation: qf1's objects are gone, so
+        # the registry must not claim the functor is still defined.
+        assert not paper_session.registry.known("qf1")
+
+    def test_view_functor_instances_survive_restore(self, paper_session):
+        paper_session.execute(COMP_SALARIES)
+        instances_before = paper_session.registry.instances("CompSalaries")
+        assert instances_before
+        paper_session.restore(paper_session.snapshot())
+        assert (
+            paper_session.registry.instances("CompSalaries")
+            == instances_before
+        )
