@@ -1,36 +1,44 @@
-"""Cold vs. cached execution of the paper's queries (1)–(13).
+"""Pipeline benchmarks: the statement cache, and the cost-based planner.
 
-Measures what the staged pipeline's statement cache buys: *cold* runs
-clear the cache first and pay ``parse → normalize → analyze → plan →
-execute`` in full; *cached* runs re-execute a prepared
-:class:`~repro.xsql.pipeline.CompiledQuery`, paying only the execute
-stage (plus, under ``plan="typed"``, the data-dependent Theorem 6.1
-extent-restriction rebuild).
+**Cache benchmark** — cold vs. cached execution of the paper's queries
+(1)–(13): *cold* runs clear the cache first and pay ``parse → normalize
+→ analyze → plan → execute`` in full; *cached* runs re-execute a
+prepared :class:`~repro.xsql.pipeline.CompiledQuery`, paying only the
+execute stage (plus, under ``plan="typed"``, the data-dependent Theorem
+6.1 extent-restriction rebuild).  The headline number is the best
+per-query speedup: for compile-heavy queries (a short path expression
+like Q1, or a join whose coherent-pair search dominates like Q12) cached
+re-execution must be at least 3× faster than cold.  Execution-bound
+queries (Q9's quantified double loop) sit near 1× by construction — the
+cache does not speed up evaluation, only compilation — so the per-query
+table is the trajectory to watch.
 
-The headline number is the best per-query speedup: for compile-heavy
-queries (a short path expression like Q1, or a join whose coherent-pair
-search dominates like Q12) cached re-execution must be at least 3×
-faster than cold.  Execution-bound queries (Q9's quantified double loop)
-sit near 1× by construction — the cache does not speed up evaluation,
-only compilation — so the per-query table is the trajectory to watch.
+**Selective-predicate benchmark** — ``plan="cost"`` (auto-enabled index
+probes) vs. ``plan="greedy"`` (extent scans) on a 400-person synthetic
+workload whose ``Name`` values are unique: a point predicate like
+``X.Name['P123']`` must run at least 5× faster once the cost planner
+restricts the FROM enumeration to the index probe's owners.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--rounds N]
+        [--plan none|greedy|typed|cost] [--json PATH]
 
-or through pytest (asserts the ≥3× criterion)::
+or through pytest (asserts the ≥3× cache and ≥5× selective criteria)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py
 """
 
 from __future__ import annotations
 
+import json
 import statistics
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro import Session
 from repro.schema.figure1 import build_figure1_schema
+from repro.workloads.generator import WorkloadConfig, generate_database
 from repro.workloads.paper_db import populate_paper_database
 
 #: The paper's numbered examples Q1–Q12 (read-only; Q13 is measured
@@ -84,6 +92,26 @@ Q13_CREATION = (
 
 SPEEDUP_TARGET = 3.0
 
+#: The cost-planner benchmark: selective predicates over a workload big
+#: enough that an index probe dwarfs the extent scan.  ``Name`` values
+#: are unique per person in the generator, so the point predicates below
+#: select exactly one binding out of 400.
+SELECTIVE_WORKLOAD = WorkloadConfig(n_people=400, seed=42)
+SELECTIVE_QUERIES: List[Tuple[str, str]] = [
+    ("S1", "SELECT X FROM Person X WHERE X.Name['P123']"),
+    (
+        "S2",
+        "SELECT X, Y FROM Person X, Person Y "
+        "WHERE X.Name['P7'] and X.Residence[R] and Y.Residence[R]",
+    ),
+    (
+        "S3",
+        "SELECT X, S FROM Employee X "
+        "WHERE X.Name['P11'] and X.Salary[S]",
+    ),
+]
+SELECTIVE_TARGET = 5.0
+
 
 def _paper_session() -> Session:
     session = Session()
@@ -133,11 +161,44 @@ def measure(
     return results
 
 
+def measure_selective(
+    rounds: int = 9,
+) -> List[Tuple[str, float, float, int]]:
+    """Per-query (name, scan_seconds, cost_seconds, rows) medians.
+
+    Both sides time a *prepared* re-run, so compilation is off the
+    clock and the difference is purely the access path: greedy extent
+    scans (indexes forbidden) vs. the cost plan's index probes.
+    """
+    scan_session = Session(generate_database(SELECTIVE_WORKLOAD))
+    scan_session.index_mode = "off"
+    cost_session = Session(generate_database(SELECTIVE_WORKLOAD))
+    results = []
+    for name, text in SELECTIVE_QUERIES:
+        scan = scan_session.prepare(text, plan="greedy")
+        cost = cost_session.prepare(text, plan="cost")
+        scan_rows = scan.run().rows()
+        cost_rows = cost.run().rows()
+        assert scan_rows == cost_rows, f"{name}: plans disagree"
+        scan_s = _median_seconds(scan.run, rounds)
+        cost_s = _median_seconds(cost.run, rounds)
+        results.append((name, scan_s, cost_s, len(cost_rows)))
+    return results
+
+
 def best_speedup(results: List[Tuple[str, float, float]]) -> float:
     return max(
         cold / cached
         for name, cold, cached in results
         if cached > 0 and not name.endswith("*")
+    )
+
+
+def best_selective_speedup(
+    results: List[Tuple[str, float, float, int]]
+) -> float:
+    return max(
+        scan / cost for _name, scan, cost, _rows in results if cost > 0
     )
 
 
@@ -159,9 +220,74 @@ def report(results: List[Tuple[str, float, float]]) -> str:
     return "\n".join(lines)
 
 
+def report_selective(
+    results: List[Tuple[str, float, float, int]]
+) -> str:
+    lines = [
+        "cost planner: greedy extent scan vs cost-plan index probe "
+        f"({SELECTIVE_WORKLOAD.n_people} people)",
+        f"{'query':6s} {'scan':>10s} {'cost':>10s} {'speedup':>8s} "
+        f"{'rows':>5s}",
+    ]
+    for name, scan, cost, rows in results:
+        ratio = scan / cost if cost else float("inf")
+        lines.append(
+            f"{name:6s} {scan * 1000:8.3f}ms {cost * 1000:8.3f}ms "
+            f"{ratio:7.2f}x {rows:5d}"
+        )
+    lines.append(
+        f"best speedup: {best_selective_speedup(results):.2f}x "
+        f"(target >= {SELECTIVE_TARGET:.0f}x)"
+    )
+    return "\n".join(lines)
+
+
+def as_json(
+    cache_results: List[Tuple[str, float, float]],
+    selective_results: List[Tuple[str, float, float, int]],
+) -> Dict[str, object]:
+    """The JSON artifact CI uploads (``BENCH_pipeline.json``)."""
+    return {
+        "targets": {
+            "cache_speedup": SPEEDUP_TARGET,
+            "selective_speedup": SELECTIVE_TARGET,
+        },
+        "cache": [
+            {
+                "query": name,
+                "cold_ms": round(cold * 1000, 4),
+                "cached_ms": round(cached * 1000, 4),
+                "speedup": round(cold / cached, 2) if cached else None,
+            }
+            for name, cold, cached in cache_results
+        ],
+        "best_cache_speedup": round(best_speedup(cache_results), 2),
+        "selective": [
+            {
+                "query": name,
+                "scan_ms": round(scan * 1000, 4),
+                "cost_ms": round(cost * 1000, 4),
+                "speedup": round(scan / cost, 2) if cost else None,
+                "rows": rows,
+            }
+            for name, scan, cost, rows in selective_results
+        ],
+        "best_selective_speedup": round(
+            best_selective_speedup(selective_results), 2
+        ),
+    }
+
+
 def test_cached_reexecution_at_least_3x_on_some_paper_query():
     results = measure(rounds=9)
     assert best_speedup(results) >= SPEEDUP_TARGET, report(results)
+
+
+def test_cost_plan_beats_scans_5x_on_selective_predicates():
+    results = measure_selective(rounds=9)
+    assert best_selective_speedup(results) >= SELECTIVE_TARGET, (
+        report_selective(results)
+    )
 
 
 def test_cached_results_match_cold_results():
@@ -179,12 +305,32 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=9)
     parser.add_argument(
-        "--plan", default="typed", choices=("none", "greedy", "typed")
+        "--plan",
+        default="typed",
+        choices=("none", "greedy", "typed", "cost"),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a JSON artifact",
     )
     args = parser.parse_args()
     results = measure(plan=args.plan, rounds=args.rounds)
+    selective = measure_selective(rounds=args.rounds)
     print(report(results))
-    return 0 if best_speedup(results) >= SPEEDUP_TARGET else 1
+    print()
+    print(report_selective(selective))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(as_json(results, selective), handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    ok = (
+        best_speedup(results) >= SPEEDUP_TARGET
+        and best_selective_speedup(selective) >= SELECTIVE_TARGET
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

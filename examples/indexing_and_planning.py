@@ -62,7 +62,7 @@ def main() -> None:
     indexed = timed("indexed", lambda: Evaluator(store).run(reverse))
     assert indexed.rows() == scan.rows()
     print(
-        f"  index answered {store.indexes.hits} lookup(s); "
+        f"  index answered {store.index_stats()['hits']} lookup(s); "
         f"answers agree ({len(indexed)} rows)"
     )
 

@@ -181,7 +181,7 @@ def store_to_dict(store: ObjectStore) -> Tuple[Dict, SerializationReport]:
         "relations": relations,
         "resolutions": resolutions,
         "indexes": sorted(
-            m.name for m in store.indexes.indexed_methods()
+            m.name for m in store.indexed_methods()
         ),
     }
     return payload, report

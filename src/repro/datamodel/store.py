@@ -21,6 +21,7 @@ treatment of typing as a metalogical notion (§6.2).
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     Dict,
     FrozenSet,
@@ -42,11 +43,13 @@ from repro.datamodel.methods import MethodImplementation
 from repro.datamodel.objects import Cell, ObjectRecord, ScalarCell, SetCell
 from repro.datamodel.relations import StoredRelation
 from repro.datamodel.signatures import Signature, TypeExpr
+from repro.datamodel.statistics import MethodStats, StatisticsCatalogue
 from repro.errors import (
     ArityError,
     SchemaError,
     SignatureError,
     UnknownClassError,
+    XsqlDeprecationWarning,
 )
 from repro.oid import Atom, FuncOid, Oid, Value, oid as as_oid
 
@@ -86,8 +89,13 @@ class ObjectStore:
         self._signatures: Dict[Atom, Dict[Atom, List[Signature]]] = {}
         self._relations: Dict[str, StoredRelation] = {}
         self._known: Set[Oid] = set()
-        #: Opt-in inverted attribute indexes ([BERT89]-style).
-        self.indexes = AttributeIndexes()
+        #: Opt-in inverted attribute indexes ([BERT89]-style).  Private:
+        #: go through :meth:`enable_index` / :meth:`indexed_methods` /
+        #: :meth:`lookup_by_value` (or the Session-level wrappers).
+        self._indexes = AttributeIndexes()
+        #: Incrementally maintained cardinality statistics feeding the
+        #: cost-based planner (:mod:`repro.xsql.costplan`).
+        self.statistics = StatisticsCatalogue()
         #: Monotone counter bumped by every schema-shaping operation
         #: (classes, signatures, relations, implementations, inheritance
         #: resolutions, indexes).  Compiled query plans are keyed on it:
@@ -96,6 +104,22 @@ class ObjectStore:
         #: (data-dependent artifacts such as Theorem 6.1 extent
         #: restrictions are recomputed per execution).
         self.schema_generation = 0
+
+    @property
+    def indexes(self) -> AttributeIndexes:
+        """Deprecated: the raw index registry; use the store/Session API."""
+        warnings.warn(
+            "ObjectStore.indexes is deprecated; use enable_index()/"
+            "disable_index()/indexed_methods()/index_stats() on the store "
+            "or Session.enable_index()/Session.indexes()",
+            XsqlDeprecationWarning,
+            stacklevel=2,
+        )
+        return self._indexes
+
+    def _bump_schema(self) -> None:
+        self.schema_generation += 1
+        self.statistics.note_schema_change()
 
     # ------------------------------------------------------------------
     # schema: classes and signatures
@@ -108,7 +132,7 @@ class ObjectStore:
         cls = _atom(name)
         self.hierarchy.add_class(cls, [_atom(p) for p in parents])
         self._known.add(cls)
-        self.schema_generation += 1
+        self._bump_schema()
         return cls
 
     def declare_signature(
@@ -143,7 +167,7 @@ class ObjectStore:
             existing.append(signature)
         self.catalogue.register_method(method_atom)
         self._known.add(method_atom)
-        self.schema_generation += 1
+        self._bump_schema()
         return signature
 
     def declared_signatures(
@@ -209,16 +233,22 @@ class ObjectStore:
         cls_atom = _atom(cls)
         self.hierarchy.require(cls_atom)
         self.catalogue.check_individual(obj)
-        self._memberships.setdefault(obj, set()).add(cls_atom)
-        self._direct_extents.setdefault(cls_atom, set()).add(obj)
+        memberships = self._memberships.setdefault(obj, set())
+        if cls_atom not in memberships:
+            memberships.add(cls_atom)
+            self._direct_extents.setdefault(cls_atom, set()).add(obj)
+            self.statistics.note_membership(cls_atom, +1)
         self._records.setdefault(obj, ObjectRecord(obj))
         self._known.add(obj)
 
     def remove_instance(self, oid_like: OidLike, cls: ClassLike) -> None:
         obj = as_oid(oid_like)
         cls_atom = _atom(cls)
-        self._memberships.get(obj, set()).discard(cls_atom)
-        self._direct_extents.get(cls_atom, set()).discard(obj)
+        memberships = self._memberships.get(obj, set())
+        if cls_atom in memberships:
+            memberships.discard(cls_atom)
+            self._direct_extents.get(cls_atom, set()).discard(obj)
+            self.statistics.note_membership(cls_atom, -1)
 
     def purge_object(self, oid_like: OidLike) -> None:
         """Remove an object entirely: record, memberships, and extents.
@@ -229,11 +259,17 @@ class ObjectStore:
         integrity maintenance).
         """
         obj = as_oid(oid_like)
-        self._records.pop(obj, None)
+        record = self._records.pop(obj, None)
+        if record is not None:
+            for (method, args), cell in record.entries():
+                self.statistics.note_write(
+                    obj, method, args, cell.as_set(), frozenset()
+                )
         for cls in self._memberships.pop(obj, set()):
             self._direct_extents.get(cls, set()).discard(obj)
+            self.statistics.note_membership(cls, -1)
         self._known.discard(obj)
-        self.indexes.note_purge(obj)
+        self._indexes.note_purge(obj)
 
     def direct_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
         """Explicit instance-of memberships plus implicit literal classes."""
@@ -385,9 +421,12 @@ class ObjectStore:
         old_cell = record.get(method_atom, arg_oids)
         old_values = old_cell.as_set() if old_cell else frozenset()
         record.set_scalar(method_atom, value_oid, arg_oids)
-        self.indexes.note_write(
-            owner_oid, method_atom, arg_oids, old_values,
-            frozenset({value_oid}),
+        new_values = frozenset({value_oid})
+        self._indexes.note_write(
+            owner_oid, method_atom, arg_oids, old_values, new_values
+        )
+        self.statistics.note_write(
+            owner_oid, method_atom, arg_oids, old_values, new_values
         )
         self._known.add(method_atom)
         self._note_values((value_oid, *arg_oids))
@@ -411,7 +450,10 @@ class ObjectStore:
         old_cell = record.get(method_atom, arg_oids)
         old_values = old_cell.as_set() if old_cell else frozenset()
         record.set_set(method_atom, value_oids, arg_oids)
-        self.indexes.note_write(
+        self._indexes.note_write(
+            owner_oid, method_atom, arg_oids, old_values, value_oids
+        )
+        self.statistics.note_write(
             owner_oid, method_atom, arg_oids, old_values, value_oids
         )
         self._known.add(method_atom)
@@ -430,10 +472,17 @@ class ObjectStore:
         arg_oids = tuple(as_oid(a) for a in args)
         self._check_arrow(owner_oid, method_atom, set_valued=True)
         self._check_value_class(owner_oid, method_atom, member_oid)
-        self._record(owner_oid).add_to_set(method_atom, member_oid, arg_oids)
-        self.indexes.note_write(
+        record = self._record(owner_oid)
+        old_cell = record.get(method_atom, arg_oids)
+        old_values = old_cell.as_set() if old_cell else frozenset()
+        record.add_to_set(method_atom, member_oid, arg_oids)
+        self._indexes.note_write(
             owner_oid, method_atom, arg_oids, frozenset(),
             frozenset({member_oid}),
+        )
+        self.statistics.note_write(
+            owner_oid, method_atom, arg_oids, old_values,
+            old_values | {member_oid},
         )
         self._known.add(method_atom)
         self._note_values((member_oid, *arg_oids))
@@ -452,7 +501,10 @@ class ObjectStore:
             old_cell = record.get(method_atom, arg_oids)
             old_values = old_cell.as_set() if old_cell else frozenset()
             record.unset(method_atom, arg_oids)
-            self.indexes.note_write(
+            self._indexes.note_write(
+                obj, method_atom, arg_oids, old_values, frozenset()
+            )
+            self.statistics.note_write(
                 obj, method_atom, arg_oids, old_values, frozenset()
             )
 
@@ -483,7 +535,7 @@ class ObjectStore:
         self._implementations[(cls_atom, name)] = impl
         self.catalogue.register_method(name)
         self._known.add(name)
-        self.schema_generation += 1
+        self._bump_schema()
 
     def implementation_classes(self, method: Atom) -> List[Atom]:
         return sorted(
@@ -498,7 +550,7 @@ class ObjectStore:
         self.resolver.declare_resolution(
             _atom(cls), _atom(method), _atom(use_class)
         )
-        self.schema_generation += 1
+        self._bump_schema()
 
     # ------------------------------------------------------------------
     # invocation: the heart of the data model
@@ -634,24 +686,56 @@ class ObjectStore:
 
     def enable_index(self, method: ClassLike) -> None:
         """Build and maintain an inverted value→owners index for *method*."""
-        self.indexes.enable(_atom(method), self)
-        self.schema_generation += 1
+        self._indexes.enable(_atom(method), self)
+        self._bump_schema()
 
     def disable_index(self, method: ClassLike) -> None:
-        self.indexes.disable(_atom(method))
-        self.schema_generation += 1
+        self._indexes.disable(_atom(method))
+        self._bump_schema()
 
-    def index_is_complete_for(self, method: ClassLike) -> bool:
-        """Can the index answer reverse lookups exactly for *method*?
+    def is_indexed(self, method: ClassLike) -> bool:
+        return self._indexes.is_indexed(_atom(method))
+
+    def indexed_methods(self) -> FrozenSet[Atom]:
+        """The methods currently carrying an inverted index."""
+        return self._indexes.indexed_methods()
+
+    def index_stats(self) -> Dict[str, int]:
+        """Cumulative index hit/miss counters (observability)."""
+        return {
+            "hits": self._indexes.hits,
+            "misses": self._indexes.misses,
+        }
+
+    def method_statistics(self, method: ClassLike) -> MethodStats:
+        """The statistics catalogue's counters for *method*."""
+        return self.statistics.method_stats(_atom(method))
+
+    def extent_estimate(self, cls: ClassLike) -> int:
+        """Estimated ``|extent(cls)|`` from the statistics catalogue.
+
+        Sums direct membership counts over the subclass closure; implicit
+        literal-class members are invisible to the catalogue, so this is a
+        lower bound — fine for ranking plans, unsound for execution.
+        """
+        cls_atom = _atom(cls)
+        self.hierarchy.require(cls_atom)
+        total = self.statistics.direct_extent_count(cls_atom)
+        for sub in self.hierarchy.subclasses(cls_atom):
+            total += self.statistics.direct_extent_count(sub)
+        return total
+
+    def reverse_lookup_sound(self, method: ClassLike) -> bool:
+        """Would an inverted index answer reverse lookups exactly?
 
         The index covers explicitly stored cells only; if any class-level
         default cell or computed implementation exists for the method,
         objects may carry values with no own cell, and reverse lookups
-        must fall back to forward evaluation.
+        must fall back to forward evaluation.  (Independent of whether an
+        index is currently enabled — the cost planner asks this before
+        auto-enabling one.)
         """
         method_atom = _atom(method)
-        if not self.indexes.is_indexed(method_atom):
-            return False
         if self.implementation_classes(method_atom):
             return False
         for cls in self.hierarchy.classes():
@@ -661,6 +745,13 @@ class ObjectStore:
             if any(m == method_atom for m in record.defined_methods()):
                 return False
         return True
+
+    def index_is_complete_for(self, method: ClassLike) -> bool:
+        """Can the index answer reverse lookups exactly for *method*?"""
+        method_atom = _atom(method)
+        return self._indexes.is_indexed(
+            method_atom
+        ) and self.reverse_lookup_sound(method_atom)
 
     def lookup_by_value(
         self,
@@ -675,7 +766,7 @@ class ObjectStore:
         arg_oids = (
             tuple(as_oid(a) for a in args) if args is not None else None
         )
-        return self.indexes.owners_of(method_atom, as_oid(value), arg_oids)
+        return self._indexes.owners_of(method_atom, as_oid(value), arg_oids)
 
     # ------------------------------------------------------------------
     # relations (first-class, §2 "Relations")
@@ -686,7 +777,7 @@ class ObjectStore:
     ) -> StoredRelation:
         relation = StoredRelation(name, tuple(column_names))
         self._relations[name] = relation
-        self.schema_generation += 1
+        self._bump_schema()
         return relation
 
     def relation(self, name: str) -> StoredRelation:

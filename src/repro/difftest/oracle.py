@@ -9,6 +9,9 @@ reference  ``Session.query(text, plan="none")``          always
 optimized  ``Session.query(text, plan="greedy")``        always
 cached     ``Session.prepare(text, plan="greedy")`` run  always
            twice through the LRU statement cache
+cost       ``Session.query(text, plan="cost")`` — the    always
+           statistics-driven optimizer with index
+           probes (may auto-enable indexes)
 naive      :class:`~repro.xsql.evaluator.NaiveEvaluator` substitution space
                                                          below the cap
 flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
@@ -21,7 +24,10 @@ Results are compared as order-insensitive multisets of oid tuples.  XSQL
 result relations are duplicate-free sets (§3.3), so the multiset
 comparison is a frozenset comparison of rows; the oracle still goes
 through :meth:`QueryResult.rows` so a future bag semantics only needs one
-change here.
+change here.  On top of the set comparison, engines that hand back a
+:class:`~repro.xsql.result.QueryResult` must also *enumerate* their rows
+identically (the Sequence contract: stable order independent of plan and
+engine); an order mismatch on equal sets is a disagreement.
 
 An engine ends in one of three states: ``ok`` (rows produced), ``skip``
 (outside the engine's fragment — recorded, never a failure), or ``error``
@@ -41,6 +47,7 @@ from repro.oid import Oid
 from repro.xsql import ast
 from repro.xsql.evaluator import Evaluator, NaiveEvaluator
 from repro.xsql.parser import parse_query
+from repro.xsql.result import QueryResult
 from repro.xsql.session import Session
 
 __all__ = ["EngineOutcome", "OracleReport", "Oracle", "ENGINE_NAMES"]
@@ -51,6 +58,7 @@ ENGINE_NAMES = (
     "reference",
     "optimized",
     "cached",
+    "cost",
     "naive",
     "flogic",
     "snapshot",
@@ -64,6 +72,10 @@ class EngineOutcome:
     engine: str
     status: str  # 'ok' | 'skip' | 'error'
     rows: Optional[Rows] = None
+    #: The rows as the engine *enumerated* them, for engines that return
+    #: a QueryResult (None otherwise) — checked against the reference's
+    #: enumeration to pin the Sequence ordering contract.
+    ordered: Optional[Tuple[Tuple[Oid, ...], ...]] = None
     detail: str = ""
 
 
@@ -166,12 +178,13 @@ class Oracle:
         report = OracleReport(text=text)
 
         runners = {
-            "reference": lambda: self.session.query(text, plan="none").rows(),
-            "optimized": lambda: self.session.query(text, plan="greedy").rows(),
+            "reference": lambda: self.session.query(text, plan="none"),
+            "optimized": lambda: self.session.query(text, plan="greedy"),
             "cached": lambda: self._run_cached(text),
-            "naive": lambda: NaiveEvaluator(self.store).run(parsed).rows(),
+            "cost": lambda: self.session.query(text, plan="cost"),
+            "naive": lambda: NaiveEvaluator(self.store).run(parsed),
             "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
-            "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed).rows(),
+            "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed),
         }
         for name in engines:
             if name not in runners:
@@ -185,7 +198,7 @@ class Oracle:
                 )
                 continue
             try:
-                rows = runners[name]()
+                result = runners[name]()
             except TranslationUnsupported as exc:
                 report.outcomes[name] = EngineOutcome(
                     engine=name, status="skip", detail=str(exc)
@@ -197,14 +210,20 @@ class Oracle:
                     detail=f"{type(exc).__name__}: {exc}",
                 )
             else:
+                if isinstance(result, QueryResult):
+                    rows: Rows = result.rows()
+                    ordered = tuple(result)
+                else:
+                    rows = result
+                    ordered = None
                 report.outcomes[name] = EngineOutcome(
-                    engine=name, status="ok", rows=rows
+                    engine=name, status="ok", rows=rows, ordered=ordered
                 )
 
         self._judge(report)
         return report
 
-    def _run_cached(self, text: str) -> Rows:
+    def _run_cached(self, text: str) -> QueryResult:
         """The pipeline-cache engine: prepare once, run twice.
 
         Exercises the LRU statement cache across the whole fuzz run (the
@@ -214,9 +233,9 @@ class Oracle:
         are handed to the cross-engine judge.
         """
         compiled = self.session.prepare(text, plan="greedy")
-        first = compiled.run().rows()
-        second = compiled.run().rows()
-        if first != second:
+        first = compiled.run()
+        second = compiled.run()
+        if first.rows() != second.rows():
             raise XsqlError(
                 "compiled query is not re-runnable: two executions of one "
                 "CompiledQuery disagree"
@@ -262,4 +281,14 @@ class Oracle:
                 report.disagreements.append(
                     f"{name} rows differ from reference "
                     f"(missing {missing}, extra {extra})"
+                )
+            elif (
+                outcome.status == "ok"
+                and outcome.ordered is not None
+                and reference.ordered is not None
+                and outcome.ordered != reference.ordered
+            ):
+                report.disagreements.append(
+                    f"{name} enumerates equal rows in a different order "
+                    f"than reference (Sequence contract violated)"
                 )

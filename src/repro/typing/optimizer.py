@@ -108,18 +108,24 @@ class TypedEvaluator:
         assignment: TypeAssignment,
         typed_query: TypedQuery,
         query: ast.Query,
+        skip: FrozenSet[Variable] = frozenset(),
     ) -> Dict[Variable, FrozenSet[Oid]]:
         """Per-variable instantiation sets from the ranges A(X).
 
         An oid is in A(X) iff it is an instance of every class of the
         range; the allowed set is the intersection of those extents.
         ``Object``-only ranges impose nothing and are skipped.
+
+        Restrictions are an optimization, never needed for correctness
+        (Theorem 6.1 part 1), so callers that already restrict a
+        variable some cheaper way — e.g. the cost pipeline's index
+        probes — may list it in ``skip`` to avoid the extent scans.
         """
         query_vars = set(ast.free_variables(query))
         ranges = assignment.all_ranges(typed_query)
         restrictions: Dict[Variable, FrozenSet[Oid]] = {}
         for var, range_ in ranges.items():
-            if var not in query_vars:
+            if var not in query_vars or var in skip:
                 continue
             classes = [
                 cls

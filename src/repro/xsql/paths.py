@@ -68,6 +68,7 @@ class PathWalker:
         max_path_var_length: int = 6,
         id_function_instances=None,
         restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
+        metrics=None,
     ) -> None:
         self._store = store
         self._max_seq = max_path_var_length
@@ -79,6 +80,8 @@ class PathWalker:
         # "it suffices to consider only those instantiations o of X such
         # that o ∈ A(X)" — enumeration and selector-binding both prune.
         self._restrictions = restrictions or {}
+        # Optional SessionMetrics: counts index probes vs universe scans.
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # universes
@@ -102,6 +105,10 @@ class PathWalker:
         """May *var* be bound to *value* under the active restrictions?"""
         allowed = self._restrictions.get(var)
         return allowed is None or value in allowed
+
+    def restriction_for(self, var: Variable) -> Optional[FrozenSet[Oid]]:
+        """The active instantiation restriction of *var*, if any."""
+        return self._restrictions.get(var)
 
     # ------------------------------------------------------------------
     # selector candidates
@@ -371,7 +378,13 @@ class PathWalker:
         env = env or {}
         head_candidates = self._indexed_head_candidates(path, env)
         if head_candidates is None:
+            if self._metrics is not None and isinstance(
+                resolve_term(path.head, env), Variable
+            ):
+                self._metrics.count("scan.universe")
             head_candidates = self._head_candidates(path.head, env)
+        elif self._metrics is not None:
+            self._metrics.count("index.probe")
         for head_env, head in head_candidates:
             frontier: List[Tuple[Bindings, Oid, bool]] = [
                 (head_env, head, False)

@@ -13,11 +13,14 @@ Stages (each timed into :class:`repro.metrics.SessionMetrics`):
 3. **analyze** — the §6.2 typing spectrum (only under ``plan="typed"``,
    or lazily for ``explain()``);
 4. **plan** — conjunct reordering: the untyped greedy boundness planner
-   (``plan="greedy"``) or the Theorem 6.1 coherent plan (``plan="typed"``,
-   falling back to greedy when the query is not strictly well-typed);
+   (``plan="greedy"``), the Theorem 6.1 coherent plan (``plan="typed"``,
+   falling back to greedy when the query is not strictly well-typed), or
+   the cost-based optimizer (``plan="cost"`` — statistics-driven join
+   order and access paths, :mod:`repro.xsql.costplan`);
 5. **execute** — the reference binding-stream evaluator or the literal
    §3.4 naive engine, with Theorem 6.1 extent restrictions applied under
-   ``plan="typed"``.
+   ``plan="typed"`` and ``plan="cost"`` (the latter additionally applies
+   inverted-index probe restrictions before FROM enumeration).
 
 Cache soundness: entries are keyed on ``(source, plan, engine)`` and
 stamped with the owning store's ``schema_generation``.  Typing analysis
@@ -30,9 +33,10 @@ outright.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.xsql import ast
@@ -41,6 +45,7 @@ from repro.xsql.result import QueryResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.typing.analysis import TypingReport
+    from repro.xsql.costplan import CostPlan
     from repro.xsql.session import Session
 
 __all__ = ["CompiledQuery", "QueryPipeline", "PLAN_MODES", "ENGINES"]
@@ -48,8 +53,10 @@ __all__ = ["CompiledQuery", "QueryPipeline", "PLAN_MODES", "ENGINES"]
 #: Plan modes: ``none`` executes WHERE in source order, ``greedy`` applies
 #: the untyped boundness planner, ``typed`` applies the Theorem 6.1
 #: coherent plan + extent restriction (greedy fallback outside the
-#: strictly well-typed fragment).
-PLAN_MODES = ("none", "greedy", "typed")
+#: strictly well-typed fragment), ``cost`` applies the statistics-driven
+#: cost-based optimizer (join order, access paths, index probes) on top
+#: of the typed restrictions.
+PLAN_MODES = ("none", "greedy", "typed", "cost")
 
 #: Engines: the production binding-stream evaluator, or the literal §3.4
 #: enumerate-all-substitutions oracle.
@@ -73,8 +80,16 @@ class CompiledQuery:
     statement: ast.Statement = field(repr=False, default=None)  # type: ignore[assignment]
     #: The statement with its WHERE conjunction reordered by the planner.
     planned: ast.Statement = field(repr=False, default=None)  # type: ignore[assignment]
-    #: §6.2 typing report; computed under ``plan="typed"`` or by explain().
+    #: §6.2 typing report; computed under ``plan="typed"``/``"cost"`` or
+    #: lazily by explain().
     report: Optional["TypingReport"] = field(repr=False, default=None)
+    #: The cost-based artifact (join order, access paths, probes);
+    #: computed under ``plan="cost"``, or lazily (advisory, no index
+    #: auto-enabling) by :meth:`access_paths` / :meth:`explain`.
+    cost_plan: Optional["CostPlan"] = field(repr=False, default=None)
+    #: Actual binding counts per plan entry from the most recent run
+    #: under ``plan="cost"`` (None before the first run).
+    last_trace: Optional[List[int]] = field(repr=False, default=None)
     #: Schema generation of the owning store when this compile happened.
     schema_generation: int = -1
     _store_token: int = field(repr=False, default=-1)
@@ -103,27 +118,62 @@ class CompiledQuery:
 
     # ------------------------------------------------------------------
 
-    def explain(self) -> str:
-        """A readable account of typing, plan, and restriction sizes.
+    def access_paths(self) -> List[Dict[str, object]]:
+        """The per-entry access paths of the (possibly advisory) cost plan.
 
-        Reports the parsed form, the §6.2 discipline with the witnessing
-        assignment and coherent plan (when one exists), the per-variable
-        instantiation-set sizes the Theorem 6.1 optimizer would use, and
-        the pipeline configuration this statement was compiled under.
+        Under ``plan="cost"`` this is the plan the executor uses.  Under
+        any other plan mode an *advisory* plan is computed on demand —
+        with ``index_mode="manual"`` so inspecting a query never enables
+        an index as a side effect.
         """
+        plan = self.session.pipeline.ensure_cost_plan(self)
+        if plan is None:
+            return []
+        return [entry.as_dict() for entry in plan.entries]
+
+    def explain(self, format: str = "text") -> str:
+        """An account of typing, join order, access paths, and estimates.
+
+        ``format="text"`` renders the human-readable multi-line report:
+        the parsed form, the §6.2 discipline with the witnessing
+        assignment and coherent plan (when one exists), the per-variable
+        Theorem 6.1 instantiation-set sizes, the cost plan's join order
+        and access paths with estimated (and, after a ``plan="cost"``
+        run, actual) cardinalities, and the pipeline configuration.
+        ``format="json"`` returns the same facts as a JSON object for
+        tooling.
+        """
+        if format not in ("text", "json"):
+            raise QueryError(
+                f"unknown explain format {format!r}; choose text or json"
+            )
+        data = self._explain_data()
+        if format == "json":
+            return json.dumps(data, indent=2, sort_keys=True)
+        return self._render_text(data)
+
+    def _explain_data(self) -> Dict[str, object]:
         self.session.pipeline.ensure_report(self)
         statement = self.statement
+        data: Dict[str, object] = {
+            "pipeline": {"plan": self.plan, "engine": self.engine},
+        }
         if not isinstance(statement, ast.Query):
-            return f"statement: {statement}"
-        lines = [f"query: {statement}"]
+            data["kind"] = "statement"
+            data["statement"] = str(statement)
+            return data
+        data["kind"] = "query"
+        data["statement"] = str(statement)
         report = self.report
         assert report is not None
-        lines.append(f"typing: {report.discipline()}")
+        data["typing"] = report.discipline()
         if report.strict_witness is not None:
             assignment, plan = report.strict_witness
-            lines.append(f"coherent plan: {plan}")
-            for occ, expr in assignment.entries:
-                lines.append(f"  {occ} : {expr}")
+            data["coherent_plan"] = str(plan)
+            data["assignment"] = [
+                {"occurrence": str(occ), "type": str(expr)}
+                for occ, expr in assignment.entries
+            ]
             from repro.typing import TypedEvaluator
 
             optimizer = TypedEvaluator(
@@ -133,15 +183,72 @@ class CompiledQuery:
             restrictions = optimizer.extent_restrictions(
                 assignment, report.typed_query, statement
             )
-            for var, allowed in sorted(
-                restrictions.items(), key=lambda kv: kv[0].name
-            ):
-                lines.append(
-                    f"  instantiations of {var}: {len(allowed)} oid(s)"
+            data["restrictions"] = {
+                str(var): len(allowed)
+                for var, allowed in sorted(
+                    restrictions.items(), key=lambda kv: kv[0].name
                 )
+            }
         elif report.unsupported_reason:
-            lines.append(f"note: {report.unsupported_reason}")
-        lines.append(f"pipeline: plan={self.plan} engine={self.engine}")
+            data["note"] = report.unsupported_reason
+        cost_plan = self.session.pipeline.ensure_cost_plan(self)
+        if cost_plan is not None:
+            cost = cost_plan.as_dict()
+            if self.plan != "cost":
+                cost["advisory"] = True
+            trace = self.last_trace
+            if trace is not None:
+                entries = cost["entries"]
+                for position, entry in enumerate(entries):
+                    if position < len(trace):
+                        entry["actual_rows"] = trace[position]
+            data["cost"] = cost
+        return data
+
+    @staticmethod
+    def _render_text(data: Dict[str, object]) -> str:
+        if data["kind"] == "statement":
+            return f"statement: {data['statement']}"
+        lines = [f"query: {data['statement']}"]
+        lines.append(f"typing: {data['typing']}")
+        if "coherent_plan" in data:
+            lines.append(f"coherent plan: {data['coherent_plan']}")
+            for entry in data["assignment"]:  # type: ignore[union-attr]
+                lines.append(
+                    f"  {entry['occurrence']} : {entry['type']}"
+                )
+            for var, size in data.get("restrictions", {}).items():  # type: ignore[union-attr]
+                lines.append(f"  instantiations of {var}: {size} oid(s)")
+        elif "note" in data:
+            lines.append(f"note: {data['note']}")
+        cost = data.get("cost")
+        if cost:
+            suffix = " (advisory)" if cost.get("advisory") else ""
+            lines.append(
+                f"join order & access paths{suffix}: "
+                f"search={cost['search']}"
+            )
+            for entry in cost["entries"]:
+                actual = entry.get("actual_rows")
+                act = f" act={actual}" if actual is not None else ""
+                lines.append(
+                    f"  {entry['label']:<44s} {entry['access_path']:<16s} "
+                    f"est={entry['estimated_rows']:g}{act}"
+                )
+            if cost["probes"]:
+                lines.append(
+                    "  probes: " + ", ".join(cost["probes"])
+                )
+            if cost["auto_enabled_indexes"]:
+                lines.append(
+                    "  auto-enabled indexes: "
+                    + ", ".join(cost["auto_enabled_indexes"])
+                )
+        pipeline = data["pipeline"]
+        lines.append(
+            f"pipeline: plan={pipeline['plan']} "  # type: ignore[index]
+            f"engine={pipeline['engine']}"  # type: ignore[index]
+        )
         return "\n".join(lines)
 
 
@@ -207,13 +314,19 @@ class QueryPipeline:
             statement = normalize_statement(raw)
         compiled.statement = statement
         compiled.report = None
-        if compiled.plan == "typed" and isinstance(statement, ast.Query):
+        compiled.cost_plan = None
+        compiled.last_trace = None
+        if compiled.plan in ("typed", "cost") and isinstance(
+            statement, ast.Query
+        ):
             with metrics.time("analyze"):
                 from repro.typing.analysis import analyze
 
                 compiled.report = analyze(statement, store)
         with metrics.time("plan"):
             compiled.planned = self._plan_statement(compiled)
+        # Stamped *after* planning: the cost planner may auto-enable an
+        # index (a DDL bump), which must not invalidate this very compile.
         compiled.schema_generation = store.schema_generation
         compiled._store_token = id(store)
 
@@ -238,6 +351,11 @@ class QueryPipeline:
             return TypedEvaluator(self.session.store).reorder(
                 statement, report.typed_query, exec_plan
             )
+        if compiled.plan == "cost":
+            planned = self._plan_cost(compiled)
+            if planned is not None:
+                return planned
+            self.session.metrics.count("plan.cost.fallback")
         if compiled.plan == "typed":
             # Outside the strictly well-typed fragment Theorem 6.1 does
             # not apply; fall back to the untyped boundness planner.
@@ -245,6 +363,46 @@ class QueryPipeline:
         from repro.xsql.planner import GreedyPlanner
 
         return GreedyPlanner().reorder(statement)
+
+    def _plan_cost(
+        self, compiled: CompiledQuery
+    ) -> Optional[ast.Statement]:
+        """Build the cost plan, or None when the query is out of scope."""
+        from repro.xsql.costplan import CostPlanner
+
+        statement = compiled.statement
+        assert isinstance(statement, ast.Query)
+        planner = CostPlanner(
+            self.session.store, index_mode=self.session.index_mode
+        )
+        if not planner.applicable(statement):
+            return None
+        cost_plan = planner.plan(
+            statement, range_classes=self._range_classes(compiled)
+        )
+        compiled.cost_plan = cost_plan
+        return planner.apply(statement, cost_plan)
+
+    def _range_classes(self, compiled: CompiledQuery) -> Optional[dict]:
+        """Theorem 6.1 range classes per FROM variable, when well-typed."""
+        report = compiled.report
+        if report is None or report.strict_witness is None:
+            return None
+        assert report.typed_query is not None
+        from repro.datamodel.hierarchy import OBJECT_CLASS
+
+        store = self.session.store
+        assignment, _plan = report.strict_witness
+        ranges: dict = {}
+        for var, range_ in assignment.all_ranges(report.typed_query).items():
+            classes = [
+                cls
+                for cls in range_.sorted_classes()
+                if cls != OBJECT_CLASS and cls in store.hierarchy
+            ]
+            if classes:
+                ranges[var] = classes
+        return ranges or None
 
     def ensure_report(self, compiled: CompiledQuery) -> None:
         """Lazily attach the typing report (``explain`` needs it)."""
@@ -298,6 +456,12 @@ class QueryPipeline:
             and compiled.report.strict_witness is not None
         ):
             return self._run_typed(compiled)
+        if (
+            compiled.plan == "cost"
+            and isinstance(statement, ast.Query)
+            and compiled.cost_plan is not None
+        ):
+            return self._run_cost(compiled)
         return session.evaluator().run(compiled.planned)
 
     def _run_typed(self, compiled: CompiledQuery) -> QueryResult:
@@ -332,6 +496,131 @@ class QueryPipeline:
             restrictions=restrictions or None,
         )
         return evaluator.run(compiled.planned)
+
+    def _run_cost(self, compiled: CompiledQuery) -> QueryResult:
+        """Cost-based execution: probe + Theorem 6.1 restrictions, traced.
+
+        The join order was fixed at compile time.  Here the two
+        data-dependent artifacts are rebuilt per run: the per-variable
+        instantiation sets (Theorem 6.1, when strictly well-typed) and
+        the inverted-index probe results, intersected where both apply.
+        If only the *statistics* have drifted (data writes, not DDL), the
+        join order may be sub-optimal but is still sound — re-plan
+        cheaply without recompiling.
+        """
+        from repro.xsql.evaluator import Evaluator
+
+        session = self.session
+        store = session.store
+        metrics = session.metrics
+        cost_plan = compiled.cost_plan
+        assert cost_plan is not None
+        if cost_plan.stats_generation != store.statistics.generation:
+            metrics.count("plan.cost.replan")
+            with metrics.time("plan"):
+                planned = self._plan_cost(compiled)
+            if planned is not None:
+                compiled.planned = planned
+                compiled.schema_generation = store.schema_generation
+                cost_plan = compiled.cost_plan
+                assert cost_plan is not None
+        statement = compiled.statement
+        assert isinstance(statement, ast.Query)
+        restrictions: Dict[object, frozenset] = {}
+        report = compiled.report
+        if report is not None and report.strict_witness is not None:
+            from repro.typing import TypedEvaluator
+
+            assignment, _plan = report.strict_witness
+            assert report.typed_query is not None
+            # Each Theorem 6.1 set costs a universe scan per range class
+            # (``store.extent``) and is never needed for soundness, so
+            # only compute the ones that can narrow an enumeration: skip
+            # variables the index probes already restrict, non-FROM
+            # variables (walks bind those, and the conds re-verify every
+            # binding anyway), and FROM variables whose range is exactly
+            # the declared class (``_bind_from`` scans that same extent).
+            ranges = self._range_classes(compiled) or {}
+            probed = {spec.var for spec in cost_plan.probes}
+            keep = {
+                decl.var
+                for decl in statement.from_
+                if decl.var not in probed
+                and ranges.get(decl.var) not in (None, [decl.cls])
+            }
+            skip = frozenset(var for var in ranges if var not in keep)
+            optimizer = TypedEvaluator(
+                store, id_function_instances=session.registry.instances
+            )
+            restrictions = dict(
+                optimizer.extent_restrictions(
+                    assignment, report.typed_query, statement, skip=skip
+                )
+            )
+            for allowed in restrictions.values():
+                metrics.observe("restriction", len(allowed))
+        for spec in cost_plan.probes:
+            owners = store.lookup_by_value(spec.method, spec.value, spec.args)
+            if owners is None:
+                # The index vanished (or reverse lookup became unsound)
+                # since planning; fall back to scanning for this var.
+                metrics.count("cost.probe_unavailable")
+                continue
+            metrics.count("cost.probe")
+            existing = restrictions.get(spec.var)
+            restrictions[spec.var] = (
+                owners if existing is None else existing & owners
+            )
+        trace: List[int] = []
+        evaluator = Evaluator(
+            store,
+            id_function_instances=session.registry.instances,
+            max_path_var_length=session._max_path_var_length,
+            restrictions=restrictions or None,
+            metrics=metrics,
+            conjunct_trace=trace,
+        )
+        result = evaluator.run(compiled.planned)
+        compiled.last_trace = trace
+        actual = trace[-1] if trace else len(result)
+        estimated = cost_plan.estimated_result_rows
+        metrics.observe(
+            "cost.estimation_error",
+            abs(estimated - actual) / max(actual, 1),
+        )
+        return result
+
+    def ensure_cost_plan(self, compiled: CompiledQuery) -> Optional["CostPlan"]:
+        """The compiled cost plan, or a lazily-built advisory one.
+
+        Advisory plans (for ``explain``/``access_paths`` outside
+        ``plan="cost"``) are computed with ``index_mode="manual"`` so
+        that inspection never mutates the store.
+        """
+        if compiled.is_stale:
+            self.session.metrics.count("cache.invalidated")
+            self._build(compiled)
+        if compiled.cost_plan is not None:
+            return compiled.cost_plan
+        statement = compiled.statement
+        if not isinstance(statement, ast.Query):
+            return None
+        from repro.xsql.costplan import CostPlanner
+
+        planner = CostPlanner(self.session.store, index_mode="manual")
+        if not planner.applicable(statement):
+            return None
+        self.ensure_report(compiled)
+        cost_plan = planner.plan(
+            statement, range_classes=self._range_classes(compiled)
+        )
+        if compiled.plan == "cost":
+            # _plan_cost declined (e.g. it was not applicable then); keep
+            # this advisory artifact off the compiled object so staleness
+            # logic stays simple.
+            return cost_plan
+        compiled.cost_plan = cost_plan
+        return cost_plan
 
     # ------------------------------------------------------------------
 

@@ -3,15 +3,17 @@
 Run with::
 
     python -m repro.xsql.repl [--paper | --synthetic N]
-                              [--plan {none,greedy,typed}] [--stats]
+                              [--plan {none,greedy,typed,cost}] [--stats]
 
 Statements end with ``;``.  Meta-commands (no semicolon):
 
 * ``.help``            — this text
 * ``.schema``          — list classes and their signatures
 * ``.describe <oid>``  — dump one object
-* ``.explain <query>`` — typing discipline, plan, and restrictions
+* ``.explain <query>`` — typing discipline, plan, and access paths
 * ``.naive <query>``   — evaluate with the literal §3.4 semantics
+* ``.indexes``         — list inverted indexes; ``.indexes +M``/``-M``
+  enables/disables one on method ``M``
 * ``.stats``           — cumulative pipeline metrics for this session
 * ``.save <path>``     — dump the database to JSON
 * ``.load <path>``     — replace the database from a JSON dump
@@ -92,6 +94,16 @@ def _handle_meta(session: Session, line: str, out, plan: str = "none") -> bool:
         print(session.explain(rest, plan=plan), file=out)
     elif command == ".naive":
         print(session.query(rest, engine="naive").pretty(), file=out)
+    elif command == ".indexes":
+        if rest.startswith("+"):
+            session.enable_index(rest[1:].strip())
+        elif rest.startswith("-"):
+            session.disable_index(rest[1:].strip())
+        enabled = session.indexes()
+        print(
+            "indexes: " + (", ".join(enabled) if enabled else "(none)"),
+            file=out,
+        )
     elif command == ".stats":
         print(session.metrics.summary(), file=out)
     elif command == ".save":

@@ -12,7 +12,18 @@ store.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from collections import abc as cabc
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import RelationalError
 from repro.oid import Oid, Value, term_sort_key
@@ -20,8 +31,16 @@ from repro.oid import Oid, Value, term_sort_key
 __all__ = ["QueryResult"]
 
 
-class QueryResult:
-    """A set of tuples of oids, with column names."""
+class QueryResult(cabc.Sequence):
+    """A set of tuples of oids, with column names.
+
+    Exposed to callers as an immutable :class:`collections.abc.Sequence`
+    of its rows in a *stable, engine-independent order* (the oid sort of
+    :func:`repro.oid.term_sort_key`): ``result[0]``, ``result[-2:]``,
+    ``for row in result``, ``row in result``, ``result.index(row)`` all
+    behave as on a list, and two equal results enumerate identically no
+    matter which planner or engine produced them.
+    """
 
     def __init__(
         self,
@@ -31,6 +50,7 @@ class QueryResult:
     ) -> None:
         self.columns: Tuple[str, ...] = tuple(columns)
         self._rows: Set[Tuple[Oid, ...]] = set()
+        self._sorted: Optional[List[Tuple[Oid, ...]]] = None
         for row in rows:
             self.add(row)
         self.created: Tuple[Oid, ...] = tuple(created)
@@ -42,16 +62,32 @@ class QueryResult:
                 f"{self.columns}"
             )
         self._rows.add(tuple(row))
+        self._sorted = None
 
     # -- access ----------------------------------------------------------
 
     def rows(self) -> FrozenSet[Tuple[Oid, ...]]:
         return frozenset(self._rows)
 
+    def _sorted_list(self) -> List[Tuple[Oid, ...]]:
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._rows,
+                key=lambda row: tuple(term_sort_key(v) for v in row),
+            )
+        return self._sorted
+
     def sorted_rows(self) -> List[Tuple[Oid, ...]]:
-        return sorted(
-            self._rows, key=lambda row: tuple(term_sort_key(v) for v in row)
-        )
+        return list(self._sorted_list())
+
+    def to_dicts(self) -> List[Dict[str, Oid]]:
+        """The rows as column-keyed dicts, in the stable sorted order."""
+        return [dict(zip(self.columns, row)) for row in self._sorted_list()]
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Tuple[Oid, ...], List[Tuple[Oid, ...]]]:
+        return self._sorted_list()[index]
 
     def single_column(self) -> FrozenSet[Oid]:
         """The values of a one-column result (used by nested subqueries)."""
@@ -72,7 +108,7 @@ class QueryResult:
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Tuple[Oid, ...]]:
-        return iter(self.sorted_rows())
+        return iter(self._sorted_list())
 
     def __contains__(self, row: Sequence[Oid]) -> bool:
         return tuple(row) in self._rows

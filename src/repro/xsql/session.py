@@ -63,6 +63,7 @@ class Session:
         self.registry = IdFunctionRegistry()
         self.views = ViewManager(self.store, self.registry)
         self._max_path_var_length = max_path_var_length
+        self._index_mode = "auto"
         self.metrics = SessionMetrics()
         self.pipeline = QueryPipeline(self, cache_size=statement_cache_size)
 
@@ -285,24 +286,71 @@ class Session:
 
         Rebuilds the id-function registry and the view manager from the
         new store and drops every cached compilation (cached typing and
-        plans refer to the old schema).
+        plans refer to the old schema).  Indexes enabled on the outgoing
+        store are re-enabled (back-filled) on the new one, so a
+        ``restore`` does not silently downgrade indexed lookups to scans.
         """
+        carried = list(self.store.indexed_methods())
         self.store = store
+        for method in carried:
+            if not store.is_indexed(method):
+                store.enable_index(method)
         self.registry = IdFunctionRegistry.rebuild_from_store(store)
         self.views = ViewManager(self.store, self.registry)
         self.pipeline.clear()
 
     # ------------------------------------------------------------------
+    # indexes (the public API; ``store.indexes`` is deprecated)
+    # ------------------------------------------------------------------
+
+    @property
+    def index_mode(self) -> str:
+        """How the cost planner treats inverted indexes.
+
+        ``"auto"`` (default) lets ``plan="cost"`` enable an index when
+        the estimated scan savings clear its payoff threshold;
+        ``"manual"`` uses only indexes enabled explicitly; ``"off"``
+        forbids index probes altogether (extent scans only).
+        """
+        return self._index_mode
+
+    @index_mode.setter
+    def index_mode(self, mode: str) -> None:
+        if mode not in ("auto", "manual", "off"):
+            raise QueryError(
+                f"unknown index mode {mode!r}; choose auto, manual, or off"
+            )
+        if mode != self._index_mode:
+            self._index_mode = mode
+            # Cached cost plans embed probe/auto-enable decisions made
+            # under the old policy.
+            self.pipeline.clear()
+
+    def enable_index(self, method: Union[str, Oid]) -> None:
+        """Build (or keep) an inverted index on *method*'s stored cells."""
+        self.store.enable_index(method)
+
+    def disable_index(self, method: Union[str, Oid]) -> None:
+        """Drop the inverted index on *method*, if one exists."""
+        self.store.disable_index(method)
+
+    def indexes(self) -> List[str]:
+        """The names of the currently indexed methods, sorted."""
+        return sorted(m.name for m in self.store.indexed_methods())
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
-    def explain(self, source: str, *, plan: str = "none") -> str:
+    def explain(
+        self, source: str, *, plan: str = "none", format: str = "text"
+    ) -> str:
         """A readable account of how a query would be type-checked and run.
 
         Delegates to :meth:`repro.xsql.pipeline.CompiledQuery.explain` on
         the compiled statement.
         """
-        return self.prepare(source, plan=plan).explain()
+        return self.prepare(source, plan=plan).explain(format=format)
 
     # ------------------------------------------------------------------
     # view conveniences (§4.2)

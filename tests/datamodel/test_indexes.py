@@ -105,13 +105,13 @@ class TestQueryIntegration:
         paper_session.store.enable_index("Residence")
         indexed = paper_session.query(query)
         assert indexed.rows() == scan.rows()
-        assert paper_session.store.indexes.hits > 0
+        assert paper_session.store.index_stats()["hits"] > 0
 
     def test_index_not_used_for_unbound_selector(self, paper_session):
         paper_session.store.enable_index("Residence")
-        hits_before = paper_session.store.indexes.hits
+        hits_before = paper_session.store.index_stats()["hits"]
         paper_session.query("SELECT Y FROM Person X WHERE X.Residence[Y]")
-        assert paper_session.store.indexes.hits == hits_before
+        assert paper_session.store.index_stats()["hits"] == hits_before
 
     def test_index_used_after_selector_bound_elsewhere(self, paper_session):
         paper_session.store.enable_index("Residence")

@@ -165,4 +165,4 @@ class TestScenario:
         bookstore.store.enable_index("WrittenBy")
         result = bookstore.query("SELECT B WHERE B.WrittenBy[twain]")
         assert sorted(str(b) for b in result.single_column()) == ["b1", "b2"]
-        assert bookstore.store.indexes.hits > 0
+        assert bookstore.store.index_stats()["hits"] > 0

@@ -1,12 +1,16 @@
 """Golden-file tests for ``CompiledQuery.explain`` across the §6.2 spectrum.
 
 One golden file per typing discipline (strict, liberal-only, ill-typed,
-outside-fragment).  Regenerate after an intentional format change with::
+outside-fragment) in both renderings (``.txt`` for ``format="text"``,
+``.json`` for ``format="json"``), plus a ``plan="cost"`` golden showing
+the join order / access-path section.  Regenerate after an intentional
+format change with::
 
     REGEN_EXPLAIN_GOLDENS=1 PYTHONPATH=src python -m pytest \
         tests/xsql/test_explain_golden.py
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -23,8 +27,8 @@ OUTSIDE_FRAGMENT_QUERY = "SELECT X WHERE X.A or X.B"
 LIBERAL_ONLY_QUERY = "SELECT X WHERE X.WonNobelPrize"
 
 
-def _check(name: str, actual: str) -> None:
-    path = GOLDEN_DIR / f"explain_{name}.txt"
+def _check(name: str, actual: str, suffix: str = "txt") -> None:
+    path = GOLDEN_DIR / f"explain_{name}.{suffix}"
     if os.environ.get("REGEN_EXPLAIN_GOLDENS"):
         path.write_text(actual + "\n")
         pytest.skip(f"regenerated {path.name}")
@@ -39,6 +43,13 @@ def test_strict_discipline_golden(shared_paper_session):
     compiled = shared_paper_session.prepare(STRICT_QUERY, plan="typed")
     _check("strict", compiled.explain())
     assert compiled.discipline == "strict"
+
+
+def test_strict_discipline_json_golden(shared_paper_session):
+    compiled = shared_paper_session.prepare(STRICT_QUERY, plan="typed")
+    rendered = compiled.explain(format="json")
+    json.loads(rendered)  # must be valid JSON regardless of golden state
+    _check("strict", rendered, suffix="json")
 
 
 def test_ill_typed_discipline_golden(shared_paper_session):
@@ -57,6 +68,33 @@ def test_liberal_only_discipline_golden(nobel_session):
     compiled = nobel_session.prepare(LIBERAL_ONLY_QUERY)
     _check("liberal_only", compiled.explain())
     assert compiled.discipline == "liberal-only"
+
+
+def test_cost_plan_golden(paper_session):
+    # A fresh (non-shared) session: cost planning under index_mode="auto"
+    # may enable indexes, and the golden pins est= and act= columns after
+    # one execution.
+    compiled = paper_session.prepare(STRICT_QUERY, plan="cost")
+    compiled.run()
+    _check("cost", compiled.explain())
+
+
+def test_cost_plan_json_golden(paper_session):
+    compiled = paper_session.prepare(STRICT_QUERY, plan="cost")
+    compiled.run()
+    rendered = compiled.explain(format="json")
+    data = json.loads(rendered)
+    entries = data["cost"]["entries"]
+    assert all("actual_rows" in entry for entry in entries)
+    _check("cost", rendered, suffix="json")
+
+
+def test_explain_rejects_unknown_format(shared_paper_session):
+    from repro.errors import QueryError
+
+    compiled = shared_paper_session.prepare(STRICT_QUERY)
+    with pytest.raises(QueryError):
+        compiled.explain(format="yaml")
 
 
 def test_session_explain_matches_compiled_explain(shared_paper_session):

@@ -68,6 +68,12 @@ class TestMetaCommands:
         output = drive(".naive SELECT mary123.Residence.City\n")
         assert "newyork" in output
 
+    def test_indexes_meta_command(self):
+        output = drive(".indexes\n.indexes +Name\n.indexes -Name\n")
+        assert "indexes: (none)" in output
+        assert "indexes: Name" in output
+        assert output.rstrip().endswith("indexes: (none)")
+
     def test_quit_stops(self):
         output = drive(".quit\nSELECT X FROM Company X;\n")
         assert "uniSQL" not in output

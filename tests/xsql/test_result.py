@@ -89,3 +89,51 @@ class TestPretty:
     def test_empty_result(self):
         text = result_of(["x"], []).pretty()
         assert "x" in text
+
+
+class TestSequenceContract:
+    def rows(self):
+        return [(Value(3),), (Value(1),), (Value(2),)]
+
+    def test_is_a_sequence(self):
+        from collections.abc import Sequence
+
+        assert isinstance(result_of(["x"], self.rows()), Sequence)
+
+    def test_getitem_and_negative_index(self):
+        result = result_of(["x"], self.rows())
+        assert result[0] == (Value(1),)
+        assert result[-1] == (Value(3),)
+
+    def test_slicing(self):
+        result = result_of(["x"], self.rows())
+        assert result[1:] == [(Value(2),), (Value(3),)]
+
+    def test_index_and_count(self):
+        result = result_of(["x"], self.rows())
+        assert result.index((Value(2),)) == 1
+        assert result.count((Value(2),)) == 1
+        assert result.count((Value(9),)) == 0
+
+    def test_iteration_is_sorted_and_stable(self):
+        result = result_of(["x"], self.rows())
+        assert list(result) == result.sorted_rows()
+        # Insertion order must not leak into enumeration order.
+        reversed_insert = result_of(["x"], list(reversed(self.rows())))
+        assert list(result) == list(reversed_insert)
+
+    def test_add_invalidates_cached_order(self):
+        result = result_of(["x"], self.rows())
+        assert result[0] == (Value(1),)
+        result.add((Value(0),))
+        assert result[0] == (Value(0),)
+        assert len(result) == 4
+
+    def test_to_dicts(self):
+        result = result_of(
+            ["name", "age"], [(Value("b"), Value(2)), (Value("a"), Value(1))]
+        )
+        assert result.to_dicts() == [
+            {"name": Value("a"), "age": Value(1)},
+            {"name": Value("b"), "age": Value(2)},
+        ]
