@@ -19,9 +19,11 @@ test-all:
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 500 --quiet
 
 # ~200 queries, fixed seed, smallest store: catches engine divergence
-# in a few seconds without bloating the edit-test loop.
+# in a few seconds without bloating the edit-test loop.  The second run
+# hammers the hash-join executor with explicit-join shapes.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 200 --sizes tiny --quiet
+	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 120 --sizes tiny --preset joins --quiet
 
 # Open-ended fuzzing; override SEED/QUERIES/SIZES as needed, e.g.
 #   make fuzz SEED=7 QUERIES=2000 SIZES=tiny,medium

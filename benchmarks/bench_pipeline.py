@@ -112,6 +112,32 @@ SELECTIVE_QUERIES: List[Tuple[str, str]] = [
 ]
 SELECTIVE_TARGET = 5.0
 
+#: The join-executor benchmark: ``join_mode="hash"`` (set-at-a-time hash
+#: joins) vs ``join_mode="nested"`` (tuple-at-a-time) under identical
+#: ``plan="cost"`` join orders.  J1 is a self-join, J2 a fan-out chain
+#: join, J3 a star with two equality edges; all three pay the cross
+#: product under nested-loop execution.
+JOIN_WORKLOAD = WorkloadConfig(n_people=160, n_companies=6, seed=7)
+JOIN_QUERIES: List[Tuple[str, str]] = [
+    (
+        "J1",
+        "SELECT X, Y FROM Employee X, Employee Y "
+        "WHERE X.Salary =some Y.Salary",
+    ),
+    (
+        "J2",
+        "SELECT X, Y FROM Person X, Automobile Y "
+        "WHERE X.Age =some Y.Drivetrain.Engine.HPpower",
+    ),
+    (
+        "J3",
+        "SELECT D, X, Y FROM Division D, Employee X, Employee Y "
+        "WHERE D.Manager.Salary =some X.Salary "
+        "and D.Location.City =some Y.Residence.City",
+    ),
+]
+JOIN_TARGET = 5.0
+
 
 def _paper_session() -> Session:
     session = Session()
@@ -186,6 +212,31 @@ def measure_selective(
     return results
 
 
+def measure_joins(
+    rounds: int = 5,
+) -> List[Tuple[str, float, float, int]]:
+    """Per-query (name, nested_seconds, hash_seconds, rows) medians.
+
+    Both sides re-run a *prepared* ``plan="cost"`` compilation, so the
+    join order is identical and the difference is purely the executor:
+    tuple-at-a-time nested loops vs factored hash joins.
+    """
+    nested_session = Session(generate_database(JOIN_WORKLOAD))
+    nested_session.join_mode = "nested"
+    hash_session = Session(generate_database(JOIN_WORKLOAD))
+    results = []
+    for name, text in JOIN_QUERIES:
+        nested = nested_session.prepare(text, plan="cost")
+        hashed = hash_session.prepare(text, plan="cost")
+        nested_rows = nested.run().rows()
+        hash_rows = hashed.run().rows()
+        assert nested_rows == hash_rows, f"{name}: executors disagree"
+        nested_s = _median_seconds(nested.run, rounds)
+        hash_s = _median_seconds(hashed.run, rounds)
+        results.append((name, nested_s, hash_s, len(hash_rows)))
+    return results
+
+
 def best_speedup(results: List[Tuple[str, float, float]]) -> float:
     return max(
         cold / cached
@@ -199,6 +250,17 @@ def best_selective_speedup(
 ) -> float:
     return max(
         scan / cost for _name, scan, cost, _rows in results if cost > 0
+    )
+
+
+def worst_join_speedup(
+    results: List[Tuple[str, float, float, int]]
+) -> float:
+    """The *minimum* speedup: every J workload must clear the target."""
+    return min(
+        nested / hashed
+        for _name, nested, hashed, _rows in results
+        if hashed > 0
     )
 
 
@@ -242,15 +304,39 @@ def report_selective(
     return "\n".join(lines)
 
 
+def report_joins(
+    results: List[Tuple[str, float, float, int]]
+) -> str:
+    lines = [
+        "join executor: nested-loop vs hash-join under plan=cost "
+        f"({JOIN_WORKLOAD.n_people} people)",
+        f"{'query':6s} {'nested':>10s} {'hash':>10s} {'speedup':>8s} "
+        f"{'rows':>5s}",
+    ]
+    for name, nested, hashed, rows in results:
+        ratio = nested / hashed if hashed else float("inf")
+        lines.append(
+            f"{name:6s} {nested * 1000:8.3f}ms {hashed * 1000:8.3f}ms "
+            f"{ratio:7.2f}x {rows:5d}"
+        )
+    lines.append(
+        f"worst speedup: {worst_join_speedup(results):.2f}x "
+        f"(target >= {JOIN_TARGET:.0f}x on every workload)"
+    )
+    return "\n".join(lines)
+
+
 def as_json(
     cache_results: List[Tuple[str, float, float]],
     selective_results: List[Tuple[str, float, float, int]],
+    join_results: List[Tuple[str, float, float, int]],
 ) -> Dict[str, object]:
     """The JSON artifact CI uploads (``BENCH_pipeline.json``)."""
     return {
         "targets": {
             "cache_speedup": SPEEDUP_TARGET,
             "selective_speedup": SELECTIVE_TARGET,
+            "join_speedup": JOIN_TARGET,
         },
         "cache": [
             {
@@ -275,6 +361,17 @@ def as_json(
         "best_selective_speedup": round(
             best_selective_speedup(selective_results), 2
         ),
+        "joins": [
+            {
+                "query": name,
+                "nested_ms": round(nested * 1000, 4),
+                "hash_ms": round(hashed * 1000, 4),
+                "speedup": round(nested / hashed, 2) if hashed else None,
+                "rows": rows,
+            }
+            for name, nested, hashed, rows in join_results
+        ],
+        "worst_join_speedup": round(worst_join_speedup(join_results), 2),
     }
 
 
@@ -287,6 +384,13 @@ def test_cost_plan_beats_scans_5x_on_selective_predicates():
     results = measure_selective(rounds=9)
     assert best_selective_speedup(results) >= SELECTIVE_TARGET, (
         report_selective(results)
+    )
+
+
+def test_hash_joins_beat_nested_loops_5x_on_every_join_workload():
+    results = measure_joins(rounds=5)
+    assert worst_join_speedup(results) >= JOIN_TARGET, (
+        report_joins(results)
     )
 
 
@@ -318,17 +422,21 @@ def main() -> int:
     args = parser.parse_args()
     results = measure(plan=args.plan, rounds=args.rounds)
     selective = measure_selective(rounds=args.rounds)
+    joins = measure_joins(rounds=min(args.rounds, 5))
     print(report(results))
     print()
     print(report_selective(selective))
+    print()
+    print(report_joins(joins))
     if args.json:
         with open(args.json, "w") as handle:
-            json.dump(as_json(results, selective), handle, indent=2)
+            json.dump(as_json(results, selective, joins), handle, indent=2)
             handle.write("\n")
         print(f"\nwrote {args.json}")
     ok = (
         best_speedup(results) >= SPEEDUP_TARGET
         and best_selective_speedup(selective) >= SELECTIVE_TARGET
+        and worst_join_speedup(joins) >= JOIN_TARGET
     )
     return 0 if ok else 1
 

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.difftest --seed 0 --queries 500
     python -m repro.difftest --queries 200 --sizes tiny --max-depth 4
+    python -m repro.difftest --preset joins --queries 200
     python -m repro.difftest --corpus-dir tests/corpus --fail-fast
 
 Exits non-zero iff the oracle found a disagreement (or a generated query
@@ -13,6 +14,7 @@ failed the render→parse round-trip).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -47,6 +49,13 @@ def main(argv=None) -> int:
         help="max path expression depth (default from GeneratorConfig)",
     )
     parser.add_argument(
+        "--preset",
+        default="default",
+        choices=("default", "joins"),
+        help="query-grammar preset: 'joins' biases toward explicit "
+        "multi-variable equality joins (default: the balanced mix)",
+    )
+    parser.add_argument(
         "--corpus-dir",
         type=Path,
         default=None,
@@ -68,9 +77,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        config = GeneratorConfig()
+        config = (
+            GeneratorConfig.joins()
+            if args.preset == "joins"
+            else GeneratorConfig()
+        )
         if args.max_depth is not None:
-            config = GeneratorConfig(max_path_depth=args.max_depth)
+            config = dataclasses.replace(
+                config, max_path_depth=args.max_depth
+            )
         stats = run_fuzz(
             seed=args.seed,
             queries=args.queries,

@@ -159,6 +159,30 @@ class GeneratorConfig:
             if getattr(self, knob) < 1:
                 raise XsqlError(f"GeneratorConfig.{knob} must be >= 1")
 
+    @classmethod
+    def joins(cls) -> "GeneratorConfig":
+        """A preset biased toward explicit joins (examples (12)–(13)).
+
+        Every query gets a WHERE clause, up to three FROM declarations
+        feed multi-variable equality comparisons, and the conjunct mix
+        leans heavily on the shapes the set-at-a-time executor turns
+        into hash/semi joins — plus enough quantified/membership salt to
+        keep its nested-loop fallback under fire.
+        """
+        return cls(
+            max_from=3,
+            p_where=1.0,
+            p_schema_query=0.0,
+            weights=(
+                ("join", 0.55),
+                ("path", 0.20),
+                ("numeric", 0.10),
+                ("quantified", 0.06),
+                ("membership", 0.05),
+                ("aggregate", 0.04),
+            ),
+        )
+
 
 @dataclass
 class _Scope:

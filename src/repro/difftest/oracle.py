@@ -11,7 +11,12 @@ cached     ``Session.prepare(text, plan="greedy")`` run  always
            twice through the LRU statement cache
 cost       ``Session.query(text, plan="cost")`` — the    always
            statistics-driven optimizer with index
-           probes (may auto-enable indexes)
+           probes (may auto-enable indexes), pinned to
+           ``join_mode="nested"`` tuple-at-a-time
+           execution
+hashjoin   ``plan="cost"`` on a second session with      always
+           ``join_mode="hash"``: the set-at-a-time
+           :class:`~repro.xsql.hashjoin.HashJoinEvaluator`
 naive      :class:`~repro.xsql.evaluator.NaiveEvaluator` substitution space
                                                          below the cap
 flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
@@ -59,6 +64,7 @@ ENGINE_NAMES = (
     "optimized",
     "cached",
     "cost",
+    "hashjoin",
     "naive",
     "flogic",
     "snapshot",
@@ -125,6 +131,12 @@ class Oracle:
     ) -> None:
         self.store = store
         self.session = Session(store)
+        # The "cost" engine stays the tuple-at-a-time nested-loop
+        # executor; the "hashjoin" engine runs the same plans through the
+        # set-at-a-time executor on its own session, so the two are
+        # compared against each other (and everything else) every query.
+        self.session.join_mode = "nested"
+        self.hash_session = Session(store)
         self.naive_max_product = naive_max_product
         self.naive_enabled = naive_enabled
         self._flogic_db: Optional[FlogicDatabase] = None
@@ -182,6 +194,7 @@ class Oracle:
             "optimized": lambda: self.session.query(text, plan="greedy"),
             "cached": lambda: self._run_cached(text),
             "cost": lambda: self.session.query(text, plan="cost"),
+            "hashjoin": lambda: self.hash_session.query(text, plan="cost"),
             "naive": lambda: NaiveEvaluator(self.store).run(parsed),
             "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
             "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed),

@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.datamodel.store import ObjectStore
 from repro.oid import Atom, Oid, Variable, VarSort
 from repro.xsql import ast
+from repro.xsql.hashjoin import join_strategy_of
 from repro.xsql.planner import _cond_has_updates, _flatten
 
 __all__ = ["CostModel", "CostPlan", "CostPlanner", "PlanEntry", "ProbeSpec"]
@@ -82,6 +83,9 @@ class PlanEntry:
     #: Estimated binding-stream size *after* this entry.
     estimated_rows: float
     detail: str = ""
+    #: For ``"cond"`` entries: how the set-at-a-time executor will run
+    #: the conjunct (``"hash"``, ``"semi"``, or ``"nested"``).
+    join_strategy: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -92,6 +96,8 @@ class PlanEntry:
         }
         if self.detail:
             data["detail"] = self.detail
+        if self.join_strategy:
+            data["join_strategy"] = self.join_strategy
         return data
 
 
@@ -558,6 +564,7 @@ class CostPlanner:
                     label=_shorten(str(cond)),
                     access_path=access,
                     estimated_rows=entry_rows,
+                    join_strategy=join_strategy_of(cond),
                 )
             )
         if conjuncts:

@@ -216,9 +216,7 @@ class Evaluator:
                 if bound is not None:
                     class_candidates = [bound]  # type: ignore[list-item]
                 else:
-                    class_candidates = sorted(
-                        self.store.class_universe(), key=term_sort_key
-                    )
+                    class_candidates = self.walker.universe(VarSort.CLASS)
             else:
                 class_candidates = [cls_term]
             for cls in class_candidates:
@@ -242,7 +240,7 @@ class Evaluator:
                     # Identical result set — restriction ∩ extent either way.
                     if self._metrics is not None:
                         self._metrics.count("scan.restricted_from")
-                    for obj in sorted(restriction, key=term_sort_key):
+                    for obj in self.walker.variable_candidates(decl.var):
                         if not self.store.is_instance(obj, cls):
                             continue
                         env2 = dict(env1)
@@ -251,7 +249,7 @@ class Evaluator:
                     continue
                 if self._metrics is not None:
                     self._metrics.count("scan.extent")
-                for obj in sorted(self.store.extent(cls), key=term_sort_key):
+                for obj in self.walker.extent_sorted(cls):
                     if not self.walker.admits(decl.var, obj):
                         continue
                     env2 = dict(env1)
@@ -336,13 +334,11 @@ class Evaluator:
         if cond.kind == "applicableTo":
             yield from self._eval_applicable_to(cond, env)
             return
-        classes = sorted(self.store.class_universe(), key=term_sort_key)
+        classes = self.walker.universe(VarSort.CLASS)
         if cond.kind == "subclassOf":
             left_universe: List[Oid] = classes
         else:
-            left_universe = sorted(
-                self.store.individual_universe(), key=term_sort_key
-            )
+            left_universe = self.walker.universe(VarSort.INDIVIDUAL)
         for env1, left_obj in candidates(cond.left, left_universe, env):
             # The right side resolves under env1, so a shared variable
             # unifies instead of being enumerated twice.
@@ -386,7 +382,7 @@ class Evaluator:
         methods = (
             [method_term]
             if isinstance(method_term, Oid)
-            else sorted(self.store.method_universe(), key=term_sort_key)
+            else self.walker.universe(VarSort.METHOD)
         )
         for method in methods:
             env1 = dict(env)
@@ -395,9 +391,7 @@ class Evaluator:
             objects = (
                 [resolve_term(cond.right, env1)]
                 if isinstance(obj_term, Oid)
-                else sorted(
-                    self.store.individual_universe(), key=term_sort_key
-                )
+                else self.walker.universe(VarSort.INDIVIDUAL)
             )
             for obj in objects:
                 if not isinstance(obj, Oid):

@@ -16,6 +16,7 @@ without materializing the full substitution space.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
@@ -69,6 +70,7 @@ class PathWalker:
         id_function_instances=None,
         restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
         metrics=None,
+        value_cache_size: int = 4096,
     ) -> None:
         self._store = store
         self._max_seq = max_path_var_length
@@ -82,24 +84,95 @@ class PathWalker:
         self._restrictions = restrictions or {}
         # Optional SessionMetrics: counts index probes vs universe scans.
         self._metrics = metrics
+        # Path-traversal memo: (path shape, bindings of the path's free
+        # variables) -> (tails, set-shaped).  LRU-capped; stamped with the
+        # store's (schema, statistics) generation pair so any DDL or data
+        # write since the last lookup drops every memoized traversal.
+        self._value_cache: "OrderedDict[Tuple, Tuple[FrozenSet[Oid], bool]]" = (
+            OrderedDict()
+        )
+        self._value_cache_cap = max(0, value_cache_size)
+        # Generation-stamped sorted universes / candidate lists / extents —
+        # rebuilding these per binding is the old per-tuple hot spot.
+        self._universe_cache: Dict[VarSort, List[Oid]] = {}
+        self._candidate_cache: Dict[Variable, List[Oid]] = {}
+        self._extent_cache: Dict[Oid, List[Oid]] = {}
+        # Pure AST fact, never invalidated: path -> its free variables.
+        self._path_vars: Dict[ast.PathExpr, Tuple[Variable, ...]] = {}
+        self._cache_stamp: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # generation-stamped caches
+    # ------------------------------------------------------------------
+
+    def _fresh_caches(self) -> None:
+        """Drop every data-derived cache if the store has moved on.
+
+        Both counters guard the caches: ``schema_generation`` moves on DDL
+        (new classes, signatures, indexes) and ``statistics.generation``
+        on every data write, so a mid-query UPDATE invalidates memoized
+        traversals before the next lookup.
+        """
+        stamp = (
+            self._store.schema_generation,
+            self._store.statistics.generation,
+        )
+        if stamp == self._cache_stamp:
+            return
+        if self._cache_stamp is not None:
+            if self._metrics is not None:
+                self._metrics.count("cache.path.invalidated")
+            self._value_cache.clear()
+            self._universe_cache.clear()
+            self._candidate_cache.clear()
+            self._extent_cache.clear()
+        self._cache_stamp = stamp
+
+    def _free_vars(self, path: ast.PathExpr) -> Tuple[Variable, ...]:
+        cached = self._path_vars.get(path)
+        if cached is None:
+            cached = tuple(dict.fromkeys(ast.path_variables(path)))
+            self._path_vars[path] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # universes
     # ------------------------------------------------------------------
 
     def universe(self, sort: VarSort) -> List[Oid]:
-        if sort == VarSort.CLASS:
-            return sorted(self._store.class_universe(), key=term_sort_key)
-        if sort == VarSort.METHOD:
-            return sorted(self._store.method_universe(), key=term_sort_key)
-        return sorted(self._store.individual_universe(), key=term_sort_key)
+        self._fresh_caches()
+        cached = self._universe_cache.get(sort)
+        if cached is None:
+            if sort == VarSort.CLASS:
+                items = self._store.class_universe()
+            elif sort == VarSort.METHOD:
+                items = self._store.method_universe()
+            else:
+                items = self._store.individual_universe()
+            cached = sorted(items, key=term_sort_key)
+            self._universe_cache[sort] = cached
+        return cached
 
     def variable_candidates(self, var: Variable) -> List[Oid]:
         """The instantiation candidates of *var*, range-restricted if known."""
         allowed = self._restrictions.get(var)
-        if allowed is not None:
-            return sorted(allowed, key=term_sort_key)
-        return self.universe(var.sort)
+        if allowed is None:
+            return self.universe(var.sort)
+        self._fresh_caches()
+        cached = self._candidate_cache.get(var)
+        if cached is None:
+            cached = sorted(allowed, key=term_sort_key)
+            self._candidate_cache[var] = cached
+        return cached
+
+    def extent_sorted(self, cls: Oid) -> List[Oid]:
+        """The sorted extent of *cls*, memoized per generation stamp."""
+        self._fresh_caches()
+        cached = self._extent_cache.get(cls)
+        if cached is None:
+            cached = sorted(self._store.extent(cls), key=term_sort_key)
+            self._extent_cache[cls] = cached
+        return cached
 
     def admits(self, var: Variable, value: Oid) -> bool:
         """May *var* be bound to *value* under the active restrictions?"""
@@ -408,15 +481,42 @@ class PathWalker:
         their instantiations contribute tails, matching the §3.4 semantics
         of evaluating every ground instance.
         """
-        return frozenset(hit.tail for hit in self.walk(path, env))
+        return self.value_kinded(path, env)[0]
 
     def value_kinded(
         self, path: ast.PathExpr, env: Optional[Bindings] = None
     ) -> Tuple[FrozenSet[Oid], bool]:
-        """Path value plus whether any satisfying walk was set-shaped."""
+        """Path value plus whether any satisfying walk was set-shaped.
+
+        Memoized on (path shape, bindings of the path's free variables):
+        only the variables the path mentions key the cache, so distinct
+        outer environments that agree on those variables share one walk.
+        The memo lives behind :meth:`_fresh_caches`, so any schema or data
+        generation bump discards it before the next lookup.
+        """
+        self._fresh_caches()
+        env = env or {}
+        key = (path,) + tuple(
+            (var, env.get(var)) for var in self._free_vars(path)
+        )
+        cached = self._value_cache.get(key)
+        if cached is not None:
+            self._value_cache.move_to_end(key)
+            if self._metrics is not None:
+                self._metrics.count("cache.path.hit")
+            return cached
         tails = set()
         shaped = False
         for hit in self.walk(path, env):
             tails.add(hit.tail)
             shaped = shaped or hit.set_shaped
-        return frozenset(tails), shaped
+        result = (frozenset(tails), shaped)
+        if self._metrics is not None:
+            self._metrics.count("cache.path.miss")
+        if self._value_cache_cap:
+            self._value_cache[key] = result
+            if len(self._value_cache) > self._value_cache_cap:
+                self._value_cache.popitem(last=False)
+                if self._metrics is not None:
+                    self._metrics.count("cache.path.evict")
+        return result

@@ -231,9 +231,11 @@ class CompiledQuery:
             for entry in cost["entries"]:
                 actual = entry.get("actual_rows")
                 act = f" act={actual}" if actual is not None else ""
+                strategy = entry.get("join_strategy")
+                join = f" join={strategy}" if strategy else ""
                 lines.append(
                     f"  {entry['label']:<44s} {entry['access_path']:<16s} "
-                    f"est={entry['estimated_rows']:g}{act}"
+                    f"est={entry['estimated_rows']:g}{act}{join}"
                 )
             if cost["probes"]:
                 lines.append(
@@ -494,6 +496,7 @@ class QueryPipeline:
             id_function_instances=session.registry.instances,
             max_path_var_length=session._max_path_var_length,
             restrictions=restrictions or None,
+            metrics=session.metrics,
         )
         return evaluator.run(compiled.planned)
 
@@ -509,6 +512,7 @@ class QueryPipeline:
         cheaply without recompiling.
         """
         from repro.xsql.evaluator import Evaluator
+        from repro.xsql.hashjoin import HashJoinEvaluator
 
         session = self.session
         store = session.store
@@ -572,7 +576,10 @@ class QueryPipeline:
                 owners if existing is None else existing & owners
             )
         trace: List[int] = []
-        evaluator = Evaluator(
+        evaluator_cls = (
+            HashJoinEvaluator if session.join_mode == "hash" else Evaluator
+        )
+        evaluator = evaluator_cls(
             store,
             id_function_instances=session.registry.instances,
             max_path_var_length=session._max_path_var_length,

@@ -64,6 +64,7 @@ class Session:
         self.views = ViewManager(self.store, self.registry)
         self._max_path_var_length = max_path_var_length
         self._index_mode = "auto"
+        self._join_mode = "hash"
         self.metrics = SessionMetrics()
         self.pipeline = QueryPipeline(self, cache_size=statement_cache_size)
 
@@ -76,6 +77,7 @@ class Session:
             self.store,
             id_function_instances=self.registry.instances,
             max_path_var_length=self._max_path_var_length,
+            metrics=self.metrics,
         )
 
     def naive_evaluator(self) -> NaiveEvaluator:
@@ -324,6 +326,30 @@ class Session:
             self._index_mode = mode
             # Cached cost plans embed probe/auto-enable decisions made
             # under the old policy.
+            self.pipeline.clear()
+
+    @property
+    def join_mode(self) -> str:
+        """How ``plan="cost"`` executes its ordered conjuncts.
+
+        ``"hash"`` (default) runs the set-at-a-time
+        :class:`~repro.xsql.hashjoin.HashJoinEvaluator`: equality
+        conjuncts between disjoint path operands become hash/semi joins
+        over factored binding batches.  ``"nested"`` keeps the
+        tuple-at-a-time nested-loop evaluator.  Results are identical
+        either way; only the execution strategy changes.
+        """
+        return self._join_mode
+
+    @join_mode.setter
+    def join_mode(self, mode: str) -> None:
+        if mode not in ("hash", "nested"):
+            raise QueryError(
+                f"unknown join mode {mode!r}; choose hash or nested"
+            )
+        if mode != self._join_mode:
+            self._join_mode = mode
+            # Cached compilations captured the old executor choice.
             self.pipeline.clear()
 
     def enable_index(self, method: Union[str, Oid]) -> None:

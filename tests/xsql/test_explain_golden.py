@@ -89,6 +89,34 @@ def test_cost_plan_json_golden(paper_session):
     _check("cost", rendered, suffix="json")
 
 
+JOIN_QUERY = (
+    "SELECT X, Y FROM Employee X, Employee Y "
+    "WHERE X.Salary =some Y.Salary"
+)
+
+
+def test_hashjoin_plan_golden(paper_session):
+    # An explicit join (example (13) shape): the cond entry must carry
+    # the planner's join=hash annotation and the traced actual rows.
+    compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+    compiled.run()
+    _check("hashjoin", compiled.explain())
+
+
+def test_hashjoin_plan_json_golden(paper_session):
+    compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+    compiled.run()
+    rendered = compiled.explain(format="json")
+    data = json.loads(rendered)
+    strategies = [
+        entry.get("join_strategy")
+        for entry in data["cost"]["entries"]
+        if entry["kind"] == "cond"
+    ]
+    assert strategies == ["hash"]
+    _check("hashjoin", rendered, suffix="json")
+
+
 def test_explain_rejects_unknown_format(shared_paper_session):
     from repro.errors import QueryError
 

@@ -1,0 +1,223 @@
+"""The set-at-a-time executor: parity, metrics, and cache invalidation.
+
+Parity is checked three ways for every query: ``join_mode="hash"`` vs
+``join_mode="nested"`` under ``plan="cost"`` (row sets *and* enumeration
+order — the Sequence contract), and, where the fragment allows, vs the
+:class:`~repro.xsql.evaluator.NaiveEvaluator` §3.4 semantics.
+"""
+
+import pytest
+
+from repro import Session
+from repro.errors import QueryError
+from repro.schema.figure1 import build_figure1_schema
+from repro.workloads.paper_db import populate_paper_database
+from repro.oid import Atom, Value
+from repro.xsql import build
+from repro.xsql.hashjoin import join_strategy_of
+from repro.xsql.parser import parse_query
+
+#: Explicit joins (examples (12)–(13) shapes) and quantified comparisons,
+#: including vacuous-truth (`=all` over possibly-empty walks) edges.
+JOIN_QUERIES = [
+    # (13): self-join on a scalar attribute.
+    "SELECT X, Y FROM Employee X, Employee Y WHERE X.Salary =some Y.Salary",
+    # (12) shape: correlated equality (shared X) — nested fallback.
+    "SELECT X, Y FROM Company X WHERE X.Name =some X.Divisions.Employees[Y].Name",
+    # Fan-out chain join across two extents.
+    "SELECT X, Y FROM Person X, Automobile Y "
+    "WHERE X.Residence.City =some Y.Manufacturer.Headquarters.City",
+    # Star: two joins hanging off one dimension variable.
+    "SELECT D, X, Y FROM Division D, Employee X, Employee Y "
+    "WHERE D.Manager.Salary =some X.Salary "
+    "and D.Location.City =some Y.Residence.City",
+    # Hash join followed by a nested-loop residual filter.
+    "SELECT X, Y FROM Person X, Person Y "
+    "WHERE X.Residence =some Y.Residence and X.Age < Y.Age",
+    # `all` quantifiers stay on the nested path (not intersection).
+    "SELECT X, Y FROM Employee X, Employee Y "
+    "WHERE X.FamMembers.Age all<all Y.FamMembers.Age",
+    "SELECT X, Y FROM Employee X, Employee Y "
+    "WHERE X.OwnedVehicles.Color =all Y.OwnedVehicles.Color",
+    # Inequality join: nested fallback.
+    "SELECT X, Y FROM Division X, Division Y WHERE X.Function !=some Y.Function",
+    # Semi-join against a ground path.
+    "SELECT X FROM Person X WHERE X.Residence.City =some mary123.Residence.City",
+    # Empty extent on one side: no rows, no crash.
+    "SELECT X, Y FROM TurboEngine X, Employee Y WHERE X.HPpower =some Y.Salary",
+]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    def fresh(join_mode):
+        session = Session()
+        build_figure1_schema(session.store)
+        populate_paper_database(session.store)
+        session.join_mode = join_mode
+        return session
+
+    return fresh
+
+
+@pytest.mark.parametrize("text", JOIN_QUERIES)
+def test_hash_matches_nested_and_naive(stores, text):
+    hash_session = stores("hash")
+    nested_session = stores("nested")
+    hash_result = hash_session.query(text, plan="cost")
+    nested_result = nested_session.query(text, plan="cost")
+    assert hash_result.rows() == nested_result.rows(), text
+    assert list(hash_result) == list(nested_result), text
+    from repro.xsql import ast
+
+    parsed = parse_query(text)
+    n_vars = len(set(ast.free_variables(parsed)))
+    if n_vars > 2:
+        return  # naive enumerates universe**n: keep tier-1 fast
+    naive = hash_session.naive_evaluator()
+    try:
+        naive_rows = naive.run(parsed).rows()
+    except QueryError:
+        return  # outside the naive fragment (e.g. SELECT of a raw var set)
+    assert hash_result.rows() == naive_rows, text
+
+
+def test_vacuous_truth_on_empty_walks(stores):
+    # Both sides empty: `=all` holds vacuously, `=some` does not — the
+    # executor must route these through compare(), not the hash table.
+    session = stores("hash")
+    nested = stores("nested")
+    text = (
+        "SELECT X, Y FROM TurboEngine X, TurboEngine Y "
+        "WHERE X.HPpower =all Y.HPpower"
+    )
+    assert session.query(text, plan="cost").rows() == nested.query(
+        text, plan="cost"
+    ).rows()
+
+
+def test_join_strategy_classification():
+    x, y = build.ivar("X"), build.ivar("Y")
+    xs = build.operand(build.path(x, "Salary"))
+    ys = build.operand(build.path(y, "Salary"))
+    ground = build.operand(build.path(Atom("mary123"), "Age"))
+    assert join_strategy_of(build.compare(xs, "=", ys)) == "hash"
+    assert join_strategy_of(build.compare(xs, "=", ys, rq="some")) == "hash"
+    assert join_strategy_of(build.compare(xs, "=", ground)) == "semi"
+    assert join_strategy_of(build.compare(ground, "=", ground)) == "nested"
+    assert join_strategy_of(build.compare(xs, "=", ys, rq="all")) == "nested"
+    assert join_strategy_of(build.compare(xs, "!=", ys)) == "nested"
+    # Shared variable: correlation, not a join.
+    xn = build.operand(build.path(x, "Name"))
+    xd = build.operand(build.path(x, "Residence"))
+    assert join_strategy_of(build.compare(xn, "=", xd)) == "nested"
+
+
+def test_join_metrics_counted(stores):
+    session = stores("hash")
+    session.query(
+        "SELECT X, Y FROM Employee X, Employee Y "
+        "WHERE X.Salary =some Y.Salary",
+        plan="cost",
+    )
+    counters = session.stats()["counters"]
+    assert counters.get("join.hash", 0) >= 1
+
+
+def test_path_cache_hit_miss_metrics(stores):
+    session = stores("hash")
+    text = "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20"
+    session.query(text, plan="cost")
+    counters = session.stats()["counters"]
+    assert counters.get("cache.path.miss", 0) >= 1
+    before = counters.get("cache.path.hit", 0)
+    session.query(text, plan="cost")
+    after = session.stats()["counters"].get("cache.path.hit", 0)
+    assert after > before  # the second run reuses memoized traversals
+
+
+def test_path_cache_invalidated_by_data_writes(stores):
+    session = stores("hash")
+    store = session.store
+    walker = session.evaluator().walker
+    jane = next(iter(store.extent("Employee")))
+    path = parse_query("SELECT X.Salary FROM Employee X").select[0].path
+    env = {build.ivar("X"): jane}
+    first = walker.value(path, env)
+    assert walker.value(path, env) == first  # second call is a cache hit
+    counters = session.stats()["counters"]
+    assert counters.get("cache.path.hit", 0) >= 1
+    store.set_attr(jane, "Salary", Value(99_000))
+    assert walker.value(path, env) == frozenset({Value(99_000)})
+    assert session.stats()["counters"].get("cache.path.invalidated", 0) >= 1
+
+
+def test_path_cache_invalidated_by_schema_bumps(stores):
+    session = stores("hash")
+    walker = session.evaluator().walker
+    from repro.oid import VarSort
+
+    before = list(walker.universe(VarSort.CLASS))
+    invalidated = session.stats()["counters"].get(
+        "cache.path.invalidated", 0
+    )
+    session.store.declare_class("Hovercraft", ["Vehicle"])
+    after = walker.universe(VarSort.CLASS)
+    assert Atom("Hovercraft") in after
+    assert len(after) == len(before) + 1
+    assert (
+        session.stats()["counters"].get("cache.path.invalidated", 0)
+        > invalidated
+    )
+
+
+def test_path_cache_evicts_at_capacity():
+    from repro.metrics import SessionMetrics
+    from repro.xsql.paths import PathWalker
+
+    session = Session()
+    build_figure1_schema(session.store)
+    populate_paper_database(session.store)
+    metrics = SessionMetrics()
+    walker = PathWalker(
+        session.store, metrics=metrics, value_cache_size=2
+    )
+    path = parse_query("SELECT X.Age FROM Person X").select[0].path
+    people = sorted(session.store.extent("Person"), key=str)[:3]
+    for person in people:
+        walker.value(path, {build.ivar("X"): person})
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("cache.path.evict", 0) >= 1
+
+
+def test_updates_keep_nested_semantics(stores):
+    # WHERE clauses containing UPDATE conjuncts must never batch: the
+    # planner refuses them under plan="cost" either way, and the
+    # executor's env_stream gate keeps direct evaluator use safe.
+    from repro.xsql.hashjoin import HashJoinEvaluator
+
+    session = stores("hash")
+    evaluator = HashJoinEvaluator(session.store)
+    parsed = parse_query(
+        "SELECT X FROM Employee X "
+        "WHERE UPDATE CLASS Employee SET X.Salary = 50000"
+    )
+    reference = session.evaluator()
+    assert (
+        evaluator.run(parsed).rows()
+        == reference.run(parsed).rows()
+    )
+
+
+def test_join_mode_validation_and_cache_clear(stores):
+    session = stores("hash")
+    with pytest.raises(QueryError):
+        session.join_mode = "sideways"
+    assert session.join_mode == "hash"
+    text = "SELECT X FROM Person X WHERE X.Age > 20"
+    first = session.prepare(text, plan="cost")
+    assert session.prepare(text, plan="cost") is first  # LRU hit
+    session.join_mode = "nested"
+    assert session.join_mode == "nested"
+    # Switching executors drops cached compilations.
+    assert session.prepare(text, plan="cost") is not first
