@@ -1,6 +1,6 @@
 # Convenience targets for the XSQL reproduction.
 
-.PHONY: install test test-all fuzz-smoke fuzz bench report examples all
+.PHONY: install test test-all fuzz-smoke fuzz bench bench-analyze report examples all
 
 install:
 	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
@@ -36,6 +36,13 @@ fuzz:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Cardinality-estimation accuracy: EXPLAIN ANALYZE over the planner
+# workloads, per-operator est-vs-actual dumped into the seeded BENCH
+# JSON artifact alongside the speedup criteria.
+bench-analyze:
+	PYTHONPATH=src python benchmarks/bench_pipeline.py --analyze \
+		--json benchmarks/BENCH_pipeline.json
 
 report:
 	python -m repro.bench.report

@@ -237,6 +237,81 @@ def measure_joins(
     return results
 
 
+def measure_estimation() -> List[Dict[str, object]]:
+    """Per-operator cardinality-estimation error under ``plan="cost"``.
+
+    Runs the selective (S1–S3) and join (J1–J3) workloads once each
+    through EXPLAIN ANALYZE and walks the instrumented operator tree:
+    every operator that carries a planner estimate contributes one
+    record with its estimated and actual row counts and the relative
+    error ``|est - act| / max(1, act)``.
+    """
+    records: List[Dict[str, object]] = []
+    workloads = [
+        (SELECTIVE_WORKLOAD, SELECTIVE_QUERIES),
+        (JOIN_WORKLOAD, JOIN_QUERIES),
+    ]
+    for config, queries in workloads:
+        session = Session(generate_database(config))
+        for name, text in queries:
+            compiled = session.prepare(text, plan="cost")
+            json.loads(compiled.explain(format="json", analyze=True))
+            stack = [compiled.last_optree]
+            while stack:
+                node = stack.pop()
+                stack.extend(node.get("children", ()))
+                estimate = node.get("estimated_rows")
+                if estimate is None:
+                    continue
+                actual = node["rows_out"]
+                records.append(
+                    {
+                        "query": name,
+                        "operator": node["operator"],
+                        "label": node["label"],
+                        "estimated_rows": estimate,
+                        "actual_rows": actual,
+                        "relative_error": round(
+                            abs(estimate - actual) / max(1, actual), 3
+                        ),
+                    }
+                )
+    return records
+
+
+def report_estimation(records: List[Dict[str, object]]) -> str:
+    lines = [
+        "cardinality estimation: per-operator est vs actual "
+        "(EXPLAIN ANALYZE, plan=cost)",
+        f"{'query':6s} {'operator':14s} {'est':>8s} {'act':>8s} "
+        f"{'rel.err':>8s}  label",
+    ]
+    for record in records:
+        lines.append(
+            f"{record['query']:6s} {record['operator']:14s} "
+            f"{record['estimated_rows']:8g} {record['actual_rows']:8d} "
+            f"{record['relative_error']:8.3f}  {record['label']}"
+        )
+    errors = [record["relative_error"] for record in records]
+    lines.append(
+        f"operators: {len(records)}  "
+        f"mean rel.err: {statistics.mean(errors):.3f}  "
+        f"max rel.err: {max(errors):.3f}"
+    )
+    return "\n".join(lines)
+
+
+def estimation_as_json(
+    records: List[Dict[str, object]]
+) -> Dict[str, object]:
+    errors = [record["relative_error"] for record in records]
+    return {
+        "operators": records,
+        "mean_relative_error": round(statistics.mean(errors), 3),
+        "max_relative_error": round(max(errors), 3),
+    }
+
+
 def best_speedup(results: List[Tuple[str, float, float]]) -> float:
     return max(
         cold / cached
@@ -419,18 +494,31 @@ def main() -> int:
         default=None,
         help="also write the results as a JSON artifact",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also report per-operator cardinality-estimation error "
+        "(EXPLAIN ANALYZE over the S and J workloads)",
+    )
     args = parser.parse_args()
     results = measure(plan=args.plan, rounds=args.rounds)
     selective = measure_selective(rounds=args.rounds)
     joins = measure_joins(rounds=min(args.rounds, 5))
+    estimation = measure_estimation() if args.analyze else None
     print(report(results))
     print()
     print(report_selective(selective))
     print()
     print(report_joins(joins))
+    if estimation is not None:
+        print()
+        print(report_estimation(estimation))
     if args.json:
+        payload = as_json(results, selective, joins)
+        if estimation is not None:
+            payload["analyze"] = estimation_as_json(estimation)
         with open(args.json, "w") as handle:
-            json.dump(as_json(results, selective, joins), handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"\nwrote {args.json}")
     ok = (

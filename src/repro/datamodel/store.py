@@ -21,7 +21,6 @@ treatment of typing as a metalogical notion (§6.2).
 
 from __future__ import annotations
 
-import warnings
 from typing import (
     Dict,
     FrozenSet,
@@ -49,7 +48,6 @@ from repro.errors import (
     SchemaError,
     SignatureError,
     UnknownClassError,
-    XsqlDeprecationWarning,
 )
 from repro.oid import Atom, FuncOid, Oid, Value, oid as as_oid
 
@@ -104,18 +102,6 @@ class ObjectStore:
         #: (data-dependent artifacts such as Theorem 6.1 extent
         #: restrictions are recomputed per execution).
         self.schema_generation = 0
-
-    @property
-    def indexes(self) -> AttributeIndexes:
-        """Deprecated: the raw index registry; use the store/Session API."""
-        warnings.warn(
-            "ObjectStore.indexes is deprecated; use enable_index()/"
-            "disable_index()/indexed_methods()/index_stats() on the store "
-            "or Session.enable_index()/Session.indexes()",
-            XsqlDeprecationWarning,
-            stacklevel=2,
-        )
-        return self._indexes
 
     def _bump_schema(self) -> None:
         self.schema_generation += 1

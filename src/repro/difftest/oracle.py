@@ -15,8 +15,12 @@ cost       ``Session.query(text, plan="cost")`` — the    always
            ``join_mode="nested"`` tuple-at-a-time
            execution
 hashjoin   ``plan="cost"`` on a second session with      always
-           ``join_mode="hash"``: the set-at-a-time
-           :class:`~repro.xsql.hashjoin.HashJoinEvaluator`
+           ``join_mode="hash"``: the factored
+           HashJoin/SemiJoin operator pipeline
+operators  ``Session.query(text, plan="typed")`` — the   always
+           Theorem 6.1 coherent plan lowered to
+           RestrictedScan operator trees
+           (:mod:`repro.xsql.operators`)
 naive      :class:`~repro.xsql.evaluator.NaiveEvaluator` substitution space
                                                          below the cap
 flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
@@ -65,6 +69,7 @@ ENGINE_NAMES = (
     "cached",
     "cost",
     "hashjoin",
+    "operators",
     "naive",
     "flogic",
     "snapshot",
@@ -195,6 +200,7 @@ class Oracle:
             "cached": lambda: self._run_cached(text),
             "cost": lambda: self.session.query(text, plan="cost"),
             "hashjoin": lambda: self.hash_session.query(text, plan="cost"),
+            "operators": lambda: self.session.query(text, plan="typed"),
             "naive": lambda: NaiveEvaluator(self.store).run(parsed),
             "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
             "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed),

@@ -127,13 +127,3 @@ class XsqlSyntaxError(XsqlError):
 
 class RelationalError(XsqlError):
     """An error in the relational baseline engine (bad schema, arity, ...)."""
-
-
-class XsqlDeprecationWarning(DeprecationWarning):
-    """A deprecated surface of *this* library was used.
-
-    Distinct from the builtin :class:`DeprecationWarning` so CI can turn
-    exactly the repository's own deprecation shims into hard errors
-    (``-W error::repro.errors.XsqlDeprecationWarning``) without being
-    derailed by third-party deprecations.
-    """

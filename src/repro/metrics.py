@@ -22,29 +22,50 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["Observation", "SessionMetrics"]
+
+#: Sample-list cap per Observation; beyond it the list is decimated (every
+#: other kept sample dropped, stride doubled) so long sessions stay O(1)
+#: in memory while percentiles remain representative and deterministic.
+_SAMPLE_CAP = 512
 
 
 @dataclass
 class Observation:
-    """Running count/total/min/max of one observed quantity."""
+    """Running count/total/min/max — and a capped sample for percentiles."""
 
     count: int = 0
     total: float = 0.0
     minimum: Optional[float] = None
     maximum: Optional[float] = None
+    samples: List[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = value if self.minimum is None else min(self.minimum, value)
         self.maximum = value if self.maximum is None else max(self.maximum, value)
+        # Deterministic decimating sample: keep every _stride-th value.
+        if (self.count - 1) % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > _SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 < f <= 1)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, -(-int(fraction * 100) * len(ordered) // 100))
+        return ordered[min(rank, len(ordered)) - 1]
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -53,6 +74,8 @@ class Observation:
             "mean": self.mean,
             "min": self.minimum if self.minimum is not None else 0.0,
             "max": self.maximum if self.maximum is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
         }
 
 
@@ -125,14 +148,18 @@ class SessionMetrics:
             lines.append(
                 f"  stage {name:12s} calls={obs.count:6d} "
                 f"total={obs.total * 1000.0:9.2f}ms "
-                f"mean={obs.mean * 1000.0:7.3f}ms"
+                f"mean={obs.mean * 1000.0:7.3f}ms "
+                f"p50={obs.percentile(0.50) * 1000.0:7.3f}ms "
+                f"p95={obs.percentile(0.95) * 1000.0:7.3f}ms"
             )
         for name in sorted(self.observations):
             obs = self.observations[name]
             lines.append(
                 f"  {name:18s} n={obs.count:6d} mean={obs.mean:10.2f} "
                 f"min={obs.minimum if obs.minimum is not None else 0:g} "
-                f"max={obs.maximum if obs.maximum is not None else 0:g}"
+                f"max={obs.maximum if obs.maximum is not None else 0:g} "
+                f"p50={obs.percentile(0.50):g} "
+                f"p95={obs.percentile(0.95):g}"
             )
         if len(lines) == 1:
             lines.append("  (nothing recorded)")

@@ -37,7 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.datamodel.store import ObjectStore
 from repro.oid import Atom, Oid, Variable, VarSort
 from repro.xsql import ast
-from repro.xsql.hashjoin import join_strategy_of
+from repro.xsql.operators import join_strategy_of
 from repro.xsql.planner import _cond_has_updates, _flatten
 
 __all__ = ["CostModel", "CostPlan", "CostPlanner", "PlanEntry", "ProbeSpec"]

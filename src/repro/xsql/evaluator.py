@@ -60,7 +60,6 @@ class Evaluator:
         max_path_var_length: int = 6,
         restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
         metrics=None,
-        conjunct_trace: Optional[List[int]] = None,
     ) -> None:
         self.store = store
         self.walker = PathWalker(
@@ -72,12 +71,6 @@ class Evaluator:
         )
         self._restrictions = restrictions or {}
         self._metrics = metrics
-        # When a list is supplied, the top-level binding stream appends
-        # one counter per FROM declaration and per top-level WHERE
-        # conjunct: the number of bindings that stage yielded (pre-dedup).
-        # ``explain()`` renders these as the actual cardinalities next to
-        # the cost model's estimates.
-        self._trace = conjunct_trace
         # (subquery identity, correlation bindings) -> answer set.
         self._subquery_cache: Dict[Tuple, FrozenSet[Oid]] = {}
 
@@ -164,40 +157,11 @@ class Evaluator:
     ) -> Iterator[Bindings]:
         """All satisfying bindings of *query*'s FROM and WHERE clauses."""
         envs: Iterator[Bindings] = iter([dict(initial or {})])
-        tracing = self._trace is not None and initial is None
-        stage = 0
         for decl in query.from_:
             envs = self._bind_from(decl, envs)
-            if tracing:
-                envs = self._count_into(envs, stage)
-                stage += 1
         if query.where is not None:
-            condition = query.where
-            if tracing and isinstance(condition, ast.AndCond):
-                # Chain the top-level conjuncts individually so each gets
-                # its own counter; the outer _dedup restores the exact
-                # semantics of eval_cond's AndCond handling.
-                for item in condition.items:
-                    envs = self._chain(item, envs)
-                    envs = self._count_into(envs, stage)
-                    stage += 1
-            else:
-                envs = self._chain(condition, envs)
-                if tracing:
-                    envs = self._count_into(envs, stage)
-                    stage += 1
+            envs = self._chain(query.where, envs)
         return _dedup(envs)
-
-    def _count_into(
-        self, stream: Iterator[Bindings], stage: int
-    ) -> Iterator[Bindings]:
-        trace = self._trace
-        assert trace is not None
-        while len(trace) <= stage:
-            trace.append(0)
-        for env in stream:
-            trace[stage] += 1
-            yield env
 
     def _chain(
         self, cond: ast.Cond, envs: Iterator[Bindings]

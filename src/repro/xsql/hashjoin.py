@@ -1,96 +1,41 @@
-"""Set-at-a-time join execution for ``plan="cost"`` queries.
+"""Set-at-a-time join execution (compatibility surface).
 
-The tuple-at-a-time :class:`~repro.xsql.evaluator.Evaluator` streams one
-binding at a time through the FROM declarations and WHERE conjuncts, so an
-explicit join (paper examples (12)–(13)) pays the full cross product of
-the joined extents even when the planner has found a good conjunct order.
-:class:`HashJoinEvaluator` keeps the binding stream *factored* instead: a
-set of independent binding batches (one per group of connected variables)
-whose cross product is the logical stream.  An equality conjunct between
-two path operands rooted in different factors is then a hash join — build
-a table on the smaller batch, probe it with the larger — and only the
-matching pairs are ever materialized.
+The factored binding-batch machinery that used to live here — disjoint
+variable batches, hash/semi-join conjunct execution, the per-conjunct
+merge fallback — is now reified as the physical operators in
+:mod:`repro.xsql.operators` (:class:`~repro.xsql.operators.HashJoin`,
+:class:`~repro.xsql.operators.SemiJoin`, and friends), which the pipeline
+lowers every ``plan="cost"`` + ``join_mode="hash"`` run into directly.
 
-Soundness rests on two facts checked in :func:`join_strategy_of`:
+This module keeps the historical public surface:
 
-* ``compare("=", L, R, lq, rq)`` with both quantifiers existential (the
-  default) holds iff ``L ∩ R ≠ ∅``, and membership under Python ``==`` /
-  ``hash`` coincides with the evaluator's ``element_compare`` for every
-  term kind (numeric coercion included — ``Value(20) == Value(20.0)`` and
-  their hashes agree).
-* Factors partition the bound variables, so merging a build env with a
-  probe env never conflicts and the factored stream enumerates exactly
-  the envs the nested-loop stream would (deduplication happens once, at
-  the end, as in :meth:`Evaluator.env_stream`).
-
-Everything else — non-equality operators, ``all`` quantifiers, unbound
-variables, updates, aggregates over shared variables — falls back to the
-inherited per-env :meth:`Evaluator.eval_cond`, so results are
-bit-identical to the nested-loop executor by construction.
+* :func:`~repro.xsql.operators.join_strategy_of` — re-exported; the
+  conjunct classification is unchanged.
+* :class:`HashJoinEvaluator` — an :class:`~repro.xsql.evaluator.Evaluator`
+  whose top-level binding stream runs through the factored operator
+  pipeline.  Results are bit-identical to the nested-loop stream by
+  construction (deduplication happens once, at the end); WHERE clauses
+  containing updates and correlated re-entries (``initial``) keep the
+  exact lazy tuple-at-a-time stream, as before.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, Optional
 
-from repro.oid import Oid, Variable
 from repro.xsql import ast
 from repro.xsql.evaluator import Evaluator, _dedup
+from repro.xsql.operators import (
+    ExecContext,
+    LowerSpec,
+    _cross,
+    join_strategy_of,
+    lower_query,
+)
 from repro.xsql.paths import Bindings
 from repro.xsql.planner import _cond_has_updates
 
 __all__ = ["HashJoinEvaluator", "join_strategy_of"]
-
-#: Quantifiers with existential (∩ ≠ ∅) semantics under ``compare("=")``.
-_EXISTENTIAL = (None, "some")
-
-
-def _operand_join_vars(
-    operand: ast.Operand,
-) -> Optional[Tuple[Variable, ...]]:
-    """The operand's free variables, when it is a plain path operand."""
-    if isinstance(operand, ast.PathOperand):
-        return tuple(dict.fromkeys(ast.path_variables(operand.path)))
-    return None
-
-
-def join_strategy_of(cond: ast.Cond) -> str:
-    """Classify a conjunct for the set-at-a-time executor.
-
-    ``"hash"``   — equality between two path operands with existential
-                   quantifiers and disjoint variable sets: a hash join.
-    ``"semi"``   — same shape but one side is ground: a semi-join filter
-                   (hash the variable side, intersect with the constant).
-    ``"nested"`` — anything else; evaluated per env, exactly as the
-                   tuple-at-a-time evaluator would.
-    """
-    if not isinstance(cond, ast.Comparison):
-        return "nested"
-    if cond.op != "=":
-        return "nested"
-    if cond.lq not in _EXISTENTIAL or cond.rq not in _EXISTENTIAL:
-        return "nested"
-    lvars = _operand_join_vars(cond.lhs)
-    rvars = _operand_join_vars(cond.rhs)
-    if lvars is None or rvars is None:
-        return "nested"
-    if set(lvars) & set(rvars):
-        return "nested"  # shared variable: correlation, not a join
-    if lvars and rvars:
-        return "hash"
-    if lvars or rvars:
-        return "semi"
-    return "nested"  # both ground: a constant test, no join to speed up
-
-
-class _Factor:
-    """One independent batch of the factored binding stream."""
-
-    __slots__ = ("vars", "envs")
-
-    def __init__(self, vars: Set[Variable], envs: List[Bindings]) -> None:
-        self.vars = vars
-        self.envs = envs
 
 
 class HashJoinEvaluator(Evaluator):
@@ -110,168 +55,14 @@ class HashJoinEvaluator(Evaluator):
             # Correlated subquery re-entry or side-effecting WHERE: batch
             # execution would reorder effects, so keep the exact stream.
             return super().env_stream(query, initial)
-        return self._factored_stream(query)
-
-    # ------------------------------------------------------------------
-    # the factored stream
-    # ------------------------------------------------------------------
-
-    def _factored_stream(self, query: ast.Query) -> Iterator[Bindings]:
-        tracing = self._trace is not None
-        stage = 0
-        factors: List[_Factor] = []
-        for decl in query.from_:
-            touched = {decl.var}
-            if isinstance(decl.cls, Variable):
-                touched.add(decl.cls)
-            base = self._merge_factors(factors, touched)
-            envs = list(self._bind_from(decl, iter(base.envs)))
-            factors.append(_Factor(base.vars | touched, envs))
-            if tracing:
-                stage = self._record_stage(stage, factors)
-        if query.where is not None:
-            conjuncts = (
-                list(query.where.items)
-                if isinstance(query.where, ast.AndCond)
-                else [query.where]
-            )
-            for cond in conjuncts:
-                self._apply_cond(cond, factors)
-                if tracing:
-                    stage = self._record_stage(stage, factors)
-        return _dedup(self._cross(factors))
-
-    def _merge_factors(
-        self, factors: List[_Factor], touched: Set[Variable]
-    ) -> _Factor:
-        """Cross-product (and remove) every factor overlapping *touched*."""
-        merged = _Factor(set(), [{}])
-        remaining: List[_Factor] = []
-        for factor in factors:
-            if factor.vars & touched:
-                merged = _Factor(
-                    merged.vars | factor.vars,
-                    [
-                        {**left, **right}
-                        for left in merged.envs
-                        for right in factor.envs
-                    ],
-                )
-            else:
-                remaining.append(factor)
-        factors[:] = remaining
-        return merged
-
-    def _apply_cond(self, cond: ast.Cond, factors: List[_Factor]) -> None:
-        strategy = join_strategy_of(cond)
-        if strategy != "nested" and self._try_setwise(
-            cond, strategy, factors
-        ):
-            return
-        # Fallback: merge whatever the conjunct touches and evaluate it
-        # per env — the inherited semantics, including variable
-        # enumeration for unbound operand variables.
-        cond_vars = set(ast.cond_variables(cond))
-        base = self._merge_factors(factors, cond_vars)
-        if self._metrics is not None:
-            self._metrics.count("join.filter")
-        envs = [
-            out for env in base.envs for out in self.eval_cond(cond, env)
-        ]
-        factors.append(_Factor(base.vars | cond_vars, envs))
-
-    def _try_setwise(
-        self, cond: ast.Comparison, strategy: str, factors: List[_Factor]
-    ) -> bool:
-        """Run *cond* as a hash/semi join; False if preconditions fail."""
-        lvars = set(_operand_join_vars(cond.lhs) or ())
-        rvars = set(_operand_join_vars(cond.rhs) or ())
-
-        def owners(needed: Set[Variable]) -> Optional[List[_Factor]]:
-            """Factors covering *needed*, each with it fully bound."""
-            found = [f for f in factors if f.vars & needed]
-            covered = set().union(*(f.vars for f in found)) if found else set()
-            if not needed <= covered:
-                return None  # an operand variable no factor binds yet
-            for factor in found:
-                want = factor.vars & needed
-                if any(
-                    any(var not in env for var in want)
-                    for env in factor.envs
-                ):
-                    return None  # declared but unbound (e.g. empty walk)
-            return found
-
-        left_owners = owners(lvars)
-        right_owners = owners(rvars)
-        if left_owners is None or right_owners is None:
-            return False
-        if set(map(id, left_owners)) & set(map(id, right_owners)):
-            # One factor feeds both operands: correlated, not a join.
-            return False
-        if strategy == "semi":
-            keyed, ground_op = (
-                (lvars, cond.rhs) if lvars else (rvars, cond.lhs)
-            )
-            base = self._merge_factors(factors, keyed)
-            ground = self.eval_operand(ground_op, {})
-            envs = [
-                env
-                for env in base.envs
-                if ground
-                and not ground.isdisjoint(
-                    self.eval_operand(
-                        cond.lhs if keyed is lvars else cond.rhs, env
-                    )
-                )
-            ]
-            factors.append(_Factor(base.vars | keyed, envs))
-            if self._metrics is not None:
-                self._metrics.count("join.semi")
-            return True
-        left = self._merge_factors(factors, lvars)
-        right = self._merge_factors(factors, rvars)
-        build, build_op, probe, probe_op = (
-            (left, cond.lhs, right, cond.rhs)
-            if len(left.envs) <= len(right.envs)
-            else (right, cond.rhs, left, cond.lhs)
-        )
-        table: Dict[Oid, List[int]] = {}
-        for index, env in enumerate(build.envs):
-            for value in self.eval_operand(build_op, env):
-                table.setdefault(value, []).append(index)
-        envs = []
-        for probe_env in probe.envs:
-            matched: Set[int] = set()
-            for value in self.eval_operand(probe_op, probe_env):
-                matched.update(table.get(value, ()))
-            for index in sorted(matched):
-                envs.append({**build.envs[index], **probe_env})
-        factors.append(_Factor(left.vars | right.vars, envs))
-        if self._metrics is not None:
-            self._metrics.count("join.hash")
-        return True
-
-    def _record_stage(self, stage: int, factors: List[_Factor]) -> int:
-        """Record the logical stream size: the product of factor sizes."""
-        trace = self._trace
-        assert trace is not None
-        while len(trace) <= stage:
-            trace.append(0)
-        count = 1
-        for factor in factors:
-            count *= len(factor.envs)
-        trace[stage] = count
-        return stage + 1
-
-    def _cross(self, factors: List[_Factor]) -> Iterator[Bindings]:
-        """The logical binding stream: the factors' cross product."""
-
-        def recurse(index: int, acc: Bindings) -> Iterator[Bindings]:
-            if index == len(factors):
-                yield dict(acc)
-                return
-            for env in factors[index].envs:
-                yield from recurse(index + 1, {**acc, **env})
-
-        return recurse(0, {})
+        root = lower_query(query, LowerSpec(factored=True))
+        chain = root.child
+        if chain is None:
+            return _dedup(_cross([]))
+        ctx = ExecContext(self, self._metrics)
+        chain.open(ctx)
+        try:
+            state = chain.batches()
+        finally:
+            chain.close()
+        return _dedup(_cross(state))

@@ -1,0 +1,895 @@
+"""Reified physical operators: the one executor behind every plan mode.
+
+Before this module the pipeline had four divergent execution paths — the
+tuple-at-a-time :class:`~repro.xsql.evaluator.Evaluator` for
+``plan="none"``/``"greedy"``, the Theorem 6.1 restricted run for
+``plan="typed"``, the traced cost run, and the batch-factored
+``HashJoinEvaluator`` — each interpreting the plan inline.  Here the plan
+is *reified* instead: a tree of physical operators with a uniform
+``open()/batches()/close()`` interface over the factored binding-batch
+representation, and every ``plan=``/``engine=``/``join_mode`` combination
+lowers to such a tree (:func:`lower_statement`) and runs through one
+executor (:func:`execute`).
+
+The operator catalogue:
+
+=================  ====================================================
+``ExtentScan``     one FROM declaration over a full class extent
+``RestrictedScan`` FROM over a Theorem 6.1 instantiation set
+``IndexProbe``     FROM narrowed by an inverted-index probe
+``PathEval``       a path-expression conjunct (``X.M[Y]``)
+``Filter``         an unquantified comparison or schema predicate
+``Quantify``       a ``some``/``all``-quantified comparison
+``Aggregate``      a comparison over ``count``/``sum``/``avg``/…
+``HashJoin``       equality between disjoint batches: build + probe
+``SemiJoin``       equality against a ground path: hash-filter one side
+``NestedLoop``     any other conjunct, per binding — and, as a *root*,
+                   whole-statement evaluation (WHERE-with-updates keeps
+                   the exact lazy §5 stream; ``engine="naive"`` runs the
+                   literal §3.4 enumeration)
+``Project``        SELECT-item expansion into a result table
+``SetOp``          UNION / MINUS / INTERSECT of two sub-results
+=================  ====================================================
+
+The executor state is a list of :class:`Batch` objects — disjoint groups
+of bound variables — whose cross product is the logical binding stream.
+In *merged* mode (every plan except ``cost`` + ``join_mode="hash"``) each
+operator merges the whole state into a single batch first, which makes
+the stream identical, binding for binding, to the legacy tuple-at-a-time
+stages.  In *factored* mode batches merge only when a conjunct connects
+them, and equality conjuncts between disjoint batches become hash or
+semi joins.  Either way deduplication happens once, under ``Project``,
+exactly as :meth:`Evaluator.env_stream` always did — so results are
+bit-identical across modes (the difftest oracle is the gate).
+
+Each operator carries runtime counters — rows in/out (logical stream
+sizes), batches, wall time of its own transform, and path-cache hits —
+surfaced by ``CompiledQuery.explain(analyze=True)`` via
+:func:`tree_dict` / :func:`render_tree`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import QueryError
+from repro.oid import Oid, Variable
+from repro.xsql import ast
+from repro.xsql.evaluator import Evaluator, _dedup
+from repro.xsql.paths import Bindings
+from repro.xsql.planner import _cond_has_updates
+from repro.xsql.result import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics import SessionMetrics
+    from repro.xsql.costplan import PlanEntry
+
+__all__ = [
+    "Aggregate",
+    "Batch",
+    "ExecContext",
+    "ExtentScan",
+    "Filter",
+    "HashJoin",
+    "IndexProbe",
+    "LowerSpec",
+    "NestedLoop",
+    "Operator",
+    "PathEval",
+    "Project",
+    "Quantify",
+    "RestrictedScan",
+    "SemiJoin",
+    "SetOp",
+    "execute",
+    "join_strategy_of",
+    "lower_query",
+    "lower_statement",
+    "render_tree",
+    "stage_trace",
+    "tree_dict",
+]
+
+#: Quantifiers with existential (∩ ≠ ∅) semantics under ``compare("=")``.
+_EXISTENTIAL = (None, "some")
+
+
+def _operand_join_vars(
+    operand: ast.Operand,
+) -> Optional[Tuple[Variable, ...]]:
+    """The operand's free variables, when it is a plain path operand."""
+    if isinstance(operand, ast.PathOperand):
+        return tuple(dict.fromkeys(ast.path_variables(operand.path)))
+    return None
+
+
+def join_strategy_of(cond: ast.Cond) -> str:
+    """Classify a conjunct for set-at-a-time execution.
+
+    ``"hash"``   — equality between two path operands with existential
+                   quantifiers and disjoint variable sets: a hash join.
+    ``"semi"``   — same shape but one side is ground: a semi-join filter
+                   (hash the variable side, intersect with the constant).
+    ``"nested"`` — anything else; evaluated per binding, exactly as the
+                   tuple-at-a-time evaluator would.
+    """
+    if not isinstance(cond, ast.Comparison):
+        return "nested"
+    if cond.op != "=":
+        return "nested"
+    if cond.lq not in _EXISTENTIAL or cond.rq not in _EXISTENTIAL:
+        return "nested"
+    lvars = _operand_join_vars(cond.lhs)
+    rvars = _operand_join_vars(cond.rhs)
+    if lvars is None or rvars is None:
+        return "nested"
+    if set(lvars) & set(rvars):
+        return "nested"  # shared variable: correlation, not a join
+    if lvars and rvars:
+        return "hash"
+    if lvars or rvars:
+        return "semi"
+    return "nested"  # both ground: a constant test, no join to speed up
+
+
+class Batch:
+    """One independent batch of the factored binding stream."""
+
+    __slots__ = ("vars", "envs")
+
+    def __init__(self, vars: Set[Variable], envs: List[Bindings]) -> None:
+        self.vars = vars
+        self.envs = envs
+
+
+#: The executor state: disjoint-variable batches whose cross product is
+#: the logical binding stream.  The empty state means "one empty env".
+State = List[Batch]
+
+
+def _merge(
+    state: State, touched: Set[Variable], merge_all: bool = False
+) -> Tuple[Batch, State]:
+    """Cross-product every batch overlapping *touched*; keep the rest.
+
+    With ``merge_all`` the whole state collapses into one batch — the
+    merged (tuple-at-a-time-equivalent) execution mode.
+    """
+    merged = Batch(set(), [{}])
+    rest: State = []
+    for batch in state:
+        if merge_all or (batch.vars & touched):
+            merged = Batch(
+                merged.vars | batch.vars,
+                [
+                    {**left, **right}
+                    for left in merged.envs
+                    for right in batch.envs
+                ],
+            )
+        else:
+            rest.append(batch)
+    return merged, rest
+
+
+def _cross(state: State) -> Iterator[Bindings]:
+    """The logical binding stream: the batches' cross product."""
+
+    def recurse(index: int, acc: Bindings) -> Iterator[Bindings]:
+        if index == len(state):
+            yield dict(acc)
+            return
+        for env in state[index].envs:
+            yield from recurse(index + 1, {**acc, **env})
+
+    return recurse(0, {})
+
+
+def _logical_rows(state: State) -> int:
+    count = 1
+    for batch in state:
+        count *= len(batch.envs)
+    return count
+
+
+class ExecContext:
+    """Per-run execution context shared by every operator in a tree."""
+
+    __slots__ = ("evaluator", "metrics")
+
+    def __init__(
+        self, evaluator: Evaluator, metrics: Optional["SessionMetrics"] = None
+    ) -> None:
+        self.evaluator = evaluator
+        self.metrics = metrics
+
+    def path_cache_hits(self) -> int:
+        if self.metrics is None:
+            return 0
+        return self.metrics.counters.get("cache.path.hit", 0)
+
+
+# ----------------------------------------------------------------------
+# the operator base
+# ----------------------------------------------------------------------
+
+
+class Operator:
+    """One node of the physical plan: ``open()``, ``batches()``, ``close()``.
+
+    ``batches()`` pulls the child state, transforms it, and memoizes the
+    output for the run; counters measure only the node's own transform
+    (child work is pulled outside the timer).  Root operators
+    (:class:`Project`, :class:`SetOp`, whole-statement
+    :class:`NestedLoop`) additionally implement ``result()``.
+    """
+
+    name = "Operator"
+
+    def __init__(
+        self,
+        child: Optional["Operator"] = None,
+        *,
+        label: str = "",
+        detail: str = "",
+        estimated_rows: Optional[float] = None,
+        merge_all: bool = False,
+    ) -> None:
+        self.child = child
+        self.label = label
+        self.detail = detail
+        self.estimated_rows = estimated_rows
+        self.merge_all = merge_all
+        self.statement: Optional[ast.Statement] = None
+        self._ctx: Optional[ExecContext] = None
+        self._output: Optional[State] = None
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self.rows_in = 0
+        self.rows_out = 0
+        self.batches_out = 0
+        self.wall_seconds = 0.0
+        self.cache_hits = 0
+        self.executed = False
+
+    @property
+    def children(self) -> List["Operator"]:
+        return [self.child] if self.child is not None else []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self, ctx: ExecContext) -> None:
+        self._ctx = ctx
+        self._output = None
+        self._reset_counters()
+        for child in self.children:
+            child.open(ctx)
+
+    def batches(self) -> State:
+        if self._output is None:
+            state = self.child.batches() if self.child is not None else []
+            self._output = self._measure(state)
+        return self._output
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+        ctx = self._ctx
+        if ctx is not None and ctx.metrics is not None and self.executed:
+            ctx.metrics.count(f"op.{self.name}")
+
+    # -- instrumentation ------------------------------------------------
+
+    def _measure(self, state: State) -> State:
+        ctx = self._ctx
+        assert ctx is not None, "operator used before open()"
+        self.rows_in = _logical_rows(state)
+        hits = ctx.path_cache_hits()
+        started = time.perf_counter()
+        out = self._transform(state)
+        self.wall_seconds += time.perf_counter() - started
+        self.cache_hits += ctx.path_cache_hits() - hits
+        self.rows_out = _logical_rows(out)
+        self.batches_out = len(out)
+        self.executed = True
+        return out
+
+    def _transform(self, state: State) -> State:
+        raise NotImplementedError
+
+    def result(self) -> QueryResult:
+        raise QueryError(f"{self.name} is not a plan root")
+
+
+# ----------------------------------------------------------------------
+# scans: one FROM declaration each
+# ----------------------------------------------------------------------
+
+
+class ScanOperator(Operator):
+    """Bind one FROM declaration over the incoming stream.
+
+    All three scan flavours delegate to ``Evaluator._bind_from``, which
+    consults the evaluator's per-variable restrictions at runtime — the
+    subclass records *which access path the plan chose* (and `EXPLAIN
+    ANALYZE` then shows whether it paid off).
+    """
+
+    def __init__(
+        self, decl: ast.FromDecl, child: Optional[Operator] = None, **kw
+    ) -> None:
+        kw.setdefault("label", f"FROM {decl.cls} {decl.var}")
+        super().__init__(child, **kw)
+        self.decl = decl
+
+    def _transform(self, state: State) -> State:
+        decl = self.decl
+        touched = {decl.var}
+        if isinstance(decl.cls, Variable):
+            touched.add(decl.cls)
+        base, rest = _merge(state, touched, self.merge_all)
+        assert self._ctx is not None
+        envs = list(self._ctx.evaluator._bind_from(decl, iter(base.envs)))
+        rest.append(Batch(base.vars | touched, envs))
+        return rest
+
+
+class ExtentScan(ScanOperator):
+    name = "ExtentScan"
+
+
+class RestrictedScan(ScanOperator):
+    """FROM over a Theorem 6.1 instantiation set instead of the extent."""
+
+    name = "RestrictedScan"
+
+
+class IndexProbe(ScanOperator):
+    """FROM narrowed to the owners found by an inverted-index probe."""
+
+    name = "IndexProbe"
+
+
+# ----------------------------------------------------------------------
+# conjuncts
+# ----------------------------------------------------------------------
+
+
+class CondOperator(Operator):
+    """Base for operators that apply one WHERE conjunct to the stream."""
+
+    def __init__(
+        self,
+        cond: Optional[ast.Cond],
+        child: Optional[Operator] = None,
+        **kw,
+    ) -> None:
+        if cond is not None:
+            kw.setdefault("label", str(cond))
+        super().__init__(child, **kw)
+        self.cond = cond
+
+    def _transform(self, state: State) -> State:
+        return self._merge_eval(state)
+
+    def _merge_eval(self, state: State) -> State:
+        """Merge what the conjunct touches; evaluate it per binding."""
+        assert self.cond is not None and self._ctx is not None
+        cond_vars = set(ast.cond_variables(self.cond))
+        base, rest = _merge(state, cond_vars, self.merge_all)
+        metrics = self._ctx.metrics
+        if not self.merge_all and metrics is not None:
+            metrics.count("join.filter")
+        evaluator = self._ctx.evaluator
+        envs = [
+            out
+            for env in base.envs
+            for out in evaluator.eval_cond(self.cond, env)
+        ]
+        rest.append(Batch(base.vars | cond_vars, envs))
+        return rest
+
+
+class PathEval(CondOperator):
+    """A path-expression conjunct: walk and extend bindings."""
+
+    name = "PathEval"
+
+
+class Filter(CondOperator):
+    """An unquantified comparison or schema predicate."""
+
+    name = "Filter"
+
+
+class Quantify(CondOperator):
+    """A ``some``/``all``-quantified comparison (vacuous truth included)."""
+
+    name = "Quantify"
+
+
+class Aggregate(CondOperator):
+    """A comparison over an aggregate operand (count/sum/avg/min/max)."""
+
+    name = "Aggregate"
+
+
+def _covering(state: State, needed: Set[Variable]) -> Optional[State]:
+    """Batches covering *needed*, each with it fully bound; else None."""
+    found = [batch for batch in state if batch.vars & needed]
+    covered = set().union(*(b.vars for b in found)) if found else set()
+    if not needed <= covered:
+        return None  # an operand variable no batch binds yet
+    for batch in found:
+        want = batch.vars & needed
+        if any(
+            any(var not in env for var in want) for env in batch.envs
+        ):
+            return None  # declared but unbound (e.g. empty walk)
+    return found
+
+
+def _setwise_ready(
+    state: State, lvars: Set[Variable], rvars: Set[Variable]
+) -> bool:
+    left_owners = _covering(state, lvars)
+    right_owners = _covering(state, rvars)
+    if left_owners is None or right_owners is None:
+        return False
+    if set(map(id, left_owners)) & set(map(id, right_owners)):
+        return False  # one batch feeds both operands: correlated
+    return True
+
+
+class HashJoin(CondOperator):
+    """Equality between disjoint batches: build on the smaller, probe.
+
+    Falls back to the per-binding merge when a precondition fails at
+    runtime (an operand variable unbound, or both sides fed by the same
+    batch) — results stay bit-identical either way.
+    """
+
+    name = "HashJoin"
+
+    def _transform(self, state: State) -> State:
+        out = self._try_join(state)
+        if out is None:
+            return self._merge_eval(state)
+        return out
+
+    def _try_join(self, state: State) -> Optional[State]:
+        cond = self.cond
+        assert isinstance(cond, ast.Comparison) and self._ctx is not None
+        lvars = set(_operand_join_vars(cond.lhs) or ())
+        rvars = set(_operand_join_vars(cond.rhs) or ())
+        if not _setwise_ready(state, lvars, rvars):
+            return None
+        evaluator = self._ctx.evaluator
+        left, rest = _merge(state, lvars)
+        right, rest = _merge(rest, rvars)
+        build, build_op, probe, probe_op = (
+            (left, cond.lhs, right, cond.rhs)
+            if len(left.envs) <= len(right.envs)
+            else (right, cond.rhs, left, cond.lhs)
+        )
+        table: Dict[Oid, List[int]] = {}
+        for index, env in enumerate(build.envs):
+            for value in evaluator.eval_operand(build_op, env):
+                table.setdefault(value, []).append(index)
+        envs = []
+        for probe_env in probe.envs:
+            matched: Set[int] = set()
+            for value in evaluator.eval_operand(probe_op, probe_env):
+                matched.update(table.get(value, ()))
+            for index in sorted(matched):
+                envs.append({**build.envs[index], **probe_env})
+        rest.append(Batch(left.vars | right.vars, envs))
+        if self._ctx.metrics is not None:
+            self._ctx.metrics.count("join.hash")
+        return rest
+
+
+class SemiJoin(CondOperator):
+    """Equality against a ground path: hash-filter the variable side."""
+
+    name = "SemiJoin"
+
+    def _transform(self, state: State) -> State:
+        cond = self.cond
+        assert isinstance(cond, ast.Comparison) and self._ctx is not None
+        lvars = set(_operand_join_vars(cond.lhs) or ())
+        rvars = set(_operand_join_vars(cond.rhs) or ())
+        if not _setwise_ready(state, lvars, rvars):
+            return self._merge_eval(state)
+        evaluator = self._ctx.evaluator
+        keyed, ground_op = (
+            (lvars, cond.rhs) if lvars else (rvars, cond.lhs)
+        )
+        base, rest = _merge(state, keyed)
+        ground = evaluator.eval_operand(ground_op, {})
+        envs = [
+            env
+            for env in base.envs
+            if ground
+            and not ground.isdisjoint(
+                evaluator.eval_operand(
+                    cond.lhs if keyed is lvars else cond.rhs, env
+                )
+            )
+        ]
+        rest.append(Batch(base.vars | keyed, envs))
+        if self._ctx.metrics is not None:
+            self._ctx.metrics.count("join.semi")
+        return rest
+
+
+class NestedLoop(CondOperator):
+    """Per-binding evaluation of anything the other operators don't claim.
+
+    In a pipeline position it merges what the conjunct touches and runs
+    the inherited ``eval_cond`` per binding (OR/NOT/nested AND).  As a
+    *root* (``cond=None``, ``statement=...``) it evaluates a whole
+    statement through the context's evaluator in one step: WHERE clauses
+    containing updates must keep the exact lazy left-to-right stream of
+    §5, and ``engine="naive"`` runs the literal §3.4 enumeration.
+    """
+
+    name = "NestedLoop"
+
+    def __init__(
+        self,
+        cond: Optional[ast.Cond] = None,
+        child: Optional[Operator] = None,
+        *,
+        statement: Optional[ast.Statement] = None,
+        **kw,
+    ) -> None:
+        if cond is None and statement is not None:
+            kw.setdefault("label", _clip(str(statement)))
+        super().__init__(cond, child, **kw)
+        self.statement = statement
+
+    def result(self) -> QueryResult:
+        assert self.statement is not None and self._ctx is not None
+        ctx = self._ctx
+        hits = ctx.path_cache_hits()
+        started = time.perf_counter()
+        result = ctx.evaluator.run(self.statement)
+        self.wall_seconds += time.perf_counter() - started
+        self.cache_hits += ctx.path_cache_hits() - hits
+        self.rows_out = len(result)
+        self.batches_out = 1
+        self.executed = True
+        return result
+
+
+# ----------------------------------------------------------------------
+# roots
+# ----------------------------------------------------------------------
+
+
+def _item_label(item: ast.SelectItem) -> str:
+    if isinstance(item, ast.PathItem):
+        return item.name or str(item.path)
+    if isinstance(item, ast.SetItem):
+        return item.name
+    return str(item)
+
+
+def _clip(text: str, limit: int = 60) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class Project(Operator):
+    """Expand SELECT items over the deduplicated binding stream."""
+
+    name = "Project"
+
+    def __init__(
+        self, query: ast.Query, child: Optional[Operator] = None, **kw
+    ) -> None:
+        kw.setdefault(
+            "label", ", ".join(_item_label(item) for item in query.select)
+        )
+        super().__init__(child, **kw)
+        self.query = query
+
+    def result(self) -> QueryResult:
+        query = self.query
+        # The same guards Evaluator.run applies, before any child work.
+        if query.creates_objects:
+            raise QueryError(
+                "object-creating queries must run through the session's "
+                "view manager (they mint oids)"
+            )
+        if any(isinstance(item, ast.MethodItem) for item in query.select):
+            raise QueryError(
+                "method-defining SELECT items only appear inside "
+                "ALTER CLASS statements"
+            )
+        ctx = self._ctx
+        assert ctx is not None
+        state = self.child.batches() if self.child is not None else []
+        self.rows_in = _logical_rows(state)
+        evaluator = ctx.evaluator
+        hits = ctx.path_cache_hits()
+        started = time.perf_counter()
+        columns = [evaluator._column_name(item) for item in query.select]
+        result = QueryResult(columns)
+        for env in _dedup(_cross(state)):
+            for row in evaluator._select_rows(query.select, env):
+                result.add(row)
+        self.wall_seconds += time.perf_counter() - started
+        self.cache_hits += ctx.path_cache_hits() - hits
+        self.rows_out = len(result)
+        self.batches_out = 1
+        self.executed = True
+        return result
+
+
+class SetOp(Operator):
+    """UNION / MINUS / INTERSECT of two sub-plans (``QueryOp``)."""
+
+    name = "SetOp"
+
+    def __init__(self, op: str, left: Operator, right: Operator, **kw) -> None:
+        kw.setdefault("label", op)
+        super().__init__(None, **kw)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def result(self) -> QueryResult:
+        left = self.left.result()
+        right = self.right.result()
+        started = time.perf_counter()
+        if self.op == "union":
+            combined = left.union(right)
+        elif self.op == "minus":
+            combined = left.minus(right)
+        else:
+            combined = left.intersect(right)
+        self.wall_seconds += time.perf_counter() - started
+        self.rows_in = len(left) + len(right)
+        self.rows_out = len(combined)
+        self.batches_out = 1
+        self.executed = True
+        return combined
+
+
+# ----------------------------------------------------------------------
+# lowering: statements -> operator trees
+# ----------------------------------------------------------------------
+
+
+class LowerSpec:
+    """What the planner decided; everything the lowering rules consult.
+
+    ``factored``     keep the stream factored (cost plan + hash joins)
+                     instead of merging every batch at each operator.
+    ``restrictions`` the per-variable instantiation sets the run will
+                     pass to the evaluator (Theorem 6.1 ∩ index probes);
+                     used to label scans when no plan entries exist.
+    ``probe_vars``   FROM variables narrowed by an index probe.
+    ``entries``      the cost plan's entries, aligned FROM-decls-first
+                     then conjuncts-in-plan-order; they carry labels,
+                     access paths, and estimated cardinalities.
+    """
+
+    def __init__(
+        self,
+        factored: bool = False,
+        restrictions: Optional[Mapping[Variable, object]] = None,
+        probe_vars: Optional[Set[Variable]] = None,
+        entries: Sequence["PlanEntry"] = (),
+    ) -> None:
+        self.factored = factored
+        self.restrictions = restrictions or {}
+        self.probe_vars = probe_vars or set()
+        self.entries = list(entries)
+
+
+def _scan_class(
+    decl: ast.FromDecl, spec: LowerSpec, entry: Optional["PlanEntry"]
+) -> type:
+    if entry is not None:
+        if entry.access_path == "index-probe":
+            return IndexProbe
+        if entry.access_path == "restricted-range":
+            return RestrictedScan
+        return ExtentScan
+    if decl.var in spec.probe_vars:
+        return IndexProbe
+    if decl.var in spec.restrictions:
+        return RestrictedScan
+    return ExtentScan
+
+
+def _cond_class(cond: ast.Cond, factored: bool) -> type:
+    if isinstance(cond, ast.PathCond):
+        return PathEval
+    if isinstance(cond, ast.SchemaCond):
+        return Filter
+    if isinstance(cond, ast.Comparison):
+        if factored:
+            strategy = join_strategy_of(cond)
+            if strategy == "hash":
+                return HashJoin
+            if strategy == "semi":
+                return SemiJoin
+        if isinstance(cond.lhs, ast.AggOperand) or isinstance(
+            cond.rhs, ast.AggOperand
+        ):
+            return Aggregate
+        if cond.lq is not None or cond.rq is not None:
+            return Quantify
+        return Filter
+    return NestedLoop
+
+
+def _entry_kwargs(entry: Optional["PlanEntry"]) -> Dict[str, object]:
+    if entry is None:
+        return {}
+    kwargs: Dict[str, object] = {
+        "label": entry.label,
+        "estimated_rows": entry.estimated_rows,
+    }
+    if entry.detail:
+        kwargs["detail"] = entry.detail
+    return kwargs
+
+
+def lower_query(query: ast.Query, spec: LowerSpec) -> Operator:
+    """Lower one plain query into an operator tree rooted at Project.
+
+    A WHERE clause containing updates (§5) must interleave its side
+    effects with the lazy left-to-right binding stream — projection
+    included — so such queries lower to a single whole-statement
+    :class:`NestedLoop` instead of a staged pipeline.
+    """
+    if query.where is not None and _cond_has_updates(query.where):
+        return NestedLoop(
+            statement=query,
+            detail="WHERE contains updates: exact §5 stream",
+        )
+    merge_all = not spec.factored
+    entries = spec.entries
+    position = 0
+    node: Optional[Operator] = None
+    for decl in query.from_:
+        entry = entries[position] if position < len(entries) else None
+        position += 1
+        scan_cls = _scan_class(decl, spec, entry)
+        node = scan_cls(
+            decl, node, merge_all=merge_all, **_entry_kwargs(entry)
+        )
+    if query.where is not None:
+        conjuncts = (
+            list(query.where.items)
+            if isinstance(query.where, ast.AndCond)
+            else [query.where]
+        )
+        for cond in conjuncts:
+            entry = entries[position] if position < len(entries) else None
+            position += 1
+            cond_cls = _cond_class(cond, spec.factored)
+            node = cond_cls(
+                cond, node, merge_all=merge_all, **_entry_kwargs(entry)
+            )
+    return Project(query, node)
+
+
+def lower_statement(
+    statement: ast.Statement, spec: Optional[LowerSpec] = None
+) -> Operator:
+    """Lower a query or set-combination into its physical-operator tree."""
+    if spec is None:
+        spec = LowerSpec()
+    if isinstance(statement, ast.QueryOp):
+        return SetOp(
+            statement.op,
+            lower_statement(statement.left, spec),
+            lower_statement(statement.right, spec),
+        )
+    assert isinstance(statement, ast.Query), statement
+    return lower_query(statement, spec)
+
+
+# ----------------------------------------------------------------------
+# execution + introspection
+# ----------------------------------------------------------------------
+
+
+def execute(
+    root: Operator,
+    evaluator: Evaluator,
+    metrics: Optional["SessionMetrics"] = None,
+) -> QueryResult:
+    """Run an operator tree to completion and return its result table."""
+    ctx = ExecContext(evaluator, metrics)
+    root.open(ctx)
+    try:
+        return root.result()
+    finally:
+        root.close()
+
+
+def pipeline_stages(root: Operator) -> List[Operator]:
+    """Scan and conjunct operators in execution (deepest-first) order."""
+    stages: List[Operator] = []
+
+    def visit(op: Operator) -> None:
+        for child in op.children:
+            visit(child)
+        if op.statement is not None:
+            return  # a whole-statement root is not a pipeline stage
+        if isinstance(op, (ScanOperator, CondOperator)):
+            stages.append(op)
+
+    visit(root)
+    return stages
+
+
+def stage_trace(root: Operator) -> List[int]:
+    """Logical stream size after each stage — the explain() actuals."""
+    return [op.rows_out for op in pipeline_stages(root) if op.executed]
+
+
+def tree_dict(op: Operator) -> Dict[str, object]:
+    """The instrumented tree as plain data (for JSON and the goldens)."""
+    data: Dict[str, object] = {
+        "operator": op.name,
+        "label": op.label,
+        "rows_in": op.rows_in,
+        "rows_out": op.rows_out,
+        "batches": op.batches_out,
+        "cache_hits": op.cache_hits,
+        "time_ms": round(op.wall_seconds * 1000.0, 3),
+    }
+    if op.detail:
+        data["detail"] = op.detail
+    if op.estimated_rows is not None:
+        data["estimated_rows"] = round(op.estimated_rows, 1)
+    kids = [tree_dict(child) for child in op.children]
+    if kids:
+        data["children"] = kids
+    return data
+
+
+def render_tree(data: Mapping[str, object], indent: int = 0) -> List[str]:
+    """Render a :func:`tree_dict` snapshot as indented text lines."""
+    est = (
+        f" est={data['estimated_rows']:g}"
+        if "estimated_rows" in data
+        else ""
+    )
+    label = f" {data['label']}" if data.get("label") else ""
+    line = (
+        f"{'  ' * indent}{data['operator']}{label} "
+        f"[{est.strip() + ' ' if est else ''}act={data['rows_out']} "
+        f"in={data['rows_in']} batches={data['batches']} "
+        f"cache_hits={data['cache_hits']} time={data['time_ms']}ms]"
+    )
+    lines = [line]
+    detail = data.get("detail")
+    if detail:
+        lines.append(f"{'  ' * (indent + 1)}· {detail}")
+    for child in data.get("children", ()):  # type: ignore[union-attr]
+        lines.extend(render_tree(child, indent + 1))
+    return lines

@@ -17,10 +17,15 @@ Stages (each timed into :class:`repro.metrics.SessionMetrics`):
    falling back to greedy when the query is not strictly well-typed), or
    the cost-based optimizer (``plan="cost"`` — statistics-driven join
    order and access paths, :mod:`repro.xsql.costplan`);
-5. **execute** — the reference binding-stream evaluator or the literal
-   §3.4 naive engine, with Theorem 6.1 extent restrictions applied under
-   ``plan="typed"`` and ``plan="cost"`` (the latter additionally applies
-   inverted-index probe restrictions before FROM enumeration).
+5. **execute** — the planned statement is *lowered* to a physical
+   operator tree (:mod:`repro.xsql.operators`) and run through the one
+   executor every ``plan=``/``engine=``/``join_mode`` combination
+   shares: Theorem 6.1 extent restrictions become ``RestrictedScan``
+   inputs under ``plan="typed"``/``"cost"``, inverted-index probes
+   narrow scans further under ``plan="cost"``, and hash-joinable
+   conjuncts become ``HashJoin``/``SemiJoin`` operators under
+   ``join_mode="hash"``.  The instrumented tree of the latest run is
+   kept on the compiled statement for ``explain(analyze=True)``.
 
 Cache soundness: entries are keyed on ``(source, plan, engine)`` and
 stamped with the owning store's ``schema_generation``.  Typing analysis
@@ -39,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import QueryError
-from repro.xsql import ast
+from repro.xsql import ast, operators
 from repro.xsql.parser import normalize_statement, parse_statement_raw
 from repro.xsql.result import QueryResult
 
@@ -90,6 +95,12 @@ class CompiledQuery:
     #: Actual binding counts per plan entry from the most recent run
     #: under ``plan="cost"`` (None before the first run).
     last_trace: Optional[List[int]] = field(repr=False, default=None)
+    #: Instrumented snapshot (:func:`repro.xsql.operators.tree_dict`) of
+    #: the physical-operator tree from the most recent run (None before
+    #: the first run and for dispatched DDL/creation statements).
+    last_optree: Optional[Dict[str, object]] = field(
+        repr=False, default=None
+    )
     #: Schema generation of the owning store when this compile happened.
     schema_generation: int = -1
     _store_token: int = field(repr=False, default=-1)
@@ -131,7 +142,7 @@ class CompiledQuery:
             return []
         return [entry.as_dict() for entry in plan.entries]
 
-    def explain(self, format: str = "text") -> str:
+    def explain(self, format: str = "text", analyze: bool = False) -> str:
         """An account of typing, join order, access paths, and estimates.
 
         ``format="text"`` renders the human-readable multi-line report:
@@ -142,17 +153,35 @@ class CompiledQuery:
         run, actual) cardinalities, and the pipeline configuration.
         ``format="json"`` returns the same facts as a JSON object for
         tooling.
+
+        ``analyze=True`` — EXPLAIN ANALYZE — *executes* the query and
+        appends the instrumented physical-operator tree: per-operator
+        estimated vs actual rows, input rows, batches, path-cache hits,
+        and wall time.  Only plain (relation-producing) queries can be
+        analyzed; WHERE clauses containing updates do apply their side
+        effects, exactly as a normal run would.
         """
         if format not in ("text", "json"):
             raise QueryError(
                 f"unknown explain format {format!r}; choose text or json"
             )
-        data = self._explain_data()
+        if analyze:
+            statement = self.statement
+            if not isinstance(statement, (ast.Query, ast.QueryOp)) or (
+                isinstance(statement, ast.Query)
+                and statement.creates_objects
+            ):
+                raise QueryError(
+                    "explain(analyze=True) executes the statement; only "
+                    "plain queries are supported"
+                )
+            self.run()
+        data = self._explain_data(analyze=analyze)
         if format == "json":
             return json.dumps(data, indent=2, sort_keys=True)
         return self._render_text(data)
 
-    def _explain_data(self) -> Dict[str, object]:
+    def _explain_data(self, analyze: bool = False) -> Dict[str, object]:
         self.session.pipeline.ensure_report(self)
         statement = self.statement
         data: Dict[str, object] = {
@@ -161,6 +190,10 @@ class CompiledQuery:
         if not isinstance(statement, ast.Query):
             data["kind"] = "statement"
             data["statement"] = str(statement)
+            # UNION chains still execute through the operator tree
+            # (a SetOp root), so EXPLAIN ANALYZE can report on them.
+            if analyze and self.last_optree is not None:
+                data["operators"] = self.last_optree
             return data
         data["kind"] = "query"
         data["statement"] = str(statement)
@@ -203,12 +236,22 @@ class CompiledQuery:
                     if position < len(trace):
                         entry["actual_rows"] = trace[position]
             data["cost"] = cost
+        if analyze and self.last_optree is not None:
+            data["operators"] = self.last_optree
         return data
 
     @staticmethod
     def _render_text(data: Dict[str, object]) -> str:
         if data["kind"] == "statement":
-            return f"statement: {data['statement']}"
+            lines = [f"statement: {data['statement']}"]
+            tree = data.get("operators")
+            if tree:
+                lines.append("physical operators:")
+                lines.extend(
+                    "  " + line
+                    for line in operators.render_tree(tree)  # type: ignore[arg-type]
+                )
+            return "\n".join(lines)
         lines = [f"query: {data['statement']}"]
         lines.append(f"typing: {data['typing']}")
         if "coherent_plan" in data:
@@ -246,6 +289,13 @@ class CompiledQuery:
                     "  auto-enabled indexes: "
                     + ", ".join(cost["auto_enabled_indexes"])
                 )
+        tree = data.get("operators")
+        if tree:
+            lines.append("physical operators:")
+            lines.extend(
+                "  " + line
+                for line in operators.render_tree(tree)  # type: ignore[arg-type]
+            )
         pipeline = data["pipeline"]
         lines.append(
             f"pipeline: plan={pipeline['plan']} "  # type: ignore[index]
@@ -318,6 +368,7 @@ class QueryPipeline:
         compiled.report = None
         compiled.cost_plan = None
         compiled.last_trace = None
+        compiled.last_optree = None
         if compiled.plan in ("typed", "cost") and isinstance(
             statement, ast.Query
         ):
@@ -441,40 +492,97 @@ class QueryPipeline:
         return result
 
     def _run(self, compiled: CompiledQuery) -> QueryResult:
+        """Lower the planned statement to operators and execute the tree.
+
+        Every ``plan=``/``engine=``/``join_mode`` combination flows
+        through here: the modes differ only in the *lowering inputs*
+        (restrictions, probe sets, cost-plan entries, factored or merged
+        batches), never in the executor.
+        """
         session = self.session
         statement = compiled.statement
         if compiled.engine == "naive":
             if not isinstance(statement, ast.Query):
                 raise QueryError("the naive oracle runs plain queries only")
-            return session.naive_evaluator().run(statement)
+            root = operators.NestedLoop(
+                statement=statement,
+                detail="engine=naive: literal §3.4 enumeration",
+            )
+            result = operators.execute(
+                root, session.naive_evaluator(), session.metrics
+            )
+            compiled.last_optree = operators.tree_dict(root)
+            return result
         if not isinstance(statement, (ast.Query, ast.QueryOp)) or (
             isinstance(statement, ast.Query) and statement.creates_objects
         ):
             return session._dispatch(statement)
+        restrictions, spec, cost_plan = self._lowering_inputs(compiled)
+        from repro.xsql.evaluator import Evaluator
+
+        evaluator = Evaluator(
+            session.store,
+            id_function_instances=session.registry.instances,
+            max_path_var_length=session._max_path_var_length,
+            restrictions=restrictions or None,
+            metrics=session.metrics,
+        )
+        root = operators.lower_statement(compiled.planned, spec)
+        result = operators.execute(root, evaluator, session.metrics)
+        compiled.last_optree = operators.tree_dict(root)
+        if cost_plan is not None:
+            trace = operators.stage_trace(root)
+            compiled.last_trace = trace
+            actual = trace[-1] if trace else len(result)
+            estimated = cost_plan.estimated_result_rows
+            session.metrics.observe(
+                "cost.estimation_error",
+                abs(estimated - actual) / max(actual, 1),
+            )
+        return result
+
+    def _lowering_inputs(
+        self, compiled: CompiledQuery
+    ) -> Tuple[Dict, "operators.LowerSpec", Optional["CostPlan"]]:
+        """The data-dependent half of the plan, rebuilt on every run.
+
+        Conjunct order and access-path choices were fixed at compile
+        time; the per-variable instantiation sets (Theorem 6.1) and
+        inverted-index probe results depend on the data, so they are
+        recomputed here and handed to the lowering as scan restrictions.
+        """
+        session = self.session
+        statement = compiled.statement
+        if (
+            compiled.plan == "cost"
+            and isinstance(statement, ast.Query)
+            and compiled.cost_plan is not None
+        ):
+            cost_plan = self._refresh_cost_plan(compiled)
+            restrictions, probe_vars = self._cost_restrictions(
+                compiled, cost_plan
+            )
+            spec = operators.LowerSpec(
+                factored=session.join_mode == "hash",
+                restrictions=restrictions,
+                probe_vars=probe_vars,
+                entries=cost_plan.entries,
+            )
+            return restrictions, spec, cost_plan
         if (
             compiled.plan == "typed"
             and isinstance(statement, ast.Query)
             and compiled.report is not None
             and compiled.report.strict_witness is not None
         ):
-            return self._run_typed(compiled)
-        if (
-            compiled.plan == "cost"
-            and isinstance(statement, ast.Query)
-            and compiled.cost_plan is not None
-        ):
-            return self._run_cost(compiled)
-        return session.evaluator().run(compiled.planned)
+            restrictions = self._typed_restrictions(compiled)
+            spec = operators.LowerSpec(restrictions=restrictions)
+            return restrictions, spec, None
+        return {}, operators.LowerSpec(), None
 
-    def _run_typed(self, compiled: CompiledQuery) -> QueryResult:
-        """Theorem 6.1 execution: cached plan, fresh extent restrictions.
-
-        The coherent reorder was computed at compile time (schema-only);
-        the per-variable instantiation sets depend on the data, so they
-        are rebuilt here on every run and their sizes recorded.
-        """
+    def _typed_restrictions(self, compiled: CompiledQuery) -> Dict:
+        """Theorem 6.1 instantiation sets for a strictly well-typed query."""
         from repro.typing import TypedEvaluator
-        from repro.xsql.evaluator import Evaluator
 
         session = self.session
         report = compiled.report
@@ -491,32 +599,17 @@ class QueryPipeline:
         )
         for allowed in restrictions.values():
             session.metrics.observe("restriction", len(allowed))
-        evaluator = Evaluator(
-            session.store,
-            id_function_instances=session.registry.instances,
-            max_path_var_length=session._max_path_var_length,
-            restrictions=restrictions or None,
-            metrics=session.metrics,
-        )
-        return evaluator.run(compiled.planned)
+        return dict(restrictions)
 
-    def _run_cost(self, compiled: CompiledQuery) -> QueryResult:
-        """Cost-based execution: probe + Theorem 6.1 restrictions, traced.
+    def _refresh_cost_plan(self, compiled: CompiledQuery) -> "CostPlan":
+        """Re-plan cheaply when only the statistics have drifted.
 
-        The join order was fixed at compile time.  Here the two
-        data-dependent artifacts are rebuilt per run: the per-variable
-        instantiation sets (Theorem 6.1, when strictly well-typed) and
-        the inverted-index probe results, intersected where both apply.
-        If only the *statistics* have drifted (data writes, not DDL), the
-        join order may be sub-optimal but is still sound — re-plan
-        cheaply without recompiling.
+        If data writes (not DDL) have moved the statistics generation,
+        the compiled join order may be sub-optimal but is still sound —
+        re-plan without recompiling the statement.
         """
-        from repro.xsql.evaluator import Evaluator
-        from repro.xsql.hashjoin import HashJoinEvaluator
-
-        session = self.session
-        store = session.store
-        metrics = session.metrics
+        store = self.session.store
+        metrics = self.session.metrics
         cost_plan = compiled.cost_plan
         assert cost_plan is not None
         if cost_plan.stats_generation != store.statistics.generation:
@@ -528,6 +621,15 @@ class QueryPipeline:
                 compiled.schema_generation = store.schema_generation
                 cost_plan = compiled.cost_plan
                 assert cost_plan is not None
+        return cost_plan
+
+    def _cost_restrictions(
+        self, compiled: CompiledQuery, cost_plan: "CostPlan"
+    ) -> Tuple[Dict, set]:
+        """Theorem 6.1 sets ∩ index-probe owners, per FROM variable."""
+        session = self.session
+        store = session.store
+        metrics = session.metrics
         statement = compiled.statement
         assert isinstance(statement, ast.Query)
         restrictions: Dict[object, frozenset] = {}
@@ -545,7 +647,7 @@ class QueryPipeline:
             # binding anyway), and FROM variables whose range is exactly
             # the declared class (``_bind_from`` scans that same extent).
             ranges = self._range_classes(compiled) or {}
-            probed = {spec.var for spec in cost_plan.probes}
+            probed = {probe.var for probe in cost_plan.probes}
             keep = {
                 decl.var
                 for decl in statement.from_
@@ -563,39 +665,23 @@ class QueryPipeline:
             )
             for allowed in restrictions.values():
                 metrics.observe("restriction", len(allowed))
-        for spec in cost_plan.probes:
-            owners = store.lookup_by_value(spec.method, spec.value, spec.args)
+        probe_vars: set = set()
+        for probe in cost_plan.probes:
+            owners = store.lookup_by_value(
+                probe.method, probe.value, probe.args
+            )
             if owners is None:
                 # The index vanished (or reverse lookup became unsound)
                 # since planning; fall back to scanning for this var.
                 metrics.count("cost.probe_unavailable")
                 continue
             metrics.count("cost.probe")
-            existing = restrictions.get(spec.var)
-            restrictions[spec.var] = (
+            probe_vars.add(probe.var)
+            existing = restrictions.get(probe.var)
+            restrictions[probe.var] = (
                 owners if existing is None else existing & owners
             )
-        trace: List[int] = []
-        evaluator_cls = (
-            HashJoinEvaluator if session.join_mode == "hash" else Evaluator
-        )
-        evaluator = evaluator_cls(
-            store,
-            id_function_instances=session.registry.instances,
-            max_path_var_length=session._max_path_var_length,
-            restrictions=restrictions or None,
-            metrics=metrics,
-            conjunct_trace=trace,
-        )
-        result = evaluator.run(compiled.planned)
-        compiled.last_trace = trace
-        actual = trace[-1] if trace else len(result)
-        estimated = cost_plan.estimated_result_rows
-        metrics.observe(
-            "cost.estimation_error",
-            abs(estimated - actual) / max(actual, 1),
-        )
-        return result
+        return restrictions, probe_vars
 
     def ensure_cost_plan(self, compiled: CompiledQuery) -> Optional["CostPlan"]:
         """The compiled cost plan, or a lazily-built advisory one.

@@ -10,7 +10,9 @@ Statements end with ``;``.  Meta-commands (no semicolon):
 * ``.help``            — this text
 * ``.schema``          — list classes and their signatures
 * ``.describe <oid>``  — dump one object
-* ``.explain <query>`` — typing discipline, plan, and access paths
+* ``.explain <query>`` — typing discipline, plan, and access paths;
+  ``.explain analyze <query>`` also executes the query and annotates
+  the physical-operator tree with actual row counts and timings
 * ``.naive <query>``   — evaluate with the literal §3.4 semantics
 * ``.indexes``         — list inverted indexes; ``.indexes +M``/``-M``
   enables/disables one on method ``M``
@@ -91,7 +93,11 @@ def _handle_meta(session: Session, line: str, out, plan: str = "none") -> bool:
     elif command == ".describe":
         print(session.store.describe(Atom(rest)), file=out)
     elif command == ".explain":
-        print(session.explain(rest, plan=plan), file=out)
+        analyze = False
+        if rest.startswith("analyze ") or rest == "analyze":
+            analyze = True
+            rest = rest[len("analyze") :].strip()
+        print(session.explain(rest, plan=plan, analyze=analyze), file=out)
     elif command == ".naive":
         print(session.query(rest, engine="naive").pretty(), file=out)
     elif command == ".indexes":

@@ -23,18 +23,17 @@ The everyday calls::
     compiled.run(); compiled.run()               # ... run many times
     session.stats()                              # pipeline metrics snapshot
 
-``session.query(text, optimize=True)`` and ``session.naive(text)`` are
-deprecated shims over the ``plan=`` / ``engine=`` keywords; they warn
-:class:`~repro.errors.XsqlDeprecationWarning`.
+The pre-pipeline spellings ``session.query(text, optimize=True)`` and
+``session.naive(text)`` have been removed; use ``plan="greedy"`` /
+``engine="naive"`` (see the migration table in ``docs/LANGUAGE.md``).
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.datamodel.store import ObjectStore
-from repro.errors import QueryError, XsqlDeprecationWarning
+from repro.errors import QueryError
 from repro.metrics import SessionMetrics
 from repro.oid import FuncOid, Oid, Value
 from repro.views.creation import CreationOutcome, execute_creation
@@ -111,41 +110,22 @@ class Session:
     def query(
         self,
         source: str,
-        optimize: Optional[bool] = None,
         *,
-        plan: Optional[str] = None,
+        plan: str = "none",
         engine: str = "reference",
     ) -> QueryResult:
         """Execute a SELECT query (the common case).
 
         ``plan`` selects the conjunct planner: ``"none"`` (source order),
-        ``"greedy"`` (untyped boundness reorder), or ``"typed"`` (the
+        ``"greedy"`` (untyped boundness reorder), ``"typed"`` (the
         Theorem 6.1 coherent plan + extent restrictions, falling back to
-        greedy outside the strictly well-typed fragment).  ``engine``
-        selects ``"reference"`` (the binding-stream evaluator) or
-        ``"naive"`` (the literal §3.4 enumerate-all-substitutions
-        semantics).
-
-        ``optimize=`` is the pre-pipeline spelling of ``plan=`` and is
-        deprecated: ``True`` means ``plan="greedy"``, ``False`` means
-        ``plan="none"``.
+        greedy outside the strictly well-typed fragment), or ``"cost"``
+        (the statistics-driven optimizer).  ``engine`` selects
+        ``"reference"`` (the binding-stream evaluator) or ``"naive"``
+        (the literal §3.4 enumerate-all-substitutions semantics).
         """
-        if optimize is not None:
-            if plan is not None:
-                raise QueryError(
-                    "pass either plan= or the deprecated optimize=, not both"
-                )
-            warnings.warn(
-                "Session.query(optimize=...) is deprecated; use "
-                "plan='greedy' (optimize=True) or plan='none'",
-                XsqlDeprecationWarning,
-                stacklevel=2,
-            )
-            plan = "greedy" if optimize else "none"
         self.metrics.begin_statement()
-        compiled = self.pipeline.compile(
-            source, plan=plan or "none", engine=engine
-        )
+        compiled = self.pipeline.compile(source, plan=plan, engine=engine)
         return self.pipeline.execute(compiled)
 
     def execute(self, source: str) -> QueryResult:
@@ -165,16 +145,6 @@ class Session:
         string literals and ``--`` comments do not terminate a statement.
         """
         return [self.execute(chunk) for chunk in split_statements(source)]
-
-    def naive(self, source: str) -> QueryResult:
-        """Deprecated: use ``query(source, engine="naive")``."""
-        warnings.warn(
-            "Session.naive(text) is deprecated; use "
-            "Session.query(text, engine='naive')",
-            XsqlDeprecationWarning,
-            stacklevel=2,
-        )
-        return self.query(source, engine="naive")
 
     def stats(self) -> Dict[str, Dict]:
         """A JSON-friendly snapshot of the session's pipeline metrics."""
@@ -302,7 +272,8 @@ class Session:
         self.pipeline.clear()
 
     # ------------------------------------------------------------------
-    # indexes (the public API; ``store.indexes`` is deprecated)
+    # indexes (the public API; the raw ``store.indexes`` registry
+    # accessor has been removed)
     # ------------------------------------------------------------------
 
     @property
@@ -369,14 +340,23 @@ class Session:
     # ------------------------------------------------------------------
 
     def explain(
-        self, source: str, *, plan: str = "none", format: str = "text"
+        self,
+        source: str,
+        *,
+        plan: str = "none",
+        format: str = "text",
+        analyze: bool = False,
     ) -> str:
         """A readable account of how a query would be type-checked and run.
 
         Delegates to :meth:`repro.xsql.pipeline.CompiledQuery.explain` on
-        the compiled statement.
+        the compiled statement.  ``analyze=True`` executes the query and
+        includes the instrumented physical-operator tree (per-operator
+        estimated vs actual rows, batches, cache hits, wall time).
         """
-        return self.prepare(source, plan=plan).explain(format=format)
+        return self.prepare(source, plan=plan).explain(
+            format=format, analyze=analyze
+        )
 
     # ------------------------------------------------------------------
     # view conveniences (§4.2)

@@ -9,17 +9,8 @@ class TestHierarchy:
     def test_everything_is_xsql_error(self):
         for name in dir(errors):
             obj = getattr(errors, name)
-            if isinstance(obj, type) and issubclass(obj, Warning):
-                # Warnings (XsqlDeprecationWarning) are categories, not
-                # raised errors, and must stay DeprecationWarning-rooted.
-                continue
             if isinstance(obj, type) and issubclass(obj, Exception):
                 assert issubclass(obj, errors.XsqlError), name
-
-    def test_deprecation_warning_category(self):
-        assert issubclass(
-            errors.XsqlDeprecationWarning, DeprecationWarning
-        )
 
     def test_schema_errors(self):
         assert issubclass(errors.CyclicHierarchyError, errors.SchemaError)

@@ -12,6 +12,7 @@ format change with::
 
 import json
 import os
+import re
 from pathlib import Path
 
 import pytest
@@ -115,6 +116,55 @@ def test_hashjoin_plan_json_golden(paper_session):
     ]
     assert strategies == ["hash"]
     _check("hashjoin", rendered, suffix="json")
+
+
+# EXPLAIN ANALYZE goldens: wall times vary run to run, so both renderings
+# are normalized (time=...ms / "time_ms": ...) before comparison — and
+# before regeneration, so the checked-in goldens are already normalized.
+_TIME_TEXT = re.compile(r"time=\d+(?:\.\d+)?ms")
+_TIME_JSON = re.compile(r'"time_ms": \d+(?:\.\d+)?')
+
+
+def _normalize_times(rendered: str) -> str:
+    rendered = _TIME_TEXT.sub("time=<t>ms", rendered)
+    return _TIME_JSON.sub('"time_ms": 0', rendered)
+
+
+def test_explain_analyze_golden(paper_session):
+    # plan="cost" on a fresh session with the default join_mode="hash":
+    # the operator tree carries a HashJoin with est= and act= columns.
+    compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+    rendered = compiled.explain(analyze=True)
+    assert "physical operators:" in rendered
+    _check("analyze", _normalize_times(rendered))
+
+
+def test_explain_analyze_json_golden(paper_session):
+    compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+    rendered = compiled.explain(format="json", analyze=True)
+    tree = json.loads(rendered)["operators"]
+    assert tree["operator"] == "Project"
+    join = tree["children"][0]
+    assert join["operator"] == "HashJoin"
+    # est-vs-actual is readable per operator straight from the JSON.
+    assert join["estimated_rows"] == 32.0
+    assert join["rows_out"] == 10
+    _check("analyze", _normalize_times(rendered), suffix="json")
+
+
+def test_explain_analyze_is_repeatable(paper_session):
+    compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+    first = _normalize_times(compiled.explain(analyze=True))
+    second = _normalize_times(compiled.explain(analyze=True))
+    assert first == second
+
+
+def test_explain_analyze_rejects_ddl(paper_session):
+    from repro.errors import QueryError
+
+    compiled = paper_session.prepare("CREATE CLASS Spaceship")
+    with pytest.raises(QueryError):
+        compiled.explain(analyze=True)
 
 
 def test_explain_rejects_unknown_format(shared_paper_session):

@@ -1,0 +1,282 @@
+"""The reified physical-operator tree (:mod:`repro.xsql.operators`).
+
+Every plan/engine/join_mode combination lowers to one operator tree and
+runs through :func:`repro.xsql.operators.execute`; these tests pin the
+tree shapes per mode, the edge cases the set-at-a-time executor must get
+right (empty extents, vacuous quantifiers), and re-execution after
+mid-stream schema and data changes.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.xsql import operators
+from repro.xsql.operators import (
+    Batch,
+    ExecContext,
+    LowerSpec,
+    _cross,
+    _merge,
+    execute,
+    lower_query,
+)
+from tests.conftest import make_paper_session, names
+
+JOIN_QUERY = (
+    "SELECT X, Y FROM Employee X, Employee Y "
+    "WHERE X.Salary =some Y.Salary"
+)
+STRICT_QUERY = (
+    "SELECT X FROM Vehicle X "
+    "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]"
+)
+
+
+def shape(tree):
+    """The operator names of a tree_dict, root first, depth first."""
+    out = [tree["operator"]]
+    for child in tree.get("children", []):
+        out.extend(shape(child))
+    return out
+
+
+class TestTreeShapesPerMode:
+    def test_cost_hash_mode_builds_hash_join(self, paper_session):
+        compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+        compiled.run()
+        assert shape(compiled.last_optree) == [
+            "Project", "HashJoin", "ExtentScan", "ExtentScan",
+        ]
+
+    def test_cost_nested_mode_builds_quantify(self, paper_session):
+        paper_session.join_mode = "nested"
+        compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+        compiled.run()
+        assert shape(compiled.last_optree) == [
+            "Project", "Quantify", "ExtentScan", "ExtentScan",
+        ]
+
+    def test_typed_mode_builds_restricted_scan(self, paper_session):
+        compiled = paper_session.prepare(STRICT_QUERY, plan="typed")
+        compiled.run()
+        assert shape(compiled.last_optree) == [
+            "Project", "PathEval", "PathEval", "RestrictedScan",
+        ]
+
+    def test_naive_engine_is_a_nested_loop_root(self, paper_session):
+        compiled = paper_session.prepare(
+            "SELECT X FROM Vehicle X", engine="naive"
+        )
+        compiled.run()
+        assert shape(compiled.last_optree) == ["NestedLoop"]
+
+    def test_all_modes_agree_on_the_join(self, paper_session):
+        reference = paper_session.query(JOIN_QUERY, plan="none").rows()
+        paper_session.join_mode = "nested"
+        nested = paper_session.query(JOIN_QUERY, plan="cost").rows()
+        paper_session.join_mode = "hash"
+        hashed = paper_session.query(JOIN_QUERY, plan="cost").rows()
+        assert nested == reference
+        assert hashed == reference
+
+
+class TestEmptyExtents:
+    def test_empty_extent_scan_yields_no_rows(self, paper_session):
+        paper_session.execute("CREATE CLASS Spacecraft")
+        result = paper_session.query("SELECT X FROM Spacecraft X")
+        assert len(result) == 0
+
+    @pytest.mark.parametrize("plan", ["none", "greedy", "typed", "cost"])
+    def test_join_against_empty_extent(self, paper_session, plan):
+        paper_session.execute(
+            "CREATE CLASS Spacecraft AS SUBCLASS OF Vehicle"
+        )
+        text = (
+            "SELECT X, Y FROM Employee X, Spacecraft Y "
+            "WHERE X.OwnedVehicles =some Y"
+        )
+        result = paper_session.query(text, plan=plan)
+        assert len(result) == 0
+
+    def test_empty_extent_operator_counters(self, paper_session):
+        paper_session.execute("CREATE CLASS Spacecraft")
+        compiled = paper_session.prepare(
+            "SELECT X FROM Spacecraft X", plan="cost"
+        )
+        compiled.run()
+        tree = compiled.last_optree
+        scan = tree["children"][0]
+        assert scan["operator"] == "ExtentScan"
+        assert scan["rows_out"] == 0
+        assert tree["rows_out"] == 0
+
+
+class TestVacuousQuantifiers:
+    # all-quantification over an empty set is vacuously true (§3.3): an
+    # employee with no FamMembers satisfies ``FamMembers.Age all> N`` for
+    # every N.  The set-at-a-time operators must preserve this.
+
+    @pytest.mark.parametrize("plan", ["none", "greedy", "typed", "cost"])
+    def test_universal_over_empty_set_is_true(
+        self, shared_paper_session, plan
+    ):
+        text = (
+            "SELECT X FROM Employee X WHERE X.FamMembers.Age all> 100000"
+        )
+        result = shared_paper_session.query(text, plan=plan)
+        reference = shared_paper_session.query(text, plan="none")
+        assert result.rows() == reference.rows()
+        # Vacuously satisfied employees (no FamMembers) are present.
+        assert len(result) > 0
+
+    @pytest.mark.parametrize("plan", ["none", "greedy", "typed", "cost"])
+    def test_existential_over_empty_set_is_false(
+        self, shared_paper_session, plan
+    ):
+        text = "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 0"
+        result = shared_paper_session.query(text, plan=plan)
+        assert result.rows() == shared_paper_session.query(
+            text, plan="none"
+        ).rows()
+
+
+class TestMidStreamInvalidation:
+    def test_schema_change_recompiles_and_reruns(self, paper_session):
+        compiled = paper_session.prepare(
+            "SELECT X FROM Vehicle X", plan="cost"
+        )
+        before = compiled.run().rows()
+        paper_session.execute(
+            "CREATE CLASS Spacecraft AS SUBCLASS OF Vehicle"
+        )
+        assert compiled.is_stale
+        # Re-running rebuilds plan and operator tree against the new
+        # schema; the (still empty) subclass adds no rows.
+        assert compiled.run().rows() == before
+        assert not compiled.is_stale
+        assert compiled.last_optree is not None
+
+    def test_data_update_is_seen_by_next_run(self, paper_session):
+        compiled = paper_session.prepare(
+            "SELECT X FROM Employee X WHERE X.Salary > 90000", plan="cost"
+        )
+        before = len(compiled.run())
+        paper_session.execute(
+            "UPDATE CLASS Employee SET ben.Salary = 95000"
+        )
+        # Data updates do not invalidate compilation, but each run pulls
+        # fresh batches from the store: operator outputs are per-run.
+        assert len(compiled.run()) == before + 1
+
+    def test_rerun_resets_operator_counters(self, paper_session):
+        compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+        compiled.run()
+        first = json.dumps(
+            compiled.last_optree, default=lambda o: 0
+        )
+        compiled.run()
+        second = json.dumps(
+            compiled.last_optree, default=lambda o: 0
+        )
+        # Counters are per-execution, not cumulative: identical rows in,
+        # rows out, and batch counts on both runs (times differ).
+        strip = lambda s: json.loads(s)
+
+        def counts(tree):
+            out = [(tree["operator"], tree["rows_in"], tree["rows_out"],
+                    tree["batches"])]
+            for child in tree.get("children", []):
+                out.extend(counts(child))
+            return out
+
+        assert counts(strip(first)) == counts(strip(second))
+
+
+class TestExplainAnalyzeSurface:
+    def test_json_reports_est_vs_actual_per_operator(self, paper_session):
+        compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+        data = json.loads(compiled.explain(format="json", analyze=True))
+        tree = data["operators"]
+        join = tree["children"][0]
+        assert join["operator"] == "HashJoin"
+        assert {"rows_in", "rows_out", "batches", "time_ms",
+                "cache_hits", "estimated_rows"} <= set(join)
+
+    def test_text_has_operator_section(self, paper_session):
+        rendered = paper_session.prepare(
+            JOIN_QUERY, plan="cost"
+        ).explain(analyze=True)
+        assert "physical operators:" in rendered
+        assert "HashJoin" in rendered
+
+    def test_plain_explain_has_no_operator_section(self, paper_session):
+        compiled = paper_session.prepare(JOIN_QUERY, plan="cost")
+        assert "physical operators:" not in compiled.explain()
+
+    def test_analyze_on_union_chain_shows_setop_root(self, paper_session):
+        compiled = paper_session.prepare(
+            "SELECT X FROM Motorbike X UNION SELECT X FROM Bicycle X"
+        )
+        rendered = compiled.explain(analyze=True)
+        assert "physical operators:" in rendered
+        assert shape(compiled.last_optree) == [
+            "SetOp", "Project", "ExtentScan", "Project", "ExtentScan",
+        ]
+
+
+class TestFactoredBatches:
+    # Unit-level checks on the factored binding-batch algebra.
+
+    def test_merge_of_disjoint_batches(self):
+        state = [
+            Batch({"X"}, [{"X": 1}, {"X": 2}]),
+            Batch({"Y"}, [{"Y": 10}]),
+        ]
+        merged, rest = _merge(state, {"X"})
+        assert merged.vars == {"X"}
+        assert [env["X"] for env in merged.envs] == [1, 2]
+        assert rest == [state[1]]
+
+    def test_merge_all_collapses_everything(self):
+        state = [
+            Batch({"X"}, [{"X": 1}, {"X": 2}]),
+            Batch({"Y"}, [{"Y": 10}, {"Y": 20}]),
+        ]
+        merged, rest = _merge(state, set(), merge_all=True)
+        assert rest == []
+        assert len(merged.envs) == 4
+
+    def test_cross_of_empty_state_is_one_empty_env(self):
+        assert list(_cross([])) == [{}]
+
+    def test_cross_of_empty_batch_is_no_envs(self):
+        assert list(_cross([Batch({"X"}, [])])) == []
+
+    def test_non_root_operator_rejects_result(self, paper_session):
+        from repro.xsql.evaluator import Evaluator
+        from repro.xsql.parser import parse_query
+
+        query = parse_query("SELECT X FROM Vehicle X WHERE X.Weight > 0")
+        root = lower_query(query, LowerSpec())
+        evaluator = Evaluator(paper_session.store)
+        ctx = ExecContext(evaluator, paper_session.metrics)
+        root.open(ctx)
+        with pytest.raises(QueryError):
+            root.child.result()
+        root.close()
+
+    def test_execute_counts_operators(self, paper_session):
+        from repro.xsql.evaluator import Evaluator
+        from repro.xsql.parser import parse_query
+
+        query = parse_query("SELECT X FROM Vehicle X")
+        root = lower_query(query, LowerSpec())
+        rows = execute(
+            root, Evaluator(paper_session.store), paper_session.metrics
+        )
+        assert len(list(rows)) == 4
+        counters = paper_session.metrics.counters
+        assert counters.get("op.Project") == 1
+        assert counters.get("op.ExtentScan") == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import QueryError, XsqlDeprecationWarning
+from repro.errors import QueryError
 from repro.xsql.pipeline import ENGINES, PLAN_MODES, CompiledQuery
 from tests.conftest import names
 
@@ -130,25 +130,24 @@ class TestStatementCache:
         assert len(paper_session.pipeline) == 0
 
 
-class TestDeprecationShims:
-    def test_optimize_kwarg_warns_and_maps_to_greedy(self, paper_session):
-        with pytest.warns(XsqlDeprecationWarning):
-            result = paper_session.query(FAMILY_QUERY, optimize=True)
-        assert names(result) == ["john13", "kim"]
-        with pytest.warns(XsqlDeprecationWarning):
-            plain = paper_session.query(FAMILY_QUERY, optimize=False)
-        assert plain.rows() == result.rows()
+class TestRemovedShims:
+    """The deprecation shims are gone; the replacements are the API."""
 
-    def test_naive_method_warns(self, paper_session):
-        with pytest.warns(XsqlDeprecationWarning):
-            result = paper_session.naive("SELECT X FROM Vehicle X")
+    def test_optimize_kwarg_is_removed(self, paper_session):
+        with pytest.raises(TypeError):
+            paper_session.query(FAMILY_QUERY, optimize=True)
+        # The replacement spelling works.
+        result = paper_session.query(FAMILY_QUERY, plan="greedy")
+        assert names(result) == ["john13", "kim"]
+
+    def test_naive_method_is_removed(self, paper_session):
+        assert not hasattr(paper_session, "naive")
+        result = paper_session.query(
+            "SELECT X FROM Vehicle X", engine="naive"
+        )
         assert result.rows() == paper_session.query(
             "SELECT X FROM Vehicle X"
         ).rows()
-
-    def test_optimize_and_plan_together_is_an_error(self, paper_session):
-        with pytest.raises(QueryError):
-            paper_session.query(FAMILY_QUERY, optimize=True, plan="typed")
 
 
 class TestScriptSplitting:

@@ -64,6 +64,14 @@ class TestMetaCommands:
         )
         assert "typing: strict" in output
 
+    def test_explain_analyze(self):
+        output = drive(
+            ".explain analyze SELECT X FROM Vehicle X "
+            "WHERE X.Manufacturer[M] and M.President.OwnedVehicles[X]\n"
+        )
+        assert "physical operators:" in output
+        assert "act=" in output and "time=" in output
+
     def test_naive(self):
         output = drive(".naive SELECT mary123.Residence.City\n")
         assert "newyork" in output

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import QueryError, XsqlDeprecationWarning
+from repro.errors import QueryError
 from repro.oid import Atom, Value
 
 
@@ -29,9 +29,11 @@ class TestSessionIndexApi:
         paper_session.index_mode = "manual"
         assert len(paper_session.pipeline) == 0
 
-    def test_store_indexes_attribute_is_deprecated(self, paper_session):
-        with pytest.warns(XsqlDeprecationWarning):
-            paper_session.store.indexes  # noqa: B018 - the access warns
+    def test_store_indexes_attribute_is_gone(self, paper_session):
+        # The deprecated read-only ``store.indexes`` property was removed;
+        # ``session.indexes()`` is the supported surface.
+        with pytest.raises(AttributeError):
+            paper_session.store.indexes  # noqa: B018
 
 
 class TestIndexMaintenanceUnderUpdates:
