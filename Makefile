@@ -1,6 +1,6 @@
 # Convenience targets for the XSQL reproduction.
 
-.PHONY: install test test-all fuzz-smoke fuzz bench bench-analyze report examples all
+.PHONY: install test test-all fuzz-smoke fuzz bench bench-analyze bench-scale report examples all
 
 install:
 	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
@@ -20,10 +20,13 @@ test-all:
 
 # ~200 queries, fixed seed, smallest store: catches engine divergence
 # in a few seconds without bloating the edit-test loop.  The second run
-# hammers the hash-join executor with explicit-join shapes.
+# hammers the hash-join executor with explicit-join shapes; the third
+# cross-checks the engines over a generated scale-1k population, so
+# bulk-loaded data (not just the hand-built paper DB) is covered.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 200 --sizes tiny --quiet
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 120 --sizes tiny --preset joins --quiet
+	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 10 --sizes scale-1k --quiet
 
 # Open-ended fuzzing; override SEED/QUERIES/SIZES as needed, e.g.
 #   make fuzz SEED=7 QUERIES=2000 SIZES=tiny,medium
@@ -43,6 +46,16 @@ bench:
 bench-analyze:
 	PYTHONPATH=src python benchmarks/bench_pipeline.py --analyze \
 		--json benchmarks/BENCH_pipeline.json
+
+# The scale harness: ingest throughput + query latency percentiles over
+# seeded 10^3/10^4/10^5 populations, all plan/join_mode combinations,
+# written to the self-describing BENCH_scale.json artifact.  Add
+# TIERS="1k 10k 100k 1m" (plus --runslow semantics via the CLI) for the
+# million-object tier.
+TIERS ?= 1k 10k 100k
+bench-scale:
+	PYTHONPATH=src python benchmarks/bench_scale.py --tiers $(TIERS) \
+		--json benchmarks/BENCH_scale.json
 
 report:
 	python -m repro.bench.report

@@ -7,6 +7,28 @@ benches that mutate state build fresh sessions inside their setup hooks.
 import pytest
 
 from repro import Session
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="also run benchmarks marked @pytest.mark.slow "
+            "(the 10^5/10^6 scale tiers)",
+        )
+    except ValueError:
+        pass  # tests/conftest.py already registered it (pytest tests benchmarks)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow bench: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 from repro.schema.figure1 import build_figure1_schema
 from repro.schema.nobel import build_nobel_schema, populate_nobel_database
 from repro.schema.typing_examples import (

@@ -102,9 +102,18 @@ class ObjectStore:
         #: (data-dependent artifacts such as Theorem 6.1 extent
         #: restrictions are recomputed per execution).
         self.schema_generation = 0
+        #: (method, frozenset-of-direct-classes) -> declared arrow kinds
+        #: (set of ``set_valued`` flags).  The write path consults the
+        #: schema on every cell write; memoizing the visible kinds per
+        #: membership set makes bulk loads (``repro.workloads.scale``)
+        #: scale to millions of objects.  Cleared on every schema bump.
+        self._arrow_kinds: Dict[
+            Tuple[Atom, FrozenSet[Atom]], FrozenSet[bool]
+        ] = {}
 
     def _bump_schema(self) -> None:
         self.schema_generation += 1
+        self._arrow_kinds.clear()
         self.statistics.note_schema_change()
 
     # ------------------------------------------------------------------
@@ -352,8 +361,27 @@ class ObjectStore:
     def _check_arrow(
         self, owner: Oid, method: Atom, set_valued: bool
     ) -> None:
-        """Reject storing a value whose arrow kind contradicts the schema."""
-        for cls in self.direct_classes_of(owner):
+        """Reject storing a value whose arrow kind contradicts the schema.
+
+        The declared kinds visible from a membership set are pure schema,
+        so they are memoized per ``(method, direct classes)`` — the hot
+        path of bulk loads — and only the (rare) contradicting write pays
+        the full signature walk to produce its exact error message.
+        """
+        classes = self.direct_classes_of(owner)
+        key = (method, classes)
+        kinds = self._arrow_kinds.get(key)
+        if kinds is None:
+            kinds = frozenset(
+                signature.set_valued
+                for cls in classes
+                if cls in self.hierarchy
+                for signature in self.signatures_of(cls, method)
+            )
+            self._arrow_kinds[key] = kinds
+        if kinds <= {set_valued}:
+            return
+        for cls in classes:
             if cls not in self.hierarchy:
                 continue
             for signature in self.signatures_of(cls, method):

@@ -6,6 +6,7 @@ Examples::
     python -m repro.difftest --queries 200 --sizes tiny --max-depth 4
     python -m repro.difftest --preset joins --queries 200
     python -m repro.difftest --corpus-dir tests/corpus --fail-fast
+    python -m repro.difftest --scale --queries 24
 
 Exits non-zero iff the oracle found a disagreement (or a generated query
 failed the render→parse round-trip).
@@ -40,7 +41,15 @@ def main(argv=None) -> int:
         "--sizes",
         default="tiny,small",
         help="comma-separated workload presets "
-        f"(choices: {','.join(WORKLOAD_PRESETS)}; default tiny,small)",
+        f"(choices: {','.join(WORKLOAD_PRESETS)}, plus scale-<tier>; "
+        "default tiny,small)",
+    )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run over seeded scale populations instead of the presets "
+        "(shorthand for --sizes scale-1k,scale-10k; single-FROM "
+        "grammar is enforced per size so every engine stays linear)",
     )
     parser.add_argument(
         "--max-depth",
@@ -86,12 +95,17 @@ def main(argv=None) -> int:
             config = dataclasses.replace(
                 config, max_path_depth=args.max_depth
             )
+        sizes = (
+            ("scale-1k", "scale-10k")
+            if args.scale
+            else tuple(
+                s.strip() for s in args.sizes.split(",") if s.strip()
+            )
+        )
         stats = run_fuzz(
             seed=args.seed,
             queries=args.queries,
-            sizes=tuple(
-                s.strip() for s in args.sizes.split(",") if s.strip()
-            ),
+            sizes=sizes,
             config=config,
             corpus_dir=args.corpus_dir,
             fail_fast=args.fail_fast,

@@ -25,7 +25,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Union
 
 from repro.datamodel.store import ObjectStore
 from repro.workloads.generator import (
@@ -33,6 +33,11 @@ from repro.workloads.generator import (
     WorkloadConfig,
     generate_database,
 )
+from repro.workloads.scale import ScaleSpec, generate_scaled
+
+#: A case's store is rebuilt from either a synthetic workload config or
+#: a scale-population spec (the difftest ``--scale`` runs).
+AnyWorkload = Union[WorkloadConfig, ScaleSpec]
 
 __all__ = [
     "CorpusCase",
@@ -44,15 +49,21 @@ __all__ = [
 ]
 
 
-def workload_to_dict(config: WorkloadConfig) -> Dict:
+def workload_to_dict(config: AnyWorkload) -> Dict:
     """Serialize a workload config, preferring a preset name."""
+    if isinstance(config, ScaleSpec):
+        payload = config.as_dict()
+        payload.pop("counts", None)  # derived, not a constructor arg
+        return {"scale": payload}
     for name, preset in WORKLOAD_PRESETS.items():
         if preset == config:
             return {"preset": name}
     return dataclasses.asdict(config)
 
 
-def workload_from_dict(payload: Dict) -> WorkloadConfig:
+def workload_from_dict(payload: Dict) -> AnyWorkload:
+    if "scale" in payload:
+        return ScaleSpec(**payload["scale"])
     if "preset" in payload:
         return WORKLOAD_PRESETS[payload["preset"]]
     return WorkloadConfig(**payload)
@@ -64,13 +75,15 @@ class CorpusCase:
 
     description: str
     query: str
-    workload: WorkloadConfig = field(
+    workload: AnyWorkload = field(
         default_factory=lambda: WORKLOAD_PRESETS["tiny"]
     )
     found_by: Dict = field(default_factory=dict)
 
     def build_store(self) -> ObjectStore:
         """Rebuild the exact store the case was found on."""
+        if isinstance(self.workload, ScaleSpec):
+            return generate_scaled(self.workload)
         return generate_database(self.workload)
 
     def to_dict(self) -> Dict:

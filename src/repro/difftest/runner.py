@@ -17,6 +17,7 @@ any report line can be replayed with ``--seed S --queries N`` alone.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,10 +26,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import XsqlError
 from repro.typing.analysis import analyze
 from repro.workloads.generator import WORKLOAD_PRESETS, generate_database
+from repro.workloads.scale import SCALE_TIERS, ScaleSpec, generate_scaled
 from repro.xsql import ast
 from repro.xsql.parser import parse_query
 
-from repro.difftest.corpus import CorpusCase, save_case
+from repro.difftest.corpus import AnyWorkload, CorpusCase, save_case
 from repro.difftest.grammar import GeneratorConfig, QueryGenerator, SchemaModel
 from repro.difftest.oracle import Oracle
 from repro.difftest.shrink import shrink_query
@@ -37,6 +39,28 @@ __all__ = ["FuzzStats", "run_fuzz"]
 
 #: Workload sizes where the naive §3.4 oracle is allowed to run.
 NAIVE_SIZES = ("tiny",)
+
+#: Prefix selecting a seeded scale population instead of a preset:
+#: ``scale-1k`` .. ``scale-1m`` (:data:`repro.workloads.scale.SCALE_TIERS`).
+SCALE_PREFIX = "scale-"
+
+
+def _workload_for_size(size: str, seed: int) -> AnyWorkload:
+    """Resolve a size name to a preset config or a scale spec."""
+    if size.startswith(SCALE_PREFIX):
+        tier = size[len(SCALE_PREFIX):]
+        if tier not in SCALE_TIERS:
+            raise XsqlError(
+                f"unknown scale tier {size!r}; choose from "
+                + ", ".join(f"scale-{t}" for t in SCALE_TIERS)
+            )
+        return ScaleSpec(n_objects=SCALE_TIERS[tier], seed=seed)
+    if size not in WORKLOAD_PRESETS:
+        raise XsqlError(
+            f"unknown workload size {size!r}; "
+            f"choose from {sorted(WORKLOAD_PRESETS)} or scale-<tier>"
+        )
+    return WORKLOAD_PRESETS[size]
 
 
 @dataclass
@@ -135,18 +159,25 @@ def run_fuzz(
 
     share, remainder = divmod(queries, max(1, len(sizes)))
     for position, size in enumerate(sizes):
-        if size not in WORKLOAD_PRESETS:
-            raise XsqlError(
-                f"unknown workload size {size!r}; "
-                f"choose from {sorted(WORKLOAD_PRESETS)}"
-            )
+        workload = _workload_for_size(size, seed)
         budget = share + (remainder if position == 0 else 0)
         if budget <= 0:
             continue
-        store = generate_database(WORKLOAD_PRESETS[size])
+        if isinstance(workload, ScaleSpec):
+            store = generate_scaled(workload)
+            # The merged-mode engines (reference, naive, flogic, ...)
+            # are O(extent^|FROM|): a two-variable query over a scale
+            # population cross-products the whole extents before any
+            # conjunct can filter.  Single-FROM queries keep every
+            # engine linear in the population, so the 9-engine matrix
+            # stays comparable at 10^3-10^4 objects.
+            size_config = dataclasses.replace(config, max_from=1)
+        else:
+            store = generate_database(workload)
+            size_config = config
         oracle = Oracle(store, naive_enabled=size in NAIVE_SIZES)
         generator = QueryGenerator(
-            SchemaModel.from_store(store), config, seed
+            SchemaModel.from_store(store), size_config, seed
         )
         if progress:
             progress(
@@ -179,7 +210,7 @@ def run_fuzz(
                 entry = _handle_disagreement(
                     stats, oracle, parsed, report.disagreements,
                     seed=seed, index=index, size=size,
-                    corpus_dir=corpus_dir,
+                    workload=workload, corpus_dir=corpus_dir,
                 )
                 if progress:
                     progress(f"[{size} #{index}] DISAGREEMENT: {entry['query']}")
@@ -214,6 +245,7 @@ def _handle_disagreement(
     seed: int,
     index: int,
     size: str,
+    workload: AnyWorkload,
     corpus_dir: Optional[Path],
 ) -> Dict:
     def still_disagrees(candidate: ast.Query) -> bool:
@@ -234,7 +266,7 @@ def _handle_disagreement(
         case = CorpusCase(
             description=final_reasons[0],
             query=str(minimized),
-            workload=WORKLOAD_PRESETS[size],
+            workload=workload,
             found_by={
                 "seed": seed,
                 "index": index,

@@ -24,7 +24,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["Observation", "SessionMetrics"]
+__all__ = ["Observation", "PercentileCurve", "SessionMetrics"]
 
 #: Sample-list cap per Observation; beyond it the list is decimated (every
 #: other kept sample dropped, stride doubled) so long sessions stay O(1)
@@ -77,6 +77,44 @@ class Observation:
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
         }
+
+
+@dataclass
+class PercentileCurve:
+    """Percentile distributions keyed by an ordinal scale.
+
+    One :class:`Observation` per key — the keys are scale points
+    (population tiers, input sizes), the values latencies or rates — so
+    ``curve("p95")`` reads off a latency-vs-scale curve directly.  The
+    scale harness (:mod:`repro.bench.scale`) keeps one curve per query
+    and per operator; insertion order of the keys is preserved, which
+    keeps the emitted artifacts deterministic.
+    """
+
+    points: Dict[str, Observation] = field(default_factory=dict)
+
+    def observe(self, key: str, value: float) -> None:
+        self.points.setdefault(key, Observation()).record(value)
+
+    def curve(self, stat: str = "p50") -> List[tuple]:
+        """``[(key, value)]`` for one statistic across all scale points.
+
+        *stat* is ``"p50"``/``"p95"`` (any percentile as ``"pNN"``),
+        ``"mean"``, ``"min"``, ``"max"``, or ``"count"``.
+        """
+        out = []
+        for key, obs in self.points.items():
+            if stat.startswith("p") and stat[1:].isdigit():
+                value = obs.percentile(int(stat[1:]) / 100.0)
+            else:
+                value = getattr(obs, {"min": "minimum", "max": "maximum"}.get(stat, stat))
+                if value is None:
+                    value = 0.0
+            out.append((key, value))
+        return out
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {key: obs.as_dict() for key, obs in self.points.items()}
 
 
 @dataclass

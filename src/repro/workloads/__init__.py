@@ -2,10 +2,14 @@
 
 from repro.workloads.paper_db import populate_paper_database, paper_session
 from repro.workloads.generator import WorkloadConfig, generate_database
+from repro.workloads.scale import SCALE_TIERS, ScaleSpec, generate_scaled
 
 __all__ = [
     "populate_paper_database",
     "paper_session",
     "WorkloadConfig",
     "generate_database",
+    "ScaleSpec",
+    "SCALE_TIERS",
+    "generate_scaled",
 ]

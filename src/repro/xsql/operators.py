@@ -96,6 +96,9 @@ __all__ = [
     "join_strategy_of",
     "lower_query",
     "lower_statement",
+    "merge_all",
+    "merge_overlapping",
+    "product_count",
     "render_tree",
     "stage_trace",
     "tree_dict",
@@ -158,10 +161,17 @@ class Batch:
 State = List[Batch]
 
 
-def _merge(
+def merge_overlapping(
     state: State, touched: Set[Variable], merge_all: bool = False
 ) -> Tuple[Batch, State]:
     """Cross-product every batch overlapping *touched*; keep the rest.
+
+    This is the core move of the factored-state algebra: the merged
+    batch binds the union of the overlapping batches' variables, its
+    envs are their cross product, and the untouched batches pass through
+    unchanged — so ``product_count`` is preserved and batch variable
+    sets stay disjoint (``tests/xsql/test_batch_algebra.py`` holds the
+    algebra to both).
 
     With ``merge_all`` the whole state collapses into one batch — the
     merged (tuple-at-a-time-equivalent) execution mode.
@@ -183,6 +193,12 @@ def _merge(
     return merged, rest
 
 
+def merge_all(state: State) -> Batch:
+    """Collapse the whole state into one batch (full cross product)."""
+    merged, _rest = merge_overlapping(state, set(), merge_all=True)
+    return merged
+
+
 def _cross(state: State) -> Iterator[Bindings]:
     """The logical binding stream: the batches' cross product."""
 
@@ -196,7 +212,8 @@ def _cross(state: State) -> Iterator[Bindings]:
     return recurse(0, {})
 
 
-def _logical_rows(state: State) -> int:
+def product_count(state: State) -> int:
+    """Logical row count of a state: the product of its batch sizes."""
     count = 1
     for batch in state:
         count *= len(batch.envs)
@@ -295,13 +312,13 @@ class Operator:
     def _measure(self, state: State) -> State:
         ctx = self._ctx
         assert ctx is not None, "operator used before open()"
-        self.rows_in = _logical_rows(state)
+        self.rows_in = product_count(state)
         hits = ctx.path_cache_hits()
         started = time.perf_counter()
         out = self._transform(state)
         self.wall_seconds += time.perf_counter() - started
         self.cache_hits += ctx.path_cache_hits() - hits
-        self.rows_out = _logical_rows(out)
+        self.rows_out = product_count(out)
         self.batches_out = len(out)
         self.executed = True
         return out
@@ -339,7 +356,7 @@ class ScanOperator(Operator):
         touched = {decl.var}
         if isinstance(decl.cls, Variable):
             touched.add(decl.cls)
-        base, rest = _merge(state, touched, self.merge_all)
+        base, rest = merge_overlapping(state, touched, self.merge_all)
         assert self._ctx is not None
         envs = list(self._ctx.evaluator._bind_from(decl, iter(base.envs)))
         rest.append(Batch(base.vars | touched, envs))
@@ -388,7 +405,7 @@ class CondOperator(Operator):
         """Merge what the conjunct touches; evaluate it per binding."""
         assert self.cond is not None and self._ctx is not None
         cond_vars = set(ast.cond_variables(self.cond))
-        base, rest = _merge(state, cond_vars, self.merge_all)
+        base, rest = merge_overlapping(state, cond_vars, self.merge_all)
         metrics = self._ctx.metrics
         if not self.merge_all and metrics is not None:
             metrics.count("join.filter")
@@ -477,8 +494,8 @@ class HashJoin(CondOperator):
         if not _setwise_ready(state, lvars, rvars):
             return None
         evaluator = self._ctx.evaluator
-        left, rest = _merge(state, lvars)
-        right, rest = _merge(rest, rvars)
+        left, rest = merge_overlapping(state, lvars)
+        right, rest = merge_overlapping(rest, rvars)
         build, build_op, probe, probe_op = (
             (left, cond.lhs, right, cond.rhs)
             if len(left.envs) <= len(right.envs)
@@ -517,7 +534,7 @@ class SemiJoin(CondOperator):
         keyed, ground_op = (
             (lvars, cond.rhs) if lvars else (rvars, cond.lhs)
         )
-        base, rest = _merge(state, keyed)
+        base, rest = merge_overlapping(state, keyed)
         ground = evaluator.eval_operand(ground_op, {})
         envs = [
             env
@@ -622,7 +639,7 @@ class Project(Operator):
         ctx = self._ctx
         assert ctx is not None
         state = self.child.batches() if self.child is not None else []
-        self.rows_in = _logical_rows(state)
+        self.rows_in = product_count(state)
         evaluator = ctx.evaluator
         hits = ctx.path_cache_hits()
         started = time.perf_counter()

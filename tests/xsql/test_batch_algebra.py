@@ -1,0 +1,158 @@
+"""Property-based suite for the factored-state batch algebra.
+
+The operator executor (``repro.xsql.operators``) represents the binding
+stream as a list of variable-disjoint :class:`Batch` objects whose cross
+product is the logical stream.  Every operator manipulates that state
+through three public functions — ``merge_overlapping``, ``merge_all``,
+``product_count`` — and the correctness of *every* plan/join mode rides
+on four algebraic facts, each checked here over ≥200 random states:
+
+* merging preserves the cross product (both the ``product_count`` and
+  the logical row multiset);
+* the merged batch is independent of the order the batches appear in;
+* merging keeps batch variable-sets pairwise disjoint;
+* ``merge_all`` equals iterated pairwise merging (a left fold).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oid import Value, Variable
+from repro.xsql.operators import (
+    Batch,
+    _cross,
+    merge_all,
+    merge_overlapping,
+    product_count,
+)
+
+_VAR_POOL = [Variable(name) for name in "UVWXYZ"]
+
+
+@st.composite
+def states(draw):
+    """A well-formed state: batches with pairwise disjoint variables,
+    each env binding exactly its batch's variables."""
+    pool = list(_VAR_POOL)
+    draw(st.randoms(use_true_random=False)).shuffle(pool)
+    n_batches = draw(st.integers(0, 4))
+    state = []
+    for _ in range(n_batches):
+        if not pool:
+            break
+        width = draw(st.integers(1, min(2, len(pool))))
+        batch_vars = {pool.pop() for _ in range(width)}
+        n_envs = draw(st.integers(0, 3))
+        envs = [
+            {
+                var: Value(draw(st.integers(0, 5)))
+                for var in sorted(batch_vars, key=str)
+            }
+            for _ in range(n_envs)
+        ]
+        state.append(Batch(batch_vars, envs))
+    return state
+
+
+def row_multiset(state):
+    """The logical binding stream as a comparable multiset."""
+    return Counter(
+        tuple(sorted((str(var), str(val)) for var, val in env.items()))
+        for env in _cross(state)
+    )
+
+
+def batch_key(batch):
+    """A canonical, order-insensitive fingerprint of one batch."""
+    env_multiset = Counter(
+        tuple(sorted((str(v), str(o)) for v, o in env.items()))
+        for env in batch.envs
+    )
+    return (
+        frozenset(batch.vars),
+        frozenset(env_multiset.items()),
+    )
+
+
+class TestMergeOverlapping:
+    @given(state=states(), touched=st.sets(st.sampled_from(_VAR_POOL)))
+    @settings(max_examples=200, deadline=None)
+    def test_preserves_cross_product(self, state, touched):
+        before_count = product_count(state)
+        before_rows = row_multiset(state)
+        merged, rest = merge_overlapping(state, touched)
+        after = [merged] + rest
+        assert product_count(after) == before_count
+        assert row_multiset(after) == before_rows
+
+    @given(
+        state=states(),
+        touched=st.sets(st.sampled_from(_VAR_POOL)),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_independent_of_batch_order(self, state, touched, data):
+        shuffled = list(state)
+        data.draw(st.randoms(use_true_random=False)).shuffle(shuffled)
+        merged_a, rest_a = merge_overlapping(state, touched)
+        merged_b, rest_b = merge_overlapping(shuffled, touched)
+        assert batch_key(merged_a) == batch_key(merged_b)
+        assert Counter(map(batch_key, rest_a)) == Counter(
+            map(batch_key, rest_b)
+        )
+
+    @given(state=states(), touched=st.sets(st.sampled_from(_VAR_POOL)))
+    @settings(max_examples=200, deadline=None)
+    def test_keeps_variable_sets_disjoint(self, state, touched):
+        merged, rest = merge_overlapping(state, touched)
+        batches = [merged] + rest
+        for i, left in enumerate(batches):
+            for right in batches[i + 1:]:
+                assert not (left.vars & right.vars)
+
+    @given(state=states(), touched=st.sets(st.sampled_from(_VAR_POOL)))
+    @settings(max_examples=200, deadline=None)
+    def test_merged_covers_touched_batches(self, state, touched):
+        """Every batch overlapping *touched* lands in the merged batch;
+        every untouched batch survives unchanged."""
+        merged, rest = merge_overlapping(state, touched)
+        for batch in state:
+            if batch.vars & touched:
+                assert batch.vars <= merged.vars
+            else:
+                assert any(
+                    batch_key(batch) == batch_key(kept) for kept in rest
+                )
+
+
+class TestMergeAll:
+    @given(state=states())
+    @settings(max_examples=200, deadline=None)
+    def test_equals_iterated_pairwise_merging(self, state):
+        collapsed = merge_all(state)
+        acc = Batch(set(), [{}])
+        for batch in state:
+            acc, leftover = merge_overlapping([acc, batch], set(), True)
+            assert leftover == []
+        assert acc.vars == collapsed.vars
+        assert acc.envs == collapsed.envs
+
+    @given(state=states())
+    @settings(max_examples=200, deadline=None)
+    def test_single_batch_preserves_product(self, state):
+        collapsed = merge_all(state)
+        assert len(collapsed.envs) == product_count(state)
+        assert row_multiset([collapsed]) == row_multiset(state)
+
+
+class TestProductCount:
+    @given(state=states())
+    @settings(max_examples=200, deadline=None)
+    def test_counts_logical_stream(self, state):
+        assert product_count(state) == sum(row_multiset(state).values())
+
+    def test_empty_state_is_one_empty_env(self):
+        assert product_count([]) == 1
+        assert list(_cross([])) == [{}]

@@ -18,7 +18,7 @@ from repro.xsql.operators import (
     ExecContext,
     LowerSpec,
     _cross,
-    _merge,
+    merge_overlapping,
     execute,
     lower_query,
 )
@@ -234,7 +234,7 @@ class TestFactoredBatches:
             Batch({"X"}, [{"X": 1}, {"X": 2}]),
             Batch({"Y"}, [{"Y": 10}]),
         ]
-        merged, rest = _merge(state, {"X"})
+        merged, rest = merge_overlapping(state, {"X"})
         assert merged.vars == {"X"}
         assert [env["X"] for env in merged.envs] == [1, 2]
         assert rest == [state[1]]
@@ -244,7 +244,7 @@ class TestFactoredBatches:
             Batch({"X"}, [{"X": 1}, {"X": 2}]),
             Batch({"Y"}, [{"Y": 10}, {"Y": 20}]),
         ]
-        merged, rest = _merge(state, set(), merge_all=True)
+        merged, rest = merge_overlapping(state, set(), merge_all=True)
         assert rest == []
         assert len(merged.envs) == 4
 

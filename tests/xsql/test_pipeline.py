@@ -206,3 +206,29 @@ class TestStats:
         summary = paper_session.metrics.summary()
         assert "cache.hit" in summary
         assert "stage parse" in summary
+
+
+class TestPercentileCurve:
+    """The scale-keyed percentile curves the bench harness reports."""
+
+    def test_curve_reads_off_one_statistic_per_key(self):
+        from repro.metrics import PercentileCurve
+
+        curve = PercentileCurve()
+        for tier, values in (("1k", [1, 2, 3]), ("10k", [10, 20, 30])):
+            for value in values:
+                curve.observe(tier, value)
+        assert curve.curve("p50") == [("1k", 2), ("10k", 20)]
+        assert curve.curve("max") == [("1k", 3), ("10k", 30)]
+        assert curve.curve("count") == [("1k", 3), ("10k", 3)]
+        assert curve.curve("mean") == [("1k", 2.0), ("10k", 20.0)]
+
+    def test_as_dict_keeps_key_order(self):
+        from repro.metrics import PercentileCurve
+
+        curve = PercentileCurve()
+        curve.observe("10k", 5.0)
+        curve.observe("1k", 1.0)
+        dumped = curve.as_dict()
+        assert list(dumped) == ["10k", "1k"]
+        assert dumped["10k"]["p95"] == 5.0
