@@ -19,6 +19,12 @@ workload whose ``Name`` values are unique: a point predicate like
 ``X.Name['P123']`` must run at least 5× faster once the cost planner
 restricts the FROM enumeration to the index probe's owners.
 
+**Columnar benchmark** — ``batch_format="columnar"`` with ``workers=2``
+vs the row representation on prepared ``plan="greedy"`` re-runs of the
+evaluation-bound paper queries (Q4, Q5, Q9, Q10): the columnar side
+evaluates conjuncts column-at-a-time over the session-persistent
+walker memo, and every query must clear a 5× speedup.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--rounds N]
@@ -138,6 +144,21 @@ JOIN_QUERIES: List[Tuple[str, str]] = [
 ]
 JOIN_TARGET = 5.0
 
+#: The columnar-execution benchmark: ``batch_format="columnar"`` with
+#: ``workers=2`` vs the row representation, both re-running a prepared
+#: ``plan="greedy"`` compilation on the paper database.  The rows side
+#: pays full conjunct evaluation on every run (a fresh evaluator per
+#: execution); the columnar side runs on the session-persistent walker
+#: whose generation-stamped memo serves warm re-runs, with conjunct
+#: evaluation and batch assembly column-at-a-time.  The four queries
+#: are the paper's evaluation-bound ones: the Q4 chain join, Q5's
+#: method-variable enumeration, Q9's quantified double loop, and Q10's
+#: aggregate + quantifier conjunction.
+COLUMNAR_QUERIES = ("Q4", "Q5", "Q9", "Q10")
+COLUMNAR_PLAN = "greedy"
+COLUMNAR_WORKERS = 2
+COLUMNAR_TARGET = 5.0
+
 
 def _paper_session() -> Session:
     session = Session()
@@ -234,6 +255,41 @@ def measure_joins(
         nested_s = _median_seconds(nested.run, rounds)
         hash_s = _median_seconds(hashed.run, rounds)
         results.append((name, nested_s, hash_s, len(hash_rows)))
+    return results
+
+
+def measure_columnar(
+    rounds: int = 9,
+) -> List[Tuple[str, float, float, int]]:
+    """Per-query (name, rows_seconds, columnar_seconds, rows) medians.
+
+    Both sides re-run a *prepared* ``plan=greedy`` compilation on the
+    paper database, so compilation is off the clock and the difference
+    is purely the batch representation: per-binding dict evaluation vs
+    columnar batches over the session-persistent walker memo.  Results
+    are asserted bit-identical (ordered) before timing.
+    """
+    rows_session = _paper_session()
+    col_session = _paper_session()
+    queries = dict(PAPER_QUERIES)
+    results = []
+    for name in COLUMNAR_QUERIES:
+        text = queries[name]
+        as_rows = rows_session.prepare(text, plan=COLUMNAR_PLAN)
+        as_cols = col_session.prepare(
+            text,
+            plan=COLUMNAR_PLAN,
+            batch_format="columnar",
+            workers=COLUMNAR_WORKERS,
+        )
+        row_result = as_rows.run()
+        col_result = as_cols.run()
+        assert list(row_result) == list(col_result), (
+            f"{name}: representations disagree"
+        )
+        rows_s = _median_seconds(as_rows.run, rounds)
+        cols_s = _median_seconds(as_cols.run, rounds)
+        results.append((name, rows_s, cols_s, len(col_result.rows())))
     return results
 
 
@@ -339,6 +395,38 @@ def worst_join_speedup(
     )
 
 
+def worst_columnar_speedup(
+    results: List[Tuple[str, float, float, int]]
+) -> float:
+    """The *minimum* speedup: every columnar query must clear 5x."""
+    return min(
+        rows / cols for _name, rows, cols, _n in results if cols > 0
+    )
+
+
+def report_columnar(
+    results: List[Tuple[str, float, float, int]]
+) -> str:
+    lines = [
+        "columnar executor: rows vs columnar batches "
+        f"(plan={COLUMNAR_PLAN}, workers={COLUMNAR_WORKERS}, "
+        "prepared re-runs, paper database)",
+        f"{'query':6s} {'rows':>10s} {'columnar':>10s} {'speedup':>8s} "
+        f"{'out':>5s}",
+    ]
+    for name, rows, cols, n in results:
+        ratio = rows / cols if cols else float("inf")
+        lines.append(
+            f"{name:6s} {rows * 1000:8.3f}ms {cols * 1000:8.3f}ms "
+            f"{ratio:7.2f}x {n:5d}"
+        )
+    lines.append(
+        f"worst speedup: {worst_columnar_speedup(results):.2f}x "
+        f"(target >= {COLUMNAR_TARGET:.0f}x on every query)"
+    )
+    return "\n".join(lines)
+
+
 def report(results: List[Tuple[str, float, float]]) -> str:
     lines = [
         "pipeline cache: cold (compile+run) vs cached (prepared re-run)",
@@ -405,6 +493,7 @@ def as_json(
     cache_results: List[Tuple[str, float, float]],
     selective_results: List[Tuple[str, float, float, int]],
     join_results: List[Tuple[str, float, float, int]],
+    columnar_results: List[Tuple[str, float, float, int]],
 ) -> Dict[str, object]:
     """The JSON artifact CI uploads (``BENCH_pipeline.json``)."""
     return {
@@ -412,6 +501,7 @@ def as_json(
             "cache_speedup": SPEEDUP_TARGET,
             "selective_speedup": SELECTIVE_TARGET,
             "join_speedup": JOIN_TARGET,
+            "columnar_speedup": COLUMNAR_TARGET,
         },
         "cache": [
             {
@@ -447,6 +537,19 @@ def as_json(
             for name, nested, hashed, rows in join_results
         ],
         "worst_join_speedup": round(worst_join_speedup(join_results), 2),
+        "columnar": [
+            {
+                "query": name,
+                "rows_ms": round(rows * 1000, 4),
+                "columnar_ms": round(cols * 1000, 4),
+                "speedup": round(rows / cols, 2) if cols else None,
+                "rows": n,
+            }
+            for name, rows, cols, n in columnar_results
+        ],
+        "worst_columnar_speedup": round(
+            worst_columnar_speedup(columnar_results), 2
+        ),
     }
 
 
@@ -466,6 +569,13 @@ def test_hash_joins_beat_nested_loops_5x_on_every_join_workload():
     results = measure_joins(rounds=5)
     assert worst_join_speedup(results) >= JOIN_TARGET, (
         report_joins(results)
+    )
+
+
+def test_columnar_beats_rows_5x_on_every_columnar_query():
+    results = measure_columnar(rounds=9)
+    assert worst_columnar_speedup(results) >= COLUMNAR_TARGET, (
+        report_columnar(results)
     )
 
 
@@ -504,17 +614,20 @@ def main() -> int:
     results = measure(plan=args.plan, rounds=args.rounds)
     selective = measure_selective(rounds=args.rounds)
     joins = measure_joins(rounds=min(args.rounds, 5))
+    columnar = measure_columnar(rounds=args.rounds)
     estimation = measure_estimation() if args.analyze else None
     print(report(results))
     print()
     print(report_selective(selective))
     print()
     print(report_joins(joins))
+    print()
+    print(report_columnar(columnar))
     if estimation is not None:
         print()
         print(report_estimation(estimation))
     if args.json:
-        payload = as_json(results, selective, joins)
+        payload = as_json(results, selective, joins, columnar)
         if estimation is not None:
             payload["analyze"] = estimation_as_json(estimation)
         with open(args.json, "w") as handle:
@@ -525,6 +638,7 @@ def main() -> int:
         best_speedup(results) >= SPEEDUP_TARGET
         and best_selective_speedup(selective) >= SELECTIVE_TARGET
         and worst_join_speedup(joins) >= JOIN_TARGET
+        and worst_columnar_speedup(columnar) >= COLUMNAR_TARGET
     )
     return 0 if ok else 1
 

@@ -2,15 +2,17 @@
 
 A thin harness over :mod:`repro.bench.scale` — the fixed query suite
 (paper shapes + the S/J workloads) over seeded
-:mod:`repro.workloads.scale` populations, across ``plan``/``join_mode``
-combinations, emitting ``benchmarks/BENCH_scale.json`` with the full
-generation spec embedded.
+:mod:`repro.workloads.scale` populations, across
+``plan``/``join_mode``/``batch_format``/``workers`` modes (including
+the columnar re-run of the factored mode with two morsel-scan workers),
+emitting ``benchmarks/BENCH_scale.json`` with the full generation spec
+embedded.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_scale.py
         [--tiers 1k 10k 100k] [--rounds N] [--seed N]
-        [--modes cost:hash cost:nested ...]
+        [--modes cost:hash cost:hash:columnar:2 ...]
         [--json PATH] [--baseline PATH]
 
 ``--baseline`` compares against a previous artifact and exits non-zero
@@ -39,11 +41,15 @@ from repro.bench.scale import (
 
 def test_scale_artifact_1k_valid_and_reproducible():
     payload = run_scale_benchmark(
-        tiers=("1k",), rounds=1, modes=[("cost", "hash")]
+        tiers=("1k",),
+        rounds=1,
+        modes=[("cost", "hash", "rows", 1), ("cost", "hash", "columnar", 2)],
     )
     validate_artifact(payload)
     again = run_scale_benchmark(
-        tiers=("1k",), rounds=1, modes=[("cost", "hash")]
+        tiers=("1k",),
+        rounds=1,
+        modes=[("cost", "hash", "rows", 1), ("cost", "hash", "columnar", 2)],
     )
     assert json.dumps(strip_timings(payload), sort_keys=True) == json.dumps(
         strip_timings(again), sort_keys=True
@@ -68,7 +74,7 @@ def test_scale_100k_tier():
 @pytest.mark.slow
 def test_scale_1m_tier():
     payload = run_scale_benchmark(
-        tiers=("1m",), rounds=1, modes=[("cost", "hash")]
+        tiers=("1m",), rounds=1, modes=[("cost", "hash", "rows", 1)]
     )
     validate_artifact(payload)
 
@@ -85,10 +91,11 @@ def main() -> int:
     parser.add_argument(
         "--modes",
         nargs="+",
-        metavar="PLAN:JOIN",
+        metavar="PLAN:JOIN[:FORMAT[:WORKERS]]",
         default=None,
-        help="plan/join_mode pairs, e.g. cost:hash cost:nested "
-        f"(default: all of {['{}:{}'.format(p, j) for p, j in MODES]})",
+        help="modes, e.g. cost:hash cost:hash:columnar:2 (format "
+        "defaults to rows, workers to 1; default: all of "
+        f"{[':'.join(map(str, mode)) for mode in MODES]})",
     )
     parser.add_argument(
         "--json",
@@ -104,8 +111,19 @@ def main() -> int:
         "regression of ingest throughput or worst-case p95",
     )
     args = parser.parse_args()
+    def parse_mode(text: str):
+        fields = text.split(":")
+        if not 2 <= len(fields) <= 4:
+            raise SystemExit(
+                f"bad --modes entry {text!r}; want PLAN:JOIN[:FORMAT[:WORKERS]]"
+            )
+        plan, join_mode = fields[0], fields[1]
+        batch_format = fields[2] if len(fields) > 2 else "rows"
+        workers = int(fields[3]) if len(fields) > 3 else 1
+        return (plan, join_mode, batch_format, workers)
+
     modes = (
-        [tuple(pair.split(":", 1)) for pair in args.modes]
+        [parse_mode(pair) for pair in args.modes]
         if args.modes
         else tuple(MODES)
     )

@@ -143,13 +143,17 @@ QUERY_SUITE: List[QuerySpec] = [
     ),
 ]
 
-#: The plan/join_mode grid.  Only ``cost``+``hash`` executes factored
-#: (set-at-a-time with hash/semi joins); the rest run merged.
-MODES: List[Tuple[str, str]] = [
-    ("cost", "hash"),
-    ("cost", "nested"),
-    ("typed", "hash"),
-    ("greedy", "hash"),
+#: The mode grid: (plan, join_mode, batch_format, workers).  Only
+#: ``cost``+``hash`` executes factored (set-at-a-time with hash/semi
+#: joins); the rest run merged.  The ``columnar`` entry re-runs the
+#: factored mode over columnar batches with two morsel-scan workers —
+#: same rows, measured against its own p95 budget in the CI gate.
+MODES: List[Tuple[str, str, str, int]] = [
+    ("cost", "hash", "rows", 1),
+    ("cost", "hash", "columnar", 2),
+    ("cost", "nested", "rows", 1),
+    ("typed", "hash", "rows", 1),
+    ("greedy", "hash", "rows", 1),
 ]
 
 _TIMING_KEYS = frozenset(
@@ -178,10 +182,17 @@ def _walk_optree(tree: Dict[str, object]) -> List[Dict[str, object]]:
 
 
 def _measure_query(
-    session: Session, spec: QuerySpec, plan: str, rounds: int
+    session: Session,
+    spec: QuerySpec,
+    plan: str,
+    rounds: int,
+    batch_format: str = "rows",
+    workers: int = 1,
 ) -> Dict[str, object]:
     """Prepared re-runs of one query: latency + per-operator analyze."""
-    compiled = session.prepare(spec.text, plan=plan)
+    compiled = session.prepare(
+        spec.text, plan=plan, batch_format=batch_format, workers=workers
+    )
     rows = len(compiled.run().rows())  # warm-up, off the clock
     latency = Observation()
     operator_times: List[Tuple[str, str, Observation]] = []
@@ -225,7 +236,7 @@ def run_scale_benchmark(
     rounds: int = 3,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
-    modes: Sequence[Tuple[str, str]] = tuple(MODES),
+    modes: Sequence[Tuple[str, str, str, int]] = tuple(MODES),
 ) -> Dict[str, object]:
     """Run the suite across *tiers* and return the artifact payload."""
     say = progress or (lambda _line: None)
@@ -264,13 +275,15 @@ def run_scale_benchmark(
             "modes": [],
         }
         rows_seen: Dict[str, int] = {}
-        for plan, join_mode in modes:
+        for plan, join_mode, batch_format, workers in modes:
             factored = _is_factored(plan, join_mode)
             session = Session(store)
             session.join_mode = join_mode
             mode_entry: Dict[str, object] = {
                 "plan": plan,
                 "join_mode": join_mode,
+                "batch_format": batch_format,
+                "workers": workers,
                 "queries": [],
                 "skipped": [],
             }
@@ -280,7 +293,9 @@ def run_scale_benchmark(
                 if n_objects > qspec.cap(factored):
                     mode_entry["skipped"].append(qspec.name)
                     continue
-                record = _measure_query(session, qspec, plan, rounds)
+                record = _measure_query(
+                    session, qspec, plan, rounds, batch_format, workers
+                )
                 mode_seconds += record.pop("_seconds_total")
                 mode_runs += rounds
                 mode_entry["queries"].append(record)
@@ -294,7 +309,9 @@ def run_scale_benchmark(
                         f"returned {record['rows']} rows, other modes "
                         f"saw {expected}"
                     )
-                if factored:
+                # Curves track the canonical rows-format factored mode
+                # only, so the columnar re-run never double-records.
+                if factored and batch_format == "rows":
                     query_curves.setdefault(
                         qspec.name, PercentileCurve()
                     ).points.setdefault(tier, Observation())
@@ -307,7 +324,8 @@ def run_scale_benchmark(
             mode_entry["worst_p95_ms"] = max(p95s) if p95s else 0.0
             tier_entry["modes"].append(mode_entry)
             say(
-                f"[{tier}] plan={plan} join={join_mode}: "
+                f"[{tier}] plan={plan} join={join_mode} "
+                f"format={batch_format} workers={workers}: "
                 f"{len(mode_entry['queries'])} queries, "
                 f"{mode_entry['queries_per_sec']} q/s, "
                 f"worst p95 {mode_entry['worst_p95_ms']}ms"
@@ -360,9 +378,14 @@ def validate_artifact(payload: Dict[str, object]) -> None:
         if not modes:
             raise ValueError(f"{where}.modes: must be non-empty")
         for mode in modes:
-            mwhere = f"{where}.{mode.get('plan')}/{mode.get('join_mode')}"
+            mwhere = (
+                f"{where}.{mode.get('plan')}/{mode.get('join_mode')}"
+                f"/{mode.get('batch_format')}"
+            )
             need(mode, "plan", mwhere, str)
             need(mode, "join_mode", mwhere, str)
+            need(mode, "batch_format", mwhere, str)
+            need(mode, "workers", mwhere, int)
             need(mode, "skipped", mwhere, list)
             need(mode, "worst_p95_ms", mwhere, (int, float))
             for query in need(mode, "queries", mwhere, list):
@@ -433,11 +456,21 @@ def compare_to_baseline(
                 f"below baseline {base_rate:,.0f} obj/s"
             )
         base_modes = {
-            (mode["plan"], mode["join_mode"]): mode
+            (
+                mode["plan"],
+                mode["join_mode"],
+                mode.get("batch_format", "rows"),
+            ): mode
             for mode in base.get("modes", [])
         }
         for mode in tier.get("modes", []):
-            bmode = base_modes.get((mode["plan"], mode["join_mode"]))
+            bmode = base_modes.get(
+                (
+                    mode["plan"],
+                    mode["join_mode"],
+                    mode.get("batch_format", "rows"),
+                )
+            )
             if bmode is None:
                 continue
             worst = mode["worst_p95_ms"]
@@ -445,7 +478,9 @@ def compare_to_baseline(
             if base_worst and worst > base_worst * factor:
                 problems.append(
                     f"{tier['tier']} plan={mode['plan']} "
-                    f"join={mode['join_mode']}: worst p95 {worst}ms is "
+                    f"join={mode['join_mode']} "
+                    f"format={mode.get('batch_format', 'rows')}: "
+                    f"worst p95 {worst}ms is "
                     f">{factor}x above baseline {base_worst}ms"
                 )
     return problems
@@ -466,6 +501,8 @@ def render_report(payload: Dict[str, object]) -> str:
         for mode in tier["modes"]:
             lines.append(
                 f"  plan={mode['plan']:6s} join={mode['join_mode']:6s} "
+                f"format={mode.get('batch_format', 'rows'):8s} "
+                f"workers={mode.get('workers', 1)} "
                 f"{mode['queries_per_sec']:8.1f} q/s  "
                 f"worst p95 {mode['worst_p95_ms']:10.3f}ms"
                 + (

@@ -27,6 +27,10 @@ flogic     Theorem 3.1 translation + F-logic kernel      conjunctive
                                                          fragment only
 snapshot   ``store_to_dict``/``store_from_dict`` then    always
            the reference evaluator on the restored store
+columnar   ``plan="cost"`` with                          always
+           ``batch_format="columnar"`` and ``workers=2``
+           on its own session: columnar binding batches
+           with morsel-parallel scans
 ========== ============================================= ==================
 
 Results are compared as order-insensitive multisets of oid tuples.  XSQL
@@ -73,6 +77,7 @@ ENGINE_NAMES = (
     "naive",
     "flogic",
     "snapshot",
+    "columnar",
 )
 
 
@@ -142,6 +147,10 @@ class Oracle:
         # compared against each other (and everything else) every query.
         self.session.join_mode = "nested"
         self.hash_session = Session(store)
+        # The "columnar" engine gets its own session too: its walker memo
+        # and restriction-keyed PathWalker cache persist across queries,
+        # so the fuzz run also exercises cross-query cache reuse.
+        self.columnar_session = Session(store)
         self.naive_max_product = naive_max_product
         self.naive_enabled = naive_enabled
         self._flogic_db: Optional[FlogicDatabase] = None
@@ -204,6 +213,9 @@ class Oracle:
             "naive": lambda: NaiveEvaluator(self.store).run(parsed),
             "flogic": lambda: evaluate(self._flogic(), translate(parsed)),
             "snapshot": lambda: Evaluator(self._roundtrip()).run(parsed),
+            "columnar": lambda: self.columnar_session.query(
+                text, plan="cost", batch_format="columnar", workers=2
+            ),
         }
         for name in engines:
             if name not in runners:

@@ -12,7 +12,7 @@ and executes XSQL statements against an
   ``UPDATE CLASS ... SET`` update methods (§5).
 """
 
-from repro.xsql import build
+from repro.xsql import batches, build
 from repro.xsql.ast import (
     Comparison,
     MethodExpr,
@@ -20,6 +20,7 @@ from repro.xsql.ast import (
     Query,
     Step,
 )
+from repro.xsql.options import ExecutionOptions
 from repro.xsql.parser import parse_query, parse_statement
 from repro.xsql.pipeline import CompiledQuery, QueryPipeline
 from repro.xsql.result import QueryResult
@@ -28,8 +29,10 @@ from repro.xsql.session import Session
 __all__ = [
     "Session",
     "CompiledQuery",
+    "ExecutionOptions",
     "QueryPipeline",
     "QueryResult",
+    "batches",
     "build",
     "parse_query",
     "parse_statement",

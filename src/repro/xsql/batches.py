@@ -1,0 +1,390 @@
+"""The batch algebra: the factored binding-state both executors share.
+
+The physical-operator executor (:mod:`repro.xsql.operators`) represents
+the binding stream as a list of variable-disjoint batches whose cross
+product is the logical stream.  Two batch representations implement the
+same algebra:
+
+* :class:`Batch` — the row representation: one Python dict per binding.
+  This is the historical format and remains the default
+  (``batch_format="rows"``).
+* :class:`ColumnBatch` — the columnar representation: one value vector
+  per variable plus a row count (``batch_format="columnar"``).  Ragged
+  bindings (a variable declared by the batch but unbound in some rows,
+  e.g. after an OR branch) store the :data:`UNBOUND` sentinel in the
+  vector; row adapters drop it, so ``from_rows``/``to_rows`` round-trip
+  exactly.
+
+The three algebra operations — :func:`merge_overlapping`,
+:func:`merge_all`, :func:`product_count` — are generic over both
+representations and preserve the logical stream bit-for-bit: a columnar
+merge repeats the left columns and tiles the right columns, which is the
+same left-outer/right-inner order as the row merge's
+``[{**l, **r} for l in left for r in right]``.  The property suite in
+``tests/xsql/test_batch_algebra.py`` holds both representations to the
+algebra and to each other.
+
+Morsel-driven parallelism lives here too: :func:`split_morsels` cuts a
+candidate list into fixed-size morsels and :func:`morsel_map` dispatches
+them across a thread pool, concatenating the per-morsel results in
+morsel order — so the output is identical for every worker count, which
+is what keeps parallel scans inside the engines' bit-identical result
+contract (the difftest oracle is the gate).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.oid import Variable
+from repro.xsql.paths import Bindings
+
+__all__ = [
+    "UNBOUND",
+    "Batch",
+    "ColumnBatch",
+    "AnyBatch",
+    "State",
+    "DEFAULT_MORSEL_SIZE",
+    "batch_size",
+    "batch_rows",
+    "cross_state",
+    "merge_all",
+    "merge_overlapping",
+    "morsel_map",
+    "product_count",
+    "replay_deltas",
+    "split_morsels",
+]
+
+
+class _Unbound:
+    """The columnar null: "declared by the batch, unbound in this row"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNBOUND"
+
+
+#: Sentinel stored in a column vector where a row does not bind the
+#: column's variable.  Row adapters omit the key entirely, matching the
+#: row representation (a dict simply lacking the key).
+UNBOUND = _Unbound()
+
+
+class Batch:
+    """One independent batch of the factored binding stream (row form)."""
+
+    __slots__ = ("vars", "envs")
+
+    def __init__(self, vars: Set[Variable], envs: List[Bindings]) -> None:
+        self.vars = vars
+        self.envs = envs
+
+    def __len__(self) -> int:
+        return len(self.envs)
+
+
+def _var_key(var: Variable) -> Tuple[str, str]:
+    return (var.name, var.sort.value)
+
+
+class ColumnBatch:
+    """One independent batch in columnar form: a vector per variable.
+
+    ``columns`` maps each declared variable to a list of ``length``
+    cells; a cell is a bound value or :data:`UNBOUND`.  The logical rows
+    are positional: row *i* is ``{var: columns[var][i]}`` over the non-
+    UNBOUND cells, in exactly the order the row representation would
+    enumerate its ``envs`` list.
+    """
+
+    __slots__ = ("vars", "columns", "length")
+
+    def __init__(
+        self,
+        vars: Set[Variable],
+        columns: Dict[Variable, List[object]],
+        length: int,
+    ) -> None:
+        self.vars = vars
+        self.columns = columns
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    @classmethod
+    def identity(cls) -> "ColumnBatch":
+        """The merge identity: zero variables, one (empty) row."""
+        return cls(set(), {}, 1)
+
+    @classmethod
+    def from_rows(
+        cls, vars: Set[Variable], rows: Sequence[Bindings]
+    ) -> "ColumnBatch":
+        """Columnarize *rows*; variables beyond *vars* are kept too."""
+        declared = set(vars)
+        for row in rows:
+            declared.update(row)
+        columns = {
+            var: [row.get(var, UNBOUND) for row in rows]
+            for var in sorted(declared, key=_var_key)
+        }
+        return cls(declared, columns, len(rows))
+
+    def rows(self) -> Iterator[Bindings]:
+        """The batch's bindings as dicts, in row order (UNBOUND dropped)."""
+        items = list(self.columns.items())
+        for index in range(self.length):
+            yield {
+                var: column[index]
+                for var, column in items
+                if column[index] is not UNBOUND
+            }
+
+    def to_rows(self) -> List[Bindings]:
+        return list(self.rows())
+
+    def has_unbound(self, wanted: Set[Variable]) -> bool:
+        """Is any *wanted* variable UNBOUND in any row of this batch?"""
+        for var in wanted & self.vars:
+            if any(cell is UNBOUND for cell in self.columns[var]):
+                return True
+        return False
+
+
+def replay_deltas(
+    base: "ColumnBatch",
+    extra_vars: Set[Variable],
+    per_row: Sequence[Sequence[Bindings]],
+) -> "ColumnBatch":
+    """Expand each base row by its delta list, column-at-a-time.
+
+    ``per_row[i]`` is the (possibly empty) sequence of binding deltas
+    row *i* produced; the output enumerates, for each row in order, one
+    row per delta — exactly the ``{**env, **delta}`` replay of the row
+    representation, but assembled as vectors without materializing row
+    dicts.  A delta may override a base column (a variable UNBOUND in
+    that row); *extra_vars* declares variables that must exist in the
+    output even if no delta ever binds them (filled with UNBOUND).
+
+    Column lists are treated as immutable throughout the executor, so
+    the no-expansion fast paths alias or slice the base vectors instead
+    of copying cell by cell.
+    """
+    counts = [len(deltas) for deltas in per_row]
+    out_len = sum(counts)
+    delta_vars: Set[Variable] = set()
+    for deltas in per_row:
+        for delta in deltas:
+            if delta:
+                delta_vars.update(delta)
+    out_vars = base.vars | extra_vars | delta_vars
+    selection = not delta_vars and max(counts, default=0) <= 1
+    pure_keep = selection and out_len == base.length
+    keep = (
+        [index for index, count in enumerate(counts) if count]
+        if selection and not pure_keep
+        else None
+    )
+    columns: Dict[Variable, List[object]] = {}
+    for var in sorted(out_vars, key=_var_key):
+        base_col = base.columns.get(var)
+        if var in delta_vars:
+            col: List[object] = []
+            if base_col is None:
+                for deltas in per_row:
+                    for delta in deltas:
+                        col.append(delta.get(var, UNBOUND))
+            else:
+                for index, deltas in enumerate(per_row):
+                    fallback = base_col[index]
+                    for delta in deltas:
+                        col.append(delta.get(var, fallback))
+        elif base_col is None:
+            col = [UNBOUND] * out_len
+        elif pure_keep:
+            col = base_col
+        elif keep is not None:
+            col = [base_col[index] for index in keep]
+        else:
+            col = [
+                base_col[index]
+                for index, count in enumerate(counts)
+                for _ in range(count)
+            ]
+        columns[var] = col
+    return ColumnBatch(out_vars, columns, out_len)
+
+
+#: Either batch representation; a state never mixes the two.
+AnyBatch = Union[Batch, ColumnBatch]
+
+#: The executor state: disjoint-variable batches whose cross product is
+#: the logical binding stream.  The empty state means "one empty env".
+State = List[AnyBatch]
+
+#: Default morsel granularity for parallel scans: small enough that a
+#: scale-tier extent splits across workers, large enough that the paper
+#: databases stay single-morsel (no thread overhead on toy inputs).
+DEFAULT_MORSEL_SIZE = 256
+
+
+def batch_size(batch: AnyBatch) -> int:
+    """Row count of one batch, in either representation."""
+    return len(batch)
+
+
+def batch_rows(batch: AnyBatch) -> List[Bindings]:
+    """The batch's bindings as a list of dicts, in row order."""
+    if isinstance(batch, ColumnBatch):
+        return batch.to_rows()
+    return batch.envs
+
+
+def _cross_columnar(left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+    """Cross product, left-outer/right-inner: repeat left, tile right."""
+    llen, rlen = left.length, right.length
+    columns: Dict[Variable, List[object]] = {}
+    for var, column in left.columns.items():
+        if rlen == 1:
+            columns[var] = list(column)
+        else:
+            columns[var] = [cell for cell in column for _ in range(rlen)]
+    for var, column in right.columns.items():
+        if llen == 1:
+            columns[var] = list(column)
+        else:
+            columns[var] = list(column) * llen
+    return ColumnBatch(left.vars | right.vars, columns, llen * rlen)
+
+
+def merge_overlapping(
+    state: State, touched: Set[Variable], merge_all: bool = False
+) -> Tuple[AnyBatch, State]:
+    """Cross-product every batch overlapping *touched*; keep the rest.
+
+    This is the core move of the factored-state algebra: the merged
+    batch binds the union of the overlapping batches' variables, its
+    rows are their cross product, and the untouched batches pass through
+    unchanged — so ``product_count`` is preserved and batch variable
+    sets stay disjoint (``tests/xsql/test_batch_algebra.py`` holds the
+    algebra to both, in both representations).
+
+    With ``merge_all`` the whole state collapses into one batch — the
+    merged (tuple-at-a-time-equivalent) execution mode.  The merged
+    batch's representation follows the state's (columnar in, columnar
+    out); an empty state merges to the row identity.
+    """
+    if any(isinstance(batch, ColumnBatch) for batch in state):
+        cmerged = ColumnBatch.identity()
+        crest: State = []
+        for batch in state:
+            assert isinstance(batch, ColumnBatch), "mixed batch kinds"
+            if merge_all or (batch.vars & touched):
+                cmerged = _cross_columnar(cmerged, batch)
+            else:
+                crest.append(batch)
+        return cmerged, crest
+    merged = Batch(set(), [{}])
+    rest: State = []
+    for batch in state:
+        if merge_all or (batch.vars & touched):
+            merged = Batch(
+                merged.vars | batch.vars,
+                [
+                    {**left, **right}
+                    for left in merged.envs
+                    for right in batch.envs
+                ],
+            )
+        else:
+            rest.append(batch)
+    return merged, rest
+
+
+def merge_all(state: State) -> AnyBatch:
+    """Collapse the whole state into one batch (full cross product)."""
+    merged, _rest = merge_overlapping(state, set(), merge_all=True)
+    return merged
+
+
+def cross_state(state: State) -> Iterator[Bindings]:
+    """The logical binding stream: the batches' cross product."""
+    per_batch = [batch_rows(batch) for batch in state]
+
+    def recurse(index: int, acc: Bindings) -> Iterator[Bindings]:
+        if index == len(per_batch):
+            yield dict(acc)
+            return
+        for env in per_batch[index]:
+            yield from recurse(index + 1, {**acc, **env})
+
+    return recurse(0, {})
+
+
+def product_count(state: State) -> int:
+    """Logical row count of a state: the product of its batch sizes."""
+    count = 1
+    for batch in state:
+        count *= len(batch)
+    return count
+
+
+# ----------------------------------------------------------------------
+# morsels
+# ----------------------------------------------------------------------
+
+
+def split_morsels(
+    items: Sequence, morsel_size: int = DEFAULT_MORSEL_SIZE
+) -> List[Sequence]:
+    """Cut *items* into contiguous morsels of at most *morsel_size*."""
+    if morsel_size <= 0:
+        raise ValueError(f"morsel_size must be positive, got {morsel_size}")
+    return [
+        items[start : start + morsel_size]
+        for start in range(0, len(items), morsel_size)
+    ]
+
+
+def morsel_map(
+    work: Callable[[Sequence], List],
+    items: Sequence,
+    workers: int = 1,
+    morsel_size: int = DEFAULT_MORSEL_SIZE,
+) -> Tuple[List, int, int]:
+    """Apply *work* to each morsel of *items*; deterministic merge order.
+
+    Returns ``(results, n_morsels, workers_used)`` where *results* is
+    the concatenation of the per-morsel outputs **in morsel order** —
+    the output is therefore identical for every worker count; only the
+    wall-clock interleaving changes.  A single morsel (or ``workers <=
+    1``) runs inline with no pool.
+    """
+    morsels = split_morsels(items, morsel_size)
+    if len(morsels) <= 1 or workers <= 1:
+        results: List = []
+        for morsel in morsels:
+            results.extend(work(morsel))
+        return results, len(morsels), 1
+    used = min(workers, len(morsels))
+    with ThreadPoolExecutor(max_workers=used) as pool:
+        chunks = list(pool.map(work, morsels))
+    results = []
+    for chunk in chunks:
+        results.extend(chunk)
+    return results, len(morsels), used

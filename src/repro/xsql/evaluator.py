@@ -21,7 +21,18 @@ Two engines implement the same declarative semantics:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.datamodel.store import ObjectStore
 from repro.errors import QueryError, UnsafeQueryError
@@ -60,9 +71,13 @@ class Evaluator:
         max_path_var_length: int = 6,
         restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
         metrics=None,
+        walker: Optional[PathWalker] = None,
     ) -> None:
         self.store = store
-        self.walker = PathWalker(
+        # A caller may supply a shared (session-persistent) walker so its
+        # generation-stamped caches survive across runs; it must have
+        # been built over the same store and restrictions.
+        self.walker = walker if walker is not None else PathWalker(
             store,
             max_path_var_length=max_path_var_length,
             id_function_instances=id_function_instances,
@@ -173,52 +188,78 @@ class Evaluator:
         self, decl: ast.FromDecl, envs: Iterator[Bindings]
     ) -> Iterator[Bindings]:
         for env in envs:
-            cls_term = decl.cls
-            class_candidates: List[Atom]
-            if isinstance(cls_term, Variable):
-                bound = env.get(cls_term)
-                if bound is not None:
-                    class_candidates = [bound]  # type: ignore[list-item]
-                else:
-                    class_candidates = self.walker.universe(VarSort.CLASS)
+            yield from self._bind_from_env(decl, env)
+
+    def _bind_from_env(
+        self, decl: ast.FromDecl, env: Bindings
+    ) -> Iterator[Bindings]:
+        for env1, cls in self._from_classes(decl, env):
+            bound_var = env1.get(decl.var)
+            if bound_var is not None:
+                if self.store.is_instance(bound_var, cls):
+                    yield env1
+                continue
+            candidates, admit = self._scan_candidates(decl, env1, cls)
+            for obj in candidates:
+                if not admit(obj):
+                    continue
+                env2 = dict(env1)
+                env2[decl.var] = obj
+                yield env2
+
+    def _from_classes(
+        self, decl: ast.FromDecl, env: Bindings
+    ) -> Iterator[Tuple[Bindings, Atom]]:
+        """Each admissible class for *decl* under *env*, with the class
+        variable (when the FROM class is one) bound into a fresh env.
+
+        The columnar scan operator consumes this directly so its
+        per-class candidate streams stay binding-identical to
+        :meth:`_bind_from`.
+        """
+        cls_term = decl.cls
+        class_candidates: List[Atom]
+        if isinstance(cls_term, Variable):
+            bound = env.get(cls_term)
+            if bound is not None:
+                class_candidates = [bound]  # type: ignore[list-item]
             else:
-                class_candidates = [cls_term]
-            for cls in class_candidates:
-                if cls not in self.store.hierarchy:
-                    continue
-                env1 = dict(env)
-                if isinstance(cls_term, Variable):
-                    env1[cls_term] = cls
-                bound_var = env1.get(decl.var)
-                if bound_var is not None:
-                    if self.store.is_instance(bound_var, cls):
-                        yield env1
-                    continue
-                restriction = self.walker.restriction_for(decl.var)
-                if restriction is not None and len(restriction) * 4 <= max(
-                    1, self.store.extent_estimate(cls)
-                ):
-                    # A restriction much smaller than the extent (an index
-                    # probe, typically): membership-check the restricted
-                    # candidates instead of scanning the whole extent.
-                    # Identical result set — restriction ∩ extent either way.
-                    if self._metrics is not None:
-                        self._metrics.count("scan.restricted_from")
-                    for obj in self.walker.variable_candidates(decl.var):
-                        if not self.store.is_instance(obj, cls):
-                            continue
-                        env2 = dict(env1)
-                        env2[decl.var] = obj
-                        yield env2
-                    continue
-                if self._metrics is not None:
-                    self._metrics.count("scan.extent")
-                for obj in self.walker.extent_sorted(cls):
-                    if not self.walker.admits(decl.var, obj):
-                        continue
-                    env2 = dict(env1)
-                    env2[decl.var] = obj
-                    yield env2
+                class_candidates = self.walker.universe(VarSort.CLASS)
+        else:
+            class_candidates = [cls_term]
+        for cls in class_candidates:
+            if cls not in self.store.hierarchy:
+                continue
+            env1 = dict(env)
+            if isinstance(cls_term, Variable):
+                env1[cls_term] = cls
+            yield env1, cls
+
+    def _scan_candidates(
+        self, decl: ast.FromDecl, env1: Bindings, cls: Atom
+    ) -> Tuple[Sequence[Atom], "Callable[[Atom], bool]"]:
+        """The ordered candidate stream for one scan, plus its admission
+        predicate — the morsel unit of the columnar scan operator."""
+        restriction = self.walker.restriction_for(decl.var)
+        if restriction is not None and len(restriction) * 4 <= max(
+            1, self.store.extent_estimate(cls)
+        ):
+            # A restriction much smaller than the extent (an index
+            # probe, typically): membership-check the restricted
+            # candidates instead of scanning the whole extent.
+            # Identical result set — restriction ∩ extent either way.
+            if self._metrics is not None:
+                self._metrics.count("scan.restricted_from")
+            return (
+                self.walker.variable_candidates(decl.var),
+                lambda obj: self.store.is_instance(obj, cls),
+            )
+        if self._metrics is not None:
+            self._metrics.count("scan.extent")
+        return (
+            self.walker.extent_sorted(cls),
+            lambda obj: self.walker.admits(decl.var, obj),
+        )
 
     # ------------------------------------------------------------------
     # conditions

@@ -31,9 +31,12 @@ The operator catalogue:
 ``SetOp``          UNION / MINUS / INTERSECT of two sub-results
 =================  ====================================================
 
-The executor state is a list of :class:`Batch` objects — disjoint groups
-of bound variables — whose cross product is the logical binding stream.
-In *merged* mode (every plan except ``cost`` + ``join_mode="hash"``) each
+The executor state is a list of batches — disjoint groups of bound
+variables — whose cross product is the logical binding stream.  The
+batch algebra itself (row :class:`Batch`, columnar :class:`ColumnBatch`,
+``merge_overlapping``/``merge_all``/``product_count``) lives in the
+public module :mod:`repro.xsql.batches` and is re-exported here.  In
+*merged* mode (every plan except ``cost`` + ``join_mode="hash"``) each
 operator merges the whole state into a single batch first, which makes
 the stream identical, binding for binding, to the legacy tuple-at-a-time
 stages.  In *factored* mode batches merge only when a conjunct connects
@@ -42,10 +45,22 @@ semi joins.  Either way deduplication happens once, under ``Project``,
 exactly as :meth:`Evaluator.env_stream` always did — so results are
 bit-identical across modes (the difftest oracle is the gate).
 
+With ``batch_format="columnar"`` (see
+:class:`repro.xsql.options.ExecutionOptions`) the same operators run
+over :class:`ColumnBatch` states: scans split their candidate extents
+into morsels dispatched across a worker pool (deterministic morsel-order
+merge), merges repeat/tile value vectors instead of merging dicts, and
+conjunct evaluation groups the stream by its projection onto the
+conjunct's variables, consulting the session-persistent walker memo once
+per distinct projection.  The binding stream — order included — is
+bit-identical to rows mode; only the representation and the work saved
+differ.
+
 Each operator carries runtime counters — rows in/out (logical stream
-sizes), batches, wall time of its own transform, and path-cache hits —
-surfaced by ``CompiledQuery.explain(analyze=True)`` via
-:func:`tree_dict` / :func:`render_tree`.
+sizes), batches, rows per batch, wall time of its own transform,
+path-cache hits, and (for morsel scans) morsel/worker counts — surfaced
+by ``CompiledQuery.explain(analyze=True)`` via :func:`tree_dict` /
+:func:`render_tree`.
 """
 
 from __future__ import annotations
@@ -54,7 +69,6 @@ import time
 from typing import (
     TYPE_CHECKING,
     Dict,
-    Iterator,
     List,
     Mapping,
     Optional,
@@ -66,6 +80,22 @@ from typing import (
 from repro.errors import QueryError
 from repro.oid import Oid, Variable
 from repro.xsql import ast
+from repro.xsql.batches import (
+    UNBOUND,
+    AnyBatch,
+    Batch,
+    ColumnBatch,
+    State,
+    _cross_columnar,
+    _var_key,
+    batch_rows,
+    cross_state,
+    merge_all,
+    merge_overlapping,
+    morsel_map,
+    product_count,
+    replay_deltas,
+)
 from repro.xsql.evaluator import Evaluator, _dedup
 from repro.xsql.paths import Bindings
 from repro.xsql.planner import _cond_has_updates
@@ -78,6 +108,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Aggregate",
     "Batch",
+    "ColumnBatch",
     "ExecContext",
     "ExtentScan",
     "Filter",
@@ -103,6 +134,10 @@ __all__ = [
     "stage_trace",
     "tree_dict",
 ]
+
+# Back-compat alias: the logical stream iterator moved to
+# repro.xsql.batches as cross_state; old imports keep working.
+_cross = cross_state
 
 #: Quantifiers with existential (∩ ≠ ∅) semantics under ``compare("=")``.
 _EXISTENTIAL = (None, "some")
@@ -146,90 +181,26 @@ def join_strategy_of(cond: ast.Cond) -> str:
     return "nested"  # both ground: a constant test, no join to speed up
 
 
-class Batch:
-    """One independent batch of the factored binding stream."""
-
-    __slots__ = ("vars", "envs")
-
-    def __init__(self, vars: Set[Variable], envs: List[Bindings]) -> None:
-        self.vars = vars
-        self.envs = envs
-
-
-#: The executor state: disjoint-variable batches whose cross product is
-#: the logical binding stream.  The empty state means "one empty env".
-State = List[Batch]
-
-
-def merge_overlapping(
-    state: State, touched: Set[Variable], merge_all: bool = False
-) -> Tuple[Batch, State]:
-    """Cross-product every batch overlapping *touched*; keep the rest.
-
-    This is the core move of the factored-state algebra: the merged
-    batch binds the union of the overlapping batches' variables, its
-    envs are their cross product, and the untouched batches pass through
-    unchanged — so ``product_count`` is preserved and batch variable
-    sets stay disjoint (``tests/xsql/test_batch_algebra.py`` holds the
-    algebra to both).
-
-    With ``merge_all`` the whole state collapses into one batch — the
-    merged (tuple-at-a-time-equivalent) execution mode.
-    """
-    merged = Batch(set(), [{}])
-    rest: State = []
-    for batch in state:
-        if merge_all or (batch.vars & touched):
-            merged = Batch(
-                merged.vars | batch.vars,
-                [
-                    {**left, **right}
-                    for left in merged.envs
-                    for right in batch.envs
-                ],
-            )
-        else:
-            rest.append(batch)
-    return merged, rest
-
-
-def merge_all(state: State) -> Batch:
-    """Collapse the whole state into one batch (full cross product)."""
-    merged, _rest = merge_overlapping(state, set(), merge_all=True)
-    return merged
-
-
-def _cross(state: State) -> Iterator[Bindings]:
-    """The logical binding stream: the batches' cross product."""
-
-    def recurse(index: int, acc: Bindings) -> Iterator[Bindings]:
-        if index == len(state):
-            yield dict(acc)
-            return
-        for env in state[index].envs:
-            yield from recurse(index + 1, {**acc, **env})
-
-    return recurse(0, {})
-
-
-def product_count(state: State) -> int:
-    """Logical row count of a state: the product of its batch sizes."""
-    count = 1
-    for batch in state:
-        count *= len(batch.envs)
-    return count
-
-
 class ExecContext:
     """Per-run execution context shared by every operator in a tree."""
 
-    __slots__ = ("evaluator", "metrics")
+    __slots__ = ("evaluator", "metrics", "batch_format", "workers")
 
     def __init__(
-        self, evaluator: Evaluator, metrics: Optional["SessionMetrics"] = None
+        self,
+        evaluator: Evaluator,
+        metrics: Optional["SessionMetrics"] = None,
+        batch_format: str = "rows",
+        workers: int = 1,
     ) -> None:
         self.evaluator = evaluator
         self.metrics = metrics
+        self.batch_format = batch_format
+        self.workers = workers
+
+    @property
+    def columnar(self) -> bool:
+        return self.batch_format == "columnar"
 
     def path_cache_hits(self) -> int:
         if self.metrics is None:
@@ -279,6 +250,8 @@ class Operator:
         self.batches_out = 0
         self.wall_seconds = 0.0
         self.cache_hits = 0
+        self.morsels = 0
+        self.workers_used = 0
         self.executed = False
 
     @property
@@ -358,9 +331,89 @@ class ScanOperator(Operator):
             touched.add(decl.cls)
         base, rest = merge_overlapping(state, touched, self.merge_all)
         assert self._ctx is not None
+        if self._ctx.columnar:
+            if not isinstance(base, ColumnBatch):
+                base = ColumnBatch.from_rows(base.vars, batch_rows(base))
+            rest.append(self._columnar_scan(base, touched))
+            return rest
         envs = list(self._ctx.evaluator._bind_from(decl, iter(base.envs)))
         rest.append(Batch(base.vars | touched, envs))
         return rest
+
+    def _columnar_scan(
+        self, base: ColumnBatch, touched: Set[Variable]
+    ) -> ColumnBatch:
+        """Bind the declaration morsel-at-a-time over *base*.
+
+        Mirrors ``Evaluator._bind_from`` binding for binding: the
+        candidate stream (extent, restricted set, or the already-bound
+        object) is cut into morsels and admitted in parallel, then
+        concatenated in morsel order — so the output is identical to the
+        sequential scan for every worker count.
+
+        When the FROM class is a constant and the incoming batch leaves
+        the scan variable unbound, candidates and admission are
+        independent of the incoming bindings: the scan admits the
+        candidate list **once** and cross-products it against the batch
+        (env-outer, candidate-inner — the row executor's order) instead
+        of re-admitting per incoming env.
+        """
+        ctx = self._ctx
+        assert ctx is not None
+        evaluator = ctx.evaluator
+        decl = self.decl
+        if not isinstance(decl.cls, Variable) and decl.var not in base.vars:
+            pairs = list(evaluator._from_classes(decl, {}))
+            if not pairs:
+                out_vars = base.vars | touched
+                return ColumnBatch(
+                    out_vars,
+                    {var: [] for var in sorted(out_vars, key=_var_key)},
+                    0,
+                )
+            _env1, cls = pairs[0]
+            candidates, admit = evaluator._scan_candidates(decl, {}, cls)
+
+            def admit_morsel(morsel, admit=admit):
+                return [obj for obj in morsel if admit(obj)]
+
+            admitted, n_morsels, used = morsel_map(
+                admit_morsel, candidates, workers=ctx.workers
+            )
+            self.morsels += n_morsels
+            self.workers_used = max(self.workers_used, used)
+            bound = ColumnBatch(
+                {decl.var}, {decl.var: admitted}, len(admitted)
+            )
+            return _cross_columnar(base, bound)
+        rows: List[Bindings] = []
+        for env in base.rows():
+            for env1, cls in evaluator._from_classes(decl, env):
+                bound_var = env1.get(decl.var)
+                if bound_var is not None:
+                    if evaluator.store.is_instance(bound_var, cls):
+                        rows.append(env1)
+                    continue
+                candidates, admit = evaluator._scan_candidates(
+                    decl, env1, cls
+                )
+
+                def work(morsel, env1=env1, admit=admit, var=decl.var):
+                    out = []
+                    for obj in morsel:
+                        if admit(obj):
+                            bound_env = dict(env1)
+                            bound_env[var] = obj
+                            out.append(bound_env)
+                    return out
+
+                got, n_morsels, used = morsel_map(
+                    work, candidates, workers=ctx.workers
+                )
+                rows.extend(got)
+                self.morsels += n_morsels
+                self.workers_used = max(self.workers_used, used)
+        return ColumnBatch.from_rows(base.vars | touched, rows)
 
 
 class ExtentScan(ScanOperator):
@@ -410,6 +463,9 @@ class CondOperator(Operator):
         if not self.merge_all and metrics is not None:
             metrics.count("join.filter")
         evaluator = self._ctx.evaluator
+        if self._ctx.columnar:
+            rest.append(self._grouped_eval(base, cond_vars))
+            return rest
         envs = [
             out
             for env in base.envs
@@ -417,6 +473,106 @@ class CondOperator(Operator):
         ]
         rest.append(Batch(base.vars | cond_vars, envs))
         return rest
+
+    def _grouped_eval(
+        self, base: AnyBatch, cond_vars: Set[Variable]
+    ) -> ColumnBatch:
+        """Evaluate the conjunct once per distinct variable projection.
+
+        A conjunct only reads its own variables (``ast.cond_variables``
+        is a superset of everything evaluation can touch, subquery free
+        variables included), so two rows agreeing on that projection get
+        the same *delta* — the bindings the conjunct adds beyond the
+        projection.  The whole step is column-at-a-time: projection keys
+        are zipped straight out of the batch's vectors, deltas are
+        computed once per distinct key (and memoized across runs in the
+        walker's generation-stamped memo), and the output vectors are
+        assembled without materializing row dicts.  Replay order per row
+        equals the per-row ``eval_cond`` order, so the stream is
+        bit-identical to the ungrouped evaluation.
+        """
+        ctx = self._ctx
+        assert ctx is not None and self.cond is not None
+        evaluator = ctx.evaluator
+        walker = evaluator.walker
+        if not isinstance(base, ColumnBatch):
+            base = ColumnBatch.from_rows(base.vars, batch_rows(base))
+        key_vars = sorted(cond_vars, key=_var_key)
+        length = base.length
+        key_columns = []
+        for var in key_vars:
+            column = base.columns.get(var)
+            if column is None:
+                key_columns.append([None] * length)
+            else:
+                key_columns.append(
+                    [None if cell is UNBOUND else cell for cell in column]
+                )
+        keys = list(zip(*key_columns)) if key_columns else [()] * length
+        # memo_token runs the generation check; the loop below cannot
+        # mutate the store (pipeline conjuncts are side-effect-free), so
+        # the per-key lookups use the unguarded fast path.
+        token = walker.memo_token("cond", self.cond)
+        local: Dict[Tuple, Sequence[Bindings]] = {}
+        hits = misses = 0
+        per_row: List[Sequence[Bindings]] = []
+        for key in keys:
+            deltas = local.get(key)
+            if deltas is None:
+                memo_key = (token, key)
+                deltas = walker.memo_get_fresh(memo_key)
+                if deltas is None:
+                    misses += 1
+                    projection = {
+                        var: value
+                        for var, value in zip(key_vars, key)
+                        if value is not None
+                    }
+                    deltas = tuple(
+                        {
+                            var: value
+                            for var, value in out.items()
+                            if var not in projection
+                        }
+                        for out in evaluator.eval_cond(self.cond, projection)
+                    )
+                    walker.memo_put(memo_key, deltas)
+                else:
+                    hits += 1
+                    self.cache_hits += 1
+                local[key] = deltas
+            per_row.append(deltas)
+        walker.memo_counts(hits, misses)
+        return replay_deltas(base, cond_vars, per_row)
+
+    def _operand_values(self, operand: ast.Operand, env: Bindings):
+        """The operand's value set under *env*; walker-memoized when
+        columnar (keyed on the projection onto the operand's variables,
+        which bounds everything its evaluation can read)."""
+        ctx = self._ctx
+        assert ctx is not None
+        evaluator = ctx.evaluator
+        if not ctx.columnar:
+            return evaluator.eval_operand(operand, env)
+        op_vars = sorted(
+            set(ast.operand_variables(operand)),
+            key=lambda var: (var.name, var.sort.value),
+        )
+        key = tuple(env.get(var) for var in op_vars)
+        token = evaluator.walker.memo_token("operand", operand)
+        memo_key = (token, key)
+        values = evaluator.walker.memo_get(memo_key)
+        if values is None:
+            projection = {
+                var: value
+                for var, value in zip(op_vars, key)
+                if value is not None
+            }
+            values = evaluator.eval_operand(operand, projection)
+            evaluator.walker.memo_put(memo_key, values)
+        else:
+            self.cache_hits += 1
+        return values
 
 
 class PathEval(CondOperator):
@@ -451,6 +607,10 @@ def _covering(state: State, needed: Set[Variable]) -> Optional[State]:
         return None  # an operand variable no batch binds yet
     for batch in found:
         want = batch.vars & needed
+        if isinstance(batch, ColumnBatch):
+            if batch.has_unbound(want):
+                return None  # declared but unbound (e.g. empty walk)
+            continue
         if any(
             any(var not in env for var in want) for env in batch.envs
         ):
@@ -493,28 +653,34 @@ class HashJoin(CondOperator):
         rvars = set(_operand_join_vars(cond.rhs) or ())
         if not _setwise_ready(state, lvars, rvars):
             return None
-        evaluator = self._ctx.evaluator
+        ctx = self._ctx
         left, rest = merge_overlapping(state, lvars)
         right, rest = merge_overlapping(rest, rvars)
         build, build_op, probe, probe_op = (
             (left, cond.lhs, right, cond.rhs)
-            if len(left.envs) <= len(right.envs)
+            if len(left) <= len(right)
             else (right, cond.rhs, left, cond.lhs)
         )
+        build_rows = batch_rows(build)
+        probe_rows = batch_rows(probe)
         table: Dict[Oid, List[int]] = {}
-        for index, env in enumerate(build.envs):
-            for value in evaluator.eval_operand(build_op, env):
+        for index, env in enumerate(build_rows):
+            for value in self._operand_values(build_op, env):
                 table.setdefault(value, []).append(index)
         envs = []
-        for probe_env in probe.envs:
+        for probe_env in probe_rows:
             matched: Set[int] = set()
-            for value in evaluator.eval_operand(probe_op, probe_env):
+            for value in self._operand_values(probe_op, probe_env):
                 matched.update(table.get(value, ()))
             for index in sorted(matched):
-                envs.append({**build.envs[index], **probe_env})
-        rest.append(Batch(left.vars | right.vars, envs))
-        if self._ctx.metrics is not None:
-            self._ctx.metrics.count("join.hash")
+                envs.append({**build_rows[index], **probe_env})
+        joined_vars = left.vars | right.vars
+        if ctx.columnar:
+            rest.append(ColumnBatch.from_rows(joined_vars, envs))
+        else:
+            rest.append(Batch(joined_vars, envs))
+        if ctx.metrics is not None:
+            ctx.metrics.count("join.hash")
         return rest
 
 
@@ -530,25 +696,25 @@ class SemiJoin(CondOperator):
         rvars = set(_operand_join_vars(cond.rhs) or ())
         if not _setwise_ready(state, lvars, rvars):
             return self._merge_eval(state)
-        evaluator = self._ctx.evaluator
+        ctx = self._ctx
         keyed, ground_op = (
             (lvars, cond.rhs) if lvars else (rvars, cond.lhs)
         )
+        keyed_op = cond.lhs if keyed is lvars else cond.rhs
         base, rest = merge_overlapping(state, keyed)
-        ground = evaluator.eval_operand(ground_op, {})
+        ground = self._operand_values(ground_op, {})
         envs = [
             env
-            for env in base.envs
+            for env in batch_rows(base)
             if ground
-            and not ground.isdisjoint(
-                evaluator.eval_operand(
-                    cond.lhs if keyed is lvars else cond.rhs, env
-                )
-            )
+            and not ground.isdisjoint(self._operand_values(keyed_op, env))
         ]
-        rest.append(Batch(base.vars | keyed, envs))
-        if self._ctx.metrics is not None:
-            self._ctx.metrics.count("join.semi")
+        if ctx.columnar:
+            rest.append(ColumnBatch.from_rows(base.vars | keyed, envs))
+        else:
+            rest.append(Batch(base.vars | keyed, envs))
+        if ctx.metrics is not None:
+            ctx.metrics.count("join.semi")
         return rest
 
 
@@ -645,7 +811,7 @@ class Project(Operator):
         started = time.perf_counter()
         columns = [evaluator._column_name(item) for item in query.select]
         result = QueryResult(columns)
-        for env in _dedup(_cross(state)):
+        for env in _dedup(cross_state(state)):
             for row in evaluator._select_rows(query.select, env):
                 result.add(row)
         self.wall_seconds += time.perf_counter() - started
@@ -837,9 +1003,12 @@ def execute(
     root: Operator,
     evaluator: Evaluator,
     metrics: Optional["SessionMetrics"] = None,
+    *,
+    batch_format: str = "rows",
+    workers: int = 1,
 ) -> QueryResult:
     """Run an operator tree to completion and return its result table."""
-    ctx = ExecContext(evaluator, metrics)
+    ctx = ExecContext(evaluator, metrics, batch_format, workers)
     root.open(ctx)
     try:
         return root.result()
@@ -876,9 +1045,15 @@ def tree_dict(op: Operator) -> Dict[str, object]:
         "rows_in": op.rows_in,
         "rows_out": op.rows_out,
         "batches": op.batches_out,
+        "rows_per_batch": (
+            round(op.rows_out / op.batches_out, 1) if op.batches_out else 0.0
+        ),
         "cache_hits": op.cache_hits,
         "time_ms": round(op.wall_seconds * 1000.0, 3),
     }
+    if op.morsels:
+        data["morsels"] = op.morsels
+        data["workers"] = op.workers_used
     if op.detail:
         data["detail"] = op.detail
     if op.estimated_rows is not None:
@@ -897,10 +1072,16 @@ def render_tree(data: Mapping[str, object], indent: int = 0) -> List[str]:
         else ""
     )
     label = f" {data['label']}" if data.get("label") else ""
+    morsels = (
+        f"morsels={data['morsels']} workers={data['workers']} "
+        if "morsels" in data
+        else ""
+    )
     line = (
         f"{'  ' * indent}{data['operator']}{label} "
         f"[{est.strip() + ' ' if est else ''}act={data['rows_out']} "
         f"in={data['rows_in']} batches={data['batches']} "
+        f"rows/batch={data.get('rows_per_batch', 0):g} {morsels}"
         f"cache_hits={data['cache_hits']} time={data['time_ms']}ms]"
     )
     lines = [line]

@@ -1,0 +1,143 @@
+"""Execution options: one frozen record for every knob the engine has.
+
+Historically ``Session.prepare()``/``query()`` grew loose keyword
+arguments one PR at a time (``plan=``, ``engine=``, the session-level
+``join_mode``).  :class:`ExecutionOptions` gathers them — plus the
+columnar-execution knobs ``batch_format`` and ``workers`` — into a
+single frozen dataclass accepted uniformly by :meth:`Session.prepare`,
+:meth:`Session.query`, :meth:`CompiledQuery.explain`, the REPL, and the
+difftest oracle.  The loose kwargs remain as thin aliases that construct
+one, and the statement cache is keyed on :meth:`ExecutionOptions.cache_key`,
+so two calls with equivalent options share a compiled entry.
+
+``join_mode=None`` means "defer to the session default" — it resolves at
+execution time, not compile time, which preserves the historical
+behaviour of flipping ``session.join_mode`` between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import QueryError
+
+__all__ = [
+    "ENGINES",
+    "JOIN_MODES",
+    "BATCH_FORMATS",
+    "PLAN_MODES",
+    "ExecutionOptions",
+]
+
+#: Planner modes, ordered by ambition (see docs/LANGUAGE.md).
+PLAN_MODES = ("none", "greedy", "typed", "cost")
+
+#: Execution engines: the operator tree vs the §3.4 naive evaluator.
+ENGINES = ("reference", "naive")
+
+#: Join strategies for the factored executor; ``None`` defers to the
+#: session-level default.
+JOIN_MODES = ("hash", "nested")
+
+#: Batch representations for the operator tree (repro.xsql.batches).
+BATCH_FORMATS = ("rows", "columnar")
+
+#: Upper bound on the scan worker pool — morsel scans are thread-based,
+#: so more workers than cores only adds scheduling overhead.
+MAX_WORKERS = 64
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Frozen bundle of execution knobs for one prepared statement.
+
+    ``plan``
+        Planner mode: one of :data:`PLAN_MODES`.
+    ``engine``
+        ``"reference"`` (the physical-operator tree) or ``"naive"``
+        (the §3.4 substitution-space evaluator).
+    ``join_mode``
+        ``"hash"``/``"nested"``, or ``None`` to use the session default
+        at execution time.
+    ``batch_format``
+        ``"rows"`` (per-binding dicts) or ``"columnar"`` (one value
+        vector per variable; enables the session-persistent walker
+        memo and morsel-parallel scans).
+    ``workers``
+        Worker threads for morsel-driven scans; only meaningful with
+        ``batch_format="columnar"``.  Results are bit-identical for
+        every worker count.
+    """
+
+    plan: str = "none"
+    engine: str = "reference"
+    join_mode: Optional[str] = None
+    batch_format: str = "rows"
+    workers: int = 1
+
+    def validate(self) -> "ExecutionOptions":
+        if self.plan not in PLAN_MODES:
+            raise QueryError(
+                f"unknown plan mode {self.plan!r}; choose from {PLAN_MODES}"
+            )
+        if self.engine not in ENGINES:
+            raise QueryError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.join_mode is not None and self.join_mode not in JOIN_MODES:
+            raise QueryError(
+                f"unknown join_mode {self.join_mode!r}; "
+                f"choose from {JOIN_MODES} or None"
+            )
+        if self.batch_format not in BATCH_FORMATS:
+            raise QueryError(
+                f"unknown batch_format {self.batch_format!r}; "
+                f"choose from {BATCH_FORMATS}"
+            )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise QueryError(f"workers must be an int, got {self.workers!r}")
+        if not 1 <= self.workers <= MAX_WORKERS:
+            raise QueryError(
+                f"workers must be in 1..{MAX_WORKERS}, got {self.workers}"
+            )
+        return self
+
+    def with_overrides(self, **overrides) -> "ExecutionOptions":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **overrides).validate()
+
+    def cache_key(self) -> Tuple:
+        """The frozen tuple the statement cache keys compiled entries on."""
+        return (
+            self.plan,
+            self.engine,
+            self.join_mode,
+            self.batch_format,
+            self.workers,
+        )
+
+    @classmethod
+    def coerce(
+        cls,
+        options: Optional["ExecutionOptions"] = None,
+        **kwargs,
+    ) -> "ExecutionOptions":
+        """Build options from an explicit record and/or loose kwargs.
+
+        The loose kwargs are the historical API (``plan="cost"``, ...);
+        they act as overrides on *options* (or on the defaults).  A
+        kwarg left as ``None`` keeps the base value, so callers can
+        thread optional CLI flags straight through.
+        """
+        base = options if options is not None else cls()
+        if not isinstance(base, cls):
+            raise QueryError(
+                f"options must be ExecutionOptions, got {type(base).__name__}"
+            )
+        overrides = {
+            name: value for name, value in kwargs.items() if value is not None
+        }
+        if overrides:
+            base = replace(base, **overrides)
+        return base.validate()

@@ -92,6 +92,19 @@ class PathWalker:
             OrderedDict()
         )
         self._value_cache_cap = max(0, value_cache_size)
+        # Cross-run operator memo for columnar execution: ("cond"|
+        # "operand", frozen AST node, projection-value tuple) -> the
+        # binding deltas / value set the conjunct or operand produced.
+        # AST nodes are frozen dataclasses, so structurally equal
+        # conjuncts share entries.  Same generation stamping as the
+        # value cache: any schema or data write drops every entry.
+        self._memo_cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._memo_cache_cap = 65536
+        # Interning table for memo-key prefixes: hashing a frozen AST
+        # node walks it recursively, so operators exchange their
+        # ("cond"|"operand", node) prefix for a small int once per run
+        # and memo keys hash int-fast afterwards.
+        self._memo_tokens: Dict[Tuple, int] = {}
         # Generation-stamped sorted universes / candidate lists / extents —
         # rebuilding these per binding is the old per-tuple hot spot.
         self._universe_cache: Dict[VarSort, List[Oid]] = {}
@@ -123,10 +136,74 @@ class PathWalker:
             if self._metrics is not None:
                 self._metrics.count("cache.path.invalidated")
             self._value_cache.clear()
+            self._memo_cache.clear()
+            self._memo_tokens.clear()
             self._universe_cache.clear()
             self._candidate_cache.clear()
             self._extent_cache.clear()
         self._cache_stamp = stamp
+
+    def memo_token(self, tag: str, node: object) -> int:
+        """Intern a memo-key prefix: one AST hash per run, ints after.
+
+        Tokens share the memo's generation stamping: a schema or data
+        write clears the table together with the entries keyed on it, so
+        a recycled token can never resurrect a stale entry.
+        """
+        self._fresh_caches()
+        key = (tag, node)
+        token = self._memo_tokens.get(key)
+        if token is None:
+            token = len(self._memo_tokens)
+            self._memo_tokens[key] = token
+        return token
+
+    def memo_get(self, key: Tuple) -> Optional[object]:
+        """Cross-run operator memo lookup (columnar execution).
+
+        Returns ``None`` on a miss — callers never store ``None`` (the
+        smallest stored value is an empty tuple or frozenset).
+        """
+        self._fresh_caches()
+        cached = self._memo_cache.get(key)
+        if cached is None:
+            if self._metrics is not None:
+                self._metrics.count("cache.memo.miss")
+            return None
+        self._memo_cache.move_to_end(key)
+        if self._metrics is not None:
+            self._metrics.count("cache.memo.hit")
+        return cached
+
+    def memo_get_fresh(self, key: Tuple) -> Optional[object]:
+        """:meth:`memo_get` minus the per-call generation check and
+        metrics — for tight loops that called :meth:`memo_token` (or any
+        guarded method) this statement and cannot mutate the store
+        mid-loop (pipeline conjuncts are side-effect-free).  Callers
+        report hit/miss counts in aggregate via ``metrics.count(by=)``.
+        """
+        cached = self._memo_cache.get(key)
+        if cached is None:
+            return None
+        self._memo_cache.move_to_end(key)
+        return cached
+
+    def memo_counts(self, hits: int, misses: int) -> None:
+        """Aggregate metrics for a batch of :meth:`memo_get_fresh` calls."""
+        if self._metrics is not None:
+            if hits:
+                self._metrics.count("cache.memo.hit", hits)
+            if misses:
+                self._metrics.count("cache.memo.miss", misses)
+
+    def memo_put(self, key: Tuple, value: object) -> None:
+        """Store one operator-memo entry, LRU-evicting past the cap."""
+        self._fresh_caches()
+        self._memo_cache[key] = value
+        if len(self._memo_cache) > self._memo_cache_cap:
+            self._memo_cache.popitem(last=False)
+            if self._metrics is not None:
+                self._metrics.count("cache.memo.evict")
 
     def _free_vars(self, path: ast.PathExpr) -> Tuple[Variable, ...]:
         cached = self._path_vars.get(path)

@@ -27,7 +27,8 @@ Stages (each timed into :class:`repro.metrics.SessionMetrics`):
    ``join_mode="hash"``.  The instrumented tree of the latest run is
    kept on the compiled statement for ``explain(analyze=True)``.
 
-Cache soundness: entries are keyed on ``(source, plan, engine)`` and
+Cache soundness: entries are keyed on ``(source,) + options.cache_key()``
+(the frozen :class:`~repro.xsql.options.ExecutionOptions` tuple) and
 stamped with the owning store's ``schema_generation``.  Typing analysis
 and conjunct order depend only on the schema, so DDL invalidates cached
 plans while plain data updates do not; the one data-dependent artifact —
@@ -45,6 +46,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.xsql import ast, operators
+from repro.xsql.options import ENGINES, PLAN_MODES, ExecutionOptions
 from repro.xsql.parser import normalize_statement, parse_statement_raw
 from repro.xsql.result import QueryResult
 
@@ -53,19 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.xsql.costplan import CostPlan
     from repro.xsql.session import Session
 
+# PLAN_MODES and ENGINES moved to repro.xsql.options (the canonical
+# home); re-exported here for the REPL and existing imports.
 __all__ = ["CompiledQuery", "QueryPipeline", "PLAN_MODES", "ENGINES"]
-
-#: Plan modes: ``none`` executes WHERE in source order, ``greedy`` applies
-#: the untyped boundness planner, ``typed`` applies the Theorem 6.1
-#: coherent plan + extent restriction (greedy fallback outside the
-#: strictly well-typed fragment), ``cost`` applies the statistics-driven
-#: cost-based optimizer (join order, access paths, index probes) on top
-#: of the typed restrictions.
-PLAN_MODES = ("none", "greedy", "typed", "cost")
-
-#: Engines: the production binding-stream evaluator, or the literal §3.4
-#: enumerate-all-substitutions oracle.
-ENGINES = ("reference", "naive")
 
 
 @dataclass
@@ -79,8 +71,8 @@ class CompiledQuery:
 
     session: "Session"
     source: str
-    plan: str
-    engine: str
+    #: The frozen execution options this compilation is keyed on.
+    options: ExecutionOptions = field(default_factory=ExecutionOptions)
     #: The normalized statement (post sort-unification and desugaring).
     statement: ast.Statement = field(repr=False, default=None)  # type: ignore[assignment]
     #: The statement with its WHERE conjunction reordered by the planner.
@@ -113,6 +105,30 @@ class CompiledQuery:
 
     __call__ = run
 
+    # Convenience views over the frozen options record (the historical
+    # ``compiled.plan`` / ``compiled.engine`` attributes).
+
+    @property
+    def plan(self) -> str:
+        return self.options.plan
+
+    @property
+    def engine(self) -> str:
+        return self.options.engine
+
+    @property
+    def join_mode(self) -> str:
+        """The effective join mode: the option if set, else the session's."""
+        return self.options.join_mode or self.session.join_mode
+
+    @property
+    def batch_format(self) -> str:
+        return self.options.batch_format
+
+    @property
+    def workers(self) -> int:
+        return self.options.workers
+
     @property
     def is_stale(self) -> bool:
         """Has DDL (or a store swap) outdated the compiled artifacts?"""
@@ -142,8 +158,18 @@ class CompiledQuery:
             return []
         return [entry.as_dict() for entry in plan.entries]
 
-    def explain(self, format: str = "text", analyze: bool = False) -> str:
+    def explain(
+        self,
+        format: str = "text",
+        analyze: bool = False,
+        options: Optional[ExecutionOptions] = None,
+    ) -> str:
         """An account of typing, join order, access paths, and estimates.
+
+        Passing ``options=ExecutionOptions(...)`` explains (and, with
+        ``analyze=True``, runs) the same source under *those* options —
+        a fresh compilation through the session's pipeline — without
+        touching this compiled statement.
 
         ``format="text"`` renders the human-readable multi-line report:
         the parsed form, the §6.2 discipline with the witnessing
@@ -165,6 +191,10 @@ class CompiledQuery:
             raise QueryError(
                 f"unknown explain format {format!r}; choose text or json"
             )
+        if options is not None and options != self.options:
+            return self.session.prepare(
+                self.source, options=options
+            ).explain(format=format, analyze=analyze)
         if analyze:
             statement = self.statement
             if not isinstance(statement, (ast.Query, ast.QueryOp)) or (
@@ -185,7 +215,13 @@ class CompiledQuery:
         self.session.pipeline.ensure_report(self)
         statement = self.statement
         data: Dict[str, object] = {
-            "pipeline": {"plan": self.plan, "engine": self.engine},
+            "pipeline": {
+                "plan": self.plan,
+                "engine": self.engine,
+                "join_mode": self.join_mode,
+                "batch_format": self.batch_format,
+                "workers": self.workers,
+            },
         }
         if not isinstance(statement, ast.Query):
             data["kind"] = "statement"
@@ -299,7 +335,10 @@ class CompiledQuery:
         pipeline = data["pipeline"]
         lines.append(
             f"pipeline: plan={pipeline['plan']} "  # type: ignore[index]
-            f"engine={pipeline['engine']}"  # type: ignore[index]
+            f"engine={pipeline['engine']} "  # type: ignore[index]
+            f"join_mode={pipeline['join_mode']} "  # type: ignore[index]
+            f"batch_format={pipeline['batch_format']} "  # type: ignore[index]
+            f"workers={pipeline['workers']}"  # type: ignore[index]
         )
         return "\n".join(lines)
 
@@ -310,28 +349,34 @@ class QueryPipeline:
     def __init__(self, session: "Session", cache_size: int = 128) -> None:
         self.session = session
         self.cache_size = max(0, cache_size)
-        self._cache: "OrderedDict[Tuple[str, str, str], CompiledQuery]" = (
-            OrderedDict()
-        )
+        self._cache: "OrderedDict[Tuple, CompiledQuery]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # compilation
     # ------------------------------------------------------------------
 
     def compile(
-        self, source: str, plan: str = "none", engine: str = "reference"
+        self,
+        source: str,
+        plan: Optional[str] = None,
+        engine: Optional[str] = None,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        join_mode: Optional[str] = None,
+        batch_format: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> CompiledQuery:
         """Compile *source*, reusing a cached compilation when sound."""
-        if plan not in PLAN_MODES:
-            raise QueryError(
-                f"unknown plan mode {plan!r}; choose from {PLAN_MODES}"
-            )
-        if engine not in ENGINES:
-            raise QueryError(
-                f"unknown engine {engine!r}; choose from {ENGINES}"
-            )
+        options = ExecutionOptions.coerce(
+            options,
+            plan=plan,
+            engine=engine,
+            join_mode=join_mode,
+            batch_format=batch_format,
+            workers=workers,
+        )
         metrics = self.session.metrics
-        key = (source, plan, engine)
+        key = (source,) + options.cache_key()
         cached = self._cache.get(key)
         if cached is not None:
             if cached.is_stale:
@@ -346,7 +391,7 @@ class QueryPipeline:
         metrics.count("cache.miss")
         metrics.note_last("cache", "miss")
         compiled = CompiledQuery(
-            session=self.session, source=source, plan=plan, engine=engine
+            session=self.session, source=source, options=options
         )
         self._build(compiled)
         if self.cache_size:
@@ -518,17 +563,29 @@ class QueryPipeline:
         ):
             return session._dispatch(statement)
         restrictions, spec, cost_plan = self._lowering_inputs(compiled)
-        from repro.xsql.evaluator import Evaluator
+        if compiled.batch_format == "columnar":
+            # Columnar runs share the session-persistent walker so its
+            # generation-stamped caches (path values + operator memo)
+            # survive across runs of any statement.
+            evaluator = session.columnar_evaluator(restrictions or None)
+        else:
+            from repro.xsql.evaluator import Evaluator
 
-        evaluator = Evaluator(
-            session.store,
-            id_function_instances=session.registry.instances,
-            max_path_var_length=session._max_path_var_length,
-            restrictions=restrictions or None,
-            metrics=session.metrics,
-        )
+            evaluator = Evaluator(
+                session.store,
+                id_function_instances=session.registry.instances,
+                max_path_var_length=session._max_path_var_length,
+                restrictions=restrictions or None,
+                metrics=session.metrics,
+            )
         root = operators.lower_statement(compiled.planned, spec)
-        result = operators.execute(root, evaluator, session.metrics)
+        result = operators.execute(
+            root,
+            evaluator,
+            session.metrics,
+            batch_format=compiled.batch_format,
+            workers=compiled.workers,
+        )
         compiled.last_optree = operators.tree_dict(root)
         if cost_plan is not None:
             trace = operators.stage_trace(root)
@@ -563,7 +620,7 @@ class QueryPipeline:
                 compiled, cost_plan
             )
             spec = operators.LowerSpec(
-                factored=session.join_mode == "hash",
+                factored=compiled.join_mode == "hash",
                 restrictions=restrictions,
                 probe_vars=probe_vars,
                 entries=cost_plan.entries,

@@ -3,7 +3,9 @@
 Run with::
 
     python -m repro.xsql.repl [--paper | --synthetic N]
-                              [--plan {none,greedy,typed,cost}] [--stats]
+                              [--plan {none,greedy,typed,cost}]
+                              [--batch-format {rows,columnar}]
+                              [--workers N] [--stats]
 
 Statements end with ``;``.  Meta-commands (no semicolon):
 
@@ -24,8 +26,11 @@ Statements end with ``;``.  Meta-commands (no semicolon):
 With ``--paper`` the shell starts on the Figure 1 schema and the paper's
 instance database, so every example of the paper can be typed in
 directly.  ``--plan`` selects the conjunct planner every statement runs
-under; ``--stats`` prints a per-statement pipeline timing line and a
-cumulative report on exit.
+under; ``--batch-format columnar`` (optionally with ``--workers N``)
+runs statements over columnar batches with morsel-parallel scans — same
+results, warm re-runs served from the session-persistent walker memo;
+``--stats`` prints a per-statement pipeline timing line and a cumulative
+report on exit.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from typing import Optional
 from repro.errors import XsqlError
 from repro.oid import Atom
 from repro.xsql.lexer import split_script
-from repro.xsql.pipeline import PLAN_MODES
+from repro.xsql.options import BATCH_FORMATS, PLAN_MODES, ExecutionOptions
 from repro.xsql.session import Session
 
 __all__ = ["main", "run_repl"]
@@ -80,8 +85,14 @@ def _print_schema(session: Session, out) -> None:
             print(f"  {signature}", file=out)
 
 
-def _handle_meta(session: Session, line: str, out, plan: str = "none") -> bool:
+def _handle_meta(
+    session: Session,
+    line: str,
+    out,
+    options: Optional[ExecutionOptions] = None,
+) -> bool:
     """Process one meta-command; returns False to stop the loop."""
+    options = options or ExecutionOptions()
     command, _, rest = line.partition(" ")
     rest = rest.strip()
     if command in (".quit", ".exit"):
@@ -97,7 +108,10 @@ def _handle_meta(session: Session, line: str, out, plan: str = "none") -> bool:
         if rest.startswith("analyze ") or rest == "analyze":
             analyze = True
             rest = rest[len("analyze") :].strip()
-        print(session.explain(rest, plan=plan, analyze=analyze), file=out)
+        print(
+            session.explain(rest, options=options, analyze=analyze),
+            file=out,
+        )
     elif command == ".naive":
         print(session.query(rest, engine="naive").pretty(), file=out)
     elif command == ".indexes":
@@ -139,8 +153,14 @@ def run_repl(
     stdout=None,
     plan: str = "none",
     show_stats: bool = False,
+    options: Optional[ExecutionOptions] = None,
 ) -> int:
-    """Drive the shell over the given streams (testable entry point)."""
+    """Drive the shell over the given streams (testable entry point).
+
+    ``options`` carries the full execution configuration; the ``plan``
+    argument is the historical alias and is folded into it.
+    """
+    resolved = ExecutionOptions.coerce(options, plan=plan if options is None else None)
     stdin = stdin or sys.stdin
     out = stdout or sys.stdout
     print(_BANNER, file=out)
@@ -151,7 +171,7 @@ def run_repl(
         if not buffer.strip() and stripped.startswith("."):
             buffer = ""
             try:
-                if not _handle_meta(session, stripped, out, plan=plan):
+                if not _handle_meta(session, stripped, out, options=resolved):
                     return 0
             except XsqlError as error:
                 print(f"error: {error}", file=out)
@@ -164,7 +184,7 @@ def run_repl(
             if not statement.strip():
                 continue
             try:
-                result = session.query(statement, plan=plan)
+                result = session.query(statement, options=resolved)
                 print(result.pretty(limit=50), file=out)
             except XsqlError as error:
                 print(f"error: {error}", file=out)
@@ -195,14 +215,32 @@ def main(argv: Optional[list] = None) -> int:
         help="conjunct planner for executed statements (default: none)",
     )
     parser.add_argument(
+        "--batch-format",
+        choices=BATCH_FORMATS,
+        default="rows",
+        help="operator-tree batch representation (default: rows)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for morsel-parallel columnar scans",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-statement pipeline timings and a final summary",
     )
     args = parser.parse_args(argv)
     session = _make_session(args)
+    options = ExecutionOptions(
+        plan=args.plan,
+        batch_format=args.batch_format,
+        workers=args.workers,
+    ).validate()
     return run_repl(
-        session, plan=args.plan, show_stats=args.stats
+        session, plan=args.plan, show_stats=args.stats, options=options
     )
 
 

@@ -30,12 +30,13 @@ The pre-pipeline spellings ``session.query(text, optimize=True)`` and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.datamodel.store import ObjectStore
 from repro.errors import QueryError
 from repro.metrics import SessionMetrics
-from repro.oid import FuncOid, Oid, Value
+from repro.oid import FuncOid, Oid, Value, Variable
 from repro.views.creation import CreationOutcome, execute_creation
 from repro.views.id_functions import IdFunctionRegistry
 from repro.views.views import ViewDef, ViewManager
@@ -43,10 +44,15 @@ from repro.xsql import ast
 from repro.xsql.ddl import install_query_method
 from repro.xsql.evaluator import Evaluator, NaiveEvaluator
 from repro.xsql.lexer import split_statements
+from repro.xsql.options import ExecutionOptions
+from repro.xsql.paths import PathWalker
 from repro.xsql.pipeline import CompiledQuery, QueryPipeline
 from repro.xsql.result import QueryResult
 
 __all__ = ["Session"]
+
+#: How many restriction-distinct session-persistent walkers to retain.
+_WALKER_CACHE_SIZE = 8
 
 
 class Session:
@@ -66,6 +72,13 @@ class Session:
         self._join_mode = "hash"
         self.metrics = SessionMetrics()
         self.pipeline = QueryPipeline(self, cache_size=statement_cache_size)
+        # Session-persistent walkers for columnar execution, keyed by
+        # the run's restriction content.  Their generation-stamped
+        # caches (path values + the operator memo) survive across runs,
+        # which is where the columnar warm-run speedup comes from.
+        self._columnar_walkers: (
+            "OrderedDict[Optional[Tuple], PathWalker]"
+        ) = OrderedDict()
 
     # ------------------------------------------------------------------
     # engines
@@ -84,6 +97,53 @@ class Session:
             self.store, id_function_instances=self.registry.instances
         )
 
+    def columnar_evaluator(
+        self,
+        restrictions: Optional[Dict[Variable, FrozenSet[Oid]]] = None,
+    ) -> Evaluator:
+        """An evaluator sharing the session-persistent columnar walker.
+
+        Walkers are cached per restriction content (the Theorem 6.1 /
+        index instantiation sets differ between plans and replanning),
+        LRU-capped at :data:`_WALKER_CACHE_SIZE`.  Staleness is handled
+        inside the walker: every cache it holds is stamped with the
+        store's (schema, statistics) generation pair, so a shared walker
+        never serves results from before a write.
+        """
+        token: Optional[Tuple] = None
+        if restrictions:
+            token = tuple(
+                sorted(
+                    (
+                        ((var.name, var.sort.value), allowed)
+                        for var, allowed in restrictions.items()
+                    ),
+                    key=lambda item: item[0],
+                )
+            )
+        walker = self._columnar_walkers.get(token)
+        if walker is None:
+            walker = PathWalker(
+                self.store,
+                max_path_var_length=self._max_path_var_length,
+                id_function_instances=self.registry.instances,
+                restrictions=restrictions,
+                metrics=self.metrics,
+            )
+            self._columnar_walkers[token] = walker
+            if len(self._columnar_walkers) > _WALKER_CACHE_SIZE:
+                self._columnar_walkers.popitem(last=False)
+        else:
+            self._columnar_walkers.move_to_end(token)
+        return Evaluator(
+            self.store,
+            id_function_instances=self.registry.instances,
+            max_path_var_length=self._max_path_var_length,
+            restrictions=restrictions,
+            metrics=self.metrics,
+            walker=walker,
+        )
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -92,27 +152,50 @@ class Session:
         self,
         source: str,
         *,
-        plan: str = "none",
-        engine: str = "reference",
+        options: Optional[ExecutionOptions] = None,
+        plan: Optional[str] = None,
+        engine: Optional[str] = None,
+        join_mode: Optional[str] = None,
+        batch_format: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> CompiledQuery:
         """Compile one statement through the pipeline, without running it.
+
+        Execution knobs arrive either as one
+        :class:`~repro.xsql.options.ExecutionOptions` record
+        (``options=``) or as the historical loose kwargs (``plan=``,
+        ``engine=``, ``join_mode=``, ``batch_format=``, ``workers=``) —
+        the kwargs are thin aliases that override fields of the record.
 
         The returned :class:`~repro.xsql.pipeline.CompiledQuery` is
         re-runnable (``compiled.run()``) and inspectable
         (``compiled.explain()``); re-runs skip parsing, typing, and
         planning.  Compilations are memoized in the session's LRU
-        statement cache and transparently refreshed when DDL bumps the
-        store's schema generation.
+        statement cache, keyed on the frozen options tuple, and
+        transparently refreshed when DDL bumps the store's schema
+        generation.
         """
+        resolved = ExecutionOptions.coerce(
+            options,
+            plan=plan,
+            engine=engine,
+            join_mode=join_mode,
+            batch_format=batch_format,
+            workers=workers,
+        )
         self.metrics.begin_statement()
-        return self.pipeline.compile(source, plan=plan, engine=engine)
+        return self.pipeline.compile(source, options=resolved)
 
     def query(
         self,
         source: str,
         *,
-        plan: str = "none",
-        engine: str = "reference",
+        options: Optional[ExecutionOptions] = None,
+        plan: Optional[str] = None,
+        engine: Optional[str] = None,
+        join_mode: Optional[str] = None,
+        batch_format: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> QueryResult:
         """Execute a SELECT query (the common case).
 
@@ -123,9 +206,20 @@ class Session:
         (the statistics-driven optimizer).  ``engine`` selects
         ``"reference"`` (the binding-stream evaluator) or ``"naive"``
         (the literal §3.4 enumerate-all-substitutions semantics).
+        ``join_mode``, ``batch_format``, and ``workers`` tune the
+        reference executor; pass ``options=ExecutionOptions(...)`` to
+        set everything at once (see :meth:`prepare`).
         """
+        resolved = ExecutionOptions.coerce(
+            options,
+            plan=plan,
+            engine=engine,
+            join_mode=join_mode,
+            batch_format=batch_format,
+            workers=workers,
+        )
         self.metrics.begin_statement()
-        compiled = self.pipeline.compile(source, plan=plan, engine=engine)
+        compiled = self.pipeline.compile(source, options=resolved)
         return self.pipeline.execute(compiled)
 
     def execute(self, source: str) -> QueryResult:
@@ -270,6 +364,8 @@ class Session:
         self.registry = IdFunctionRegistry.rebuild_from_store(store)
         self.views = ViewManager(self.store, self.registry)
         self.pipeline.clear()
+        # Persistent columnar walkers hold a reference to the old store.
+        self._columnar_walkers.clear()
 
     # ------------------------------------------------------------------
     # indexes (the public API; the raw ``store.indexes`` registry
@@ -343,7 +439,11 @@ class Session:
         self,
         source: str,
         *,
-        plan: str = "none",
+        options: Optional[ExecutionOptions] = None,
+        plan: Optional[str] = None,
+        join_mode: Optional[str] = None,
+        batch_format: Optional[str] = None,
+        workers: Optional[int] = None,
         format: str = "text",
         analyze: bool = False,
     ) -> str:
@@ -352,11 +452,17 @@ class Session:
         Delegates to :meth:`repro.xsql.pipeline.CompiledQuery.explain` on
         the compiled statement.  ``analyze=True`` executes the query and
         includes the instrumented physical-operator tree (per-operator
-        estimated vs actual rows, batches, cache hits, wall time).
+        estimated vs actual rows, batches, rows per batch, cache hits,
+        morsel/worker counts, wall time).
         """
-        return self.prepare(source, plan=plan).explain(
-            format=format, analyze=analyze
-        )
+        return self.prepare(
+            source,
+            options=options,
+            plan=plan,
+            join_mode=join_mode,
+            batch_format=batch_format,
+            workers=workers,
+        ).explain(format=format, analyze=analyze)
 
     # ------------------------------------------------------------------
     # view conveniences (§4.2)

@@ -1,0 +1,204 @@
+"""The unified ExecutionOptions API and the columnar execution mode.
+
+Covers the satellite contract of the columnar PR:
+
+* :class:`ExecutionOptions` validation and the ``coerce`` rules (loose
+  kwargs as thin aliases, ``None`` meaning "keep the base value");
+* the statement cache keyed on the frozen options tuple — equivalent
+  calls share one compiled entry, differing options do not;
+* columnar execution returning bit-identical results to rows mode —
+  equal row *sets* and equal ordered *enumeration* — across plans and
+  worker counts;
+* EXPLAIN ANALYZE surfacing rows-per-batch and morsel/worker counters.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.schema.figure1 import build_figure1_schema
+from repro.workloads.paper_db import populate_paper_database
+from repro.xsql import ExecutionOptions
+from repro.xsql.session import Session
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    build_figure1_schema(s.store)
+    populate_paper_database(s.store)
+    return s
+
+
+Q_JOIN = (
+    "SELECT Z FROM Employee X, Automobile Y "
+    "WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]"
+)
+Q_QUANT = (
+    "SELECT X FROM Employee X WHERE count(X.FamMembers) > 4 "
+    "and X.Residence =all X.FamMembers.Residence and X.Salary < 35000"
+)
+Q_OR = (
+    "SELECT X FROM Vehicle X "
+    "WHERE X.Manufacturer.Name['toyotaCo'] or X.Drivetrain.Engine.HP > 150"
+)
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        opts = ExecutionOptions()
+        assert opts.validate() is opts
+        assert opts.plan == "none"
+        assert opts.batch_format == "rows"
+        assert opts.workers == 1
+        assert opts.join_mode is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(plan="speedy"),
+            dict(engine="turbo"),
+            dict(join_mode="sort"),
+            dict(batch_format="parquet"),
+            dict(workers=0),
+            dict(workers=-1),
+            dict(workers=65),
+            dict(workers=True),
+            dict(workers="2"),
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(QueryError):
+            ExecutionOptions(**bad).validate()
+
+    def test_with_overrides_revalidates(self):
+        opts = ExecutionOptions(plan="cost")
+        assert opts.with_overrides(workers=4).workers == 4
+        with pytest.raises(QueryError):
+            opts.with_overrides(workers=0)
+
+    def test_session_rejects_bad_options_early(self, session):
+        with pytest.raises(QueryError):
+            session.query("SELECT X FROM Person X", plan="speedy")
+        with pytest.raises(QueryError):
+            session.query("SELECT X FROM Person X", options="columnar")
+
+
+class TestCoerce:
+    def test_kwargs_override_base(self):
+        base = ExecutionOptions(plan="cost", workers=4)
+        merged = ExecutionOptions.coerce(base, plan="greedy")
+        assert merged.plan == "greedy"
+        assert merged.workers == 4
+
+    def test_none_keeps_base_value(self):
+        base = ExecutionOptions(batch_format="columnar", workers=2)
+        merged = ExecutionOptions.coerce(
+            base, plan=None, batch_format=None, workers=None
+        )
+        assert merged == base
+
+    def test_loose_kwargs_equal_explicit_record(self, session):
+        via_kwargs = session.prepare(
+            Q_JOIN, plan="cost", batch_format="columnar", workers=2
+        )
+        via_record = session.prepare(
+            Q_JOIN,
+            options=ExecutionOptions(
+                plan="cost", batch_format="columnar", workers=2
+            ),
+        )
+        assert via_kwargs.options == via_record.options
+        assert via_kwargs is via_record  # same statement-cache entry
+
+
+class TestStatementCache:
+    def test_cache_keyed_on_options(self, session):
+        rows = session.prepare(Q_JOIN, plan="cost")
+        cols = session.prepare(Q_JOIN, plan="cost", batch_format="columnar")
+        again = session.prepare(Q_JOIN, plan="cost")
+        assert rows is again
+        assert cols is not rows
+        assert cols.options.cache_key() != rows.options.cache_key()
+
+    def test_join_mode_none_defers_to_session(self, session):
+        compiled = session.prepare(Q_JOIN, plan="cost")
+        assert compiled.options.join_mode is None
+        session.join_mode = "nested"
+        assert compiled.join_mode == "nested"
+        session.join_mode = "hash"
+        assert compiled.join_mode == "hash"
+        pinned = session.prepare(Q_JOIN, plan="cost", join_mode="nested")
+        assert pinned.join_mode == "nested"
+
+
+class TestColumnarEquivalence:
+    @pytest.mark.parametrize("plan", ["none", "greedy", "typed", "cost"])
+    @pytest.mark.parametrize("text", [Q_JOIN, Q_QUANT, Q_OR])
+    def test_matches_rows_mode_ordered(self, session, plan, text):
+        reference = session.query(text, plan=plan)
+        for workers in (1, 2, 4):
+            columnar = session.query(
+                text, plan=plan, batch_format="columnar", workers=workers
+            )
+            assert columnar.rows() == reference.rows()
+            assert list(columnar) == list(reference)
+
+    def test_warm_rerun_is_stable(self, session):
+        compiled = session.prepare(
+            Q_JOIN, plan="cost", batch_format="columnar", workers=2
+        )
+        first = compiled.run()
+        second = compiled.run()
+        assert list(first) == list(second)
+
+    def test_naive_engine_ignores_batch_format(self, session):
+        ref = session.query(Q_JOIN, engine="naive")
+        col = session.query(
+            Q_JOIN, engine="naive", batch_format="columnar", workers=2
+        )
+        assert col.rows() == ref.rows()
+
+
+class TestExplainCounters:
+    def test_analyze_shows_morsel_and_worker_counters(self, session):
+        compiled = session.prepare(
+            Q_JOIN,
+            options=ExecutionOptions(
+                plan="cost", batch_format="columnar", workers=2
+            ),
+        )
+        text = compiled.explain(analyze=True)
+        assert "rows/batch=" in text
+        assert "morsels=" in text
+        assert "workers=" in text
+        assert "batch_format=columnar workers=2" in text
+        data = json.loads(compiled.explain(format="json", analyze=True))
+        ops = [data["operators"]]
+        flat = []
+        while ops:
+            node = ops.pop()
+            flat.append(node)
+            ops.extend(node.get("children", []))
+        scans = [node for node in flat if "morsels" in node]
+        assert scans, "no scan operator recorded morsel counters"
+        for node in scans:
+            assert node["morsels"] >= 1
+            assert node["workers"] >= 1
+
+    def test_rows_mode_has_no_morsel_counters(self, session):
+        compiled = session.prepare(Q_JOIN, plan="cost")
+        text = compiled.explain(analyze=True)
+        assert "morsels=" not in text
+        assert "batch_format=rows workers=1" in text
+
+    def test_explain_with_options_recompiles(self, session):
+        compiled = session.prepare(Q_JOIN, plan="cost")
+        text = compiled.explain(
+            options=ExecutionOptions(
+                plan="cost", batch_format="columnar", workers=2
+            ),
+            analyze=True,
+        )
+        assert "batch_format=columnar workers=2" in text
