@@ -1,6 +1,6 @@
 # Convenience targets for the XSQL reproduction.
 
-.PHONY: install test test-all fuzz-smoke fuzz bench bench-analyze bench-scale report examples all
+.PHONY: install test test-all fuzz-smoke fuzz storage-smoke bench bench-analyze bench-scale bench-storage report examples all
 
 install:
 	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
@@ -8,8 +8,9 @@ install:
 	pip install -e . 2>/dev/null || python setup.py develop
 
 # Tier-1: the fast suite (slow-marked tests skipped) plus a fixed-seed
-# differential fuzz smoke pass (see docs/DIFFTEST.md).
-test: fuzz-smoke
+# differential fuzz smoke pass (see docs/DIFFTEST.md) and the WAL
+# crash-recovery smoke (see docs/STORAGE.md).
+test: fuzz-smoke storage-smoke
 	pytest tests/
 
 # Everything: slow-marked tests (large workloads, naive-oracle
@@ -37,8 +38,22 @@ fuzz:
 	PYTHONPATH=src python -m repro.difftest --seed $(SEED) --queries $(QUERIES) \
 		--sizes $(SIZES) --corpus-dir tests/corpus
 
+# WAL crash-recovery smoke: commit a run of journal batches, truncate
+# the log mid-record at several byte offsets, recover each copy, and
+# assert every survivor equals the state after a committed prefix of
+# batches — never a torn half-batch.  The recovery log is the CI
+# artifact.
+storage-smoke:
+	PYTHONPATH=src python -m repro.storage.smoke --batches 24 \
+		--out recovery-smoke.log
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Write-path overhead per storage backend (dict vs memory mirror vs
+# WAL) and log-engine open/replay/checkpoint costs.
+bench-storage:
+	pytest benchmarks/bench_storage.py --benchmark-only
 
 # Cardinality-estimation accuracy: EXPLAIN ANALYZE over the planner
 # workloads, per-operator est-vs-actual dumped into the seeded BENCH

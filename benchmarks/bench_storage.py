@@ -1,0 +1,122 @@
+"""STORAGE: write-path overhead per backend and WAL recovery speed.
+
+The storage engine's contract is "pay only for what you attach": the
+default dict backend must not slow the write path down at all, the
+memory mirror costs one codec pass per mutation, and the WAL adds
+framing plus an append.  The bench pins the ingest cost curve per
+backend and the open-with-replay (crash recovery) and checkpoint-then-
+open costs of the log engine.
+"""
+
+import pytest
+
+from repro.oid import Atom
+from repro.storage import (
+    LogStructuredEngine,
+    MemoryEngine,
+    StoreJournal,
+    decode_store,
+)
+
+N_PEOPLE = 300
+REFERENCE_AGE = 40
+
+
+def ingest(engine):
+    """Build a people database, mirroring into *engine* if given."""
+    from repro.datamodel.store import ObjectStore
+
+    store = ObjectStore()
+    if engine is not None:
+        store.set_journal(StoreJournal(engine, store))
+    store.declare_class("Person")
+    store.declare_class("Employee", ["Person"])
+    store.declare_signature("Person", "Name", "String")
+    store.declare_signature("Person", "Age", "Numeral")
+    store.declare_signature("Employee", "Salary", "Numeral")
+    for i in range(N_PEOPLE):
+        obj = store.create_object(
+            Atom(f"p{i}"), ["Employee" if i % 3 == 0 else "Person"]
+        )
+        store.set_attr(obj, "Name", f"Person {i}")
+        store.set_attr(obj, "Age", 20 + (i * 7) % 60)
+        if i % 3 == 0:
+            store.set_attr(obj, "Salary", 1000 * i)
+    return store
+
+
+def count_over_40(store):
+    return sum(
+        1
+        for obj in store.extent("Person")
+        if (cell := store.explicit_cell(obj, "Age")) is not None
+        and cell.value.value > REFERENCE_AGE
+    )
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_dict_backend(benchmark):
+    store = benchmark(lambda: ingest(None))
+    assert count_over_40(store) > 0
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_memory_mirror(benchmark):
+    def run():
+        engine = MemoryEngine()
+        return ingest(engine), engine
+
+    store, engine = benchmark(run)
+    assert len(engine) > N_PEOPLE
+
+
+@pytest.mark.benchmark(group="storage-ingest")
+def test_ingest_wal_engine(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        engine = LogStructuredEngine(
+            str(tmp_path / f"db{counter[0]}"), sync="never"
+        )
+        store = ingest(engine)
+        engine.close()
+        return store
+
+    store = benchmark(run)
+    assert count_over_40(store) > 0
+
+
+@pytest.mark.benchmark(group="storage-recovery")
+def test_open_with_wal_replay(benchmark, tmp_path):
+    path = str(tmp_path / "db")
+    engine = LogStructuredEngine(path, sync="never")
+    reference = ingest(engine)
+    engine.close()
+
+    def recover():
+        recovered_engine = LogStructuredEngine(path, sync="never")
+        store = decode_store(recovered_engine)
+        recovered_engine.close()
+        return store
+
+    recovered = benchmark(recover)
+    assert count_over_40(recovered) == count_over_40(reference)
+
+
+@pytest.mark.benchmark(group="storage-recovery")
+def test_open_from_checkpoint(benchmark, tmp_path):
+    path = str(tmp_path / "db")
+    engine = LogStructuredEngine(path, sync="never")
+    reference = ingest(engine)
+    engine.checkpoint()
+    engine.close()
+
+    def recover():
+        recovered_engine = LogStructuredEngine(path, sync="never")
+        store = decode_store(recovered_engine)
+        recovered_engine.close()
+        return store
+
+    recovered = benchmark(recover)
+    assert count_over_40(recovered) == count_over_40(reference)

@@ -1,10 +1,20 @@
-"""Saving and loading object stores as JSON.
+"""Saving and loading object stores as JSON full snapshots.
 
 The paper's model is purely logical; a usable library still needs its
 databases to outlive the process.  The format captures everything the
 store *declares and stores*: the class hierarchy, signatures, instance-of
 memberships, attribute/method cells, first-class relations, inheritance
 resolutions, and enabled indexes (rebuilt on load).
+
+.. deprecated::
+    ``save_store``/``load_store`` are the *full-snapshot* persistence
+    path and are kept as thin, warning-free aliases of the redesigned
+    storage API: prefer ``Session.open(path, engine=...)`` /
+    ``Session.checkpoint()`` / ``Session.close()`` backed by the
+    ordered-KV engines in :mod:`repro.storage` (incremental writes,
+    WAL, crash recovery).  See the migration table in
+    ``docs/LANGUAGE.md``; the JSON format itself remains supported as
+    the ``dict`` backend's checkpoint format.
 
 Not serialized — and reported in :attr:`SerializationReport.skipped` —
 are computed method implementations: native ones are Python callables,
@@ -32,6 +42,8 @@ from repro.oid import Atom, FuncOid, Oid, Value
 __all__ = [
     "SerializationError",
     "SerializationReport",
+    "encode_oid",
+    "decode_oid",
     "store_to_dict",
     "store_from_dict",
     "save_store",
@@ -54,17 +66,20 @@ class SerializationReport:
     skipped: List[str] = field(default_factory=list)
 
 
-def _encode_oid(term: Oid) -> object:
+def encode_oid(term: Oid) -> object:
+    """Encode one oid into the JSON oid scheme (shared with
+    :mod:`repro.storage.codec` for KV cell bodies)."""
     if isinstance(term, Atom):
         return {"a": term.name}
     if isinstance(term, Value):
         return {"v": term.value}
     if isinstance(term, FuncOid):
-        return {"f": term.functor, "args": [_encode_oid(a) for a in term.args]}
+        return {"f": term.functor, "args": [encode_oid(a) for a in term.args]}
     raise SerializationError(f"cannot encode {term!r}")
 
 
-def _decode_oid(data: object) -> Oid:
+def decode_oid(data: object) -> Oid:
+    """Invert :func:`encode_oid`."""
     if not isinstance(data, dict):
         raise SerializationError(f"malformed oid entry {data!r}")
     if "a" in data:
@@ -73,9 +88,14 @@ def _decode_oid(data: object) -> Oid:
         return Value(data["v"])
     if "f" in data:
         return FuncOid(
-            data["f"], tuple(_decode_oid(a) for a in data.get("args", []))
+            data["f"], tuple(decode_oid(a) for a in data.get("args", []))
         )
     raise SerializationError(f"malformed oid entry {data!r}")
+
+
+# Historical private spellings, used throughout this module.
+_encode_oid = encode_oid
+_decode_oid = decode_oid
 
 
 def store_to_dict(store: ObjectStore) -> Tuple[Dict, SerializationReport]:

@@ -110,6 +110,36 @@ class ObjectStore:
         self._arrow_kinds: Dict[
             Tuple[Atom, FrozenSet[Atom]], FrozenSet[bool]
         ] = {}
+        #: Optional persistence listener
+        #: (:class:`repro.storage.codec.StoreJournal`).  When attached,
+        #: every mutation below emits codec-encoded KV operations; the
+        #: default ``None`` keeps the historical dict store's write path
+        #: free of any storage overhead beyond this one check.
+        self._journal = None
+
+    # ------------------------------------------------------------------
+    # persistence journal (the storage-engine seam)
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self):
+        """The attached persistence journal, or None (dict backend)."""
+        return self._journal
+
+    def set_journal(self, journal) -> None:
+        """Attach (or with None, detach) the persistence journal.
+
+        The journal must duck-type
+        :class:`repro.storage.codec.StoreJournal`; attaching does not
+        emit anything by itself — use
+        :func:`repro.storage.codec.encode_store` first when the engine
+        should mirror already-present state.
+        """
+        self._journal = journal
+
+    def explicit_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
+        """Explicit instance-of memberships only (no implicit classes)."""
+        return frozenset(self._memberships.get(as_oid(oid_like), set()))
 
     def _bump_schema(self) -> None:
         self.schema_generation += 1
@@ -128,6 +158,15 @@ class ObjectStore:
         self.hierarchy.add_class(cls, [_atom(p) for p in parents])
         self._known.add(cls)
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_class(
+                cls,
+                [
+                    sup
+                    for sup in self.hierarchy.direct_superclasses(cls)
+                    if sup != OBJECT_CLASS
+                ],
+            )
         return cls
 
     def declare_signature(
@@ -163,6 +202,10 @@ class ObjectStore:
         self.catalogue.register_method(method_atom)
         self._known.add(method_atom)
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_signature(
+                cls_atom, method_atom, result_atom, arg_atoms, set_valued
+            )
         return signature
 
     def declared_signatures(
@@ -217,8 +260,11 @@ class ObjectStore:
         """Register an object and its direct class memberships."""
         obj = as_oid(oid_like)
         self.catalogue.check_individual(obj)
+        is_new = obj not in self._records
         self._records.setdefault(obj, ObjectRecord(obj))
         self._known.add(obj)
+        if is_new and self._journal is not None:
+            self._journal.note_object(obj)
         for cls in classes:
             self.add_instance(obj, cls)
         return obj
@@ -233,6 +279,8 @@ class ObjectStore:
             memberships.add(cls_atom)
             self._direct_extents.setdefault(cls_atom, set()).add(obj)
             self.statistics.note_membership(cls_atom, +1)
+            if self._journal is not None:
+                self._journal.note_membership(cls_atom, obj, True)
         self._records.setdefault(obj, ObjectRecord(obj))
         self._known.add(obj)
 
@@ -244,6 +292,8 @@ class ObjectStore:
             memberships.discard(cls_atom)
             self._direct_extents.get(cls_atom, set()).discard(obj)
             self.statistics.note_membership(cls_atom, -1)
+            if self._journal is not None:
+                self._journal.note_membership(cls_atom, obj, False)
 
     def purge_object(self, oid_like: OidLike) -> None:
         """Remove an object entirely: record, memberships, and extents.
@@ -255,16 +305,19 @@ class ObjectStore:
         """
         obj = as_oid(oid_like)
         record = self._records.pop(obj, None)
-        if record is not None:
-            for (method, args), cell in record.entries():
-                self.statistics.note_write(
-                    obj, method, args, cell.as_set(), frozenset()
-                )
-        for cls in self._memberships.pop(obj, set()):
+        cells = list(record.entries()) if record is not None else []
+        for (method, args), cell in cells:
+            self.statistics.note_write(
+                obj, method, args, cell.as_set(), frozenset()
+            )
+        memberships = self._memberships.pop(obj, set())
+        for cls in memberships:
             self._direct_extents.get(cls, set()).discard(obj)
             self.statistics.note_membership(cls, -1)
         self._known.discard(obj)
         self._indexes.note_purge(obj)
+        if self._journal is not None:
+            self._journal.note_purge(obj, memberships, cells)
 
     def direct_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
         """Explicit instance-of memberships plus implicit literal classes."""
@@ -442,6 +495,11 @@ class ObjectStore:
         self.statistics.note_write(
             owner_oid, method_atom, arg_oids, old_values, new_values
         )
+        if self._journal is not None:
+            self._journal.note_cell(
+                owner_oid, method_atom, arg_oids, old_values, new_values,
+                scalar=True,
+            )
         self._known.add(method_atom)
         self._note_values((value_oid, *arg_oids))
 
@@ -470,6 +528,11 @@ class ObjectStore:
         self.statistics.note_write(
             owner_oid, method_atom, arg_oids, old_values, value_oids
         )
+        if self._journal is not None:
+            self._journal.note_cell(
+                owner_oid, method_atom, arg_oids, old_values, value_oids,
+                scalar=False,
+            )
         self._known.add(method_atom)
         self._note_values((*value_oids, *arg_oids))
 
@@ -498,6 +561,11 @@ class ObjectStore:
             owner_oid, method_atom, arg_oids, old_values,
             old_values | {member_oid},
         )
+        if self._journal is not None:
+            self._journal.note_cell(
+                owner_oid, method_atom, arg_oids, old_values,
+                old_values | {member_oid}, scalar=False,
+            )
         self._known.add(method_atom)
         self._note_values((member_oid, *arg_oids))
 
@@ -521,6 +589,11 @@ class ObjectStore:
             self.statistics.note_write(
                 obj, method_atom, arg_oids, old_values, frozenset()
             )
+            if self._journal is not None:
+                self._journal.note_cell(
+                    obj, method_atom, arg_oids, old_values, frozenset(),
+                    scalar=False, present=False,
+                )
 
     def explicit_cell(
         self,
@@ -565,6 +638,10 @@ class ObjectStore:
             _atom(cls), _atom(method), _atom(use_class)
         )
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_resolution(
+                _atom(cls), _atom(method), _atom(use_class)
+            )
 
     # ------------------------------------------------------------------
     # invocation: the heart of the data model
@@ -700,12 +777,18 @@ class ObjectStore:
 
     def enable_index(self, method: ClassLike) -> None:
         """Build and maintain an inverted value→owners index for *method*."""
-        self._indexes.enable(_atom(method), self)
+        method_atom = _atom(method)
+        self._indexes.enable(method_atom, self)
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_index(method_atom, True)
 
     def disable_index(self, method: ClassLike) -> None:
-        self._indexes.disable(_atom(method))
+        method_atom = _atom(method)
+        self._indexes.disable(method_atom)
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_index(method_atom, False)
 
     def is_indexed(self, method: ClassLike) -> bool:
         return self._indexes.is_indexed(_atom(method))
@@ -792,6 +875,8 @@ class ObjectStore:
         relation = StoredRelation(name, tuple(column_names))
         self._relations[name] = relation
         self._bump_schema()
+        if self._journal is not None:
+            self._journal.note_relation(name, relation.column_names)
         return relation
 
     def relation(self, name: str) -> StoredRelation:
@@ -808,6 +893,8 @@ class ObjectStore:
         oids = tuple(as_oid(v) for v in row)
         relation.insert(oids)
         self._note_values(oids)
+        if self._journal is not None:
+            self._journal.note_tuple(name, oids)
 
     # ------------------------------------------------------------------
     # introspection helpers

@@ -31,6 +31,11 @@ columnar   ``plan="cost"`` with                          always
            ``batch_format="columnar"`` and ``workers=2``
            on its own session: columnar binding batches
            with morsel-parallel scans
+kv         ``encode_store`` into a WAL-backed            always
+           :class:`~repro.storage.wal.LogStructuredEngine`,
+           close + reopen (a full WAL replay), then
+           ``decode_store`` and the reference evaluator
+           on the recovered store
 ========== ============================================= ==================
 
 Results are compared as order-insensitive multisets of oid tuples.  XSQL
@@ -78,6 +83,7 @@ ENGINE_NAMES = (
     "flogic",
     "snapshot",
     "columnar",
+    "kv",
 )
 
 
@@ -155,6 +161,7 @@ class Oracle:
         self.naive_enabled = naive_enabled
         self._flogic_db: Optional[FlogicDatabase] = None
         self._roundtrip_store: Optional[ObjectStore] = None
+        self._kv_store: Optional[ObjectStore] = None
         self._universe_sizes: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
@@ -173,6 +180,35 @@ class Oracle:
             payload, _report = store_to_dict(self.store)
             self._roundtrip_store = store_from_dict(payload)
         return self._roundtrip_store
+
+    def _kv_roundtrip(self) -> ObjectStore:
+        """The store after a full storage-engine crash-recovery cycle.
+
+        Encodes the store into a WAL-backed engine, closes it, reopens
+        the directory (which *is* recovery — every committed batch is
+        replayed from the CRC-framed log), and decodes the recovered
+        key ranges back into a store.  Cached once, like the snapshot
+        engine's round-trip.
+        """
+        if self._kv_store is None:
+            import shutil
+            import tempfile
+
+            from repro.storage import LogStructuredEngine, decode_store, encode_store
+
+            tmpdir = tempfile.mkdtemp(prefix="xsql-difftest-kv-")
+            try:
+                engine = LogStructuredEngine(tmpdir, sync="never")
+                encode_store(self.store, engine)
+                engine.close()
+                recovered = LogStructuredEngine(tmpdir, sync="never")
+                try:
+                    self._kv_store = decode_store(recovered)
+                finally:
+                    recovered.close()
+            finally:
+                shutil.rmtree(tmpdir, ignore_errors=True)
+        return self._kv_store
 
     def _universes(self) -> Dict[str, int]:
         if self._universe_sizes is None:
@@ -216,6 +252,7 @@ class Oracle:
             "columnar": lambda: self.columnar_session.query(
                 text, plan="cost", batch_format="columnar", workers=2
             ),
+            "kv": lambda: Evaluator(self._kv_roundtrip()).run(parsed),
         }
         for name in engines:
             if name not in runners:

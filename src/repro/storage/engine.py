@@ -1,0 +1,314 @@
+"""The ordered-KV storage-engine interface and its in-memory member.
+
+Every database in this repository is, underneath, a set of *facts* —
+extent memberships, attribute/method cells, index entries, relation
+tuples — and every fact kind maps onto a contiguous range of ordered
+byte keys (:mod:`repro.storage.codec` owns the layout).  This module
+defines the narrow seam everything persists through:
+
+* :class:`StorageEngine` — the abstract ordered key-value store:
+  ``get``/``put``/``delete``/``range_scan`` over byte keys, plus
+  *batch* commits (:class:`WriteBatch` applied atomically with a
+  :class:`CommitStamp`) and explicit fsync points (``sync()``);
+* :class:`MemoryEngine` — the reference implementation: a dict plus a
+  lazily re-sorted key list, no durability, zero dependencies;
+* :class:`~repro.storage.wal.LogStructuredEngine` (sibling module) —
+  the durable member: the same memtable fronted by an append-only
+  CRC-framed write-ahead log with checkpointing and crash recovery.
+
+The design follows SNIPPETS.md's ``okdb`` note — an ordered key-value
+store is the primitive every database is built on — and keeps the
+interface small enough that an on-disk B-tree, an LSM tree, or a remote
+store can slot in later without touching the data model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import XsqlError
+
+__all__ = [
+    "StorageError",
+    "CommitStamp",
+    "WriteBatch",
+    "StorageEngine",
+    "MemoryEngine",
+]
+
+
+class StorageError(XsqlError):
+    """A storage-engine operation failed (corruption, misuse, I/O)."""
+
+
+@dataclass(frozen=True)
+class CommitStamp:
+    """What one committed batch was stamped with.
+
+    ``lsn`` is the engine-assigned monotonic log sequence number;
+    ``schema_generation`` and ``statistics_generation`` are the store's
+    generation counters at commit time — the repository's pre-existing
+    cache-invalidation stamps double as the WAL commit stamp, so a
+    recovered store can report exactly which logical state it reached.
+    """
+
+    lsn: int = 0
+    schema_generation: int = 0
+    statistics_generation: int = 0
+
+
+#: Op codes inside a :class:`WriteBatch`.
+OP_PUT = "put"
+OP_DELETE = "del"
+OP_DELETE_RANGE = "delrange"
+
+
+class WriteBatch:
+    """An ordered list of mutations applied atomically by ``apply()``."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple] = []
+
+    def put(self, key: bytes, value: bytes = b"") -> None:
+        self.ops.append((OP_PUT, key, value))
+
+    def delete(self, key: bytes) -> None:
+        self.ops.append((OP_DELETE, key))
+
+    def delete_range(self, start: bytes, end: bytes) -> None:
+        """Delete every key in ``[start, end)``."""
+        self.ops.append((OP_DELETE_RANGE, start, end))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+
+class StorageEngine(ABC):
+    """Ordered byte-key storage: the primitive the object store sits on.
+
+    Keys are arbitrary ``bytes`` compared lexicographically; values are
+    opaque ``bytes``.  Implementations must make ``apply()`` atomic —
+    after a crash, either every op of a batch is visible or none is —
+    and ``sync()`` a durability point (a no-op for volatile engines).
+    """
+
+    #: Short name used by options/REPL status lines.
+    name = "abstract"
+
+    # -- point ops ------------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """The value stored at *key*, or None."""
+
+    def put(self, key: bytes, value: bytes = b"") -> CommitStamp:
+        """Single-op convenience batch."""
+        batch = WriteBatch()
+        batch.put(key, value)
+        return self.apply(batch)
+
+    def delete(self, key: bytes) -> CommitStamp:
+        batch = WriteBatch()
+        batch.delete(key)
+        return self.apply(batch)
+
+    # -- range ops ------------------------------------------------------
+
+    @abstractmethod
+    def range_scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        reverse: bool = False,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` for keys in ``[start, end)``, in order."""
+
+    # -- batches and durability ----------------------------------------
+
+    @abstractmethod
+    def apply(
+        self,
+        batch: WriteBatch,
+        schema_generation: int = 0,
+        statistics_generation: int = 0,
+    ) -> CommitStamp:
+        """Commit *batch* atomically; returns the assigned stamp."""
+
+    @abstractmethod
+    def sync(self) -> None:
+        """Make everything committed so far durable (fsync point)."""
+
+    @abstractmethod
+    def checkpoint(self) -> CommitStamp:
+        """Compact the durable representation up to the current LSN."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and release resources; the engine is unusable after."""
+
+    # -- introspection --------------------------------------------------
+
+    @abstractmethod
+    def last_stamp(self) -> CommitStamp:
+        """The stamp of the most recently committed batch."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    def items(self) -> List[Tuple[bytes, bytes]]:
+        """Every live ``(key, value)`` pair in key order (testing aid)."""
+        return list(self.range_scan())
+
+    def status(self) -> Dict[str, object]:
+        """A JSON-friendly status line (REPL ``.storage``)."""
+        stamp = self.last_stamp()
+        return {
+            "engine": self.name,
+            "keys": len(self),
+            "lsn": stamp.lsn,
+            "schema_generation": stamp.schema_generation,
+            "statistics_generation": stamp.statistics_generation,
+        }
+
+
+@dataclass
+class _SortedKeys:
+    """A lazily maintained sorted view over the memtable's keys.
+
+    Bulk loads insert out of order; re-sorting once per scan amortizes
+    far better than keeping a tree for the write-heavy ingest path,
+    while point writes into an already-sorted list use ``bisect`` so a
+    scan-heavy workload never pays a full re-sort per write.
+    """
+
+    keys: List[bytes] = field(default_factory=list)
+    dirty: bool = False
+
+    def ensure_sorted(self) -> List[bytes]:
+        if self.dirty:
+            self.keys.sort()
+            self.dirty = False
+        return self.keys
+
+    def add(self, key: bytes) -> None:
+        if self.dirty:
+            self.keys.append(key)
+        else:
+            bisect.insort(self.keys, key)
+
+    def discard(self, key: bytes) -> None:
+        keys = self.ensure_sorted()
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            keys.pop(index)
+
+
+class MemoryEngine(StorageEngine):
+    """The sorted in-memory ordered-KV engine (no durability).
+
+    This is both a usable backend (a KV mirror of the store, handy for
+    tests and for staging data that will be shipped elsewhere) and the
+    memtable inside :class:`~repro.storage.wal.LogStructuredEngine`.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, bytes] = {}
+        self._sorted = _SortedKeys()
+        self._stamp = CommitStamp()
+        #: Batches committed over this engine's lifetime.
+        self.batches_applied = 0
+
+    # -- point ops ------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    # -- range ops ------------------------------------------------------
+
+    def range_scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        reverse: bool = False,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        keys = self._sorted.ensure_sorted()
+        lo = 0 if start is None else bisect.bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect.bisect_left(keys, end)
+        window = keys[lo:hi]
+        if reverse:
+            window = reversed(window)
+        for key in window:
+            yield key, self._data[key]
+
+    # -- batches --------------------------------------------------------
+
+    def _apply_op(self, op: Tuple) -> None:
+        kind = op[0]
+        if kind == OP_PUT:
+            _kind, key, value = op
+            if key not in self._data:
+                self._sorted.add(key)
+            self._data[key] = value
+        elif kind == OP_DELETE:
+            _kind, key = op
+            if key in self._data:
+                del self._data[key]
+                self._sorted.discard(key)
+        elif kind == OP_DELETE_RANGE:
+            _kind, start, end = op
+            doomed = [key for key, _value in self.range_scan(start, end)]
+            for key in doomed:
+                del self._data[key]
+                self._sorted.discard(key)
+        else:  # pragma: no cover - batches are built by WriteBatch only
+            raise StorageError(f"unknown batch op {kind!r}")
+
+    def apply(
+        self,
+        batch: WriteBatch,
+        schema_generation: int = 0,
+        statistics_generation: int = 0,
+    ) -> CommitStamp:
+        for op in batch.ops:
+            self._apply_op(op)
+        self._stamp = CommitStamp(
+            lsn=self._stamp.lsn + 1,
+            schema_generation=schema_generation,
+            statistics_generation=statistics_generation,
+        )
+        self.batches_applied += 1
+        return self._stamp
+
+    # -- durability (volatile: everything is a no-op) -------------------
+
+    def sync(self) -> None:
+        pass
+
+    def checkpoint(self) -> CommitStamp:
+        return self._stamp
+
+    def close(self) -> None:
+        pass
+
+    # -- introspection --------------------------------------------------
+
+    def last_stamp(self) -> CommitStamp:
+        return self._stamp
+
+    def set_stamp(self, stamp: CommitStamp) -> None:
+        """Restore the stamp after replay (recovery uses this)."""
+        self._stamp = stamp
+
+    def __len__(self) -> int:
+        return len(self._data)

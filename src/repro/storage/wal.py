@@ -1,0 +1,427 @@
+"""The log-structured engine: WAL framing, checkpoints, crash recovery.
+
+On disk a database is a directory::
+
+    <root>/
+      wal.log           append-only write-ahead log (one record per batch)
+      checkpoint.snap   full memtable image as of some LSN (optional)
+
+**WAL record framing.**  The log starts with an 8-byte magic header.
+Each committed batch is one record::
+
+    u32 payload_length | u32 crc32(payload) | payload
+    payload := u64 lsn | u64 schema_generation | u64 statistics_generation
+             | u32 op_count | op*
+    op      := 'P' u32 klen key u32 vlen value      (put)
+             | 'D' u32 klen key                     (delete)
+             | 'R' u32 len start u32 len end        (delete_range)
+
+LSNs are assigned at commit and strictly monotonic for the lifetime of
+the database (they survive checkpoints).  The two generation fields are
+the store's schema/statistics counters at commit time — the commit stamp.
+
+**Recovery.**  Replay loads the checkpoint image (if any), then scans
+the WAL from the top: a record is applied iff its frame is complete,
+its CRC matches, and its LSN continues the sequence.  The first torn or
+corrupt record ends replay — everything before it is exactly the last
+durably committed batch, everything after is discarded (the tail is
+truncated before appending resumes).  Recovering an already-recovered
+database is a no-op: ``recover(recover(wal)) == recover(wal)``.
+
+**Checkpoint protocol.**  ``checkpoint()`` writes the whole memtable to
+``checkpoint.snap.tmp`` (same length+CRC framing, single frame), fsyncs,
+atomically renames over ``checkpoint.snap``, then swaps in a fresh
+(empty) WAL the same way.  A crash between the two renames leaves the
+old WAL in place; replay skips records with ``lsn <=`` the checkpoint's
+LSN, so the protocol is correct at every interleaving.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Tuple
+
+from repro.storage.engine import (
+    OP_DELETE,
+    OP_DELETE_RANGE,
+    OP_PUT,
+    CommitStamp,
+    MemoryEngine,
+    StorageEngine,
+    StorageError,
+    WriteBatch,
+)
+
+__all__ = ["RecoveryReport", "LogStructuredEngine", "WAL_MAGIC", "CKP_MAGIC"]
+
+WAL_MAGIC = b"XSQLWAL1"
+CKP_MAGIC = b"XSQLCKP1"
+
+_FRAME = struct.Struct(">II")  # payload length, crc32(payload)
+_BATCH_HEAD = struct.Struct(">QQQI")  # lsn, schema gen, stats gen, op count
+_U32 = struct.Struct(">I")
+
+#: ``sync`` policies: fsync every commit, only at checkpoints/close, or
+#: never (tests and throwaway stores).
+SYNC_MODES = ("commit", "checkpoint", "never")
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did — the crash-recovery audit trail."""
+
+    path: str = ""
+    checkpoint_lsn: int = 0
+    checkpoint_keys: int = 0
+    replayed_batches: int = 0
+    replayed_ops: int = 0
+    skipped_batches: int = 0
+    last_lsn: int = 0
+    #: Byte offset the WAL was truncated to (None = clean tail).
+    truncated_at: Optional[int] = None
+    #: Why replay stopped early ('' = reached a clean end of log).
+    torn_reason: str = ""
+
+    def lines(self) -> List[str]:
+        out = [
+            f"recovery of {self.path}",
+            f"  checkpoint: lsn={self.checkpoint_lsn} "
+            f"keys={self.checkpoint_keys}",
+            f"  replayed: {self.replayed_batches} batch(es), "
+            f"{self.replayed_ops} op(s), skipped={self.skipped_batches}",
+            f"  last committed lsn: {self.last_lsn}",
+        ]
+        if self.truncated_at is not None:
+            out.append(
+                f"  torn tail: {self.torn_reason}; "
+                f"truncated WAL to {self.truncated_at} byte(s)"
+            )
+        return out
+
+
+def _encode_batch(
+    batch: WriteBatch, stamp: CommitStamp
+) -> bytes:
+    parts = [
+        _BATCH_HEAD.pack(
+            stamp.lsn,
+            stamp.schema_generation,
+            stamp.statistics_generation,
+            len(batch.ops),
+        )
+    ]
+    for op in batch.ops:
+        kind = op[0]
+        if kind == OP_PUT:
+            _k, key, value = op
+            parts.append(b"P")
+            parts.append(_U32.pack(len(key)))
+            parts.append(key)
+            parts.append(_U32.pack(len(value)))
+            parts.append(value)
+        elif kind == OP_DELETE:
+            _k, key = op
+            parts.append(b"D")
+            parts.append(_U32.pack(len(key)))
+            parts.append(key)
+        elif kind == OP_DELETE_RANGE:
+            _k, start, end = op
+            parts.append(b"R")
+            parts.append(_U32.pack(len(start)))
+            parts.append(start)
+            parts.append(_U32.pack(len(end)))
+            parts.append(end)
+        else:  # pragma: no cover - WriteBatch only emits the three kinds
+            raise StorageError(f"unknown batch op {kind!r}")
+    return b"".join(parts)
+
+
+def _decode_batch(payload: bytes) -> Tuple[CommitStamp, WriteBatch]:
+    lsn, schema_gen, stats_gen, op_count = _BATCH_HEAD.unpack_from(payload, 0)
+    offset = _BATCH_HEAD.size
+    batch = WriteBatch()
+
+    def take(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(payload):
+            raise StorageError("batch payload underrun")
+        piece = payload[offset : offset + n]
+        offset += n
+        return piece
+
+    for _ in range(op_count):
+        kind = take(1)
+        if kind == b"P":
+            key = take(_U32.unpack(take(4))[0])
+            value = take(_U32.unpack(take(4))[0])
+            batch.put(key, value)
+        elif kind == b"D":
+            batch.delete(take(_U32.unpack(take(4))[0]))
+        elif kind == b"R":
+            start = take(_U32.unpack(take(4))[0])
+            end = take(_U32.unpack(take(4))[0])
+            batch.delete_range(start, end)
+        else:
+            raise StorageError(f"unknown op byte {kind!r} in WAL record")
+    if offset != len(payload):
+        raise StorageError("trailing bytes in WAL record payload")
+    stamp = CommitStamp(
+        lsn=lsn,
+        schema_generation=schema_gen,
+        statistics_generation=stats_gen,
+    )
+    return stamp, batch
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _write_atomically(path: Path, data: bytes, do_sync: bool) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if do_sync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class LogStructuredEngine(StorageEngine):
+    """An ordered-KV engine backed by a write-ahead log on disk.
+
+    Reads are served from an in-memory :class:`MemoryEngine` memtable;
+    every committed batch is first framed into ``wal.log``.  Opening a
+    directory that already holds a database *is* crash recovery — there
+    is no separate recovery entry point to forget to call.
+    """
+
+    name = "log"
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        sync: str = "checkpoint",
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise StorageError(
+                f"unknown sync mode {sync!r}; choose from {SYNC_MODES}"
+            )
+        self.root = Path(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.sync_mode = sync
+        self._mem = MemoryEngine()
+        self._closed = False
+        self._checkpoint_lsn = 0
+        self.recovery = RecoveryReport(path=str(self.root))
+        self._load_checkpoint()
+        self._replay_wal()
+        self._wal: IO[bytes] = open(self._wal_path, "ab")
+        self._wal_offset = self._wal_path.stat().st_size
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def _wal_path(self) -> Path:
+        return self.root / "wal.log"
+
+    @property
+    def _ckp_path(self) -> Path:
+        return self.root / "checkpoint.snap"
+
+    # -- recovery -------------------------------------------------------
+
+    def _load_checkpoint(self) -> None:
+        path = self._ckp_path
+        if not path.exists():
+            return
+        blob = path.read_bytes()
+        if len(blob) < len(CKP_MAGIC) + _FRAME.size or not blob.startswith(
+            CKP_MAGIC
+        ):
+            raise StorageError(f"{path} is not a checkpoint image")
+        length, crc = _FRAME.unpack_from(blob, len(CKP_MAGIC))
+        payload = blob[len(CKP_MAGIC) + _FRAME.size :]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            # The tmp+rename protocol never publishes a partial image,
+            # so a bad checkpoint is corruption, not a crash artifact.
+            raise StorageError(f"checkpoint image {path} fails its CRC")
+        stamp, batch = _decode_batch(payload)
+        self._mem.apply(
+            batch, stamp.schema_generation, stamp.statistics_generation
+        )
+        self._mem.set_stamp(stamp)
+        self._checkpoint_lsn = stamp.lsn
+        self.recovery.checkpoint_lsn = stamp.lsn
+        self.recovery.checkpoint_keys = len(self._mem)
+        self.recovery.last_lsn = stamp.lsn
+
+    def _replay_wal(self) -> None:
+        path = self._wal_path
+        if not path.exists():
+            with open(path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                if self.sync_mode != "never":
+                    os.fsync(handle.fileno())
+            return
+        blob = path.read_bytes()
+        report = self.recovery
+        if not blob.startswith(WAL_MAGIC):
+            raise StorageError(f"{path} is not a WAL (bad magic)")
+        offset = len(WAL_MAGIC)
+        good_end = offset
+        last_lsn = self._checkpoint_lsn
+        while True:
+            if offset == len(blob):
+                break  # clean end of log
+            if offset + _FRAME.size > len(blob):
+                report.torn_reason = "torn frame header"
+                break
+            length, crc = _FRAME.unpack_from(blob, offset)
+            body_start = offset + _FRAME.size
+            if body_start + length > len(blob):
+                report.torn_reason = "torn record body"
+                break
+            payload = blob[body_start : body_start + length]
+            if zlib.crc32(payload) != crc:
+                report.torn_reason = "record CRC mismatch"
+                break
+            try:
+                stamp, batch = _decode_batch(payload)
+            except StorageError as exc:
+                report.torn_reason = f"undecodable record ({exc})"
+                break
+            if stamp.lsn <= self._checkpoint_lsn:
+                # Pre-checkpoint record left behind by a crash between
+                # the checkpoint rename and the WAL swap: already in the
+                # image, skip it.
+                report.skipped_batches += 1
+            elif stamp.lsn != last_lsn + 1:
+                report.torn_reason = (
+                    f"LSN gap (expected {last_lsn + 1}, found {stamp.lsn})"
+                )
+                break
+            else:
+                self._mem.apply(
+                    batch,
+                    stamp.schema_generation,
+                    stamp.statistics_generation,
+                )
+                self._mem.set_stamp(stamp)
+                last_lsn = stamp.lsn
+                report.replayed_batches += 1
+                report.replayed_ops += len(batch)
+            offset = body_start + length
+            good_end = offset
+        report.last_lsn = last_lsn
+        if good_end != len(blob):
+            report.truncated_at = good_end
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                if self.sync_mode != "never":
+                    os.fsync(handle.fileno())
+
+    # -- point/range reads (memtable) -----------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._mem.get(key)
+
+    def range_scan(self, start=None, end=None, reverse=False):
+        return self._mem.range_scan(start, end, reverse)
+
+    # -- commits --------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"engine over {self.root} is closed")
+
+    def apply(
+        self,
+        batch: WriteBatch,
+        schema_generation: int = 0,
+        statistics_generation: int = 0,
+    ) -> CommitStamp:
+        self._require_open()
+        stamp = CommitStamp(
+            lsn=self._mem.last_stamp().lsn + 1,
+            schema_generation=schema_generation,
+            statistics_generation=statistics_generation,
+        )
+        record = _frame(_encode_batch(batch, stamp))
+        self._wal.write(record)
+        self._wal.flush()
+        if self.sync_mode == "commit":
+            os.fsync(self._wal.fileno())
+        self._wal_offset += len(record)
+        self._mem.apply(batch, schema_generation, statistics_generation)
+        self._mem.set_stamp(stamp)
+        return stamp
+
+    def sync(self) -> None:
+        self._require_open()
+        self._wal.flush()
+        if self.sync_mode != "never":
+            os.fsync(self._wal.fileno())
+
+    def wal_size(self) -> int:
+        """Bytes written to the current WAL (header + committed records)."""
+        return self._wal_offset
+
+    # -- checkpointing --------------------------------------------------
+
+    def checkpoint(self) -> CommitStamp:
+        """Write the full memtable image and start a fresh WAL."""
+        self._require_open()
+        self.sync()
+        stamp = self._mem.last_stamp()
+        snapshot = WriteBatch()
+        for key, value in self._mem.range_scan():
+            snapshot.put(key, value)
+        payload = _encode_batch(snapshot, stamp)
+        do_sync = self.sync_mode != "never"
+        _write_atomically(
+            self._ckp_path, CKP_MAGIC + _frame(payload), do_sync
+        )
+        # Swap in an empty WAL; a crash before this rename leaves the
+        # old one, whose records replay as skips (lsn <= checkpoint).
+        self._wal.close()
+        _write_atomically(self._wal_path, WAL_MAGIC, do_sync)
+        self._wal = open(self._wal_path, "ab")
+        self._wal_offset = len(WAL_MAGIC)
+        self._checkpoint_lsn = stamp.lsn
+        return stamp
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._wal.flush()
+        if self.sync_mode != "never":
+            os.fsync(self._wal.fileno())
+        self._wal.close()
+        self._closed = True
+
+    # -- introspection --------------------------------------------------
+
+    def last_stamp(self) -> CommitStamp:
+        return self._mem.last_stamp()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def status(self):
+        info = super().status()
+        info.update(
+            {
+                "path": str(self.root),
+                "sync": self.sync_mode,
+                "wal_bytes": self._wal_offset,
+                "checkpoint_lsn": self._checkpoint_lsn,
+            }
+        )
+        return info

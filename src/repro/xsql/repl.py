@@ -6,6 +6,7 @@ Run with::
                               [--plan {none,greedy,typed,cost}]
                               [--batch-format {rows,columnar}]
                               [--workers N] [--stats]
+                              [--storage SPEC]
 
 Statements end with ``;``.  Meta-commands (no semicolon):
 
@@ -19,8 +20,16 @@ Statements end with ``;``.  Meta-commands (no semicolon):
 * ``.indexes``         — list inverted indexes; ``.indexes +M``/``-M``
   enables/disables one on method ``M``
 * ``.stats``           — cumulative pipeline metrics for this session
-* ``.save <path>``     — dump the database to JSON
+* ``.open <spec>``     — attach a storage backend: a path (WAL-backed
+  database directory, recovered if it exists), ``memory``, or
+  ``log:PATH`` — the current database is carried over if the target
+  is empty, adopted from it otherwise
+* ``.checkpoint``      — persist the database at a durable point
+* ``.storage``         — the attached backend's status line
+* ``.save <path>``     — dump the database to JSON (deprecated; prefer
+  ``.open``/``.checkpoint``)
 * ``.load <path>``     — replace the database from a JSON dump
+  (deprecated; prefer ``.open``)
 * ``.quit``            — leave
 
 With ``--paper`` the shell starts on the Figure 1 schema and the paper's
@@ -30,7 +39,9 @@ under; ``--batch-format columnar`` (optionally with ``--workers N``)
 runs statements over columnar batches with morsel-parallel scans — same
 results, warm re-runs served from the session-persistent walker memo;
 ``--stats`` prints a per-statement pipeline timing line and a cumulative
-report on exit.
+report on exit.  ``--storage SPEC`` opens the session on a storage
+backend up front (same specs as ``.open``; ``--paper``/``--synthetic``
+seed the database only when the backend holds nothing yet).
 """
 
 from __future__ import annotations
@@ -68,6 +79,12 @@ def _make_session(args: argparse.Namespace) -> Session:
         generate_database(
             WorkloadConfig(n_people=args.synthetic), session.store
         )
+    if getattr(args, "storage", None):
+        from repro.storage import StorageOptions
+
+        # A backend that already holds data wins over --paper/--synthetic
+        # seeding; an empty one is seeded from the session's store.
+        session.attach_storage(StorageOptions.parse(args.storage))
     return session
 
 
@@ -126,6 +143,35 @@ def _handle_meta(
         )
     elif command == ".stats":
         print(session.metrics.summary(), file=out)
+    elif command == ".open":
+        from repro.storage import StorageOptions
+
+        session.attach_storage(StorageOptions.parse(rest))
+        print(_storage_line(session), file=out)
+    elif command == ".checkpoint":
+        from repro.storage import CommitStamp
+
+        result = session.checkpoint()
+        if isinstance(result, CommitStamp):
+            print(
+                f"checkpoint at lsn={result.lsn} "
+                f"({session.storage_options.backend} backend)",
+                file=out,
+            )
+        elif hasattr(result, "objects"):
+            print(
+                f"checkpointed {result.objects} object(s) to "
+                f"{session.storage_options.path}",
+                file=out,
+            )
+        else:
+            print(
+                "snapshot taken in memory only — .open a path to make "
+                "checkpoints durable",
+                file=out,
+            )
+    elif command == ".storage":
+        print(_storage_line(session), file=out)
     elif command == ".save":
         from repro.datamodel.serialize import save_store
 
@@ -145,6 +191,13 @@ def _handle_meta(
     else:
         print(f"unknown meta-command {command!r} (.help)", file=out)
     return True
+
+
+def _storage_line(session: Session) -> str:
+    status = session.storage_status()
+    return "storage: " + "  ".join(
+        f"{key}={value}" for key, value in status.items()
+    )
 
 
 def run_repl(
@@ -231,6 +284,14 @@ def main(argv: Optional[list] = None) -> int:
         "--stats",
         action="store_true",
         help="print per-statement pipeline timings and a final summary",
+    )
+    parser.add_argument(
+        "--storage",
+        metavar="SPEC",
+        help=(
+            "storage backend: a database directory path (WAL-backed, "
+            "recovered if it exists), 'memory', 'log:PATH', or 'dict'"
+        ),
     )
     args = parser.parse_args(argv)
     session = _make_session(args)

@@ -23,6 +23,17 @@ The everyday calls::
     compiled.run(); compiled.run()               # ... run many times
     session.stats()                              # pipeline metrics snapshot
 
+Persistence is a session lifecycle (:mod:`repro.storage`)::
+
+    session = Session.open("company.db")         # recover or create
+    session.query("SELECT ...")                  # writes hit the WAL
+    session.checkpoint()                         # compact + durable point
+    session.close()                              # flush and release
+
+``Session.snapshot()``/``restore()`` and the JSON
+``save_store``/``load_store`` remain as thin deprecated aliases of the
+same machinery (see the migration table in ``docs/LANGUAGE.md``).
+
 The pre-pipeline spellings ``session.query(text, optimize=True)`` and
 ``session.naive(text)`` have been removed; use ``plan="greedy"`` /
 ``engine="naive"`` (see the migration table in ``docs/LANGUAGE.md``).
@@ -63,6 +74,7 @@ class Session:
         store: Optional[ObjectStore] = None,
         max_path_var_length: int = 6,
         statement_cache_size: int = 128,
+        storage=None,
     ) -> None:
         self.store = store if store is not None else ObjectStore()
         self.registry = IdFunctionRegistry()
@@ -79,6 +91,13 @@ class Session:
         self._columnar_walkers: (
             "OrderedDict[Optional[Tuple], PathWalker]"
         ) = OrderedDict()
+        #: Storage lifecycle state (:meth:`open` / :meth:`checkpoint` /
+        #: :meth:`close`).  ``None`` engine means the historical dict
+        #: backend — the store's write path stays engine-free.
+        self._storage_options = None
+        self._engine = None
+        if storage is not None:
+            self.attach_storage(storage)
 
     # ------------------------------------------------------------------
     # engines
@@ -318,11 +337,193 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # storage lifecycle (open / checkpoint / close)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: Optional[str] = None,
+        *,
+        engine=None,
+        storage=None,
+        sync: Optional[str] = None,
+        **session_kwargs,
+    ) -> "Session":
+        """Open a session against a storage backend.
+
+        The redesigned persistence entry point (successor of
+        ``save_store``/``load_store`` and ``snapshot()``/``restore()``)::
+
+            Session.open()                     # dict backend, no disk
+            Session.open("company.db")         # WAL-backed log engine
+            Session.open(engine="memory")      # KV mirror, no disk
+            Session.open("s.json", engine="dict")   # JSON checkpoints
+
+        ``engine`` is a backend name from
+        :data:`repro.storage.BACKENDS`, an already-constructed
+        :class:`~repro.storage.StorageEngine` (adopted as-is), or
+        ``None`` (``"log"`` when *path* is given, else ``"dict"``).
+        Alternatively pass a full
+        :class:`~repro.storage.StorageOptions` as ``storage=``.
+
+        If the backend already holds data (a WAL/checkpoint to recover,
+        an existing JSON snapshot), the session adopts that state;
+        otherwise the engine is seeded from the fresh store.  Remaining
+        kwargs go to the :class:`Session` constructor.
+        """
+        from repro.storage import StorageEngine, StorageOptions
+
+        session = cls(**session_kwargs)
+        if isinstance(engine, StorageEngine):
+            engine_path = path or getattr(engine, "root", None)
+            options = StorageOptions(
+                backend="log" if engine_path else "memory",
+                path=str(engine_path) if engine_path else None,
+                sync=getattr(engine, "sync_mode", None)
+                or sync
+                or "checkpoint",
+            )
+            session.attach_storage(options, engine_obj=engine)
+            return session
+        if storage is None:
+            backend = engine if engine is not None else (
+                "log" if path else "dict"
+            )
+            storage = StorageOptions.coerce(
+                StorageOptions(backend=backend), path=path, sync=sync
+            )
+        session.attach_storage(storage)
+        return session
+
+    def attach_storage(self, options, engine_obj=None) -> None:
+        """Attach a storage backend to this (possibly live) session.
+
+        The workhorse behind :meth:`open` and the REPL's ``.open``: a
+        previously attached engine is closed first; then, if the new
+        backend already holds data, the session adopts it (replacing the
+        current store), otherwise the backend is seeded from the current
+        store — so ``.open`` on an empty target carries the database
+        over, and on a populated one switches to it.
+        """
+        import os
+
+        from repro.storage import StoreJournal, encode_store, make_engine
+
+        options = options.validate()
+        if self._engine is not None:
+            self.close()
+        self._storage_options = options
+        engine = engine_obj if engine_obj is not None else make_engine(
+            options
+        )
+        self._engine = engine
+        if engine is None:
+            # Historical dict backend: an existing JSON snapshot at the
+            # path is the state to adopt; otherwise start empty.
+            if options.path and os.path.exists(options.path):
+                from repro.datamodel.serialize import load_store
+
+                self.replace_store(load_store(options.path))
+            return
+        if len(engine):
+            # The engine holds recovered state: it is the truth.
+            self._adopt_engine_state()
+        else:
+            # Fresh engine: seed it from the (possibly pre-populated)
+            # store so the mirror is complete from the first commit.
+            encode_store(self.store, engine)
+            self.store.set_journal(StoreJournal(engine, self.store))
+
+    def _adopt_engine_state(self) -> None:
+        """Replace the session's store with the engine's decoded state."""
+        from repro.storage import StoreJournal, decode_store
+
+        store = decode_store(self._engine)
+        engine, self._engine = self._engine, None
+        try:
+            # replace_store must not re-seed the engine we are adopting
+            # from, so it runs detached.
+            self.replace_store(store)
+        finally:
+            self._engine = engine
+        self.store.set_journal(StoreJournal(engine, self.store))
+
+    def checkpoint(self):
+        """Persist the current state at a durable point.
+
+        * ``log`` backend — fold the WAL into the checkpoint image and
+          start a fresh log; returns the resulting
+          :class:`~repro.storage.CommitStamp`.
+        * ``memory`` backend — nothing to persist; returns the engine's
+          last commit stamp.
+        * ``dict`` backend with a path — write the JSON snapshot there
+          (the ``save_store`` format); returns its
+          :class:`~repro.datamodel.serialize.SerializationReport`.
+        * ``dict`` backend without a path — returns the snapshot
+          payload dict (exactly :meth:`snapshot`).
+        """
+        if self._engine is not None:
+            return self._engine.checkpoint()
+        if self._storage_options is not None and self._storage_options.path:
+            from repro.datamodel.serialize import save_store
+
+            return save_store(self.store, self._storage_options.path)
+        return self.snapshot()
+
+    def close(self) -> None:
+        """Flush and release the storage backend (idempotent).
+
+        The session remains usable afterwards as a plain dict-backed
+        session; further writes are no longer mirrored or logged.
+        """
+        if self._engine is not None:
+            self.store.set_journal(None)
+            self._engine.close()
+            self._engine = None
+
+    @property
+    def storage_options(self):
+        """The session's :class:`~repro.storage.StorageOptions`
+        (a default dict-backend record when never opened)."""
+        if self._storage_options is None:
+            from repro.storage import StorageOptions
+
+            return StorageOptions()
+        return self._storage_options
+
+    @property
+    def storage_engine(self):
+        """The attached :class:`~repro.storage.StorageEngine`, or None."""
+        return self._engine
+
+    def storage_status(self) -> dict:
+        """A JSON-friendly snapshot of the storage backend (``.storage``)."""
+        options = self.storage_options
+        status = {
+            "backend": options.backend,
+            "path": options.path,
+        }
+        if self._engine is not None:
+            status.update(self._engine.status())
+            journal = self.store.journal
+            if journal is not None:
+                status["batches_committed"] = journal.batches_committed
+        return status
+
+    # ------------------------------------------------------------------
     # snapshots (poor man's transactions over the serialized state)
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """Capture the stored database state (schema + data + relations).
+
+        .. deprecated::
+            Kept as a thin, warning-free alias; prefer the storage
+            lifecycle — :meth:`open` / :meth:`checkpoint` /
+            :meth:`close` — which adds incremental writes, WAL
+            durability, and crash recovery (``docs/LANGUAGE.md`` has the
+            migration table).
 
         The paper's model has no transactions; snapshots give scripts and
         tests a checkpoint/rollback primitive.  Computed method
@@ -337,6 +538,10 @@ class Session:
 
     def restore(self, payload: dict) -> None:
         """Replace the session's database with a snapshot's contents.
+
+        .. deprecated::
+            Kept as a thin, warning-free alias; prefer
+            :meth:`open`-ing the saved state (see :meth:`snapshot`).
 
         The id-function registry is rebuilt from the restored object
         graph (not carried over from the pre-snapshot session), so ad-hoc
@@ -355,9 +560,22 @@ class Session:
         plans refer to the old schema).  Indexes enabled on the outgoing
         store are re-enabled (back-filled) on the new one, so a
         ``restore`` does not silently downgrade indexed lookups to scans.
+
+        With a storage engine attached, the engine is reset and
+        re-seeded from the incoming store in one batch, and the journal
+        moves over — the swap is itself a recoverable event.
         """
         carried = list(self.store.indexed_methods())
+        self.store.set_journal(None)
         self.store = store
+        if self._engine is not None:
+            from repro.storage import StoreJournal, WriteBatch, encode_store
+
+            reset = WriteBatch()
+            reset.delete_range(b"\x00", b"\xff")
+            self._engine.apply(reset)
+            encode_store(store, self._engine)
+            store.set_journal(StoreJournal(self._engine, store))
         for method in carried:
             if not store.is_indexed(method):
                 store.enable_index(method)

@@ -1,0 +1,246 @@
+"""LogStructuredEngine: WAL framing, checkpoints, and crash recovery."""
+
+import os
+import struct
+
+import pytest
+
+from repro.storage import LogStructuredEngine, StorageError, WriteBatch
+from repro.storage.wal import CKP_MAGIC, WAL_MAGIC
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "db")
+
+
+def _open(db, sync="never"):
+    return LogStructuredEngine(db, sync=sync)
+
+
+def _write(engine, pairs):
+    batch = WriteBatch()
+    for key, value in pairs:
+        batch.put(key, value)
+    return engine.apply(batch)
+
+
+class TestPersistence:
+    def test_survives_close_and_reopen(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1"), (b"b", b"2")])
+        _write(engine, [(b"c", b"3")])
+        engine.close()
+
+        recovered = _open(db)
+        assert recovered.items() == [
+            (b"a", b"1"), (b"b", b"2"), (b"c", b"3"),
+        ]
+        assert recovered.recovery.replayed_batches == 2
+        assert recovered.last_stamp().lsn == 2
+        recovered.close()
+
+    def test_lsns_continue_across_reopen(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1")])
+        engine.close()
+        engine = _open(db)
+        stamp = _write(engine, [(b"b", b"2")])
+        assert stamp.lsn == 2
+        engine.close()
+
+    def test_deletes_and_ranges_replay(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
+        batch = WriteBatch()
+        batch.delete(b"a")
+        batch.delete_range(b"b", b"c")
+        engine.apply(batch)
+        engine.close()
+        recovered = _open(db)
+        assert recovered.items() == [(b"c", b"3")]
+        recovered.close()
+
+    def test_closed_engine_refuses_writes(self, db):
+        engine = _open(db)
+        engine.close()
+        with pytest.raises(StorageError):
+            engine.put(b"k")
+
+    def test_generation_stamps_recovered(self, db):
+        engine = _open(db)
+        engine.apply(
+            WriteBatch(), schema_generation=5, statistics_generation=9
+        )
+        engine.close()
+        recovered = _open(db)
+        stamp = recovered.last_stamp()
+        assert (stamp.schema_generation, stamp.statistics_generation) == (5, 9)
+        recovered.close()
+
+
+class TestTornTail:
+    def _fill(self, db, batches=3):
+        engine = _open(db)
+        for i in range(batches):
+            _write(engine, [(b"k%d" % i, b"v%d" % i)])
+        engine.close()
+        return os.path.join(db, "wal.log")
+
+    def test_truncated_record_body_drops_last_batch(self, db):
+        wal = self._fill(db)
+        size = os.path.getsize(wal)
+        with open(wal, "r+b") as handle:
+            handle.truncate(size - 3)
+        recovered = _open(db)
+        assert recovered.recovery.torn_reason == "torn record body"
+        assert recovered.recovery.truncated_at is not None
+        assert recovered.get(b"k2") is None
+        assert recovered.get(b"k1") == b"v1"
+        recovered.close()
+
+    def test_corrupt_crc_drops_tail(self, db):
+        wal = self._fill(db)
+        with open(wal, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        recovered = _open(db)
+        assert recovered.recovery.torn_reason == "record CRC mismatch"
+        assert recovered.get(b"k2") is None
+        recovered.close()
+
+    def test_recovery_truncates_so_next_open_is_clean(self, db):
+        wal = self._fill(db)
+        with open(wal, "r+b") as handle:
+            handle.truncate(os.path.getsize(wal) - 3)
+        first = _open(db)
+        first_items = first.items()
+        first.close()
+        second = _open(db)
+        assert second.recovery.torn_reason == ""
+        assert second.recovery.truncated_at is None
+        assert second.items() == first_items
+        second.close()
+
+    def test_bad_magic_is_corruption(self, db):
+        engine = _open(db)
+        engine.close()
+        with open(os.path.join(db, "wal.log"), "r+b") as handle:
+            handle.write(b"NOTAWAL!")
+        with pytest.raises(StorageError):
+            _open(db)
+
+    def test_appends_resume_after_truncation(self, db):
+        wal = self._fill(db)
+        with open(wal, "r+b") as handle:
+            handle.truncate(os.path.getsize(wal) - 3)
+        engine = _open(db)
+        _write(engine, [(b"new", b"!")])
+        engine.close()
+        recovered = _open(db)
+        assert recovered.recovery.torn_reason == ""
+        assert recovered.get(b"new") == b"!"
+        recovered.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_shrinks_wal(self, db):
+        engine = _open(db)
+        for i in range(10):
+            _write(engine, [(b"k%d" % i, b"v")])
+        before = engine.wal_size()
+        engine.checkpoint()
+        assert engine.wal_size() == len(WAL_MAGIC) < before
+        engine.close()
+
+    def test_recovery_prefers_checkpoint(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1")])
+        engine.checkpoint()
+        _write(engine, [(b"b", b"2")])
+        engine.close()
+        recovered = _open(db)
+        assert recovered.recovery.checkpoint_keys == 1
+        assert recovered.recovery.replayed_batches == 1
+        assert recovered.items() == [(b"a", b"1"), (b"b", b"2")]
+        recovered.close()
+
+    def test_crash_between_checkpoint_and_wal_swap(self, db):
+        """Old-WAL records at or below the checkpoint LSN replay as skips."""
+        engine = _open(db)
+        _write(engine, [(b"a", b"1")])
+        _write(engine, [(b"b", b"2")])
+        old_wal = open(os.path.join(db, "wal.log"), "rb").read()
+        engine.checkpoint()
+        engine.close()
+        # Simulate the crash: the checkpoint image exists, but the WAL
+        # still holds the pre-checkpoint records.
+        with open(os.path.join(db, "wal.log"), "wb") as handle:
+            handle.write(old_wal)
+        recovered = _open(db)
+        assert recovered.recovery.skipped_batches == 2
+        assert recovered.recovery.replayed_batches == 0
+        assert recovered.items() == [(b"a", b"1"), (b"b", b"2")]
+        recovered.close()
+
+    def test_corrupt_checkpoint_image_raises(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1")])
+        engine.checkpoint()
+        engine.close()
+        snap = os.path.join(db, "checkpoint.snap")
+        blob = bytearray(open(snap, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(snap, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(StorageError):
+            _open(db)
+
+    def test_checkpoint_magic(self, db):
+        engine = _open(db)
+        _write(engine, [(b"a", b"1")])
+        engine.checkpoint()
+        engine.close()
+        blob = open(os.path.join(db, "checkpoint.snap"), "rb").read()
+        assert blob.startswith(CKP_MAGIC)
+
+
+class TestSyncModes:
+    def test_unknown_sync_mode(self, db):
+        with pytest.raises(StorageError):
+            LogStructuredEngine(db, sync="sometimes")
+
+    @pytest.mark.parametrize("mode", ["commit", "checkpoint", "never"])
+    def test_all_modes_round_trip(self, tmp_path, mode):
+        path = str(tmp_path / mode)
+        engine = LogStructuredEngine(path, sync=mode)
+        _write(engine, [(b"k", b"v")])
+        engine.checkpoint()
+        _write(engine, [(b"l", b"w")])
+        engine.close()
+        recovered = LogStructuredEngine(path, sync=mode)
+        assert recovered.items() == [(b"k", b"v"), (b"l", b"w")]
+        recovered.close()
+
+
+class TestStatus:
+    def test_status_reports_path_and_wal(self, db):
+        engine = _open(db)
+        _write(engine, [(b"k", b"v")])
+        status = engine.status()
+        assert status["engine"] == "log"
+        assert status["path"] == db
+        assert status["sync"] == "never"
+        assert status["wal_bytes"] > len(WAL_MAGIC)
+        engine.close()
+
+    def test_recovery_report_lines(self, db):
+        engine = _open(db)
+        _write(engine, [(b"k", b"v")])
+        engine.close()
+        recovered = _open(db)
+        text = "\n".join(recovered.recovery.lines())
+        assert "replayed: 1 batch(es)" in text
+        recovered.close()
