@@ -25,6 +25,18 @@ evaluation-bound paper queries (Q4, Q5, Q9, Q10): the columnar side
 evaluates conjuncts column-at-a-time over the session-persistent
 walker memo, and every query must clear a 5× speedup.
 
+**Pointer-join benchmark** — ``pointer_join="force"`` vs
+``pointer_join="off"`` on prepared ``plan="cost"`` re-runs: V1 binds a
+fan-out conjunct (``D.Manager =some Y``) by dereferencing the stored
+cell instead of scanning the 600-employee extent and hashing it; V2
+is a star with two navigation edges hanging off one selective
+dimension.  Both must clear 5×.
+
+**View-maintenance benchmark** — V3: after ``k`` point salary writes,
+re-reading a materialized view through its id-term (which triggers the
+lazy *targeted* sync — only the affected groups re-derive) must be 5×
+faster than a full ``refresh`` recompute of the same view.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--rounds N]
@@ -158,6 +170,42 @@ COLUMNAR_QUERIES = ("Q4", "Q5", "Q9", "Q10")
 COLUMNAR_PLAN = "greedy"
 COLUMNAR_WORKERS = 2
 COLUMNAR_TARGET = 5.0
+
+#: The pointer-join benchmark: ``pointer_join="force"`` vs ``"off"``
+#: under identical ``plan="cost"`` join orders, with ``Name`` indexed
+#: so the kept side is a probe and the *skipped* extent dominates.  V1
+#: navigates one stored-oid edge instead of scanning and hashing the
+#: employee extent; V2 is a star with two fused navigation edges.
+POINTER_WORKLOAD = WorkloadConfig(n_people=1000, n_companies=8, seed=11)
+POINTER_QUERIES: List[Tuple[str, str]] = [
+    (
+        "V1",
+        "SELECT D, Y FROM Division D, Employee Y "
+        "WHERE D.Name['Div2_1'] and D.Manager =some Y",
+    ),
+    (
+        "V2",
+        "SELECT D, M, A FROM Division D, Employee M, Address A "
+        "WHERE D.Name['Div3_0'] and D.Manager =some M "
+        "and D.Location =some A",
+    ),
+]
+POINTER_TARGET = 5.0
+
+#: The view-maintenance benchmark (V3): k point salary writes, then a
+#: re-read of one view object through its id-term — the lazy targeted
+#: sync re-derives only the written groups — against the same writes
+#: followed by a full view recompute (refresh).
+VIEW_WORKLOAD = WorkloadConfig(n_people=400, n_companies=6, seed=13)
+VIEW_STATEMENT = (
+    "CREATE VIEW CompSalaries AS SUBCLASS OF Object "
+    "SIGNATURE CompName = String, Salary = Numeral "
+    "SELECT CompName = X.Name, Salary = W.Salary "
+    "FROM Company X OID FUNCTION OF X, W "
+    "WHERE X.Divisions[Y].Employees[W]"
+)
+VIEW_WRITES = 3
+VIEW_TARGET = 5.0
 
 
 def _paper_session() -> Session:
@@ -293,6 +341,89 @@ def measure_columnar(
     return results
 
 
+def measure_pointer(
+    rounds: int = 7,
+) -> List[Tuple[str, float, float, int]]:
+    """Per-query (name, hash_seconds, pointer_seconds, rows) medians.
+
+    Both sides re-run a *prepared* ``plan="cost"`` compilation with the
+    ``Name`` index enabled, so the difference is purely the join
+    machinery on the fused conjuncts: extent scan + hash build/probe
+    (``pointer_join="off"``) vs stored-cell dereference
+    (``pointer_join="force"``).
+    """
+    hash_session = Session(generate_database(POINTER_WORKLOAD))
+    hash_session.enable_index("Name")
+    pointer_session = Session(generate_database(POINTER_WORKLOAD))
+    pointer_session.enable_index("Name")
+    results = []
+    for name, text in POINTER_QUERIES:
+        hashed = hash_session.prepare(text, plan="cost", pointer_join="off")
+        fused = pointer_session.prepare(
+            text, plan="cost", pointer_join="force"
+        )
+        hash_rows = hashed.run().rows()
+        fused_rows = fused.run().rows()
+        assert hash_rows == fused_rows, f"{name}: join machineries disagree"
+        hash_s = _median_seconds(hashed.run, rounds)
+        fused_s = _median_seconds(fused.run, rounds)
+        results.append((name, hash_s, fused_s, len(fused_rows)))
+    return results
+
+
+def measure_view_maintenance(
+    rounds: int = 5, writes: int = VIEW_WRITES
+) -> Tuple[float, float, int]:
+    """(targeted_seconds, recompute_seconds, groups) for V3.
+
+    One session, one materialized view.  Each targeted round makes
+    ``writes`` point salary updates and re-reads one view object
+    through its id-term — the pipeline's lazy sync re-derives only the
+    affected groups first.  Each recompute round makes the same writes
+    and refreshes the whole view before the identical read.
+    """
+    from repro.oid import Value
+
+    session = Session(generate_database(VIEW_WORKLOAD))
+    session.query(VIEW_STATEMENT)
+    view = session.views.get("CompSalaries")
+    owners = [
+        derivation.target
+        for (oid, attr), derivation in sorted(
+            view.outcome.derivations.items(), key=lambda kv: str(kv[0][0])
+        )
+        if attr == "Salary"
+    ][:writes]
+    assert owners, "no salary derivations to write through"
+    target = sorted(view.outcome.created, key=str)[0]
+    read = f"SELECT {target}.Salary"
+    groups = len(view.outcome.created)
+    bump = [0]
+
+    def write_points() -> None:
+        bump[0] += 1
+        for owner in owners:
+            session.store.set_attr(
+                owner, "Salary", Value(260_000 + bump[0])
+            )
+
+    def targeted():
+        write_points()
+        return session.query(read)
+
+    def recompute():
+        write_points()
+        session.views.refresh("CompSalaries", session.evaluator())
+        return session.query(read)
+
+    # Both paths must serve the freshly written value before timing.
+    assert targeted().rows() == frozenset({(Value(260_001),)})
+    assert recompute().rows() == frozenset({(Value(260_002),)})
+    targeted_s = _median_seconds(targeted, rounds)
+    recompute_s = _median_seconds(recompute, rounds)
+    return targeted_s, recompute_s, groups
+
+
 def measure_estimation() -> List[Dict[str, object]]:
     """Per-operator cardinality-estimation error under ``plan="cost"``.
 
@@ -395,6 +526,61 @@ def worst_join_speedup(
     )
 
 
+def worst_pointer_speedup(
+    results: List[Tuple[str, float, float, int]]
+) -> float:
+    """The *minimum* speedup: every V workload must clear the target."""
+    return min(
+        hashed / fused
+        for _name, hashed, fused, _rows in results
+        if fused > 0
+    )
+
+
+def view_maintenance_speedup(
+    maintenance: Tuple[float, float, int]
+) -> float:
+    targeted_s, recompute_s, _groups = maintenance
+    return recompute_s / targeted_s if targeted_s else float("inf")
+
+
+def report_pointer(
+    results: List[Tuple[str, float, float, int]]
+) -> str:
+    lines = [
+        "pointer joins: hash execution vs stored-oid navigation "
+        f"(plan=cost, {POINTER_WORKLOAD.n_people} people)",
+        f"{'query':6s} {'hash':>10s} {'pointer':>10s} {'speedup':>8s} "
+        f"{'rows':>5s}",
+    ]
+    for name, hashed, fused, rows in results:
+        ratio = hashed / fused if fused else float("inf")
+        lines.append(
+            f"{name:6s} {hashed * 1000:8.3f}ms {fused * 1000:8.3f}ms "
+            f"{ratio:7.2f}x {rows:5d}"
+        )
+    lines.append(
+        f"worst speedup: {worst_pointer_speedup(results):.2f}x "
+        f"(target >= {POINTER_TARGET:.0f}x on every workload)"
+    )
+    return "\n".join(lines)
+
+
+def report_view_maintenance(
+    maintenance: Tuple[float, float, int]
+) -> str:
+    targeted_s, recompute_s, groups = maintenance
+    return (
+        f"view maintenance (V3): re-read after {VIEW_WRITES} point "
+        f"writes, {groups}-group view "
+        f"({VIEW_WORKLOAD.n_people} people)\n"
+        f"targeted sync {targeted_s * 1000:.3f}ms vs full recompute "
+        f"{recompute_s * 1000:.3f}ms: "
+        f"{view_maintenance_speedup(maintenance):.2f}x "
+        f"(target >= {VIEW_TARGET:.0f}x)"
+    )
+
+
 def worst_columnar_speedup(
     results: List[Tuple[str, float, float, int]]
 ) -> float:
@@ -494,14 +680,19 @@ def as_json(
     selective_results: List[Tuple[str, float, float, int]],
     join_results: List[Tuple[str, float, float, int]],
     columnar_results: List[Tuple[str, float, float, int]],
+    pointer_results: List[Tuple[str, float, float, int]],
+    maintenance: Tuple[float, float, int],
 ) -> Dict[str, object]:
     """The JSON artifact CI uploads (``BENCH_pipeline.json``)."""
+    targeted_s, recompute_s, groups = maintenance
     return {
         "targets": {
             "cache_speedup": SPEEDUP_TARGET,
             "selective_speedup": SELECTIVE_TARGET,
             "join_speedup": JOIN_TARGET,
             "columnar_speedup": COLUMNAR_TARGET,
+            "pointer_speedup": POINTER_TARGET,
+            "view_maintenance_speedup": VIEW_TARGET,
         },
         "cache": [
             {
@@ -550,6 +741,26 @@ def as_json(
         "worst_columnar_speedup": round(
             worst_columnar_speedup(columnar_results), 2
         ),
+        "pointer": [
+            {
+                "query": name,
+                "hash_ms": round(hashed * 1000, 4),
+                "pointer_ms": round(fused * 1000, 4),
+                "speedup": round(hashed / fused, 2) if fused else None,
+                "rows": rows,
+            }
+            for name, hashed, fused, rows in pointer_results
+        ],
+        "worst_pointer_speedup": round(
+            worst_pointer_speedup(pointer_results), 2
+        ),
+        "view_maintenance": {
+            "writes": VIEW_WRITES,
+            "groups": groups,
+            "targeted_ms": round(targeted_s * 1000, 4),
+            "recompute_ms": round(recompute_s * 1000, 4),
+            "speedup": round(view_maintenance_speedup(maintenance), 2),
+        },
     }
 
 
@@ -576,6 +787,20 @@ def test_columnar_beats_rows_5x_on_every_columnar_query():
     results = measure_columnar(rounds=9)
     assert worst_columnar_speedup(results) >= COLUMNAR_TARGET, (
         report_columnar(results)
+    )
+
+
+def test_pointer_joins_beat_hash_5x_on_every_pointer_workload():
+    results = measure_pointer(rounds=7)
+    assert worst_pointer_speedup(results) >= POINTER_TARGET, (
+        report_pointer(results)
+    )
+
+
+def test_targeted_view_maintenance_beats_recompute_5x():
+    maintenance = measure_view_maintenance(rounds=5)
+    assert view_maintenance_speedup(maintenance) >= VIEW_TARGET, (
+        report_view_maintenance(maintenance)
     )
 
 
@@ -615,6 +840,8 @@ def main() -> int:
     selective = measure_selective(rounds=args.rounds)
     joins = measure_joins(rounds=min(args.rounds, 5))
     columnar = measure_columnar(rounds=args.rounds)
+    pointer = measure_pointer(rounds=min(args.rounds, 7))
+    maintenance = measure_view_maintenance(rounds=min(args.rounds, 5))
     estimation = measure_estimation() if args.analyze else None
     print(report(results))
     print()
@@ -623,11 +850,17 @@ def main() -> int:
     print(report_joins(joins))
     print()
     print(report_columnar(columnar))
+    print()
+    print(report_pointer(pointer))
+    print()
+    print(report_view_maintenance(maintenance))
     if estimation is not None:
         print()
         print(report_estimation(estimation))
     if args.json:
-        payload = as_json(results, selective, joins, columnar)
+        payload = as_json(
+            results, selective, joins, columnar, pointer, maintenance
+        )
         if estimation is not None:
             payload["analyze"] = estimation_as_json(estimation)
         with open(args.json, "w") as handle:
@@ -639,6 +872,8 @@ def main() -> int:
         and best_selective_speedup(selective) >= SELECTIVE_TARGET
         and worst_join_speedup(joins) >= JOIN_TARGET
         and worst_columnar_speedup(columnar) >= COLUMNAR_TARGET
+        and worst_pointer_speedup(pointer) >= POINTER_TARGET
+        and view_maintenance_speedup(maintenance) >= VIEW_TARGET
     )
     return 0 if ok else 1
 

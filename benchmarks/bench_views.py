@@ -1,18 +1,38 @@
-"""VIEWS: materialization and query-through-view scaling (§4.2).
+"""VIEWS: materialization, query-through-view, and maintenance (§4.2).
 
-The CompSalaries view over synthetic databases of growing size: how long
-materialization takes (one object per (company, employee) pair), how a
-query through the view's id-term compares with the equivalent base query,
-and the cost of the §4.2 view-update translation.
+The CompSalaries view over synthetic databases of growing size, measured
+the same way as :mod:`bench_pipeline`:
 
-Expected shape: materialization scales with the number of view objects;
-querying *through* the materialized view beats re-deriving the same
-information from base data (the view is, in effect, an index), which is
-the classical materialized-view trade the paper's uniform id-function
-treatment makes available.
+* **materialize** — how long ``CREATE VIEW`` takes end to end (one
+  object per (company, employee) group);
+* **through-view vs base** — a prepared re-run of the selective query
+  *through* the materialized view against the equivalent base-data
+  query (both ``plan="cost"``): the view is, in effect, an index over
+  the join, which is the classical materialized-view trade the paper's
+  uniform id-function treatment makes available;
+* **maintenance** — after ``k`` point salary writes, the incremental
+  sync (targeted per-group re-derivation) against a full ``REFRESH
+  VIEW`` re-materialization;
+* **update translation** — the §4.2 view-update path (view write →
+  base write → refresh).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_views.py [--rounds N]
+        [--json PATH]
+
+or through pytest (asserts parity and that targeted maintenance beats
+the full refresh)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_views.py
 """
 
-import pytest
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Callable, Dict, List, Tuple
 
 from repro.oid import Value
 from repro.workloads.generator import WorkloadConfig, generate_database
@@ -34,6 +54,8 @@ BASE_EQUIVALENT = (
 )
 
 SIZES = [40, 100]
+MAINTENANCE_SIZE = 100
+MAINTENANCE_WRITES = 3
 
 
 def _fresh_session(n_people) -> Session:
@@ -41,54 +63,245 @@ def _fresh_session(n_people) -> Session:
     return Session(store)
 
 
-@pytest.mark.parametrize("n_people", SIZES)
-@pytest.mark.benchmark(group="views-materialize")
-def test_view_materialization(benchmark, n_people):
-    def setup():
-        return (_fresh_session(n_people),), {}
-
-    def run(session):
-        return session.execute(VIEW)
-
-    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
-    assert len(result.created) > 0
+def _median_seconds(action: Callable[[], object], rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        action()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
 
 
-@pytest.mark.parametrize("n_people", SIZES)
-@pytest.mark.benchmark(group="views-query-through")
-def test_query_through_view(benchmark, n_people):
-    session = _fresh_session(n_people)
-    session.execute(VIEW)
-    result = benchmark(lambda: session.query(THROUGH_VIEW))
-    base = session.query(BASE_EQUIVALENT)
-    assert result.single_column() == base.single_column()
+def measure_materialize(rounds: int = 3) -> List[Tuple[str, float, int]]:
+    """Per-size (label, seconds, view objects) medians for CREATE VIEW."""
+    results = []
+    for n_people in SIZES:
+        created = []
+
+        def run() -> None:
+            session = _fresh_session(n_people)
+            created.append(len(session.query(VIEW).created))
+
+        seconds = _median_seconds(run, rounds)
+        results.append((f"{n_people}p", seconds, created[-1]))
+    return results
 
 
-@pytest.mark.parametrize("n_people", SIZES)
-@pytest.mark.benchmark(group="views-base-equivalent")
-def test_base_equivalent_query(benchmark, n_people):
-    session = _fresh_session(n_people)
-    result = benchmark(lambda: session.query(BASE_EQUIVALENT))
-    assert result is not None
+def measure_through_view(
+    rounds: int = 9,
+) -> List[Tuple[str, float, float, int]]:
+    """Per-size (label, base_seconds, view_seconds, rows) medians.
+
+    Both sides re-run a *prepared* ``plan="cost"`` compilation, so
+    compilation is off the clock: the base side re-derives the
+    company⋈employee join on every run, the view side scans the
+    materialized extent.
+    """
+    results = []
+    for n_people in SIZES:
+        session = _fresh_session(n_people)
+        session.query(VIEW)
+        through = session.prepare(THROUGH_VIEW, plan="cost")
+        base = session.prepare(BASE_EQUIVALENT, plan="cost")
+        view_rows = through.run().single_column()
+        base_rows = base.run().single_column()
+        assert view_rows == base_rows, f"{n_people}p: view disagrees"
+        base_s = _median_seconds(base.run, rounds)
+        view_s = _median_seconds(through.run, rounds)
+        results.append((f"{n_people}p", base_s, view_s, len(view_rows)))
+    return results
 
 
-@pytest.mark.benchmark(group="views-update")
-def test_view_update_translation(benchmark):
-    def setup():
+def measure_maintenance(
+    rounds: int = 5, writes: int = MAINTENANCE_WRITES
+) -> Tuple[float, float, int]:
+    """(targeted_seconds, refresh_seconds, groups) after point writes.
+
+    The targeted side makes ``writes`` point salary updates (cell
+    writes on methods only SELECT items read) and times the lazy
+    incremental sync — re-deriving just the affected groups.  The
+    refresh side re-materializes the whole view after the same writes.
+    """
+    session = _fresh_session(MAINTENANCE_SIZE)
+    session.query(VIEW)
+    store = session.store
+    view = session.views.get("CompSalaries")
+    owners = [
+        derivation.target
+        for (oid, attr), derivation in sorted(
+            view.outcome.derivations.items(), key=lambda kv: str(kv[0][0])
+        )
+        if attr == "Salary"
+    ][:writes]
+    assert owners, "no salary derivations to write through"
+    groups = len(view.outcome.created)
+    bump = [0]
+
+    def write_points() -> None:
+        bump[0] += 1
+        for owner in owners:
+            store.set_attr(owner, "Salary", Value(100_000 + bump[0]))
+
+    def targeted() -> None:
+        write_points()
+        events = session.sync_views()
+        assert events and events[0]["kind"] == "targeted", events
+
+    def refresh() -> None:
+        write_points()
+        session.views.refresh("CompSalaries", session.evaluator())
+        session.sync_views()  # clear the staleness the writes raised
+
+    targeted_s = _median_seconds(targeted, rounds)
+    refresh_s = _median_seconds(refresh, rounds)
+    session.sync_views()
+    return targeted_s, refresh_s, groups
+
+
+def measure_update(rounds: int = 3) -> float:
+    """Median seconds for one §4.2 view-update translation."""
+
+    def run() -> None:
         session = _fresh_session(60)
-        session.execute(VIEW)
+        session.query(VIEW)
         view = session.views.get("CompSalaries")
         target = next(
             oid
-            for (oid, attr) in view.outcome.derivations
+            for (oid, attr) in sorted(
+                view.outcome.derivations, key=lambda k: str(k[0])
+            )
             if attr == "Salary"
         )
-        return (session, target), {}
-
-    def run(session, target):
-        return session.update_view(
+        count = session.update_view(
             "CompSalaries", "Salary", {target: Value(123456)}
         )
+        assert count == 1
 
-    count = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
-    assert count == 1
+    return _median_seconds(run, rounds)
+
+
+def report(
+    materialize: List[Tuple[str, float, int]],
+    through: List[Tuple[str, float, float, int]],
+    maintenance: Tuple[float, float, int],
+    update_s: float,
+) -> str:
+    lines = [
+        "view materialization (CREATE VIEW, fresh store per round)",
+        f"{'size':6s} {'seconds':>10s} {'objects':>8s}",
+    ]
+    for label, seconds, objects in materialize:
+        lines.append(f"{label:6s} {seconds * 1000:8.3f}ms {objects:8d}")
+    lines.append("")
+    lines.append(
+        "query through view vs base equivalent (prepared plan=cost)"
+    )
+    lines.append(
+        f"{'size':6s} {'base':>10s} {'view':>10s} {'speedup':>8s} "
+        f"{'rows':>5s}"
+    )
+    for label, base_s, view_s, rows in through:
+        ratio = base_s / view_s if view_s else float("inf")
+        lines.append(
+            f"{label:6s} {base_s * 1000:8.3f}ms {view_s * 1000:8.3f}ms "
+            f"{ratio:7.2f}x {rows:5d}"
+        )
+    targeted_s, refresh_s, groups = maintenance
+    ratio = refresh_s / targeted_s if targeted_s else float("inf")
+    lines.append("")
+    lines.append(
+        f"maintenance after {MAINTENANCE_WRITES} point writes "
+        f"({groups} groups): targeted {targeted_s * 1000:.3f}ms vs "
+        f"refresh {refresh_s * 1000:.3f}ms ({ratio:.2f}x)"
+    )
+    lines.append(
+        f"view-update translation (§4.2, includes refresh): "
+        f"{update_s * 1000:.3f}ms"
+    )
+    return "\n".join(lines)
+
+
+def as_json(
+    materialize: List[Tuple[str, float, int]],
+    through: List[Tuple[str, float, float, int]],
+    maintenance: Tuple[float, float, int],
+    update_s: float,
+) -> Dict[str, object]:
+    """The JSON artifact (``--json``), shaped like BENCH_pipeline.json."""
+    targeted_s, refresh_s, groups = maintenance
+    return {
+        "materialize": [
+            {
+                "size": label,
+                "seconds_ms": round(seconds * 1000, 4),
+                "objects": objects,
+            }
+            for label, seconds, objects in materialize
+        ],
+        "through_view": [
+            {
+                "size": label,
+                "base_ms": round(base_s * 1000, 4),
+                "view_ms": round(view_s * 1000, 4),
+                "speedup": round(base_s / view_s, 2) if view_s else None,
+                "rows": rows,
+            }
+            for label, base_s, view_s, rows in through
+        ],
+        "maintenance": {
+            "writes": MAINTENANCE_WRITES,
+            "groups": groups,
+            "targeted_ms": round(targeted_s * 1000, 4),
+            "refresh_ms": round(refresh_s * 1000, 4),
+            "speedup": (
+                round(refresh_s / targeted_s, 2) if targeted_s else None
+            ),
+        },
+        "update_translation_ms": round(update_s * 1000, 4),
+    }
+
+
+def test_through_view_matches_base():
+    # Parity is asserted inside measure_through_view for every size;
+    # the speedup itself is workload-dependent (the view extent is
+    # small here), so the timing criterion lives in bench_pipeline V3.
+    results = measure_through_view(rounds=3)
+    assert all(rows >= 0 for *_rest, rows in results)
+
+
+def test_targeted_maintenance_beats_full_refresh():
+    targeted_s, refresh_s, _groups = measure_maintenance(rounds=3)
+    assert targeted_s < refresh_s, (
+        f"targeted {targeted_s * 1000:.3f}ms vs "
+        f"refresh {refresh_s * 1000:.3f}ms"
+    )
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=9)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a JSON artifact",
+    )
+    args = parser.parse_args()
+    materialize = measure_materialize(rounds=min(args.rounds, 3))
+    through = measure_through_view(rounds=args.rounds)
+    maintenance = measure_maintenance(rounds=min(args.rounds, 5))
+    update_s = measure_update(rounds=min(args.rounds, 3))
+    print(report(materialize, through, maintenance, update_s))
+    if args.json:
+        payload = as_json(materialize, through, maintenance, update_s)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

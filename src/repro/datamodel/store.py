@@ -114,12 +114,24 @@ class ObjectStore:
         #: (:class:`repro.storage.codec.StoreJournal`).  When attached,
         #: every mutation below emits codec-encoded KV operations; the
         #: default ``None`` keeps the historical dict store's write path
-        #: free of any storage overhead beyond this one check.
+        #: free of any storage overhead beyond one tuple iteration.
         self._journal = None
+        #: Additional write observers (e.g. incremental view
+        #: maintenance).  Observers duck-type the journal's ``note_*``
+        #: surface; they are notified *after* the journal so durability
+        #: always precedes derived-state bookkeeping.
+        self._observers: Tuple = ()
+        #: The fan-out tuple every mutator iterates: journal first (when
+        #: attached), then observers, in registration order.
+        self._sinks: Tuple = ()
 
     # ------------------------------------------------------------------
-    # persistence journal (the storage-engine seam)
+    # write sinks: the persistence journal + write observers
     # ------------------------------------------------------------------
+
+    def _rebuild_sinks(self) -> None:
+        journal = (self._journal,) if self._journal is not None else ()
+        self._sinks = journal + self._observers
 
     @property
     def journal(self):
@@ -136,6 +148,25 @@ class ObjectStore:
         should mirror already-present state.
         """
         self._journal = journal
+        self._rebuild_sinks()
+
+    def add_observer(self, observer) -> None:
+        """Attach a write observer (same ``note_*`` surface as the journal).
+
+        Observers see every mutation after the journal does.  Attaching
+        is idempotent.
+        """
+        if observer not in self._observers:
+            self._observers = self._observers + (observer,)
+            self._rebuild_sinks()
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached write observer (idempotent)."""
+        if observer in self._observers:
+            self._observers = tuple(
+                o for o in self._observers if o is not observer
+            )
+            self._rebuild_sinks()
 
     def explicit_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
         """Explicit instance-of memberships only (no implicit classes)."""
@@ -158,8 +189,8 @@ class ObjectStore:
         self.hierarchy.add_class(cls, [_atom(p) for p in parents])
         self._known.add(cls)
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_class(
+        for sink in self._sinks:
+            sink.note_class(
                 cls,
                 [
                     sup
@@ -202,8 +233,8 @@ class ObjectStore:
         self.catalogue.register_method(method_atom)
         self._known.add(method_atom)
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_signature(
+        for sink in self._sinks:
+            sink.note_signature(
                 cls_atom, method_atom, result_atom, arg_atoms, set_valued
             )
         return signature
@@ -263,8 +294,9 @@ class ObjectStore:
         is_new = obj not in self._records
         self._records.setdefault(obj, ObjectRecord(obj))
         self._known.add(obj)
-        if is_new and self._journal is not None:
-            self._journal.note_object(obj)
+        if is_new:
+            for sink in self._sinks:
+                sink.note_object(obj)
         for cls in classes:
             self.add_instance(obj, cls)
         return obj
@@ -279,8 +311,8 @@ class ObjectStore:
             memberships.add(cls_atom)
             self._direct_extents.setdefault(cls_atom, set()).add(obj)
             self.statistics.note_membership(cls_atom, +1)
-            if self._journal is not None:
-                self._journal.note_membership(cls_atom, obj, True)
+            for sink in self._sinks:
+                sink.note_membership(cls_atom, obj, True)
         self._records.setdefault(obj, ObjectRecord(obj))
         self._known.add(obj)
 
@@ -292,8 +324,8 @@ class ObjectStore:
             memberships.discard(cls_atom)
             self._direct_extents.get(cls_atom, set()).discard(obj)
             self.statistics.note_membership(cls_atom, -1)
-            if self._journal is not None:
-                self._journal.note_membership(cls_atom, obj, False)
+            for sink in self._sinks:
+                sink.note_membership(cls_atom, obj, False)
 
     def purge_object(self, oid_like: OidLike) -> None:
         """Remove an object entirely: record, memberships, and extents.
@@ -316,8 +348,8 @@ class ObjectStore:
             self.statistics.note_membership(cls, -1)
         self._known.discard(obj)
         self._indexes.note_purge(obj)
-        if self._journal is not None:
-            self._journal.note_purge(obj, memberships, cells)
+        for sink in self._sinks:
+            sink.note_purge(obj, memberships, cells)
 
     def direct_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
         """Explicit instance-of memberships plus implicit literal classes."""
@@ -495,8 +527,8 @@ class ObjectStore:
         self.statistics.note_write(
             owner_oid, method_atom, arg_oids, old_values, new_values
         )
-        if self._journal is not None:
-            self._journal.note_cell(
+        for sink in self._sinks:
+            sink.note_cell(
                 owner_oid, method_atom, arg_oids, old_values, new_values,
                 scalar=True,
             )
@@ -528,8 +560,8 @@ class ObjectStore:
         self.statistics.note_write(
             owner_oid, method_atom, arg_oids, old_values, value_oids
         )
-        if self._journal is not None:
-            self._journal.note_cell(
+        for sink in self._sinks:
+            sink.note_cell(
                 owner_oid, method_atom, arg_oids, old_values, value_oids,
                 scalar=False,
             )
@@ -561,8 +593,8 @@ class ObjectStore:
             owner_oid, method_atom, arg_oids, old_values,
             old_values | {member_oid},
         )
-        if self._journal is not None:
-            self._journal.note_cell(
+        for sink in self._sinks:
+            sink.note_cell(
                 owner_oid, method_atom, arg_oids, old_values,
                 old_values | {member_oid}, scalar=False,
             )
@@ -589,8 +621,8 @@ class ObjectStore:
             self.statistics.note_write(
                 obj, method_atom, arg_oids, old_values, frozenset()
             )
-            if self._journal is not None:
-                self._journal.note_cell(
+            for sink in self._sinks:
+                sink.note_cell(
                     obj, method_atom, arg_oids, old_values, frozenset(),
                     scalar=False, present=False,
                 )
@@ -638,8 +670,8 @@ class ObjectStore:
             _atom(cls), _atom(method), _atom(use_class)
         )
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_resolution(
+        for sink in self._sinks:
+            sink.note_resolution(
                 _atom(cls), _atom(method), _atom(use_class)
             )
 
@@ -780,15 +812,15 @@ class ObjectStore:
         method_atom = _atom(method)
         self._indexes.enable(method_atom, self)
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_index(method_atom, True)
+        for sink in self._sinks:
+            sink.note_index(method_atom, True)
 
     def disable_index(self, method: ClassLike) -> None:
         method_atom = _atom(method)
         self._indexes.disable(method_atom)
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_index(method_atom, False)
+        for sink in self._sinks:
+            sink.note_index(method_atom, False)
 
     def is_indexed(self, method: ClassLike) -> bool:
         return self._indexes.is_indexed(_atom(method))
@@ -875,8 +907,8 @@ class ObjectStore:
         relation = StoredRelation(name, tuple(column_names))
         self._relations[name] = relation
         self._bump_schema()
-        if self._journal is not None:
-            self._journal.note_relation(name, relation.column_names)
+        for sink in self._sinks:
+            sink.note_relation(name, relation.column_names)
         return relation
 
     def relation(self, name: str) -> StoredRelation:
@@ -893,8 +925,8 @@ class ObjectStore:
         oids = tuple(as_oid(v) for v in row)
         relation.insert(oids)
         self._note_values(oids)
-        if self._journal is not None:
-            self._journal.note_tuple(name, oids)
+        for sink in self._sinks:
+            sink.note_tuple(name, oids)
 
     # ------------------------------------------------------------------
     # introspection helpers

@@ -36,6 +36,12 @@ kv         ``encode_store`` into a WAL-backed            always
            close + reopen (a full WAL replay), then
            ``decode_store`` and the reference evaluator
            on the recovered store
+fused      ``plan="cost"`` with ``pointer_join="force"`` always
+           on its own session: every fusable equality
+           conjunct becomes a PointerJoin (forward
+           dereference / backward index probe), with a
+           materialized view kept in the store so lazy
+           view maintenance runs inside the query loop
 ========== ============================================= ==================
 
 Results are compared as order-insensitive multisets of oid tuples.  XSQL
@@ -84,6 +90,7 @@ ENGINE_NAMES = (
     "snapshot",
     "columnar",
     "kv",
+    "fused",
 )
 
 
@@ -157,12 +164,40 @@ class Oracle:
         # and restriction-keyed PathWalker cache persist across queries,
         # so the fuzz run also exercises cross-query cache reuse.
         self.columnar_session = Session(store)
+        # The "fused" engine forces pointer-join fusion and keeps a
+        # materialized view registered on its session, so every query it
+        # runs also exercises the lazy view-maintenance sync path.  The
+        # enrichment happens before any cached artifact (flogic export,
+        # snapshot, kv round-trip) is built, so all engines see one store.
+        self.fused_session = Session(store)
+        self._enrich_with_view()
         self.naive_max_product = naive_max_product
         self.naive_enabled = naive_enabled
         self._flogic_db: Optional[FlogicDatabase] = None
         self._roundtrip_store: Optional[ObjectStore] = None
         self._kv_store: Optional[ObjectStore] = None
         self._universe_sizes: Optional[Dict[str, int]] = None
+
+    #: The view the fused engine materializes over Figure 1 workloads.
+    VIEW_STATEMENT = (
+        "CREATE VIEW FusedCompanyCard AS SUBCLASS OF Object "
+        "SIGNATURE CardName = String "
+        "SELECT CardName = C.Name FROM Company C OID FUNCTION OF C"
+    )
+
+    def _enrich_with_view(self) -> None:
+        """Materialize a small view on the fused session's store.
+
+        Skipped when the workload has no ``Company`` class (scale
+        populations with other schemas).  The view's objects are part of
+        the shared store, so every engine — including the serialization
+        and WAL round-trips — must agree on queries that touch them.
+        """
+        from repro.oid import Atom
+
+        if Atom("Company") not in self.store.hierarchy:
+            return
+        self.fused_session.query(self.VIEW_STATEMENT)
 
     # ------------------------------------------------------------------
     # cached artifacts
@@ -253,6 +288,9 @@ class Oracle:
                 text, plan="cost", batch_format="columnar", workers=2
             ),
             "kv": lambda: Evaluator(self._kv_roundtrip()).run(parsed),
+            "fused": lambda: self.fused_session.query(
+                text, plan="cost", pointer_join="force"
+            ),
         }
         for name in engines:
             if name not in runners:

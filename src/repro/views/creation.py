@@ -30,7 +30,12 @@ from repro.xsql import ast
 from repro.xsql.evaluator import Evaluator
 from repro.xsql.paths import Bindings
 
-__all__ = ["CreationOutcome", "Derivation", "execute_creation"]
+__all__ = [
+    "CreationOutcome",
+    "Derivation",
+    "execute_creation",
+    "materialize_group",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,10 @@ class CreationOutcome:
     derivations: Dict[Tuple[FuncOid, str], Derivation] = field(
         default_factory=dict
     )
+    # created oid -> the satisfying bindings of its group, in evaluation
+    # order; incremental view maintenance re-derives one group's
+    # attributes from exactly these envs (repro.views.maintenance).
+    groups: Dict[FuncOid, List[Bindings]] = field(default_factory=dict)
 
 
 def _item_name(item: ast.SelectItem) -> str:
@@ -126,46 +135,72 @@ def execute_creation(
         envs = groups[key]
         oid = registry.record(functor, key)
         store.create_object(oid, classes=member_classes)
-        for item in query.select:
-            name = _item_name(item)
-            attribute = Atom(name)
-            if isinstance(item, ast.SetItem):
-                members: Set[Oid] = set()
-                for env in envs:
-                    bound = env.get(item.var)
-                    if isinstance(bound, Oid):
-                        members.add(bound)
-                store.set_attr_set(oid, attribute, members)
-                continue
-            assert isinstance(item, ast.PathItem)
-            per_env = [
-                _evaluate_item_for_env(evaluator, item.path, env)
-                for env in envs
-            ]
-            shaped = any(flag for _v, flag, _d in per_env)
-            if name in declared_set_valued:
-                shaped = declared_set_valued[name]
-            if shaped:
-                union: Set[Oid] = set()
-                for values, _flag, _d in per_env:
-                    union |= values
-                store.set_attr_set(oid, attribute, union)
-            else:
-                scalars = {
-                    value for values, _f, _d in per_env for value in values
-                }
-                if len(scalars) > 1:
-                    raise IllDefinedQueryError(
-                        f"attribute {name} of {oid} received "
-                        f"{len(scalars)} conflicting values: the "
-                        f"id-function must depend on more variables (§4.1)"
-                    )
-                if scalars:
-                    store.set_attr(oid, attribute, next(iter(scalars)))
-                derivations = {
-                    d for _v, _f, d in per_env if d is not None
-                }
-                if len(derivations) == 1:
-                    outcome.derivations[(oid, name)] = next(iter(derivations))
+        materialize_group(
+            evaluator, query, oid, envs, declared_set_valued, outcome
+        )
         outcome.created.append(oid)
+        outcome.groups[oid] = envs
     return outcome
+
+
+def materialize_group(
+    evaluator: Evaluator,
+    query: ast.Query,
+    oid: FuncOid,
+    envs: Sequence[Bindings],
+    declared_set_valued: Dict[str, bool],
+    outcome: CreationOutcome,
+) -> None:
+    """Derive (or re-derive) one created object's attributes from its group.
+
+    Shared by initial materialization and incremental view maintenance:
+    the group's satisfying bindings are fixed, so only the SELECT-derived
+    values are recomputed and written.  A scalar attribute that lost its
+    value is unset rather than left stale.
+    """
+    store = evaluator.store
+    for item in query.select:
+        name = _item_name(item)
+        attribute = Atom(name)
+        if isinstance(item, ast.SetItem):
+            members: Set[Oid] = set()
+            for env in envs:
+                bound = env.get(item.var)
+                if isinstance(bound, Oid):
+                    members.add(bound)
+            store.set_attr_set(oid, attribute, members)
+            continue
+        assert isinstance(item, ast.PathItem)
+        per_env = [
+            _evaluate_item_for_env(evaluator, item.path, env)
+            for env in envs
+        ]
+        shaped = any(flag for _v, flag, _d in per_env)
+        if name in declared_set_valued:
+            shaped = declared_set_valued[name]
+        if shaped:
+            union: Set[Oid] = set()
+            for values, _flag, _d in per_env:
+                union |= values
+            store.set_attr_set(oid, attribute, union)
+        else:
+            scalars = {
+                value for values, _f, _d in per_env for value in values
+            }
+            if len(scalars) > 1:
+                raise IllDefinedQueryError(
+                    f"attribute {name} of {oid} received "
+                    f"{len(scalars)} conflicting values: the "
+                    f"id-function must depend on more variables (§4.1)"
+                )
+            if scalars:
+                store.set_attr(oid, attribute, next(iter(scalars)))
+            elif store.explicit_cell(oid, attribute) is not None:
+                store.unset_attr(oid, attribute)
+            derivations = {
+                d for _v, _f, d in per_env if d is not None
+            }
+            if len(derivations) == 1:
+                outcome.derivations[(oid, name)] = next(iter(derivations))
+            else:
+                outcome.derivations.pop((oid, name), None)

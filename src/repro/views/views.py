@@ -12,14 +12,26 @@ objects of a base class.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.datamodel.store import ObjectStore
 from repro.errors import NonUpdatableViewError, ViewError
 from repro.oid import Atom, FuncOid, Oid
-from repro.views.creation import CreationOutcome, Derivation, execute_creation
+from repro.views.creation import (
+    CreationOutcome,
+    Derivation,
+    execute_creation,
+    materialize_group,
+)
 from repro.views.id_functions import IdFunctionRegistry
+from repro.views.maintenance import (
+    ViewMaintenance,
+    ViewState,
+    derive_read_sets,
+    group_support,
+)
 from repro.xsql import ast
 from repro.xsql.evaluator import Evaluator
 
@@ -46,6 +58,11 @@ class ViewManager:
         self._store = store
         self._registry = registry
         self._views: Dict[str, ViewDef] = {}
+        #: Per-view incremental-maintenance bookkeeping; the observer is
+        #: attached to the store's write seam on the first create_view.
+        self._states: Dict[str, ViewState] = {}
+        self._observer = ViewMaintenance(self)
+        self._observing = False
 
     def views(self) -> Dict[str, ViewDef]:
         return dict(self._views)
@@ -80,14 +97,18 @@ class ViewManager:
             )
             if not sig.args:
                 declared[sig.method] = sig.set_valued
-        outcome = execute_creation(
-            evaluator,
-            statement.query,
-            functor=statement.name,
-            registry=self._registry,
-            member_classes=[statement.name],
-            declared_set_valued=declared,
-        )
+        self._observer.muted = True
+        try:
+            outcome = execute_creation(
+                evaluator,
+                statement.query,
+                functor=statement.name,
+                registry=self._registry,
+                member_classes=[statement.name],
+                declared_set_valued=declared,
+            )
+        finally:
+            self._observer.muted = False
         view = ViewDef(
             name=statement.name,
             superclass=statement.superclass,
@@ -96,6 +117,10 @@ class ViewManager:
             outcome=outcome,
         )
         self._views[statement.name] = view
+        if not self._observing:
+            self._store.add_observer(self._observer)
+            self._observing = True
+        self._register(view, evaluator)
         return view
 
     def refresh(self, name: str, evaluator: Evaluator) -> ViewDef:
@@ -106,23 +131,221 @@ class ViewManager:
         base objects that feed the view.
         """
         view = self.get(name)
-        for oid in self._registry.oids(name):
-            self._store.purge_object(oid)
-        self._registry.forget(name)
+        started = time.perf_counter()
+        self._observer.muted = True
+        try:
+            for oid in self._registry.oids(name):
+                self._store.purge_object(oid)
+            self._registry.forget(name)
+            declared = {
+                sig.method: sig.set_valued
+                for sig in view.signatures
+                if not sig.args
+            }
+            view.outcome = execute_creation(
+                evaluator,
+                view.query,
+                functor=name,
+                registry=self._registry,
+                member_classes=[name],
+                declared_set_valued=declared,
+            )
+        finally:
+            self._observer.muted = False
+        state = self._register(view, evaluator)
+        state.last_kind = "refresh"
+        state.last_seconds = time.perf_counter() - started
+        state.last_groups = len(view.outcome.created)
+        return view
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (repro.views.maintenance)
+    # ------------------------------------------------------------------
+
+    def _register(self, view: ViewDef, evaluator: Evaluator) -> ViewState:
+        """(Re)derive a view's read sets and support index; stamp fresh."""
+        read = derive_read_sets(view.query, self._store)
+        support: Dict[Oid, Set[FuncOid]] = {}
+        for oid, envs in view.outcome.groups.items():
+            for owner in group_support(evaluator.walker, view.query, envs):
+                support.setdefault(owner, set()).add(oid)
+        state = ViewState(
+            read=read,
+            schema_gen=self._store.schema_generation,
+            support=support,
+        )
+        self._states[view.name] = state
+        return state
+
+    def pending(self) -> bool:
+        """Is any materialized view stale?  Cheap enough for every query."""
+        if not self._states:
+            return False
+        generation = self._store.schema_generation
+        return any(
+            state.staleness(generation) != "fresh"
+            for state in self._states.values()
+        )
+
+    def maintenance_status(self) -> Dict[str, Dict[str, object]]:
+        """Per-view staleness and last-maintenance cost (REPL ``.views``)."""
+        generation = self._store.schema_generation
+        return {
+            name: {
+                "state": state.staleness(generation),
+                "objects": len(self._views[name].outcome.created),
+                "pending_groups": len(state.pending_groups),
+                "last_kind": state.last_kind,
+                "last_seconds": state.last_seconds,
+                "last_groups": state.last_groups,
+            }
+            for name, state in self._states.items()
+        }
+
+    def sync(self, evaluator: Evaluator) -> List[Dict[str, object]]:
+        """Bring every stale view up to date; returns one event per view.
+
+        DDL (a ``schema_generation`` mismatch) rebuilds the view and
+        re-derives its read sets; structural data changes re-materialize
+        with the existing read sets; select-only deltas re-derive just
+        the pending groups.
+        """
+        generation = self._store.schema_generation
+        events: List[Dict[str, object]] = []
+        for name in list(self._views):
+            state = self._states.get(name)
+            if state is None:
+                continue
+            staleness = state.staleness(generation)
+            if staleness == "fresh":
+                continue
+            started = time.perf_counter()
+            if staleness == "rebuild-pending" or state.structural:
+                kind = (
+                    "rebuild" if staleness == "rebuild-pending" else "refresh"
+                )
+                self.refresh(name, evaluator)
+                state = self._states[name]
+                touched = len(self._views[name].outcome.created)
+            else:
+                kind = "targeted"
+                touched = self._maintain_groups(name, evaluator)
+            state.last_kind = kind
+            state.last_seconds = time.perf_counter() - started
+            state.last_groups = touched
+            events.append(
+                {
+                    "view": name,
+                    "kind": kind,
+                    "groups": touched,
+                    "seconds": state.last_seconds,
+                }
+            )
+        return events
+
+    def _maintain_groups(self, name: str, evaluator: Evaluator) -> int:
+        """Re-derive only the pending groups of one view (O(delta))."""
+        view = self._views[name]
+        state = self._states[name]
         declared = {
             sig.method: sig.set_valued
             for sig in view.signatures
             if not sig.args
         }
-        view.outcome = execute_creation(
-            evaluator,
-            view.query,
-            functor=name,
-            registry=self._registry,
-            member_classes=[name],
-            declared_set_valued=declared,
+        self._observer.muted = True
+        try:
+            for oid in sorted(state.pending_groups, key=str):
+                envs = view.outcome.groups.get(oid)
+                if envs is None:
+                    continue
+                materialize_group(
+                    evaluator, view.query, oid, envs, declared, view.outcome
+                )
+                self._update_support(
+                    state,
+                    oid,
+                    group_support(evaluator.walker, view.query, envs),
+                )
+        finally:
+            self._observer.muted = False
+        touched = len(state.pending_groups)
+        state.pending_groups = set()
+        return touched
+
+    @staticmethod
+    def _update_support(
+        state: ViewState, oid: FuncOid, fresh: Set[Oid]
+    ) -> None:
+        """Replace one group's slice of the owner→groups support index."""
+        for owner, groups in list(state.support.items()):
+            if oid in groups and owner not in fresh:
+                groups.discard(oid)
+                if not groups:
+                    del state.support[owner]
+        for owner in fresh:
+            state.support.setdefault(owner, set()).add(oid)
+
+    # -- write-event classification (called by ViewMaintenance) ---------
+
+    def _closure_hits(self, cls: Atom, classes: Set[Atom]) -> bool:
+        hierarchy = self._store.hierarchy
+        return any(
+            cls == c
+            or (cls in hierarchy and hierarchy.is_subclass(cls, c))
+            for c in classes
         )
-        return view
+
+    def _on_cell(self, owner: Oid, method: Atom) -> None:
+        for state in self._states.values():
+            read = state.read
+            if (
+                read.method_wildcard
+                or read.literal_domain
+                or method in read.where_methods
+            ):
+                state.structural = True
+            elif method in read.select_methods:
+                if self._store.catalogue.is_class(owner):
+                    # Class-level default cells feed instances through
+                    # behavioral inheritance — owners we cannot localize.
+                    state.structural = True
+                else:
+                    groups = state.support.get(owner)
+                    if groups:
+                        state.pending_groups |= groups
+                    # Owners outside the support set cannot feed the
+                    # view (see the module docstring's soundness note).
+
+    def _on_membership(self, cls: Atom, obj: Oid) -> None:
+        for state in self._states.values():
+            if state.read.class_wildcard or self._closure_hits(
+                cls, state.read.classes
+            ):
+                state.structural = True
+
+    def _on_purge(self, obj: Oid, memberships: Set[Atom]) -> None:
+        for state in self._states.values():
+            read = state.read
+            if (
+                obj in state.support
+                or read.class_wildcard
+                or any(
+                    self._closure_hits(cls, read.classes)
+                    for cls in memberships
+                )
+            ):
+                state.structural = True
+
+    def _on_object(self, obj: Oid) -> None:
+        for state in self._states.values():
+            if state.read.class_wildcard or state.read.literal_domain:
+                state.structural = True
+
+    def _on_tuple(self, name: str) -> None:
+        for state in self._states.values():
+            read = state.read
+            if read.relations or read.class_wildcard or read.method_wildcard:
+                state.structural = True
 
     # ------------------------------------------------------------------
     # view updates (§4.2)

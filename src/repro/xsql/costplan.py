@@ -37,7 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.datamodel.store import ObjectStore
 from repro.oid import Atom, Oid, Variable, VarSort
 from repro.xsql import ast
-from repro.xsql.operators import join_strategy_of
+from repro.xsql.operators import join_strategy_of, operand_join_vars
 from repro.xsql.planner import _cond_has_updates, _flatten
 
 __all__ = ["CostModel", "CostPlan", "CostPlanner", "PlanEntry", "ProbeSpec"]
@@ -84,8 +84,16 @@ class PlanEntry:
     estimated_rows: float
     detail: str = ""
     #: For ``"cond"`` entries: how the set-at-a-time executor will run
-    #: the conjunct (``"hash"``, ``"semi"``, or ``"nested"``).
+    #: the conjunct (``"hash"``, ``"semi"``, ``"nested"``, or
+    #: ``"pointer"``).
     join_strategy: str = ""
+    #: For ``join_strategy == "pointer"`` entries: the range variable the
+    #: PointerJoin binds (its FROM entry is re-marked
+    #: ``"pointer-fused"`` and its extent scan is skipped) and the
+    #: navigation direction (``"forward"`` dereferences stored cells,
+    #: ``"backward"`` probes the inverted index).
+    pointer_var: Optional[Variable] = None
+    pointer_direction: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -98,6 +106,8 @@ class PlanEntry:
             data["detail"] = self.detail
         if self.join_strategy:
             data["join_strategy"] = self.join_strategy
+        if self.pointer_direction:
+            data["direction"] = self.pointer_direction
         return data
 
 
@@ -189,20 +199,31 @@ class CostModel:
 class CostPlanner:
     """Orders conjuncts and picks access paths by estimated cost."""
 
+    #: Under ``pointer_mode="auto"``, fuse only when the skipped extent
+    #: scan is at least this many estimated rows — skipping a tiny scan
+    #: perturbs the plan for no measurable win.
+    MIN_POINTER_EXTENT = 8.0
+
     def __init__(
         self,
         store: ObjectStore,
         index_mode: str = "auto",
         payoff_threshold: float = 4.0,
         min_scan_rows: int = 32,
+        pointer_mode: str = "auto",
     ) -> None:
         if index_mode not in ("auto", "manual", "off"):
             raise ValueError(
                 f"index_mode must be auto/manual/off, got {index_mode!r}"
             )
+        if pointer_mode not in ("auto", "off", "force"):
+            raise ValueError(
+                f"pointer_mode must be auto/off/force, got {pointer_mode!r}"
+            )
         self.store = store
         self.model = CostModel(store)
         self.index_mode = index_mode
+        self.pointer_mode = pointer_mode
         #: Auto-enable an index only when the estimated scan is at least
         #: this many times the estimated probe result...
         self.payoff_threshold = payoff_threshold
@@ -478,6 +499,154 @@ class CostPlanner:
         return order, "greedy"
 
     # ------------------------------------------------------------------
+    # pointer-join fusion
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bare_var(operand: ast.Operand) -> Optional[Variable]:
+        if (
+            isinstance(operand, ast.PathOperand)
+            and operand.path.is_trivial
+            and isinstance(operand.path.head, Variable)
+        ):
+            return operand.path.head
+        return None
+
+    @staticmethod
+    def _backward_head(operand: ast.Operand) -> Optional[Variable]:
+        """Head variable of a single-hop ``X.m`` path the inverted index
+        on ``m`` can answer for; None when the shape does not apply."""
+        if not isinstance(operand, ast.PathOperand):
+            return None
+        path = operand.path
+        if len(path.steps) != 1 or not isinstance(path.head, Variable):
+            return None
+        step = path.steps[0]
+        if step.selector is not None:
+            return None
+        if not isinstance(step.method_expr.method, Atom):
+            return None
+        if not all(isinstance(a, Oid) for a in step.method_expr.args):
+            return None
+        return path.head
+
+    def _pointer_choice(
+        self,
+        cond: ast.Cond,
+        from_decls: Dict[Variable, ast.FromDecl],
+        occurrences: Dict[Variable, int],
+        fused: Set[Variable],
+    ) -> Optional[Tuple[Variable, str]]:
+        """The (variable, direction) a PointerJoin would bind for *cond*.
+
+        Soundness rules: the fused variable must be a FROM range variable
+        over a constant class, must occur in no other conjunct (its scan
+        is skipped, so an earlier conjunct must never see it unbound),
+        and must not appear on the other side of the equality.
+        """
+        if not isinstance(cond, ast.Comparison) or cond.op != "=":
+            return None
+        if cond.lq not in (None, "some") or cond.rq not in (None, "some"):
+            return None
+        if not isinstance(cond.lhs, ast.PathOperand):
+            return None
+        if not isinstance(cond.rhs, ast.PathOperand):
+            return None
+
+        def fusable(var: Optional[Variable]) -> bool:
+            return (
+                var is not None
+                and var.sort == VarSort.INDIVIDUAL
+                and var not in fused
+                and occurrences.get(var) == 1
+                and var in from_decls
+                and isinstance(from_decls[var].cls, Atom)
+            )
+
+        # Forward navigation: a bare range variable bound by
+        # dereferencing the other side.  When both sides qualify, skip
+        # the larger extent.
+        forward: List[Tuple[float, str, Variable]] = []
+        for mine, other in ((cond.lhs, cond.rhs), (cond.rhs, cond.lhs)):
+            var = self._bare_var(mine)
+            if not fusable(var) or var in operand_join_vars(other):
+                continue
+            forward.append(
+                (self.model.extent_rows(from_decls[var].cls), str(var), var)
+            )
+        if forward:
+            forward.sort(key=lambda item: (-item[0], item[1]))
+            return forward[0][2], "forward"
+        # Backward navigation: a single-hop path head bound by probing
+        # the inverted index with the other side's values.  Only chosen
+        # when the index answers reverse lookups exactly today —
+        # otherwise the operator would fall back on every execution.
+        for mine, other in ((cond.lhs, cond.rhs), (cond.rhs, cond.lhs)):
+            var = self._backward_head(mine)
+            if not fusable(var) or var in operand_join_vars(other):
+                continue
+            method = mine.path.steps[0].method_expr.method
+            if not self.store.index_is_complete_for(method):
+                continue
+            return var, "backward"
+        return None
+
+    def _fuse_pointers(
+        self,
+        query: ast.Query,
+        plan: CostPlan,
+        conjuncts: Sequence[ast.Cond],
+        order: Sequence[int],
+    ) -> None:
+        """Rewrite fusable equality conjuncts into pointer navigation.
+
+        A conjunct equating an OID-valued path with a range variable can
+        bind that variable by following stored references instead of
+        hash-joining against the class extent.  The fused variable's
+        FROM entry is re-marked ``"pointer-fused"`` (the factored
+        lowering skips its scan) and the conjunct becomes a
+        ``join_strategy="pointer"`` entry.  Everything stays advisory:
+        the PointerJoin operator re-checks its preconditions at runtime
+        and falls back to scan + merge semantics bit-identically.
+        """
+        if self.pointer_mode == "off" or not order:
+            return
+        from_decls = {decl.var: decl for decl in query.from_}
+        occurrences: Dict[Variable, int] = {}
+        for cond in conjuncts:
+            for var in set(ast.cond_variables(cond)):
+                occurrences[var] = occurrences.get(var, 0) + 1
+        fused: Set[Variable] = set()
+        n_from = len(query.from_)
+        from_position = {decl.var: i for i, decl in enumerate(query.from_)}
+        for position, index in enumerate(order):
+            cond = conjuncts[index]
+            entry = plan.entries[n_from + position]
+            if entry.join_strategy not in ("hash", "semi"):
+                continue
+            choice = self._pointer_choice(
+                cond, from_decls, occurrences, fused
+            )
+            if choice is None:
+                continue
+            var, direction = choice
+            if (
+                self.pointer_mode == "auto"
+                and self.model.extent_rows(from_decls[var].cls)
+                < self.MIN_POINTER_EXTENT
+            ):
+                continue
+            fused.add(var)
+            from_entry = plan.entries[from_position[var]]
+            from_entry.access_path = "pointer-fused"
+            from_entry.detail = f"fused into {entry.label}"
+            entry.join_strategy = "pointer"
+            entry.access_path = f"pointer-{direction}"
+            entry.pointer_var = var
+            entry.pointer_direction = direction
+            entry.detail = f"{direction} navigation binds {var}"
+
+    # ------------------------------------------------------------------
     # the public entry point
     # ------------------------------------------------------------------
 
@@ -567,6 +736,7 @@ class CostPlanner:
                     join_strategy=join_strategy_of(cond),
                 )
             )
+        self._fuse_pointers(query, plan, conjuncts, order)
         if conjuncts:
             ordered = [conjuncts[i] for i in order]
             plan.ordered_where = (

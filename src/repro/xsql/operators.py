@@ -23,6 +23,10 @@ The operator catalogue:
 ``Aggregate``      a comparison over ``count``/``sum``/``avg``/…
 ``HashJoin``       equality between disjoint batches: build + probe
 ``SemiJoin``       equality against a ground path: hash-filter one side
+``PointerJoin``    pointer-fused equality: binds a range variable by
+                   dereferencing stored cells (forward navigation) or
+                   probing the inverted index (backward), skipping the
+                   variable's extent scan entirely
 ``NestedLoop``     any other conjunct, per binding — and, as a *root*,
                    whole-statement evaluation (WHERE-with-updates keeps
                    the exact lazy §5 stream; ``engine="naive"`` runs the
@@ -78,7 +82,7 @@ from typing import (
 )
 
 from repro.errors import QueryError
-from repro.oid import Oid, Variable
+from repro.oid import Atom, Oid, Variable, term_sort_key
 from repro.xsql import ast
 from repro.xsql.batches import (
     UNBOUND,
@@ -118,6 +122,7 @@ __all__ = [
     "NestedLoop",
     "Operator",
     "PathEval",
+    "PointerJoin",
     "Project",
     "Quantify",
     "RestrictedScan",
@@ -126,6 +131,7 @@ __all__ = [
     "execute",
     "join_strategy_of",
     "lower_query",
+    "operand_join_vars",
     "lower_statement",
     "merge_all",
     "merge_overlapping",
@@ -150,6 +156,11 @@ def _operand_join_vars(
     if isinstance(operand, ast.PathOperand):
         return tuple(dict.fromkeys(ast.path_variables(operand.path)))
     return None
+
+
+#: Public alias — the cost planner's pointer-fusion rules use the same
+#: "free variables of a join operand" notion as the strategy classifier.
+operand_join_vars = _operand_join_vars
 
 
 def join_strategy_of(cond: ast.Cond) -> str:
@@ -718,6 +729,248 @@ class SemiJoin(CondOperator):
         return rest
 
 
+class PointerJoin(CondOperator):
+    """Pointer-fused equality: bind a range variable by navigation.
+
+    The cost planner fuses a conjunct equating an OID-valued path with a
+    range variable (``X.Manufacturer = M``) into this operator and skips
+    ``M``'s extent scan.  ``M`` is then bound either by *forward*
+    navigation — dereference the path side's stored cells per binding —
+    or by *backward* navigation — probe the inverted index on the path's
+    method with the other side's values (``store.lookup_by_value``).
+    Either way each produced value is admitted exactly as the skipped
+    scan would have admitted it (class membership plus the evaluator's
+    per-variable restriction), so the output stream is set-identical to
+    scan-then-filter.
+
+    Columnar states group the stream by its projection onto the other
+    side's variables and dereference once per distinct projection, with
+    the distinct keys dispatched across the morsel worker pool; deltas
+    are memoized in the walker's generation-stamped memo.
+
+    Every precondition is re-checked at runtime — an unbound operand
+    variable, an incomplete index, or an already-bound fused variable
+    falls back to the unfused scan + per-binding merge, bit-identically.
+    """
+
+    name = "PointerJoin"
+
+    def __init__(
+        self,
+        cond: ast.Cond,
+        child: Optional[Operator] = None,
+        *,
+        decl: ast.FromDecl,
+        direction: str = "forward",
+        **kw,
+    ) -> None:
+        super().__init__(cond, child, **kw)
+        if direction not in ("forward", "backward"):
+            raise QueryError(
+                f"pointer-join direction must be forward/backward, "
+                f"got {direction!r}"
+            )
+        self.decl = decl
+        self.direction = direction
+        #: The skipped scan, kept as a private fallback: when a fast-path
+        #: precondition fails we bind the variable the unfused way and
+        #: apply the conjunct per binding.
+        self._scan = ExtentScan(decl)
+
+    def _reset_counters(self) -> None:
+        super()._reset_counters()
+        self.derefs = 0
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self._scan.open(ctx)
+
+    def _transform(self, state: State) -> State:
+        out = self._try_pointer(state)
+        if out is None:
+            return self._merge_eval(self._scan._transform(state))
+        return out
+
+    # -- the fused fast path -------------------------------------------
+
+    def _sides(
+        self,
+    ) -> Tuple[Optional[ast.Operand], Optional[ast.Operand]]:
+        """(fused side, other side) of the equality, shape-checked."""
+        cond = self.cond
+        assert isinstance(cond, ast.Comparison)
+        var = self.decl.var
+        for mine, other in ((cond.lhs, cond.rhs), (cond.rhs, cond.lhs)):
+            if not isinstance(mine, ast.PathOperand):
+                continue
+            path = mine.path
+            if path.head != var:
+                continue
+            if self.direction == "forward":
+                if path.is_trivial:
+                    return mine, other
+                continue
+            if len(path.steps) != 1:
+                continue
+            step = path.steps[0]
+            if step.selector is not None:
+                continue
+            if not isinstance(step.method_expr.method, Atom):
+                continue
+            if not all(isinstance(a, Oid) for a in step.method_expr.args):
+                continue
+            return mine, other
+        return None, None
+
+    def _try_pointer(self, state: State) -> Optional[State]:
+        cond = self.cond
+        ctx = self._ctx
+        assert isinstance(cond, ast.Comparison) and ctx is not None
+        if cond.op != "=" or cond.lq not in _EXISTENTIAL or (
+            cond.rq not in _EXISTENTIAL
+        ):
+            return None
+        var = self.decl.var
+        if isinstance(self.decl.cls, Variable):
+            return None
+        if any(var in batch.vars for batch in state):
+            return None  # already bound: the scan must re-admit it
+        mine, other = self._sides()
+        if mine is None or other is None or not isinstance(
+            other, ast.PathOperand
+        ):
+            return None
+        other_vars = set(ast.operand_variables(other))
+        if var in other_vars:
+            return None  # correlated: not a join
+        method: Optional[Atom] = None
+        args: Tuple[Oid, ...] = ()
+        if self.direction == "backward":
+            step = mine.path.steps[0]
+            method = step.method_expr.method
+            args = tuple(step.method_expr.args)
+            if not ctx.evaluator.store.index_is_complete_for(method):
+                return None
+        if other_vars and _covering(state, other_vars) is None:
+            return None
+        cond_vars = set(ast.cond_variables(cond))
+        base, rest = merge_overlapping(state, cond_vars)
+        if ctx.columnar:
+            batch = self._columnar_pointer(
+                base, cond_vars, other_vars, other, method, args
+            )
+            if batch is None:
+                return None
+            rest.append(batch)
+        else:
+            rows: List[Bindings] = []
+            for env in batch_rows(base):
+                deltas = self._bind(other, env, method, args)
+                if deltas is None:
+                    return None
+                for delta in deltas:
+                    rows.append({**env, **delta})
+            rest.append(Batch(base.vars | cond_vars, rows))
+        if ctx.metrics is not None:
+            ctx.metrics.count("join.pointer")
+        return rest
+
+    def _bind(
+        self,
+        other: ast.Operand,
+        env: Bindings,
+        method: Optional[Atom],
+        args: Tuple[Oid, ...],
+    ) -> Optional[Tuple[Bindings, ...]]:
+        """The bindings navigation adds for one projection; None when the
+        inverted index cannot answer exactly (backward only)."""
+        ctx = self._ctx
+        assert ctx is not None
+        evaluator = ctx.evaluator
+        store = evaluator.store
+        var = self.decl.var
+        cls = self.decl.cls
+        values = self._operand_values(other, env)
+        self.derefs += 1
+        if self.direction == "forward":
+            candidates = values
+        else:
+            assert method is not None
+            owners: Set[Oid] = set()
+            for value in values:
+                got = store.lookup_by_value(method, value, args)
+                if got is None:
+                    return None
+                owners |= got
+            candidates = owners
+        admits = evaluator.walker.admits
+        return tuple(
+            {var: value}
+            for value in sorted(candidates, key=term_sort_key)
+            if store.is_instance(value, cls) and admits(var, value)
+        )
+
+    def _columnar_pointer(
+        self,
+        base: AnyBatch,
+        cond_vars: Set[Variable],
+        other_vars: Set[Variable],
+        other: ast.Operand,
+        method: Optional[Atom],
+        args: Tuple[Oid, ...],
+    ) -> Optional[ColumnBatch]:
+        """Dereference once per distinct projection, morsel-parallel."""
+        ctx = self._ctx
+        assert ctx is not None
+        walker = ctx.evaluator.walker
+        if not isinstance(base, ColumnBatch):
+            base = ColumnBatch.from_rows(base.vars, batch_rows(base))
+        key_vars = sorted(other_vars, key=_var_key)
+        length = base.length
+        key_columns = []
+        for kvar in key_vars:
+            column = base.columns.get(kvar)
+            if column is None:
+                key_columns.append([None] * length)
+            else:
+                key_columns.append(
+                    [None if cell is UNBOUND else cell for cell in column]
+                )
+        keys = list(zip(*key_columns)) if key_columns else [()] * length
+        distinct = list(dict.fromkeys(keys))
+        token = walker.memo_token("pointer:" + self.direction, self.cond)
+
+        def work(morsel):
+            out = []
+            for key in morsel:
+                memo_key = (token, key)
+                deltas = walker.memo_get_fresh(memo_key)
+                if deltas is None:
+                    projection = {
+                        kvar: value
+                        for kvar, value in zip(key_vars, key)
+                        if value is not None
+                    }
+                    deltas = self._bind(other, projection, method, args)
+                    if deltas is not None:
+                        walker.memo_put(memo_key, deltas)
+                else:
+                    self.cache_hits += 1
+                out.append((key, deltas))
+            return out
+
+        results, n_morsels, used = morsel_map(
+            work, distinct, workers=ctx.workers
+        )
+        self.morsels += n_morsels
+        self.workers_used = max(self.workers_used, used)
+        mapping = dict(results)
+        if any(deltas is None for deltas in mapping.values()):
+            return None  # incomplete index discovered mid-run
+        per_row = [mapping[key] for key in keys]
+        return replay_deltas(base, cond_vars, per_row)
+
+
 class NestedLoop(CondOperator):
     """Per-binding evaluation of anything the other operators don't claim.
 
@@ -955,9 +1208,20 @@ def lower_query(query: ast.Query, spec: LowerSpec) -> Operator:
     entries = spec.entries
     position = 0
     node: Optional[Operator] = None
+    fused: Dict[Variable, ast.FromDecl] = {}
     for decl in query.from_:
         entry = entries[position] if position < len(entries) else None
         position += 1
+        if (
+            spec.factored
+            and entry is not None
+            and entry.access_path == "pointer-fused"
+        ):
+            # The cost plan fused this scan into a PointerJoin below;
+            # remember the declaration so the join can admit (or, on
+            # fallback, scan) exactly what this declaration would have.
+            fused[decl.var] = decl
+            continue
         scan_cls = _scan_class(decl, spec, entry)
         node = scan_cls(
             decl, node, merge_all=merge_all, **_entry_kwargs(entry)
@@ -971,10 +1235,30 @@ def lower_query(query: ast.Query, spec: LowerSpec) -> Operator:
         for cond in conjuncts:
             entry = entries[position] if position < len(entries) else None
             position += 1
+            if (
+                spec.factored
+                and entry is not None
+                and entry.join_strategy == "pointer"
+                and entry.pointer_var in fused
+            ):
+                node = PointerJoin(
+                    cond,
+                    node,
+                    decl=fused.pop(entry.pointer_var),
+                    direction=entry.pointer_direction or "forward",
+                    merge_all=merge_all,
+                    **_entry_kwargs(entry),
+                )
+                continue
             cond_cls = _cond_class(cond, spec.factored)
             node = cond_cls(
                 cond, node, merge_all=merge_all, **_entry_kwargs(entry)
             )
+    # Safety net: a fused declaration whose conjunct never lowered (a
+    # plan/lowering mismatch) still gets its scan, so no variable is
+    # ever silently left unbound.
+    for decl in fused.values():
+        node = ExtentScan(decl, node, merge_all=merge_all)
     return Project(query, node)
 
 
@@ -1054,6 +1338,15 @@ def tree_dict(op: Operator) -> Dict[str, object]:
     if op.morsels:
         data["morsels"] = op.morsels
         data["workers"] = op.workers_used
+    derefs = getattr(op, "derefs", 0)
+    if derefs:
+        data["derefs"] = derefs
+        data["derefs_per_batch"] = (
+            round(derefs / op.batches_out, 1)
+            if op.batches_out
+            else float(derefs)
+        )
+        data["direction"] = getattr(op, "direction", "forward")
     if op.detail:
         data["detail"] = op.detail
     if op.estimated_rows is not None:
@@ -1077,11 +1370,17 @@ def render_tree(data: Mapping[str, object], indent: int = 0) -> List[str]:
         if "morsels" in data
         else ""
     )
+    derefs = (
+        f"{data['direction']} derefs={data['derefs']} "
+        f"derefs/batch={data['derefs_per_batch']:g} "
+        if "derefs" in data
+        else ""
+    )
     line = (
         f"{'  ' * indent}{data['operator']}{label} "
         f"[{est.strip() + ' ' if est else ''}act={data['rows_out']} "
         f"in={data['rows_in']} batches={data['batches']} "
-        f"rows/batch={data.get('rows_per_batch', 0):g} {morsels}"
+        f"rows/batch={data.get('rows_per_batch', 0):g} {morsels}{derefs}"
         f"cache_hits={data['cache_hits']} time={data['time_ms']}ms]"
     )
     lines = [line]

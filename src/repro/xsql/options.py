@@ -27,6 +27,7 @@ __all__ = [
     "JOIN_MODES",
     "BATCH_FORMATS",
     "PLAN_MODES",
+    "POINTER_JOIN_MODES",
     "ExecutionOptions",
 ]
 
@@ -42,6 +43,12 @@ JOIN_MODES = ("hash", "nested")
 
 #: Batch representations for the operator tree (repro.xsql.batches).
 BATCH_FORMATS = ("rows", "columnar")
+
+#: Pointer-join fusion policy for ``plan="cost"`` + ``join_mode="hash"``:
+#: ``"auto"`` fuses an OID-equality conjunct into direct reference
+#: navigation when the cost model predicts the skipped extent scan pays,
+#: ``"force"`` fuses whenever the shape applies, ``"off"`` never fuses.
+POINTER_JOIN_MODES = ("auto", "off", "force")
 
 #: Upper bound on the scan worker pool — morsel scans are thread-based,
 #: so more workers than cores only adds scheduling overhead.
@@ -68,6 +75,13 @@ class ExecutionOptions:
         Worker threads for morsel-driven scans; only meaningful with
         ``batch_format="columnar"``.  Results are bit-identical for
         every worker count.
+    ``pointer_join``
+        Pointer-join fusion policy (``"auto"``/``"off"``/``"force"``).
+        Under ``plan="cost"`` with the factored executor, an equality
+        conjunct between an OID-valued path and a range variable can be
+        fused into direct reference navigation (a :class:`PointerJoin`
+        operator) that skips the joined class's extent scan.  Results
+        are bit-identical in every mode.
     """
 
     plan: str = "none"
@@ -75,6 +89,7 @@ class ExecutionOptions:
     join_mode: Optional[str] = None
     batch_format: str = "rows"
     workers: int = 1
+    pointer_join: str = "auto"
 
     def validate(self) -> "ExecutionOptions":
         if self.plan not in PLAN_MODES:
@@ -101,6 +116,11 @@ class ExecutionOptions:
             raise QueryError(
                 f"workers must be in 1..{MAX_WORKERS}, got {self.workers}"
             )
+        if self.pointer_join not in POINTER_JOIN_MODES:
+            raise QueryError(
+                f"unknown pointer_join {self.pointer_join!r}; "
+                f"choose from {POINTER_JOIN_MODES}"
+            )
         return self
 
     def with_overrides(self, **overrides) -> "ExecutionOptions":
@@ -115,6 +135,7 @@ class ExecutionOptions:
             self.join_mode,
             self.batch_format,
             self.workers,
+            self.pointer_join,
         )
 
     @classmethod

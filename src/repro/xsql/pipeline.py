@@ -221,6 +221,7 @@ class CompiledQuery:
                 "join_mode": self.join_mode,
                 "batch_format": self.batch_format,
                 "workers": self.workers,
+                "pointer_join": self.options.pointer_join,
             },
         }
         if not isinstance(statement, ast.Query):
@@ -268,9 +269,20 @@ class CompiledQuery:
             trace = self.last_trace
             if trace is not None:
                 entries = cost["entries"]
-                for position, entry in enumerate(entries):
+                # A pointer-fused FROM entry has no pipeline stage of its
+                # own (the PointerJoin binds its variable), so the trace
+                # aligns with the remaining entries only.
+                fused_skipped = self.join_mode == "hash"
+                position = 0
+                for entry in entries:
+                    if (
+                        fused_skipped
+                        and entry.get("access_path") == "pointer-fused"
+                    ):
+                        continue
                     if position < len(trace):
                         entry["actual_rows"] = trace[position]
+                    position += 1
             data["cost"] = cost
         if analyze and self.last_optree is not None:
             data["operators"] = self.last_optree
@@ -338,7 +350,8 @@ class CompiledQuery:
             f"engine={pipeline['engine']} "  # type: ignore[index]
             f"join_mode={pipeline['join_mode']} "  # type: ignore[index]
             f"batch_format={pipeline['batch_format']} "  # type: ignore[index]
-            f"workers={pipeline['workers']}"  # type: ignore[index]
+            f"workers={pipeline['workers']} "  # type: ignore[index]
+            f"pointer_join={pipeline['pointer_join']}"  # type: ignore[index]
         )
         return "\n".join(lines)
 
@@ -365,6 +378,7 @@ class QueryPipeline:
         join_mode: Optional[str] = None,
         batch_format: Optional[str] = None,
         workers: Optional[int] = None,
+        pointer_join: Optional[str] = None,
     ) -> CompiledQuery:
         """Compile *source*, reusing a cached compilation when sound."""
         options = ExecutionOptions.coerce(
@@ -374,6 +388,7 @@ class QueryPipeline:
             join_mode=join_mode,
             batch_format=batch_format,
             workers=workers,
+            pointer_join=pointer_join,
         )
         metrics = self.session.metrics
         key = (source,) + options.cache_key()
@@ -471,7 +486,9 @@ class QueryPipeline:
         statement = compiled.statement
         assert isinstance(statement, ast.Query)
         planner = CostPlanner(
-            self.session.store, index_mode=self.session.index_mode
+            self.session.store,
+            index_mode=self.session.index_mode,
+            pointer_mode=compiled.options.pointer_join,
         )
         if not planner.applicable(statement):
             return None
@@ -524,6 +541,9 @@ class QueryPipeline:
     def execute(self, compiled: CompiledQuery) -> QueryResult:
         """Run a compiled statement against the current database state."""
         metrics = self.session.metrics
+        # Lazy view maintenance: bring stale materialized views up to
+        # date before any statement reads (or further mutates) the store.
+        self.session.sync_views()
         if compiled.is_stale:
             metrics.count("cache.invalidated")
             metrics.note_last("cache", "invalidated")
@@ -757,7 +777,11 @@ class QueryPipeline:
             return None
         from repro.xsql.costplan import CostPlanner
 
-        planner = CostPlanner(self.session.store, index_mode="manual")
+        planner = CostPlanner(
+            self.session.store,
+            index_mode="manual",
+            pointer_mode=compiled.options.pointer_join,
+        )
         if not planner.applicable(statement):
             return None
         self.ensure_report(compiled)

@@ -20,6 +20,8 @@ Statements end with ``;``.  Meta-commands (no semicolon):
 * ``.indexes``         — list inverted indexes; ``.indexes +M``/``-M``
   enables/disables one on method ``M``
 * ``.stats``           — cumulative pipeline metrics for this session
+* ``.views``           — materialized views with staleness (fresh /
+  delta-pending / rebuild-pending) and last-maintenance cost
 * ``.open <spec>``     — attach a storage backend: a path (WAL-backed
   database directory, recovered if it exists), ``memory``, or
   ``log:PATH`` — the current database is carried over if the target
@@ -143,6 +145,26 @@ def _handle_meta(
         )
     elif command == ".stats":
         print(session.metrics.summary(), file=out)
+    elif command == ".views":
+        status = session.views.maintenance_status()
+        if not status:
+            print("views: (none)", file=out)
+        else:
+            for name in sorted(status):
+                info = status[name]
+                pending = (
+                    f" pending_groups={info['pending_groups']}"
+                    if info["pending_groups"]
+                    else ""
+                )
+                print(
+                    f"{name}: {info['state']} "
+                    f"objects={info['objects']}{pending} "
+                    f"last={info['last_kind']}"
+                    f"/{info['last_groups']} group(s)"
+                    f"/{info['last_seconds'] * 1000:.3f}ms",
+                    file=out,
+                )
     elif command == ".open":
         from repro.storage import StorageOptions
 

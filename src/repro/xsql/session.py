@@ -177,13 +177,15 @@ class Session:
         join_mode: Optional[str] = None,
         batch_format: Optional[str] = None,
         workers: Optional[int] = None,
+        pointer_join: Optional[str] = None,
     ) -> CompiledQuery:
         """Compile one statement through the pipeline, without running it.
 
         Execution knobs arrive either as one
         :class:`~repro.xsql.options.ExecutionOptions` record
         (``options=``) or as the historical loose kwargs (``plan=``,
-        ``engine=``, ``join_mode=``, ``batch_format=``, ``workers=``) —
+        ``engine=``, ``join_mode=``, ``batch_format=``, ``workers=``,
+        ``pointer_join=``) —
         the kwargs are thin aliases that override fields of the record.
 
         The returned :class:`~repro.xsql.pipeline.CompiledQuery` is
@@ -201,6 +203,7 @@ class Session:
             join_mode=join_mode,
             batch_format=batch_format,
             workers=workers,
+            pointer_join=pointer_join,
         )
         self.metrics.begin_statement()
         return self.pipeline.compile(source, options=resolved)
@@ -215,6 +218,7 @@ class Session:
         join_mode: Optional[str] = None,
         batch_format: Optional[str] = None,
         workers: Optional[int] = None,
+        pointer_join: Optional[str] = None,
     ) -> QueryResult:
         """Execute a SELECT query (the common case).
 
@@ -225,9 +229,10 @@ class Session:
         (the statistics-driven optimizer).  ``engine`` selects
         ``"reference"`` (the binding-stream evaluator) or ``"naive"``
         (the literal §3.4 enumerate-all-substitutions semantics).
-        ``join_mode``, ``batch_format``, and ``workers`` tune the
-        reference executor; pass ``options=ExecutionOptions(...)`` to
-        set everything at once (see :meth:`prepare`).
+        ``join_mode``, ``batch_format``, ``workers``, and
+        ``pointer_join`` tune the reference executor; pass
+        ``options=ExecutionOptions(...)`` to set everything at once (see
+        :meth:`prepare`).
         """
         resolved = ExecutionOptions.coerce(
             options,
@@ -236,6 +241,7 @@ class Session:
             join_mode=join_mode,
             batch_format=batch_format,
             workers=workers,
+            pointer_join=pointer_join,
         )
         self.metrics.begin_statement()
         compiled = self.pipeline.compile(source, options=resolved)
@@ -617,12 +623,15 @@ class Session:
     def join_mode(self) -> str:
         """How ``plan="cost"`` executes its ordered conjuncts.
 
-        ``"hash"`` (default) runs the set-at-a-time
-        :class:`~repro.xsql.hashjoin.HashJoinEvaluator`: equality
-        conjuncts between disjoint path operands become hash/semi joins
-        over factored binding batches.  ``"nested"`` keeps the
-        tuple-at-a-time nested-loop evaluator.  Results are identical
-        either way; only the execution strategy changes.
+        ``"hash"`` (default) runs the factored set-at-a-time operator
+        pipeline (:mod:`repro.xsql.operators`): equality conjuncts
+        between disjoint path operands become
+        :class:`~repro.xsql.operators.HashJoin` /
+        :class:`~repro.xsql.operators.SemiJoin` operators (and, when
+        pointer fusion applies, :class:`~repro.xsql.operators.PointerJoin`).
+        ``"nested"`` keeps the tuple-at-a-time nested-loop evaluator.
+        Results are identical either way; only the execution strategy
+        changes.
         """
         return self._join_mode
 
@@ -662,6 +671,7 @@ class Session:
         join_mode: Optional[str] = None,
         batch_format: Optional[str] = None,
         workers: Optional[int] = None,
+        pointer_join: Optional[str] = None,
         format: str = "text",
         analyze: bool = False,
     ) -> str:
@@ -680,11 +690,23 @@ class Session:
             join_mode=join_mode,
             batch_format=batch_format,
             workers=workers,
+            pointer_join=pointer_join,
         ).explain(format=format, analyze=analyze)
 
     # ------------------------------------------------------------------
     # view conveniences (§4.2)
     # ------------------------------------------------------------------
+
+    def sync_views(self) -> List[Dict[str, object]]:
+        """Bring stale materialized views up to date (lazy maintenance).
+
+        The pipeline calls this before every statement execution; it is
+        a cheap no-op while no view is stale.  Returns one event dict
+        per maintained view (kind, groups touched, wall seconds).
+        """
+        if not self.views.pending():
+            return []
+        return self.views.sync(self.evaluator())
 
     def refresh_view(self, name: str) -> ViewDef:
         return self.views.refresh(name, self.evaluator())

@@ -176,6 +176,42 @@ class TestLifecycle:
         assert names_over_40(reopened) == ["Bob", "Sue"]
         reopened.close()
 
+    def test_materialized_view_survives_checkpoint_and_replay(
+        self, tmp_path
+    ):
+        # A maintained view's writes go through the same sink fan-out as
+        # the journal (journal first), so both the materialization and
+        # the post-checkpoint incremental maintenance must come back
+        # after a crash (reopen without close -> WAL tail replay).
+        path = str(tmp_path / "db")
+        session = Session.open(path, sync="never")
+        load_people(session)
+        session.query(
+            "CREATE VIEW NameCard AS SUBCLASS OF Object "
+            "SIGNATURE PName = String "
+            "SELECT PName = X.Name FROM Person X OID FUNCTION OF X"
+        )
+        session.checkpoint()
+        # A point write after the checkpoint: the targeted maintenance
+        # it triggers lives only in the WAL tail.
+        session.store.set_attr(Atom("mary"), "Name", "Maria")
+        through = session.query("SELECT V.PName FROM NameCard V")
+        assert sorted(v.value for v in through.single_column()) == [
+            "Bob", "Maria", "Sue",
+        ]
+        status = session.views.maintenance_status()["NameCard"]
+        assert status["state"] == "fresh"
+        assert status["last_kind"] == "targeted"
+
+        reopened = Session.open(path, sync="never")
+        assert reopened.storage_engine.recovery.replayed_batches > 0
+        replayed = reopened.query("SELECT V.PName FROM NameCard V")
+        assert sorted(v.value for v in replayed.single_column()) == [
+            "Bob", "Maria", "Sue",
+        ]
+        reopened.close()
+        session.close()
+
     def test_close_is_idempotent_and_detaches(self, tmp_path):
         path = str(tmp_path / "db")
         session = Session.open(path, sync="never")

@@ -14,7 +14,7 @@ from repro.schema.figure1 import build_figure1_schema
 from repro.workloads.paper_db import populate_paper_database
 from repro.oid import Atom, Value
 from repro.xsql import build
-from repro.xsql.hashjoin import join_strategy_of
+from repro.xsql.operators import join_strategy_of
 from repro.xsql.parser import parse_query
 
 #: Explicit joins (examples (12)–(13) shapes) and quantified comparisons,
@@ -192,20 +192,18 @@ def test_path_cache_evicts_at_capacity():
 
 def test_updates_keep_nested_semantics(stores):
     # WHERE clauses containing UPDATE conjuncts must never batch: the
-    # planner refuses them under plan="cost" either way, and the
-    # executor's env_stream gate keeps direct evaluator use safe.
-    from repro.xsql.hashjoin import HashJoinEvaluator
-
-    session = stores("hash")
-    evaluator = HashJoinEvaluator(session.store)
-    parsed = parse_query(
+    # pipeline routes them to the tuple-at-a-time reference engine even
+    # under join_mode="hash", so effects are not reordered.
+    hash_session = stores("hash")
+    nested_session = stores("nested")
+    text = (
         "SELECT X FROM Employee X "
         "WHERE UPDATE CLASS Employee SET X.Salary = 50000"
     )
-    reference = session.evaluator()
+    assert "engine=reference" in hash_session.explain(text, plan="cost")
     assert (
-        evaluator.run(parsed).rows()
-        == reference.run(parsed).rows()
+        hash_session.query(text, plan="cost").rows()
+        == nested_session.query(text, plan="cost").rows()
     )
 
 

@@ -82,6 +82,29 @@ class TestMetaCommands:
         assert "indexes: Name" in output
         assert output.rstrip().endswith("indexes: (none)")
 
+    def test_views_meta_command(self):
+        view = (
+            "CREATE VIEW CompCard AS SUBCLASS OF Object "
+            "SIGNATURE CName = String "
+            "SELECT CName = C.Name FROM Company C OID FUNCTION OF C;"
+        )
+        update = (
+            "SELECT X FROM Company X WHERE X.Name['Acme'] "
+            "and UPDATE CLASS Company SET X.Name = 'Renamed';"
+        )
+        output = drive(
+            ".views\n"
+            f"{view}\n.views\n"
+            f"{update}\n.views\n"
+            "SELECT V.CName FROM CompCard V;\n.views\n"
+        )
+        assert "views: (none)" in output
+        assert "CompCard: fresh objects=2" in output
+        assert "CompCard: delta-pending objects=2 pending_groups=1" in output
+        # Querying through the view triggers the lazy targeted sync.
+        assert "'Renamed'" in output
+        assert "last=targeted/1 group(s)" in output
+
     def test_quit_stops(self):
         output = drive(".quit\nSELECT X FROM Company X;\n")
         assert "uniSQL" not in output
