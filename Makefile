@@ -1,6 +1,6 @@
 # Convenience targets for the XSQL reproduction.
 
-.PHONY: install test test-all fuzz-smoke fuzz storage-smoke bench bench-analyze bench-scale bench-storage report examples all
+.PHONY: install test test-all fuzz-smoke fuzz fuzz-concurrent storage-smoke bench bench-analyze bench-scale bench-storage report examples all
 
 install:
 	# `pip install -e .` needs the `wheel` package for PEP 660 builds;
@@ -24,10 +24,19 @@ test-all:
 # hammers the hash-join executor with explicit-join shapes; the third
 # cross-checks the engines over a generated scale-1k population, so
 # bulk-loaded data (not just the hand-built paper DB) is covered.
-fuzz-smoke:
+# Finally the concurrent snapshot fuzzer interleaves a writer thread
+# with pinned readers and replays every observation serially.
+fuzz-smoke: fuzz-concurrent
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 200 --sizes tiny --quiet
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 120 --sizes tiny --preset joins --quiet
 	PYTHONPATH=src python -m repro.difftest --seed 0 --queries 10 --sizes scale-1k --quiet
+
+# Snapshot-isolation smoke: one writer thread vs 3 snapshot readers,
+# every (pinned ticket, query, rows) observation checked bit-for-bit
+# against single-threaded replay of the op prefix (docs/MVCC.md).
+fuzz-concurrent:
+	PYTHONPATH=src python -m repro.difftest.concurrent --seed 11 \
+		--ops 300 --readers 3 --queries 10
 
 # Open-ended fuzzing; override SEED/QUERIES/SIZES as needed, e.g.
 #   make fuzz SEED=7 QUERIES=2000 SIZES=tiny,medium

@@ -207,6 +207,15 @@ VIEW_STATEMENT = (
 VIEW_WRITES = 3
 VIEW_TARGET = 5.0
 
+#: The MVCC snapshot-read benchmark: the paper's read-only pool Q1–Q12
+#: re-run through a pinned :class:`SnapshotSession` (a copy-on-write
+#: StoreView over the same store) against the same prepared re-runs on
+#: the base session.  Q13 is excluded: it creates objects and snapshots
+#: are read-only.  The criterion gates the *aggregate* ratio — total
+#: snapshot time over total direct time — because the individual paper
+#: queries run in microseconds and per-query ratios are timing noise.
+SNAPSHOT_OVERHEAD_LIMIT = 1.10
+
 
 def _paper_session() -> Session:
     session = Session()
@@ -422,6 +431,55 @@ def measure_view_maintenance(
     targeted_s = _median_seconds(targeted, rounds)
     recompute_s = _median_seconds(recompute, rounds)
     return targeted_s, recompute_s, groups
+
+
+def measure_snapshot(
+    rounds: int = 9,
+) -> List[Tuple[str, float, float]]:
+    """Per-query (name, direct_seconds, snapshot_seconds) medians.
+
+    Both sides time *prepared* re-runs (compilation off the clock): the
+    direct side on the base session, the snapshot side on one pinned
+    SnapshotSession whose StoreView overlays pre-image chains on every
+    read.  Row sets are asserted equal before timing.
+    """
+    session = _paper_session()
+    results = []
+    with session.snapshot_view() as snap:
+        for name, text in PAPER_QUERIES:
+            direct = session.prepare(text)
+            through = snap.prepare(text)
+            assert direct.run().rows() == through.run().rows(), name
+            direct_s = _median_seconds(direct.run, rounds)
+            snapshot_s = _median_seconds(through.run, rounds)
+            results.append((name, direct_s, snapshot_s))
+    return results
+
+
+def snapshot_overhead(results: List[Tuple[str, float, float]]) -> float:
+    """Aggregate snapshot/direct time ratio over the read-only pool."""
+    direct = sum(d for _name, d, _s in results)
+    snapshot = sum(s for _name, _d, s in results)
+    return snapshot / direct if direct else 1.0
+
+
+def report_snapshot(results: List[Tuple[str, float, float]]) -> str:
+    lines = [
+        "MVCC snapshot reads (prepared re-runs, pinned StoreView "
+        "vs direct):",
+        f"{'query':>6}  {'direct':>10}  {'snapshot':>10}  {'ratio':>7}",
+    ]
+    for name, direct, snapshot in results:
+        ratio = snapshot / direct if direct else float("nan")
+        lines.append(
+            f"{name:>6}  {direct * 1000:>8.3f}ms  "
+            f"{snapshot * 1000:>8.3f}ms  {ratio:>6.2f}x"
+        )
+    lines.append(
+        f"aggregate overhead: {snapshot_overhead(results):.3f}x "
+        f"(limit {SNAPSHOT_OVERHEAD_LIMIT:.2f}x)"
+    )
+    return "\n".join(lines)
 
 
 def measure_estimation() -> List[Dict[str, object]]:
@@ -682,6 +740,7 @@ def as_json(
     columnar_results: List[Tuple[str, float, float, int]],
     pointer_results: List[Tuple[str, float, float, int]],
     maintenance: Tuple[float, float, int],
+    snapshot_results: List[Tuple[str, float, float]],
 ) -> Dict[str, object]:
     """The JSON artifact CI uploads (``BENCH_pipeline.json``)."""
     targeted_s, recompute_s, groups = maintenance
@@ -693,6 +752,7 @@ def as_json(
             "columnar_speedup": COLUMNAR_TARGET,
             "pointer_speedup": POINTER_TARGET,
             "view_maintenance_speedup": VIEW_TARGET,
+            "snapshot_overhead_limit": SNAPSHOT_OVERHEAD_LIMIT,
         },
         "cache": [
             {
@@ -761,6 +821,16 @@ def as_json(
             "recompute_ms": round(recompute_s * 1000, 4),
             "speedup": round(view_maintenance_speedup(maintenance), 2),
         },
+        "snapshot": [
+            {
+                "query": name,
+                "direct_ms": round(direct * 1000, 4),
+                "snapshot_ms": round(snapshot * 1000, 4),
+                "ratio": round(snapshot / direct, 3) if direct else None,
+            }
+            for name, direct, snapshot in snapshot_results
+        ],
+        "snapshot_overhead": round(snapshot_overhead(snapshot_results), 3),
     }
 
 
@@ -804,6 +874,13 @@ def test_targeted_view_maintenance_beats_recompute_5x():
     )
 
 
+def test_snapshot_reads_within_10pct_of_direct():
+    results = measure_snapshot(rounds=9)
+    assert snapshot_overhead(results) <= SNAPSHOT_OVERHEAD_LIMIT, (
+        report_snapshot(results)
+    )
+
+
 def test_cached_results_match_cold_results():
     session = _paper_session()
     for _name, text in PAPER_QUERIES:
@@ -842,6 +919,7 @@ def main() -> int:
     columnar = measure_columnar(rounds=args.rounds)
     pointer = measure_pointer(rounds=min(args.rounds, 7))
     maintenance = measure_view_maintenance(rounds=min(args.rounds, 5))
+    snapshot = measure_snapshot(rounds=args.rounds)
     estimation = measure_estimation() if args.analyze else None
     print(report(results))
     print()
@@ -854,12 +932,15 @@ def main() -> int:
     print(report_pointer(pointer))
     print()
     print(report_view_maintenance(maintenance))
+    print()
+    print(report_snapshot(snapshot))
     if estimation is not None:
         print()
         print(report_estimation(estimation))
     if args.json:
         payload = as_json(
-            results, selective, joins, columnar, pointer, maintenance
+            results, selective, joins, columnar, pointer, maintenance,
+            snapshot,
         )
         if estimation is not None:
             payload["analyze"] = estimation_as_json(estimation)
@@ -874,6 +955,7 @@ def main() -> int:
         and worst_columnar_speedup(columnar) >= COLUMNAR_TARGET
         and worst_pointer_speedup(pointer) >= POINTER_TARGET
         and view_maintenance_speedup(maintenance) >= VIEW_TARGET
+        and snapshot_overhead(snapshot) <= SNAPSHOT_OVERHEAD_LIMIT
     )
     return 0 if ok else 1
 

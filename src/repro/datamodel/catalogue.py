@@ -64,6 +64,14 @@ class Catalogue:
         for builtin in BUILTIN_CLASSES:
             hierarchy.add_class(builtin, [OBJECT_CLASS])
 
+    def clone(self, hierarchy: ClassHierarchy) -> "Catalogue":
+        """An independent copy over *hierarchy* (snapshot schema images)."""
+        copy = Catalogue(
+            hierarchy, strict_method_namespace=self.strict_method_namespace
+        )
+        copy._methods = set(self._methods)
+        return copy
+
     # ------------------------------------------------------------------
     # sorts
     # ------------------------------------------------------------------

@@ -84,6 +84,15 @@ class ClassHierarchy:
         self._super_cache.clear()
         self._sub_cache.clear()
 
+    def clone(self) -> "ClassHierarchy":
+        """An independent copy of the graph (snapshot schema images)."""
+        copy = ClassHierarchy()
+        copy._parents = {cls: set(sups) for cls, sups in self._parents.items()}
+        copy._children = {
+            cls: set(subs) for cls, subs in self._children.items()
+        }
+        return copy
+
     # ------------------------------------------------------------------
     # membership & traversal
     # ------------------------------------------------------------------

@@ -33,6 +33,12 @@ class InheritanceResolver:
         # (inheriting class, method) -> class whose definition to use
         self._resolutions: Dict[Tuple[Atom, Atom], Atom] = {}
 
+    def clone(self, hierarchy: ClassHierarchy) -> "InheritanceResolver":
+        """An independent copy over *hierarchy* (snapshot schema images)."""
+        copy = InheritanceResolver(hierarchy)
+        copy._resolutions = dict(self._resolutions)
+        return copy
+
     def declare_resolution(
         self, inheriting: Atom, method: Atom, use_class: Atom
     ) -> None:

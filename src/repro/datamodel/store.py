@@ -124,6 +124,54 @@ class ObjectStore:
         #: The fan-out tuple every mutator iterates: journal first (when
         #: attached), then observers, in registration order.
         self._sinks: Tuple = ()
+        #: MVCC bookkeeping: the mutation ticket, snapshot pins, and the
+        #: copy-on-write pre-image chains pinned snapshots read through
+        #: (:mod:`repro.datamodel.versions`).  Imported lazily — versions
+        #: subclasses this class for :class:`StoreView`.
+        from repro.datamodel.versions import VersionHistory
+
+        self._history = VersionHistory(self)
+
+    # ------------------------------------------------------------------
+    # versions and snapshots (MVCC)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self):
+        """The current committed :class:`~repro.datamodel.versions.Version`.
+
+        Ticket, schema generation, and statistics generation in one
+        stamp — the single staleness currency for every cached artifact
+        (compiled plans, cost plans, path caches, view states).
+        """
+        return self._history.version_of(self)
+
+    @property
+    def write_lock(self):
+        """The store-level write lock (reentrant; readers never take it)."""
+        return self._history.lock
+
+    def pin(self):
+        """Pin the current version; release via the returned pin."""
+        return self._history.pin()
+
+    def at(self, pin):
+        """A read-only :class:`~repro.datamodel.versions.StoreView` at *pin*."""
+        from repro.datamodel.versions import StoreView
+
+        return StoreView(self, pin)
+
+    def snapshot_view(self):
+        """Pin the current version and return a view reading at it."""
+        return self.at(self.pin())
+
+    def version_status(self) -> Dict[str, int]:
+        """Pin and copy-on-write chain statistics (observability)."""
+        return self._history.status()
+
+    def restore_version_ticket(self, ticket: int) -> None:
+        """Adopt a recovered mutation ticket (checkpoint/WAL replay)."""
+        self._history.restore(ticket)
 
     # ------------------------------------------------------------------
     # write sinks: the persistence journal + write observers
@@ -186,18 +234,21 @@ class ObjectStore:
     ) -> Atom:
         """Declare a class (idempotent), returning its class atom."""
         cls = _atom(name)
-        self.hierarchy.add_class(cls, [_atom(p) for p in parents])
-        self._known.add(cls)
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_class(
-                cls,
-                [
-                    sup
-                    for sup in self.hierarchy.direct_superclasses(cls)
-                    if sup != OBJECT_CLASS
-                ],
-            )
+        with self._history.lock:
+            self._history.advance()
+            self._history.record_schema()
+            self.hierarchy.add_class(cls, [_atom(p) for p in parents])
+            self._known_add(cls)
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_class(
+                    cls,
+                    [
+                        sup
+                        for sup in self.hierarchy.direct_superclasses(cls)
+                        if sup != OBJECT_CLASS
+                    ],
+                )
         return cls
 
     def declare_signature(
@@ -217,26 +268,29 @@ class ObjectStore:
         cls_atom = _atom(cls)
         method_atom = _atom(method)
         result_atom = _atom(result)
-        self.hierarchy.require(cls_atom)
-        self.hierarchy.require(result_atom)
-        arg_atoms = tuple(_atom(a) for a in args)
-        for arg in arg_atoms:
-            self.hierarchy.require(arg)
-        signature = Signature(
-            method_atom,
-            TypeExpr(cls_atom, arg_atoms, result_atom, set_valued),
-        )
-        per_class = self._signatures.setdefault(cls_atom, {})
-        existing = per_class.setdefault(method_atom, [])
-        if signature not in existing:
-            existing.append(signature)
-        self.catalogue.register_method(method_atom)
-        self._known.add(method_atom)
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_signature(
-                cls_atom, method_atom, result_atom, arg_atoms, set_valued
+        with self._history.lock:
+            self.hierarchy.require(cls_atom)
+            self.hierarchy.require(result_atom)
+            arg_atoms = tuple(_atom(a) for a in args)
+            for arg in arg_atoms:
+                self.hierarchy.require(arg)
+            signature = Signature(
+                method_atom,
+                TypeExpr(cls_atom, arg_atoms, result_atom, set_valued),
             )
+            self._history.advance()
+            self._history.record_schema()
+            per_class = self._signatures.setdefault(cls_atom, {})
+            existing = per_class.setdefault(method_atom, [])
+            if signature not in existing:
+                existing.append(signature)
+            self.catalogue.register_method(method_atom)
+            self._known_add(method_atom)
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_signature(
+                    cls_atom, method_atom, result_atom, arg_atoms, set_valued
+                )
         return signature
 
     def declared_signatures(
@@ -290,42 +344,50 @@ class ObjectStore:
     ) -> Oid:
         """Register an object and its direct class memberships."""
         obj = as_oid(oid_like)
-        self.catalogue.check_individual(obj)
-        is_new = obj not in self._records
-        self._records.setdefault(obj, ObjectRecord(obj))
-        self._known.add(obj)
-        if is_new:
-            for sink in self._sinks:
-                sink.note_object(obj)
-        for cls in classes:
-            self.add_instance(obj, cls)
+        with self._history.lock:
+            self.catalogue.check_individual(obj)
+            self._history.advance()
+            is_new = obj not in self._records
+            self._records.setdefault(obj, ObjectRecord(obj))
+            self._known_add(obj)
+            if is_new:
+                for sink in self._sinks:
+                    sink.note_object(obj)
+            for cls in classes:
+                self.add_instance(obj, cls)
         return obj
 
     def add_instance(self, oid_like: OidLike, cls: ClassLike) -> None:
         obj = as_oid(oid_like)
         cls_atom = _atom(cls)
-        self.hierarchy.require(cls_atom)
-        self.catalogue.check_individual(obj)
-        memberships = self._memberships.setdefault(obj, set())
-        if cls_atom not in memberships:
-            memberships.add(cls_atom)
-            self._direct_extents.setdefault(cls_atom, set()).add(obj)
-            self.statistics.note_membership(cls_atom, +1)
-            for sink in self._sinks:
-                sink.note_membership(cls_atom, obj, True)
-        self._records.setdefault(obj, ObjectRecord(obj))
-        self._known.add(obj)
+        with self._history.lock:
+            self.hierarchy.require(cls_atom)
+            self.catalogue.check_individual(obj)
+            self._history.advance()
+            memberships = self._memberships.setdefault(obj, set())
+            if cls_atom not in memberships:
+                self._history.record_membership(obj, cls_atom, False)
+                memberships.add(cls_atom)
+                self._direct_extents.setdefault(cls_atom, set()).add(obj)
+                self.statistics.note_membership(cls_atom, +1)
+                for sink in self._sinks:
+                    sink.note_membership(cls_atom, obj, True)
+            self._records.setdefault(obj, ObjectRecord(obj))
+            self._known_add(obj)
 
     def remove_instance(self, oid_like: OidLike, cls: ClassLike) -> None:
         obj = as_oid(oid_like)
         cls_atom = _atom(cls)
-        memberships = self._memberships.get(obj, set())
-        if cls_atom in memberships:
-            memberships.discard(cls_atom)
-            self._direct_extents.get(cls_atom, set()).discard(obj)
-            self.statistics.note_membership(cls_atom, -1)
-            for sink in self._sinks:
-                sink.note_membership(cls_atom, obj, False)
+        with self._history.lock:
+            self._history.advance()
+            memberships = self._memberships.get(obj, set())
+            if cls_atom in memberships:
+                self._history.record_membership(obj, cls_atom, True)
+                memberships.discard(cls_atom)
+                self._direct_extents.get(cls_atom, set()).discard(obj)
+                self.statistics.note_membership(cls_atom, -1)
+                for sink in self._sinks:
+                    sink.note_membership(cls_atom, obj, False)
 
     def purge_object(self, oid_like: OidLike) -> None:
         """Remove an object entirely: record, memberships, and extents.
@@ -336,20 +398,32 @@ class ObjectStore:
         integrity maintenance).
         """
         obj = as_oid(oid_like)
-        record = self._records.pop(obj, None)
-        cells = list(record.entries()) if record is not None else []
-        for (method, args), cell in cells:
-            self.statistics.note_write(
-                obj, method, args, cell.as_set(), frozenset()
-            )
-        memberships = self._memberships.pop(obj, set())
-        for cls in memberships:
-            self._direct_extents.get(cls, set()).discard(obj)
-            self.statistics.note_membership(cls, -1)
-        self._known.discard(obj)
-        self._indexes.note_purge(obj)
-        for sink in self._sinks:
-            sink.note_purge(obj, memberships, cells)
+        with self._history.lock:
+            self._history.advance()
+            record = self._records.get(obj)
+            cells = list(record.entries()) if record is not None else []
+            memberships = set(self._memberships.get(obj, set()))
+            # Chain every pre-image before the first live mutation so a
+            # concurrent pinned reader never sees a half-purged object.
+            for key, cell in cells:
+                self._history.record_cell(obj, key, cell)
+            for cls in memberships:
+                self._history.record_membership(obj, cls, True)
+            if obj in self._known:
+                self._history.record_known(obj, True)
+            self._records.pop(obj, None)
+            for (method, args), cell in cells:
+                self.statistics.note_write(
+                    obj, method, args, cell.as_set(), frozenset()
+                )
+            self._memberships.pop(obj, None)
+            for cls in memberships:
+                self._direct_extents.get(cls, set()).discard(obj)
+                self.statistics.note_membership(cls, -1)
+            self._known.discard(obj)
+            self._indexes.note_purge(obj)
+            for sink in self._sinks:
+                sink.note_purge(obj, memberships, cells)
 
     def direct_classes_of(self, oid_like: OidLike) -> FrozenSet[Atom]:
         """Explicit instance-of memberships plus implicit literal classes."""
@@ -430,18 +504,43 @@ class ObjectStore:
 
     def _record(self, oid_like: OidLike) -> ObjectRecord:
         obj = as_oid(oid_like)
-        self._known.add(obj)
+        self._known_add(obj)
         record = self._records.get(obj)
         if record is None:
             record = ObjectRecord(obj)
             self._records[obj] = record
         return record
 
+    def _known_add(self, obj: Oid) -> None:
+        """Add *obj* to the known set, chaining the pre-image when pinned.
+
+        Mutator-side counterpart of :meth:`_note_values`: only an actual
+        change records a chain entry.
+        """
+        if obj not in self._known:
+            self._history.record_known(obj, False)
+            self._known.add(obj)
+
     def _note_values(self, values: Iterable[Oid]) -> None:
+        """Read-path oid discovery (method invocation results).
+
+        Deliberately unchained and ticket-free: invoking a computed
+        method during a query must not advance the version or perturb
+        snapshot chains.  Snapshot views override this to keep their
+        discoveries view-local.
+        """
         for value in values:
             self._known.add(value)
             if isinstance(value, FuncOid):
                 self._known.update(value.args)
+
+    def _note_values_mutating(self, values: Iterable[Oid]) -> None:
+        """Like :meth:`_note_values` but chained — for mutator call sites."""
+        for value in values:
+            self._known_add(value)
+            if isinstance(value, FuncOid):
+                for arg in value.args:
+                    self._known_add(arg)
 
     def _check_arrow(
         self, owner: Oid, method: Atom, set_valued: bool
@@ -514,26 +613,31 @@ class ObjectStore:
         method_atom = _atom(method)
         value_oid = as_oid(value)
         arg_oids = tuple(as_oid(a) for a in args)
-        self._check_arrow(owner_oid, method_atom, set_valued=False)
-        self._check_value_class(owner_oid, method_atom, value_oid)
-        record = self._record(owner_oid)
-        old_cell = record.get(method_atom, arg_oids)
-        old_values = old_cell.as_set() if old_cell else frozenset()
-        record.set_scalar(method_atom, value_oid, arg_oids)
-        new_values = frozenset({value_oid})
-        self._indexes.note_write(
-            owner_oid, method_atom, arg_oids, old_values, new_values
-        )
-        self.statistics.note_write(
-            owner_oid, method_atom, arg_oids, old_values, new_values
-        )
-        for sink in self._sinks:
-            sink.note_cell(
-                owner_oid, method_atom, arg_oids, old_values, new_values,
-                scalar=True,
+        with self._history.lock:
+            self._check_arrow(owner_oid, method_atom, set_valued=False)
+            self._check_value_class(owner_oid, method_atom, value_oid)
+            self._history.advance()
+            record = self._record(owner_oid)
+            old_cell = record.get(method_atom, arg_oids)
+            old_values = old_cell.as_set() if old_cell else frozenset()
+            self._history.record_cell(
+                owner_oid, (method_atom, arg_oids), old_cell
             )
-        self._known.add(method_atom)
-        self._note_values((value_oid, *arg_oids))
+            record.set_scalar(method_atom, value_oid, arg_oids)
+            new_values = frozenset({value_oid})
+            self._indexes.note_write(
+                owner_oid, method_atom, arg_oids, old_values, new_values
+            )
+            self.statistics.note_write(
+                owner_oid, method_atom, arg_oids, old_values, new_values
+            )
+            for sink in self._sinks:
+                sink.note_cell(
+                    owner_oid, method_atom, arg_oids, old_values, new_values,
+                    scalar=True,
+                )
+            self._known_add(method_atom)
+            self._note_values_mutating((value_oid, *arg_oids))
 
     def set_attr_set(
         self,
@@ -547,26 +651,31 @@ class ObjectStore:
         method_atom = _atom(method)
         value_oids = frozenset(as_oid(v) for v in values)
         arg_oids = tuple(as_oid(a) for a in args)
-        self._check_arrow(owner_oid, method_atom, set_valued=True)
-        for value_oid in value_oids:
-            self._check_value_class(owner_oid, method_atom, value_oid)
-        record = self._record(owner_oid)
-        old_cell = record.get(method_atom, arg_oids)
-        old_values = old_cell.as_set() if old_cell else frozenset()
-        record.set_set(method_atom, value_oids, arg_oids)
-        self._indexes.note_write(
-            owner_oid, method_atom, arg_oids, old_values, value_oids
-        )
-        self.statistics.note_write(
-            owner_oid, method_atom, arg_oids, old_values, value_oids
-        )
-        for sink in self._sinks:
-            sink.note_cell(
-                owner_oid, method_atom, arg_oids, old_values, value_oids,
-                scalar=False,
+        with self._history.lock:
+            self._check_arrow(owner_oid, method_atom, set_valued=True)
+            for value_oid in value_oids:
+                self._check_value_class(owner_oid, method_atom, value_oid)
+            self._history.advance()
+            record = self._record(owner_oid)
+            old_cell = record.get(method_atom, arg_oids)
+            old_values = old_cell.as_set() if old_cell else frozenset()
+            self._history.record_cell(
+                owner_oid, (method_atom, arg_oids), old_cell
             )
-        self._known.add(method_atom)
-        self._note_values((*value_oids, *arg_oids))
+            record.set_set(method_atom, value_oids, arg_oids)
+            self._indexes.note_write(
+                owner_oid, method_atom, arg_oids, old_values, value_oids
+            )
+            self.statistics.note_write(
+                owner_oid, method_atom, arg_oids, old_values, value_oids
+            )
+            for sink in self._sinks:
+                sink.note_cell(
+                    owner_oid, method_atom, arg_oids, old_values, value_oids,
+                    scalar=False,
+                )
+            self._known_add(method_atom)
+            self._note_values_mutating((*value_oids, *arg_oids))
 
     def add_to_set(
         self,
@@ -579,27 +688,32 @@ class ObjectStore:
         method_atom = _atom(method)
         member_oid = as_oid(member)
         arg_oids = tuple(as_oid(a) for a in args)
-        self._check_arrow(owner_oid, method_atom, set_valued=True)
-        self._check_value_class(owner_oid, method_atom, member_oid)
-        record = self._record(owner_oid)
-        old_cell = record.get(method_atom, arg_oids)
-        old_values = old_cell.as_set() if old_cell else frozenset()
-        record.add_to_set(method_atom, member_oid, arg_oids)
-        self._indexes.note_write(
-            owner_oid, method_atom, arg_oids, frozenset(),
-            frozenset({member_oid}),
-        )
-        self.statistics.note_write(
-            owner_oid, method_atom, arg_oids, old_values,
-            old_values | {member_oid},
-        )
-        for sink in self._sinks:
-            sink.note_cell(
-                owner_oid, method_atom, arg_oids, old_values,
-                old_values | {member_oid}, scalar=False,
+        with self._history.lock:
+            self._check_arrow(owner_oid, method_atom, set_valued=True)
+            self._check_value_class(owner_oid, method_atom, member_oid)
+            self._history.advance()
+            record = self._record(owner_oid)
+            old_cell = record.get(method_atom, arg_oids)
+            old_values = old_cell.as_set() if old_cell else frozenset()
+            self._history.record_cell(
+                owner_oid, (method_atom, arg_oids), old_cell
             )
-        self._known.add(method_atom)
-        self._note_values((member_oid, *arg_oids))
+            record.add_to_set(method_atom, member_oid, arg_oids)
+            self._indexes.note_write(
+                owner_oid, method_atom, arg_oids, frozenset(),
+                frozenset({member_oid}),
+            )
+            self.statistics.note_write(
+                owner_oid, method_atom, arg_oids, old_values,
+                old_values | {member_oid},
+            )
+            for sink in self._sinks:
+                sink.note_cell(
+                    owner_oid, method_atom, arg_oids, old_values,
+                    old_values | {member_oid}, scalar=False,
+                )
+            self._known_add(method_atom)
+            self._note_values_mutating((member_oid, *arg_oids))
 
     def unset_attr(
         self,
@@ -608,24 +722,29 @@ class ObjectStore:
         args: Sequence[OidLike] = (),
     ) -> None:
         obj = as_oid(owner)
-        record = self._records.get(obj)
-        if record is not None:
-            method_atom = _atom(method)
-            arg_oids = tuple(as_oid(a) for a in args)
-            old_cell = record.get(method_atom, arg_oids)
-            old_values = old_cell.as_set() if old_cell else frozenset()
-            record.unset(method_atom, arg_oids)
-            self._indexes.note_write(
-                obj, method_atom, arg_oids, old_values, frozenset()
-            )
-            self.statistics.note_write(
-                obj, method_atom, arg_oids, old_values, frozenset()
-            )
-            for sink in self._sinks:
-                sink.note_cell(
-                    obj, method_atom, arg_oids, old_values, frozenset(),
-                    scalar=False, present=False,
+        with self._history.lock:
+            self._history.advance()
+            record = self._records.get(obj)
+            if record is not None:
+                method_atom = _atom(method)
+                arg_oids = tuple(as_oid(a) for a in args)
+                old_cell = record.get(method_atom, arg_oids)
+                old_values = old_cell.as_set() if old_cell else frozenset()
+                self._history.record_cell(
+                    obj, (method_atom, arg_oids), old_cell
                 )
+                record.unset(method_atom, arg_oids)
+                self._indexes.note_write(
+                    obj, method_atom, arg_oids, old_values, frozenset()
+                )
+                self.statistics.note_write(
+                    obj, method_atom, arg_oids, old_values, frozenset()
+                )
+                for sink in self._sinks:
+                    sink.note_cell(
+                        obj, method_atom, arg_oids, old_values, frozenset(),
+                        scalar=False, present=False,
+                    )
 
     def explicit_cell(
         self,
@@ -647,14 +766,19 @@ class ObjectStore:
     ) -> None:
         """Register a method implementation in the scope of *cls*."""
         cls_atom = _atom(cls)
-        self.hierarchy.require(cls_atom)
-        name = getattr(impl, "name", None)
-        if not isinstance(name, Atom):
-            raise SchemaError("method implementation must carry a name Atom")
-        self._implementations[(cls_atom, name)] = impl
-        self.catalogue.register_method(name)
-        self._known.add(name)
-        self._bump_schema()
+        with self._history.lock:
+            self.hierarchy.require(cls_atom)
+            name = getattr(impl, "name", None)
+            if not isinstance(name, Atom):
+                raise SchemaError(
+                    "method implementation must carry a name Atom"
+                )
+            self._history.advance()
+            self._history.record_schema()
+            self._implementations[(cls_atom, name)] = impl
+            self.catalogue.register_method(name)
+            self._known_add(name)
+            self._bump_schema()
 
     def implementation_classes(self, method: Atom) -> List[Atom]:
         return sorted(
@@ -666,14 +790,17 @@ class ObjectStore:
         self, cls: ClassLike, method: ClassLike, use_class: ClassLike
     ) -> None:
         """Declare which superclass's definition *cls* inherits (§6.1)."""
-        self.resolver.declare_resolution(
-            _atom(cls), _atom(method), _atom(use_class)
-        )
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_resolution(
+        with self._history.lock:
+            self._history.advance()
+            self._history.record_schema()
+            self.resolver.declare_resolution(
                 _atom(cls), _atom(method), _atom(use_class)
             )
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_resolution(
+                    _atom(cls), _atom(method), _atom(use_class)
+                )
 
     # ------------------------------------------------------------------
     # invocation: the heart of the data model
@@ -810,17 +937,23 @@ class ObjectStore:
     def enable_index(self, method: ClassLike) -> None:
         """Build and maintain an inverted value→owners index for *method*."""
         method_atom = _atom(method)
-        self._indexes.enable(method_atom, self)
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_index(method_atom, True)
+        with self._history.lock:
+            self._history.advance()
+            self._history.record_schema()
+            self._indexes.enable(method_atom, self)
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_index(method_atom, True)
 
     def disable_index(self, method: ClassLike) -> None:
         method_atom = _atom(method)
-        self._indexes.disable(method_atom)
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_index(method_atom, False)
+        with self._history.lock:
+            self._history.advance()
+            self._history.record_schema()
+            self._indexes.disable(method_atom)
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_index(method_atom, False)
 
     def is_indexed(self, method: ClassLike) -> bool:
         return self._indexes.is_indexed(_atom(method))
@@ -905,10 +1038,14 @@ class ObjectStore:
         self, name: str, column_names: Sequence[str]
     ) -> StoredRelation:
         relation = StoredRelation(name, tuple(column_names))
-        self._relations[name] = relation
-        self._bump_schema()
-        for sink in self._sinks:
-            sink.note_relation(name, relation.column_names)
+        with self._history.lock:
+            self._history.advance()
+            self._history.record_schema()
+            self._history.record_relation(name, self._relations.get(name))
+            self._relations[name] = relation
+            self._bump_schema()
+            for sink in self._sinks:
+                sink.note_relation(name, relation.column_names)
         return relation
 
     def relation(self, name: str) -> StoredRelation:
@@ -921,12 +1058,15 @@ class ObjectStore:
         return dict(self._relations)
 
     def insert_tuple(self, name: str, row: Sequence[OidLike]) -> None:
-        relation = self.relation(name)
-        oids = tuple(as_oid(v) for v in row)
-        relation.insert(oids)
-        self._note_values(oids)
-        for sink in self._sinks:
-            sink.note_tuple(name, oids)
+        with self._history.lock:
+            relation = self.relation(name)
+            oids = tuple(as_oid(v) for v in row)
+            self._history.advance()
+            self._history.record_relation(name, relation)
+            relation.insert(oids)
+            self._note_values_mutating(oids)
+            for sink in self._sinks:
+                sink.note_tuple(name, oids)
 
     # ------------------------------------------------------------------
     # introspection helpers

@@ -114,6 +114,14 @@ class NonUpdatableViewError(ViewError):
     """
 
 
+class SnapshotReadOnlyError(XsqlError):
+    """A mutation was attempted through a pinned snapshot view.
+
+    Snapshots (:mod:`repro.datamodel.versions`) expose the database as of
+    one committed version; all writes must go through the live store.
+    """
+
+
 class XsqlSyntaxError(XsqlError):
     """A syntax error in XSQL source text, with position information."""
 

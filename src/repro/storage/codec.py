@@ -35,8 +35,9 @@ logical key — the codec is a bijection, property-tested per fact kind.
 every mutation arrives as one ``note_*`` call and leaves as codec-
 encoded ops on the attached engine, batched per mutation (autocommit)
 or grouped under :meth:`StoreJournal.batch`.  The commit stamp of every
-batch is the store's ``(schema_generation, statistics.generation)``
-pair at commit time.
+batch carries the store's :class:`~repro.datamodel.versions.Version`
+components — schema generation, statistics generation, and the MVCC
+mutation ticket — at commit time.
 """
 
 from __future__ import annotations
@@ -346,6 +347,7 @@ class StoreJournal:
             batch,
             schema_generation=self.store.schema_generation,
             statistics_generation=self.store.statistics.generation,
+            ticket=self.store.version.ticket,
         )
         self.batches_committed += 1
 
@@ -690,4 +692,5 @@ def decode_store(engine: StorageEngine) -> "ObjectStore":
     store.statistics.generation = max(
         store.statistics.generation, stamp.statistics_generation
     )
+    store.restore_version_ticket(stamp.ticket)
     return store

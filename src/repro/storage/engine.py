@@ -49,15 +49,18 @@ class CommitStamp:
     """What one committed batch was stamped with.
 
     ``lsn`` is the engine-assigned monotonic log sequence number;
-    ``schema_generation`` and ``statistics_generation`` are the store's
-    generation counters at commit time — the repository's pre-existing
+    ``schema_generation``, ``statistics_generation``, and ``ticket`` are
+    the components of the store's MVCC
+    :class:`~repro.datamodel.versions.Version` at commit time — the
     cache-invalidation stamps double as the WAL commit stamp, so a
-    recovered store can report exactly which logical state it reached.
+    recovered store can report exactly which logical version it reached
+    and resume its mutation-ticket sequence from there.
     """
 
     lsn: int = 0
     schema_generation: int = 0
     statistics_generation: int = 0
+    ticket: int = 0
 
 
 #: Op codes inside a :class:`WriteBatch`.
@@ -139,6 +142,7 @@ class StorageEngine(ABC):
         batch: WriteBatch,
         schema_generation: int = 0,
         statistics_generation: int = 0,
+        ticket: int = 0,
     ) -> CommitStamp:
         """Commit *batch* atomically; returns the assigned stamp."""
 
@@ -177,6 +181,7 @@ class StorageEngine(ABC):
             "lsn": stamp.lsn,
             "schema_generation": stamp.schema_generation,
             "statistics_generation": stamp.statistics_generation,
+            "ticket": stamp.ticket,
         }
 
 
@@ -279,6 +284,7 @@ class MemoryEngine(StorageEngine):
         batch: WriteBatch,
         schema_generation: int = 0,
         statistics_generation: int = 0,
+        ticket: int = 0,
     ) -> CommitStamp:
         for op in batch.ops:
             self._apply_op(op)
@@ -286,6 +292,7 @@ class MemoryEngine(StorageEngine):
             lsn=self._stamp.lsn + 1,
             schema_generation=schema_generation,
             statistics_generation=statistics_generation,
+            ticket=ticket,
         )
         self.batches_applied += 1
         return self._stamp

@@ -11,14 +11,16 @@ Each committed batch is one record::
 
     u32 payload_length | u32 crc32(payload) | payload
     payload := u64 lsn | u64 schema_generation | u64 statistics_generation
-             | u32 op_count | op*
+             | u64 ticket | u32 op_count | op*
     op      := 'P' u32 klen key u32 vlen value      (put)
              | 'D' u32 klen key                     (delete)
              | 'R' u32 len start u32 len end        (delete_range)
 
 LSNs are assigned at commit and strictly monotonic for the lifetime of
 the database (they survive checkpoints).  The two generation fields are
-the store's schema/statistics counters at commit time — the commit stamp.
+the store's schema/statistics counters at commit time and ``ticket`` is
+the MVCC mutation ticket — together the commit stamp, from which a
+recovered store resumes its version sequence.
 
 **Recovery.**  Replay loads the checkpoint image (if any), then scans
 the WAL from the top: a record is applied iff its frame is complete,
@@ -58,11 +60,12 @@ from repro.storage.engine import (
 
 __all__ = ["RecoveryReport", "LogStructuredEngine", "WAL_MAGIC", "CKP_MAGIC"]
 
-WAL_MAGIC = b"XSQLWAL1"
-CKP_MAGIC = b"XSQLCKP1"
+WAL_MAGIC = b"XSQLWAL2"
+CKP_MAGIC = b"XSQLCKP2"
 
 _FRAME = struct.Struct(">II")  # payload length, crc32(payload)
-_BATCH_HEAD = struct.Struct(">QQQI")  # lsn, schema gen, stats gen, op count
+# lsn, schema gen, stats gen, mvcc ticket, op count
+_BATCH_HEAD = struct.Struct(">QQQQI")
 _U32 = struct.Struct(">I")
 
 #: ``sync`` policies: fsync every commit, only at checkpoints/close, or
@@ -111,6 +114,7 @@ def _encode_batch(
             stamp.lsn,
             stamp.schema_generation,
             stamp.statistics_generation,
+            stamp.ticket,
             len(batch.ops),
         )
     ]
@@ -141,7 +145,9 @@ def _encode_batch(
 
 
 def _decode_batch(payload: bytes) -> Tuple[CommitStamp, WriteBatch]:
-    lsn, schema_gen, stats_gen, op_count = _BATCH_HEAD.unpack_from(payload, 0)
+    lsn, schema_gen, stats_gen, ticket, op_count = _BATCH_HEAD.unpack_from(
+        payload, 0
+    )
     offset = _BATCH_HEAD.size
     batch = WriteBatch()
 
@@ -173,6 +179,7 @@ def _decode_batch(payload: bytes) -> Tuple[CommitStamp, WriteBatch]:
         lsn=lsn,
         schema_generation=schema_gen,
         statistics_generation=stats_gen,
+        ticket=ticket,
     )
     return stamp, batch
 
@@ -252,7 +259,10 @@ class LogStructuredEngine(StorageEngine):
             raise StorageError(f"checkpoint image {path} fails its CRC")
         stamp, batch = _decode_batch(payload)
         self._mem.apply(
-            batch, stamp.schema_generation, stamp.statistics_generation
+            batch,
+            stamp.schema_generation,
+            stamp.statistics_generation,
+            stamp.ticket,
         )
         self._mem.set_stamp(stamp)
         self._checkpoint_lsn = stamp.lsn
@@ -311,6 +321,7 @@ class LogStructuredEngine(StorageEngine):
                     batch,
                     stamp.schema_generation,
                     stamp.statistics_generation,
+                    stamp.ticket,
                 )
                 self._mem.set_stamp(stamp)
                 last_lsn = stamp.lsn
@@ -346,12 +357,14 @@ class LogStructuredEngine(StorageEngine):
         batch: WriteBatch,
         schema_generation: int = 0,
         statistics_generation: int = 0,
+        ticket: int = 0,
     ) -> CommitStamp:
         self._require_open()
         stamp = CommitStamp(
             lsn=self._mem.last_stamp().lsn + 1,
             schema_generation=schema_generation,
             statistics_generation=statistics_generation,
+            ticket=ticket,
         )
         record = _frame(_encode_batch(batch, stamp))
         self._wal.write(record)
@@ -359,7 +372,9 @@ class LogStructuredEngine(StorageEngine):
         if self.sync_mode == "commit":
             os.fsync(self._wal.fileno())
         self._wal_offset += len(record)
-        self._mem.apply(batch, schema_generation, statistics_generation)
+        self._mem.apply(
+            batch, schema_generation, statistics_generation, ticket
+        )
         self._mem.set_stamp(stamp)
         return stamp
 

@@ -18,9 +18,10 @@ fan-out the storage journal hangs off — feeds every mutation to a
   inside a read class's subclass closure, a purge of a supporting
   object, or a relation insert: group membership may have changed, so
   the view re-materializes fully at the next sync;
-* **DDL** — detected by comparing the store's ``schema_generation``
-  against the stamp taken at the last (re)materialization: the view is
-  rebuilt *and* its read sets re-derived.
+* **DDL** — detected by comparing the schema component of the store's
+  :class:`~repro.datamodel.versions.Version` against the stamp taken at
+  the last (re)materialization: the view is rebuilt *and* its read sets
+  re-derived.
 
 Maintenance is *lazy*: the observer only records staleness;
 ``Session.sync_views()`` (called by the query pipeline before every
@@ -49,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 from repro.datamodel.catalogue import BUILTIN_CLASSES
+from repro.datamodel.versions import Version
 from repro.oid import Atom, FuncOid, Oid, Variable
 from repro.xsql import ast
 
@@ -85,9 +87,11 @@ class ViewState:
     """Per-view maintenance bookkeeping held by the ViewManager."""
 
     read: ReadSets
-    #: ``store.schema_generation`` at the last (re)materialization;
-    #: a mismatch at sync time means DDL happened → full rebuild.
-    schema_gen: int
+    #: ``store.version`` at the last (re)materialization; a schema-
+    #: component mismatch at sync time means DDL happened → full
+    #: rebuild.  Data deltas between the stamp and the current version
+    #: arrive through the observer as pending groups / structural flags.
+    version: "Version"
     #: owner oid → view oids whose derived values read that owner.
     support: Dict[Oid, Set[FuncOid]] = field(default_factory=dict)
     pending_groups: Set[FuncOid] = field(default_factory=set)
@@ -96,9 +100,9 @@ class ViewState:
     last_seconds: float = 0.0
     last_groups: int = 0
 
-    def staleness(self, generation: int) -> str:
+    def staleness(self, current: "Version") -> str:
         """``fresh`` / ``delta-pending`` / ``rebuild-pending``."""
-        if self.schema_gen != generation:
+        if not self.version.same_schema(current):
             return "rebuild-pending"
         if self.structural or self.pending_groups:
             return "delta-pending"
@@ -112,8 +116,8 @@ class ViewMaintenance:
     classification handlers unless ``muted`` (set during maintenance
     itself, so re-materialization writes do not mark views stale
     again).  Schema events need no forwarding — the manager compares
-    the store's ``schema_generation`` against each view's stamp at
-    sync time instead.
+    the schema component of the store's version against each view's
+    stamp at sync time instead.
     """
 
     def __init__(self, manager) -> None:

@@ -171,7 +171,7 @@ class ViewManager:
                 support.setdefault(owner, set()).add(oid)
         state = ViewState(
             read=read,
-            schema_gen=self._store.schema_generation,
+            version=self._store.version,
             support=support,
         )
         self._states[view.name] = state
@@ -181,18 +181,18 @@ class ViewManager:
         """Is any materialized view stale?  Cheap enough for every query."""
         if not self._states:
             return False
-        generation = self._store.schema_generation
+        version = self._store.version
         return any(
-            state.staleness(generation) != "fresh"
+            state.staleness(version) != "fresh"
             for state in self._states.values()
         )
 
     def maintenance_status(self) -> Dict[str, Dict[str, object]]:
         """Per-view staleness and last-maintenance cost (REPL ``.views``)."""
-        generation = self._store.schema_generation
+        version = self._store.version
         return {
             name: {
-                "state": state.staleness(generation),
+                "state": state.staleness(version),
                 "objects": len(self._views[name].outcome.created),
                 "pending_groups": len(state.pending_groups),
                 "last_kind": state.last_kind,
@@ -205,18 +205,19 @@ class ViewManager:
     def sync(self, evaluator: Evaluator) -> List[Dict[str, object]]:
         """Bring every stale view up to date; returns one event per view.
 
-        DDL (a ``schema_generation`` mismatch) rebuilds the view and
-        re-derives its read sets; structural data changes re-materialize
-        with the existing read sets; select-only deltas re-derive just
-        the pending groups.
+        DDL (a schema-component mismatch between the view's stamped
+        version and the store's) rebuilds the view and re-derives its
+        read sets; structural data changes re-materialize with the
+        existing read sets; select-only deltas re-derive just the
+        pending groups.
         """
-        generation = self._store.schema_generation
+        version = self._store.version
         events: List[Dict[str, object]] = []
         for name in list(self._views):
             state = self._states.get(name)
             if state is None:
                 continue
-            staleness = state.staleness(generation)
+            staleness = state.staleness(version)
             if staleness == "fresh":
                 continue
             started = time.perf_counter()

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.datamodel.store import ObjectStore
+from repro.datamodel.versions import Version
 from repro.oid import Atom, Oid, Variable, VarSort
 from repro.xsql import ast
 from repro.xsql.operators import join_strategy_of, operand_join_vars
@@ -120,10 +121,10 @@ class CostPlan:
     #: The reordered WHERE (None when the query has no WHERE clause or
     #: reordering was inapplicable — execution then uses source order).
     ordered_where: Optional[ast.Cond] = None
-    #: Statistics generation the estimates were computed against; the
-    #: pipeline re-plans when the catalogue has moved (optimality only —
-    #: a drifted plan is still sound).
-    stats_generation: int = -1
+    #: Store version the estimates were computed against; the pipeline
+    #: re-plans when the data component has moved (optimality only — a
+    #: drifted plan is still sound).
+    version: Optional["Version"] = None
     estimated_result_rows: float = 0.0
     auto_enabled: Tuple[Atom, ...] = ()
     search: str = "none"  #: ``"exhaustive"``, ``"greedy"``, or ``"none"``
@@ -661,7 +662,7 @@ class CostPlanner:
         query is strictly well-typed) so restricted ranges can be costed
         as an access path; pass None outside the strict fragment.
         """
-        plan = CostPlan(stats_generation=self.store.statistics.generation)
+        plan = CostPlan(version=self.store.version)
         model = self.model
         conjuncts = (
             _flatten(query.where) if self.applicable(query) else []
@@ -753,7 +754,7 @@ class CostPlanner:
         # Stamped last: auto-enabling an index above bumps the schema and
         # hence the statistics generation; stamping earlier would make
         # this very plan look stale on its first run.
-        plan.stats_generation = self.store.statistics.generation
+        plan.version = self.store.version
         return plan
 
     def apply(self, query: ast.Query, plan: CostPlan) -> ast.Query:

@@ -112,7 +112,7 @@ class PathWalker:
         self._extent_cache: Dict[Oid, List[Oid]] = {}
         # Pure AST fact, never invalidated: path -> its free variables.
         self._path_vars: Dict[ast.PathExpr, Tuple[Variable, ...]] = {}
-        self._cache_stamp: Optional[Tuple[int, int]] = None
+        self._cache_stamp = None  # Optional[Version]
 
     # ------------------------------------------------------------------
     # generation-stamped caches
@@ -121,15 +121,15 @@ class PathWalker:
     def _fresh_caches(self) -> None:
         """Drop every data-derived cache if the store has moved on.
 
-        Both counters guard the caches: ``schema_generation`` moves on DDL
-        (new classes, signatures, indexes) and ``statistics.generation``
-        on every data write, so a mid-query UPDATE invalidates memoized
-        traversals before the next lookup.
+        The caches are stamped with the store's full
+        :class:`~repro.datamodel.versions.Version`: the schema component
+        moves on DDL (new classes, signatures, indexes), the data
+        component on every statistics-visible write, and the ticket on
+        *every* mutation — including ones the component counters cannot
+        see, such as relation tuple inserts — so a mid-query UPDATE
+        invalidates memoized traversals before the next lookup.
         """
-        stamp = (
-            self._store.schema_generation,
-            self._store.statistics.generation,
-        )
+        stamp = self._store.version
         if stamp == self._cache_stamp:
             return
         if self._cache_stamp is not None:

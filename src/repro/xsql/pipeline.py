@@ -29,12 +29,14 @@ Stages (each timed into :class:`repro.metrics.SessionMetrics`):
 
 Cache soundness: entries are keyed on ``(source,) + options.cache_key()``
 (the frozen :class:`~repro.xsql.options.ExecutionOptions` tuple) and
-stamped with the owning store's ``schema_generation``.  Typing analysis
-and conjunct order depend only on the schema, so DDL invalidates cached
-plans while plain data updates do not; the one data-dependent artifact —
-the extent-restriction sets of Theorem 6.1 — is recomputed on every
-execution.  Replacing the store (``Session.restore``) clears the cache
-outright.
+stamped with the owning store's :class:`~repro.datamodel.versions.Version`.
+Typing analysis and conjunct order depend only on the schema, so a
+compiled statement goes stale only when the *schema* component of the
+version moves (DDL) — plain data updates do not recompile; the one
+data-dependent artifact — the extent-restriction sets of Theorem 6.1 —
+is recomputed on every execution, and cost plans re-rank when the *data*
+component drifts.  Replacing the store (``Session.restore``) clears the
+cache outright.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ from repro.xsql.parser import normalize_statement, parse_statement_raw
 from repro.xsql.result import QueryResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datamodel.versions import Version
     from repro.typing.analysis import TypingReport
     from repro.xsql.costplan import CostPlan
     from repro.xsql.session import Session
@@ -93,8 +96,9 @@ class CompiledQuery:
     last_optree: Optional[Dict[str, object]] = field(
         repr=False, default=None
     )
-    #: Schema generation of the owning store when this compile happened.
-    schema_generation: int = -1
+    #: Store version when this compile happened; the schema component
+    #: decides staleness (DDL recompiles, data writes do not).
+    version: Optional["Version"] = None
     _store_token: int = field(repr=False, default=-1)
 
     # ------------------------------------------------------------------
@@ -135,7 +139,8 @@ class CompiledQuery:
         store = self.session.store
         return (
             id(store) != self._store_token
-            or store.schema_generation != self.schema_generation
+            or self.version is None
+            or not self.version.same_schema(store.version)
         )
 
     @property
@@ -440,7 +445,7 @@ class QueryPipeline:
             compiled.planned = self._plan_statement(compiled)
         # Stamped *after* planning: the cost planner may auto-enable an
         # index (a DDL bump), which must not invalidate this very compile.
-        compiled.schema_generation = store.schema_generation
+        compiled.version = store.version
         compiled._store_token = id(store)
 
     def _plan_statement(self, compiled: CompiledQuery) -> ast.Statement:
@@ -689,13 +694,15 @@ class QueryPipeline:
         metrics = self.session.metrics
         cost_plan = compiled.cost_plan
         assert cost_plan is not None
-        if cost_plan.stats_generation != store.statistics.generation:
+        if cost_plan.version is None or not cost_plan.version.same_data(
+            store.version
+        ):
             metrics.count("plan.cost.replan")
             with metrics.time("plan"):
                 planned = self._plan_cost(compiled)
             if planned is not None:
                 compiled.planned = planned
-                compiled.schema_generation = store.schema_generation
+                compiled.version = store.version
                 cost_plan = compiled.cost_plan
                 assert cost_plan is not None
         return cost_plan

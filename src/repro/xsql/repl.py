@@ -28,6 +28,10 @@ Statements end with ``;``.  Meta-commands (no semicolon):
   is empty, adopted from it otherwise
 * ``.checkpoint``      — persist the database at a durable point
 * ``.storage``         — the attached backend's status line
+* ``.version``         — the store's MVCC version (mutation ticket +
+  schema/statistics generations) and pin/chain status
+* ``.snapshot <query>``— run one query through a read-only snapshot
+  pinned at the current version (see ``docs/MVCC.md``)
 * ``.save <path>``     — dump the database to JSON (deprecated; prefer
   ``.open``/``.checkpoint``)
 * ``.load <path>``     — replace the database from a JSON dump
@@ -194,6 +198,20 @@ def _handle_meta(
             )
     elif command == ".storage":
         print(_storage_line(session), file=out)
+    elif command == ".version":
+        print(_version_line(session), file=out)
+    elif command == ".snapshot":
+        if not rest:
+            print(
+                "usage: .snapshot <query> — runs the query through a "
+                "read-only snapshot pinned at the current version",
+                file=out,
+            )
+        else:
+            with session.snapshot_view() as snap:
+                print(f"snapshot pinned at {snap.version}", file=out)
+                result = snap.query(rest.rstrip(";"), options=options)
+                print(result.pretty(limit=50), file=out)
     elif command == ".save":
         from repro.datamodel.serialize import save_store
 
@@ -218,6 +236,13 @@ def _handle_meta(
 def _storage_line(session: Session) -> str:
     status = session.storage_status()
     return "storage: " + "  ".join(
+        f"{key}={value}" for key, value in status.items()
+    )
+
+
+def _version_line(session: Session) -> str:
+    status = session.version_status()
+    return f"version: {session.version}  " + "  ".join(
         f"{key}={value}" for key, value in status.items()
     )
 

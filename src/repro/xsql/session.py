@@ -37,6 +37,17 @@ same machinery (see the migration table in ``docs/LANGUAGE.md``).
 The pre-pipeline spellings ``session.query(text, optimize=True)`` and
 ``session.naive(text)`` have been removed; use ``plan="greedy"`` /
 ``engine="naive"`` (see the migration table in ``docs/LANGUAGE.md``).
+
+Snapshot isolation (``docs/MVCC.md``)::
+
+    with session.snapshot_view() as snap:    # pin the current version
+        snap.query("SELECT ...")             # reads at the pin, always
+        session.query("UPDATE CLASS ...")    # writers never block it
+
+``snapshot_view()`` returns a :class:`SnapshotSession` — a full Session
+over a read-only :class:`~repro.datamodel.versions.StoreView`; and
+:class:`ConcurrentSession` multiplexes snapshot-isolated reader threads
+over one live store.
 """
 
 from __future__ import annotations
@@ -60,7 +71,7 @@ from repro.xsql.paths import PathWalker
 from repro.xsql.pipeline import CompiledQuery, QueryPipeline
 from repro.xsql.result import QueryResult
 
-__all__ = ["Session"]
+__all__ = ["Session", "SnapshotSession", "ConcurrentSession"]
 
 #: How many restriction-distinct session-persistent walkers to retain.
 _WALKER_CACHE_SIZE = 8
@@ -268,6 +279,30 @@ class Session:
     def stats(self) -> Dict[str, Dict]:
         """A JSON-friendly snapshot of the session's pipeline metrics."""
         return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # versions and snapshots (MVCC)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self):
+        """The store's current :class:`~repro.datamodel.versions.Version`."""
+        return self.store.version
+
+    def version_status(self) -> Dict[str, int]:
+        """Pins and copy-on-write chain statistics (REPL ``.snapshot``)."""
+        return self.store.version_status()
+
+    def snapshot_view(self) -> "SnapshotSession":
+        """Pin the current version and return a read-only session at it.
+
+        The returned :class:`SnapshotSession` keeps answering queries
+        against the pinned state no matter how many mutations commit on
+        this session afterwards; writers never block it.  Close it (or
+        use it as a context manager) to release the pin so the store can
+        garbage-collect the copy-on-write chains.
+        """
+        return SnapshotSession(self)
 
     # ------------------------------------------------------------------
 
@@ -717,6 +752,91 @@ class Session:
         return self.views.update_through_view(
             name, attr, new_values, self.evaluator()
         )
+
+
+class SnapshotSession(Session):
+    """A session pinned to one committed version of another session's store.
+
+    Everything read-only works exactly as on the base session — queries,
+    prepare/run, explain, stats — but every read sees the database as of
+    the pin, even while the base session commits mutations concurrently.
+    Statements that would write (UPDATE CLASS, DDL, object creation)
+    raise :class:`~repro.errors.SnapshotReadOnlyError`.
+
+    The id-function registry is shared with the base session so view
+    objects (:class:`~repro.oid.FuncOid` ids minted by CREATE VIEW)
+    resolve identically at the pinned state.
+    """
+
+    def __init__(self, base: Session) -> None:
+        view = base.store.snapshot_view()
+        super().__init__(
+            store=view,
+            max_path_var_length=base._max_path_var_length,
+        )
+        self.registry = base.registry
+        self.views = ViewManager(self.store, self.registry)
+        self._join_mode = base._join_mode
+        self._base = base
+
+    def close(self) -> None:
+        """Release the pin (idempotent); the snapshot must not be used after."""
+        super().close()
+        self.store.release()
+
+    @property
+    def pinned(self) -> bool:
+        return self.store.pinned
+
+    def __enter__(self) -> "SnapshotSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ConcurrentSession:
+    """Snapshot-isolated concurrent readers over one live session.
+
+    A thin multiplexer: :meth:`snapshot` hands each reader thread its
+    own pinned :class:`SnapshotSession`, and :meth:`run_concurrently`
+    does the fan-out/fan-in for the common run-these-queries case.  The
+    base session remains the single writer; because pinned readers take
+    no locks, a writer committing thousands of mutations never blocks
+    them (and vice versa — readers never delay a commit).
+    """
+
+    def __init__(self, base: Session) -> None:
+        self.base = base
+
+    def snapshot(self) -> SnapshotSession:
+        """A new pinned read-only session (caller closes it)."""
+        return self.base.snapshot_view()
+
+    def run_concurrently(
+        self,
+        queries: Sequence[str],
+        workers: int = 4,
+        **query_kwargs,
+    ) -> List[Tuple["object", QueryResult]]:
+        """Run each query on its own snapshot across *workers* threads.
+
+        Returns ``[(version, result), ...]`` in query order: the version
+        each query was pinned at and its result.  Snapshots are pinned
+        at task start, so queries submitted while the base session is
+        writing observe whichever versions were current when their turn
+        came — each one internally consistent.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run_one(source: str):
+            with self.base.snapshot_view() as snap:
+                return snap.version, snap.query(source, **query_kwargs)
+
+        if not queries:
+            return []
+        with ThreadPoolExecutor(max_workers=max(1, workers)) as pool:
+            return list(pool.map(run_one, queries))
 
 
 def _status(message: str) -> QueryResult:

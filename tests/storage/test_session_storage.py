@@ -330,3 +330,25 @@ class TestRestoreAfterCheckpoint:
         result = reopened.query("SELECT X.Age FROM Person X WHERE X.Name = 'Mary'")
         assert [row[0].value for row in result.rows()] == [31]
         reopened.close()
+
+
+class TestVersionTicketResume:
+    def test_reopened_session_resumes_the_ticket_sequence(self, tmp_path):
+        root = str(tmp_path / "db")
+        session = Session.open(root, sync="never")
+        load_people(session)
+        ticket_at_close = session.store.version.ticket
+        assert ticket_at_close > 0
+        session.close()
+
+        reopened = Session.open(root, sync="never")
+        try:
+            # The decoded store restored the committed ticket, so new
+            # mutations continue the sequence instead of restarting it.
+            assert reopened.store.version.ticket >= ticket_at_close
+            before = reopened.store.version.ticket
+            reopened.store.set_attr(Atom("mary"), "Age", 33)
+            assert reopened.store.version.ticket > before
+            assert names_over_40(reopened) == ["Bob", "Sue"]
+        finally:
+            reopened.close()

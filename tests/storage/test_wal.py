@@ -244,3 +244,39 @@ class TestStatus:
         text = "\n".join(recovered.recovery.lines())
         assert "replayed: 1 batch(es)" in text
         recovered.close()
+
+
+class TestMvccTicket:
+    def test_ticket_stamp_survives_reopen(self, db):
+        engine = _open(db)
+        engine.apply(
+            WriteBatch(),
+            schema_generation=5,
+            statistics_generation=9,
+            ticket=42,
+        )
+        engine.close()
+        recovered = _open(db)
+        assert recovered.last_stamp().ticket == 42
+        recovered.close()
+
+    def test_ticket_survives_checkpoint(self, db):
+        engine = _open(db)
+        engine.apply(WriteBatch(), ticket=17)
+        engine.checkpoint()
+        engine.close()
+        recovered = _open(db)
+        assert recovered.last_stamp().ticket == 17
+        recovered.close()
+
+    def test_torn_tail_falls_back_to_prior_ticket(self, db):
+        engine = _open(db)
+        engine.apply(WriteBatch(), ticket=7)
+        engine.apply(WriteBatch(), ticket=13)
+        engine.close()
+        size = os.path.getsize(os.path.join(db, "wal.log"))
+        with open(os.path.join(db, "wal.log"), "r+b") as handle:
+            handle.truncate(size - 3)
+        recovered = _open(db)
+        assert recovered.last_stamp().ticket == 7
+        recovered.close()

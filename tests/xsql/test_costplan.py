@@ -164,14 +164,15 @@ class TestCostExecution:
     def test_replan_when_statistics_drift(self, workload_session):
         compiled = workload_session.prepare(SELECTIVE, plan="cost")
         compiled.run()
-        generation = compiled.cost_plan.stats_generation
+        version = compiled.cost_plan.version
         # A data write moves the catalogue but not the schema; the next
         # run re-plans in place without a full recompile.
         store = workload_session.store
         person = sorted(store.extent("Person"), key=str)[0]
         store.unset_attr(person, "Name")
         compiled.run()
-        assert compiled.cost_plan.stats_generation > generation
+        assert compiled.cost_plan.version.data > version.data
+        assert compiled.cost_plan.version.same_schema(version)
 
     def test_estimation_error_is_observed(self, workload_session):
         workload_session.query(SELECTIVE, plan="cost")

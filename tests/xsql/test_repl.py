@@ -136,3 +136,23 @@ class TestProcessEntryPoint:
         )
         assert completed.returncode == 0
         assert "newyork" in completed.stdout
+
+
+class TestVersionMetaCommands:
+    def test_version_line(self):
+        output = drive(".version\n")
+        assert "version: v" in output
+        assert "pins=0" in output
+
+    def test_snapshot_runs_query_at_pinned_version(self):
+        output = drive(".snapshot SELECT X FROM Company X\n")
+        assert "snapshot pinned at v" in output
+        assert "uniSQL" in output
+
+    def test_snapshot_without_query_prints_usage(self):
+        output = drive(".snapshot\n")
+        assert "usage: .snapshot" in output
+
+    def test_snapshot_releases_its_pin(self):
+        output = drive(".snapshot SELECT X FROM Company X\n.version\n")
+        assert "pins=0" in output
